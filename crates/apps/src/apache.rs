@@ -1,0 +1,202 @@
+//! The Apache-like web server model.
+//!
+//! Characteristics the paper attributes to its Apache workload (§6):
+//! IO-intensive ("frequently retrieves a large amount of data from a
+//! storage device"), multi-MTU responses, a much longer mean response
+//! time than Memcached (1.7 ms vs 0.6 ms), and a lower maximum sustained
+//! load (~68 K vs ~143 K rps). The model realises that as:
+//!
+//! * a parse/dispatch CPU phase (~40 K cycles),
+//! * a disk access (exponential around 300 µs) with the core released,
+//! * a content-assembly CPU phase (~110 K cycles),
+//! * a response drawn from a small mix averaging ≈ 11.6 KB (6–14 MTU
+//!   frames).
+//!
+//! `GET` requests are served; `PUT` updates get a short, cheap handling
+//! path (they are real work but not latency-critical — paper §4.1's
+//! example); anything else is ignored.
+
+use desim::{SimDuration, SimTime};
+use oskernel::{AppPhase, AppPlan, RequestInfo, ServerApp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mean disk access time for the content fetch.
+const DISK_MEAN: SimDuration = SimDuration::from_us(300);
+/// CPU cycles to parse the request and locate content.
+const PARSE_CYCLES: u64 = 40_000;
+/// CPU cycles to assemble and encode the response.
+const ASSEMBLE_CYCLES: u64 = 110_000;
+
+/// The Apache-like application.
+#[derive(Debug)]
+pub struct ApacheApp {
+    rng: StdRng,
+    served: u64,
+    updates: u64,
+}
+
+impl ApacheApp {
+    /// Creates the model with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ApacheApp {
+            rng: StdRng::seed_from_u64(seed),
+            served: 0,
+            updates: 0,
+        }
+    }
+
+    /// `GET` requests fully served.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// `PUT` updates handled.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn jitter(&mut self, cycles: u64) -> u64 {
+        // ±20 % uniform service-demand jitter.
+        let f: f64 = self.rng.random_range(0.8..1.2);
+        (cycles as f64 * f) as u64
+    }
+
+    fn disk_wait(&mut self) -> SimDuration {
+        // Exponential with mean DISK_MEAN, clamped to a realistic band.
+        let u: f64 = self.rng.random_range(1e-9..1.0);
+        let wait = DISK_MEAN.mul_f64(-u.ln());
+        wait.max(SimDuration::from_us(50))
+            .min(SimDuration::from_ms(3))
+    }
+
+    fn response_size(&mut self) -> usize {
+        // Mix averaging ≈ 11.6 KB: mostly page-sized documents.
+        let roll: f64 = self.rng.random_range(0.0..1.0);
+        if roll < 0.5 {
+            8 * 1024
+        } else if roll < 0.8 {
+            12 * 1024
+        } else {
+            20 * 1024
+        }
+    }
+}
+
+impl ServerApp for ApacheApp {
+    fn plan(&mut self, _now: SimTime, request: &RequestInfo) -> Option<AppPlan> {
+        if request.payload.starts_with(b"GET ") || request.payload.starts_with(b"HEAD") {
+            self.served += 1;
+            Some(AppPlan {
+                phases: vec![
+                    AppPhase::Cpu {
+                        cycles: self.jitter(PARSE_CYCLES),
+                    },
+                    AppPhase::Io {
+                        wait: self.disk_wait(),
+                    },
+                    AppPhase::Cpu {
+                        cycles: self.jitter(ASSEMBLE_CYCLES),
+                    },
+                ],
+                response_bytes: self.response_size(),
+            })
+        } else if request.payload.starts_with(b"PUT ") || request.payload.starts_with(b"POST") {
+            self.updates += 1;
+            Some(AppPlan {
+                phases: vec![AppPhase::Cpu {
+                    cycles: self.jitter(20_000),
+                }],
+                response_bytes: 128,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "apache"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::NodeId;
+
+    fn request(payload: &'static [u8]) -> RequestInfo {
+        RequestInfo {
+            id: 1,
+            src: NodeId(1),
+            sent_at: SimTime::ZERO,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    #[test]
+    fn get_has_disk_phase_and_large_response() {
+        let mut app = ApacheApp::new(1);
+        let plan = app.plan(SimTime::ZERO, &request(b"GET /index.html HTTP/1.1")).unwrap();
+        assert_eq!(plan.phases.len(), 3);
+        assert!(plan.total_io() >= SimDuration::from_us(50));
+        assert!(plan.response_bytes >= 8 * 1024);
+        assert_eq!(app.served(), 1);
+    }
+
+    #[test]
+    fn put_is_cheap_and_small() {
+        let mut app = ApacheApp::new(1);
+        let plan = app.plan(SimTime::ZERO, &request(b"PUT /doc HTTP/1.1")).unwrap();
+        assert!(plan.total_io().is_zero());
+        assert!(plan.response_bytes < 1024);
+        assert_eq!(app.updates(), 1);
+    }
+
+    #[test]
+    fn garbage_ignored() {
+        let mut app = ApacheApp::new(1);
+        assert!(app.plan(SimTime::ZERO, &request(b"\x00\x01\x02")).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ApacheApp::new(7);
+        let mut b = ApacheApp::new(7);
+        for _ in 0..20 {
+            let pa = a.plan(SimTime::ZERO, &request(b"GET / HTTP/1.1")).unwrap();
+            let pb = b.plan(SimTime::ZERO, &request(b"GET / HTTP/1.1")).unwrap();
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn mean_demand_supports_target_load() {
+        // At the paper's max Apache load (~68 K rps) the application work
+        // must fit in roughly three 3.1 GHz cores (core 0 runs the
+        // network stack).
+        let mut app = ApacheApp::new(3);
+        let mut cycles = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            cycles += app
+                .plan(SimTime::ZERO, &request(b"GET / HTTP/1.1"))
+                .unwrap()
+                .total_cycles();
+        }
+        let mean = cycles / n;
+        assert!((120_000..190_000).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn response_sizes_span_multiple_frames() {
+        let mut app = ApacheApp::new(5);
+        for _ in 0..50 {
+            let plan = app.plan(SimTime::ZERO, &request(b"GET / HTTP/1.1")).unwrap();
+            assert!(plan.response_bytes > netsim::packet::MSS);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The Memcached-like key-value store model.
+//!
+//! Paper §6: "Memcached is a key-value store application that retrieves
+//! mostly small values from the main memory of the server" — no IO
+//! phases, light per-request CPU, small (but usually multi-MTU) values,
+//! much higher maximum sustained load (~2.1× Apache), and response time
+//! more sensitive to frequency than to C-states.
+
+use desim::SimTime;
+use oskernel::{AppPhase, AppPlan, RequestInfo, ServerApp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// CPU cycles for one `get`: hash, lookup, serialize from DRAM.
+const GET_CYCLES: u64 = 75_000;
+/// CPU cycles for one `set`.
+const SET_CYCLES: u64 = 40_000;
+
+/// The Memcached-like application.
+#[derive(Debug)]
+pub struct MemcachedApp {
+    rng: StdRng,
+    hits: u64,
+    sets: u64,
+}
+
+impl MemcachedApp {
+    /// Creates the model with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        MemcachedApp {
+            rng: StdRng::seed_from_u64(seed),
+            hits: 0,
+            sets: 0,
+        }
+    }
+
+    /// `get` requests served.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// `set` requests handled.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    fn jitter(&mut self, cycles: u64) -> u64 {
+        let f: f64 = self.rng.random_range(0.8..1.2);
+        (cycles as f64 * f) as u64
+    }
+
+    fn value_size(&mut self) -> usize {
+        // Mix averaging ≈ 2.1 KB; most values span more than one MTU
+        // (the TxBytesCounter rationale), a minority fit one frame.
+        let roll: f64 = self.rng.random_range(0.0..1.0);
+        if roll < 0.3 {
+            1024
+        } else if roll < 0.8 {
+            2048
+        } else {
+            4096
+        }
+    }
+}
+
+impl ServerApp for MemcachedApp {
+    fn plan(&mut self, _now: SimTime, request: &RequestInfo) -> Option<AppPlan> {
+        if request.payload.starts_with(b"get ") {
+            self.hits += 1;
+            Some(AppPlan {
+                phases: vec![AppPhase::Cpu {
+                    cycles: self.jitter(GET_CYCLES),
+                }],
+                response_bytes: self.value_size(),
+            })
+        } else if request.payload.starts_with(b"set ") {
+            self.sets += 1;
+            Some(AppPlan {
+                phases: vec![AppPhase::Cpu {
+                    cycles: self.jitter(SET_CYCLES),
+                }],
+                response_bytes: 8, // "STORED\r\n"
+            })
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use desim::SimDuration;
+    use netsim::NodeId;
+
+    fn request(payload: &'static [u8]) -> RequestInfo {
+        RequestInfo {
+            id: 1,
+            src: NodeId(1),
+            sent_at: SimTime::ZERO,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    #[test]
+    fn get_is_pure_cpu() {
+        let mut app = MemcachedApp::new(1);
+        let plan = app.plan(SimTime::ZERO, &request(b"get user:42\r\n")).unwrap();
+        assert_eq!(plan.total_io(), SimDuration::ZERO);
+        assert_eq!(plan.phases.len(), 1);
+        assert!(plan.response_bytes >= 1024);
+        assert_eq!(app.hits(), 1);
+    }
+
+    #[test]
+    fn set_is_cheap_tiny_reply() {
+        let mut app = MemcachedApp::new(1);
+        let plan = app.plan(SimTime::ZERO, &request(b"set k 0 0 4\r\nvvvv\r\n")).unwrap();
+        assert_eq!(plan.response_bytes, 8);
+        assert_eq!(app.sets(), 1);
+    }
+
+    #[test]
+    fn unknown_commands_ignored() {
+        let mut app = MemcachedApp::new(1);
+        assert!(app.plan(SimTime::ZERO, &request(b"stats\r\n")).is_none());
+    }
+
+    #[test]
+    fn lighter_than_apache_per_request() {
+        // The max-load ratio (~2.1×) comes from the per-request demand gap.
+        let mut mc = MemcachedApp::new(2);
+        let mut total = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            total += mc
+                .plan(SimTime::ZERO, &request(b"get k\r\n"))
+                .unwrap()
+                .total_cycles();
+        }
+        let mean = total / n;
+        assert!((60_000..90_000).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn most_values_span_multiple_frames() {
+        let mut app = MemcachedApp::new(4);
+        let mut multi = 0;
+        let n = 200;
+        for _ in 0..n {
+            let plan = app.plan(SimTime::ZERO, &request(b"get k\r\n")).unwrap();
+            if plan.response_bytes > netsim::packet::MSS {
+                multi += 1;
+            }
+        }
+        assert!(multi * 2 > n, "most responses should exceed one MTU");
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: the core idle-time threshold CIT (paper §4.3, 500 µs).
+//!
+//! CIT gates the *immediate* IT_RX wake-up: a request arriving after more
+//! than CIT of interrupt silence speculatively wakes the processor while
+//! the frame is still being DMA'd. Sweeping CIT from tiny (wakes on every
+//! quiet-ish request) to effectively disabled shows the latency value of
+//! the speculation at low load, where inter-burst gaps are long.
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use desim::SimDuration;
+use ncap::NcapConfig;
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("ablation_cit", "CIT sweep (immediate-wake speculation, §4.3)");
+    let load = AppKind::Memcached.paper_loads()[0];
+    let cits = [
+        ("50us", SimDuration::from_us(50)),
+        ("200us", SimDuration::from_us(200)),
+        ("500us (paper)", SimDuration::from_us(500)),
+        ("2ms", SimDuration::from_ms(2)),
+        ("disabled (10s)", SimDuration::from_secs(10)),
+    ];
+    let configs: Vec<_> = cits
+        .iter()
+        .map(|&(_, cit)| {
+            standard(AppKind::Memcached, Policy::NcapCons, load)
+                .with_ncap_override(NcapConfig::paper_defaults().with_cit(cit))
+        })
+        .collect();
+    let results = run_experiments_parallel(&configs);
+    let mut t = Table::new(vec!["CIT", "p50", "p95", "p99", "energy (J)", "wakes"]);
+    for ((name, _), r) in cits.iter().zip(results.iter()) {
+        t.row(vec![
+            (*name).to_owned(),
+            fmt_ns(r.latency.p50),
+            fmt_ns(r.latency.p95),
+            fmt_ns(r.latency.p99),
+            format!("{:.2}", r.energy_j),
+            r.wake_markers.to_string(),
+        ]);
+    }
+    println!("Memcached @ {load:.0} rps, ncap.cons:");
+    println!("{t}");
+    println!("expected: disabling CIT removes the early wake, lengthening the tail;");
+    println!("tiny CIT wakes on nearly every burst head (more interrupts, same tail).");
+}

@@ -1,0 +1,40 @@
+//! Ablation: the FCONS descent schedule (paper §4.3/§6).
+//!
+//! `ncap.cons` (FCONS = 5) and `ncap.aggr` (FCONS = 1) are the paper's
+//! two points; this sweep generalizes the latency/energy trade across
+//! FCONS = 1..8 at the low and medium Apache loads, where the paper
+//! reports cons giving 12 %/31 % lower p95 than aggr at 6 %/3 % higher
+//! energy.
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use ncap::NcapConfig;
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("ablation_fcons", "FCONS sweep (generalizing ncap.cons vs ncap.aggr)");
+    for &load in &AppKind::Apache.paper_loads()[..2] {
+        let fcons: Vec<u8> = vec![1, 2, 3, 5, 8];
+        let configs: Vec<_> = fcons
+            .iter()
+            .map(|&f| {
+                standard(AppKind::Apache, Policy::NcapCons, load)
+                    .with_ncap_override(NcapConfig::paper_defaults().with_fcons(f))
+            })
+            .collect();
+        let results = run_experiments_parallel(&configs);
+        println!("Apache @ {load:.0} rps:");
+        let mut t = Table::new(vec!["FCONS", "p95", "p99", "energy (J)", "IT_LOW wakes"]);
+        for (f, r) in fcons.iter().zip(results.iter()) {
+            t.row(vec![
+                f.to_string(),
+                fmt_ns(r.latency.p95),
+                fmt_ns(r.latency.p99),
+                format!("{:.2}", r.energy_j),
+                r.wake_markers.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!("expected shape: larger FCONS (slower descent) trades energy for latency.");
+}

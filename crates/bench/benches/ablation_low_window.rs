@@ -1,0 +1,40 @@
+//! Ablation: the low-activity window before the first IT_LOW (paper: 1 ms).
+//!
+//! The window is the time cores spend in the C0 polling loop after a
+//! burst before NCAP re-enables the menu governor and starts the
+//! frequency descent. It is NCAP's main energy cost and its insurance
+//! against reacting to a pause inside an ongoing burst.
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use desim::SimDuration;
+use ncap::NcapConfig;
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("ablation_low_window", "low-activity window sweep (design choice, 1 ms)");
+    let load = AppKind::Memcached.paper_loads()[0];
+    let windows = [250u64, 500, 1_000, 2_000, 4_000];
+    let configs: Vec<_> = windows
+        .iter()
+        .map(|&us| {
+            let mut c = NcapConfig::paper_defaults();
+            c.low_activity_window = SimDuration::from_us(us);
+            standard(AppKind::Memcached, Policy::NcapAggr, load).with_ncap_override(c)
+        })
+        .collect();
+    let results = run_experiments_parallel(&configs);
+    let mut t = Table::new(vec!["window", "p95", "p99", "energy (J)"]);
+    for (us, r) in windows.iter().zip(results.iter()) {
+        t.row(vec![
+            format!("{}us", us),
+            fmt_ns(r.latency.p95),
+            fmt_ns(r.latency.p99),
+            format!("{:.2}", r.energy_j),
+        ]);
+    }
+    println!("Memcached @ {load:.0} rps, ncap.aggr:");
+    println!("{t}");
+    println!("expected: shorter windows save C0-poll energy but risk descending");
+    println!("mid-burst (tail latency grows); 1 ms is the paper's compromise.");
+}

@@ -1,0 +1,56 @@
+//! Ablation: chip-wide vs per-core boost vs the full multi-queue NIC
+//! (paper §7 extension).
+//!
+//! With a multi-queue NIC "the target core for packet/request processing
+//! is known, [so] NCAP changes the P and C states of the target core
+//! independent from other cores. This can further improve the
+//! effectiveness of NCAP." Three steps are measured: the paper's
+//! chip-wide baseline; per-core boost on the single-queue NIC (boost on
+//! dispatch, menu guard on core 0 only); and per-core boost on a 4-queue
+//! RSS NIC where every vector is pinned to its own core.
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("ablation_percore", "§7 per-core vs chip-wide boost");
+    for app in [AppKind::Apache, AppKind::Memcached] {
+        let load = app.paper_loads()[0];
+        let configs = vec![
+            standard(app, Policy::NcapCons, load),
+            standard(app, Policy::NcapCons, load).with_per_core_boost(),
+            standard(app, Policy::NcapCons, load)
+                .with_per_core_boost()
+                .with_nic_queues(4),
+            standard(app, Policy::NcapAggr, load),
+            standard(app, Policy::NcapAggr, load).with_per_core_boost(),
+            standard(app, Policy::NcapAggr, load)
+                .with_per_core_boost()
+                .with_nic_queues(4),
+        ];
+        let results = run_experiments_parallel(&configs);
+        let labels = [
+            "ncap.cons chip-wide",
+            "ncap.cons per-core",
+            "ncap.cons per-core + 4 queues",
+            "ncap.aggr chip-wide",
+            "ncap.aggr per-core",
+            "ncap.aggr per-core + 4 queues",
+        ];
+        println!("{app} @ {load:.0} rps:");
+        let mut t = Table::new(vec!["variant", "p95", "p99", "energy (J)"]);
+        for (l, r) in labels.iter().zip(results.iter()) {
+            t.row(vec![
+                (*l).to_owned(),
+                fmt_ns(r.latency.p95),
+                fmt_ns(r.latency.p99),
+                format!("{:.2}", r.energy_j),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!("expected: per-core saves energy (idle cores poll at low V during");
+    println!("bursts) at a small latency cost (late cores pay the V-ramp on");
+    println!("their first job).");
+}

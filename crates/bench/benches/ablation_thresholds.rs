@@ -1,0 +1,50 @@
+//! Ablation: DecisionEngine rate thresholds (RHT/RLT/TLT, paper §6).
+//!
+//! The paper picks RHT = 35 K rps, RLT = 5 K rps, TLT = 5 Mbps after
+//! characterising the workloads. This sweep shows the sensitivity: too
+//! high an RHT misses bursts (latency suffers); too low an RLT/TLT never
+//! descends (energy suffers).
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use ncap::NcapConfig;
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("ablation_thresholds", "RHT/RLT/TLT sensitivity (§6 choices)");
+    let load = AppKind::Apache.paper_loads()[0];
+    // A 200-request burst concentrates ~60 requests into one 50 us MITT
+    // window (~1.2 M rps instantaneous), while inter-burst windows are
+    // empty — so the interesting extremes are an RHT *above* the burst's
+    // windowed rate (IT_HIGH never fires) and thresholds inside the dead
+    // band (identical to paper, demonstrating the design's robustness).
+    let variants: Vec<(&str, NcapConfig)> = vec![
+        ("paper (35K/5K/5M)", NcapConfig::paper_defaults()),
+        ("hair trigger (RHT=100)", NcapConfig::paper_defaults().with_thresholds(100.0, 50.0, 5e6)),
+        ("RHT x4 (140K, dead band)", NcapConfig::paper_defaults().with_thresholds(140_000.0, 5_000.0, 5e6)),
+        ("RHT above bursts (10M)", NcapConfig::paper_defaults().with_thresholds(10_000_000.0, 5_000.0, 5e6)),
+        ("RLT just under RHT (34K)", NcapConfig::paper_defaults().with_thresholds(35_000.0, 34_000.0, 5e6)),
+    ];
+    let configs: Vec<_> = variants
+        .iter()
+        .map(|(_, c)| {
+            standard(AppKind::Apache, Policy::NcapCons, load).with_ncap_override(c.clone())
+        })
+        .collect();
+    let results = run_experiments_parallel(&configs);
+    let mut t = Table::new(vec!["thresholds", "p95", "energy (J)", "NCAP interrupts"]);
+    for ((name, _), r) in variants.iter().zip(results.iter()) {
+        t.row(vec![
+            (*name).to_owned(),
+            fmt_ns(r.latency.p95),
+            format!("{:.2}", r.energy_j),
+            r.wake_markers.to_string(),
+        ]);
+    }
+    println!("Apache @ {load:.0} rps, ncap.cons:");
+    println!("{t}");
+    println!("expected: an RHT above the burst's windowed rate suppresses IT_HIGH");
+    println!("entirely (NCAP degenerates to ond.idle: worse p95, lower energy);");
+    println!("thresholds within the bimodal dead band match the paper's setting,");
+    println!("showing the design is robust to the exact values (§7's TOE point).");
+}

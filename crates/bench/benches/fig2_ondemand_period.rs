@@ -1,0 +1,55 @@
+//! Figure 2 — Apache p95 latency vs. ondemand invocation period.
+//!
+//! The paper recompiled the Linux kernel to unlock invocation periods
+//! below the hard-coded 10 ms minimum and showed that (a) the best period
+//! varies with load and (b) shorter is not always better, because the
+//! governor invocation and V/F-change penalties accumulate. The
+//! simulator's ondemand period is a parameter, so the sweep is direct.
+
+use cluster::{run_experiments_parallel, AppKind, Policy};
+use desim::SimDuration;
+use ncap_bench::{header, standard};
+use simstats::{fmt_ns, Table};
+
+fn main() {
+    header("fig2_ondemand_period", "Figure 2 (ondemand invocation period sweep)");
+    let periods_ms = [1u64, 2, 5, 10, 20];
+    let loads = AppKind::Apache.paper_loads();
+
+    let mut configs = Vec::new();
+    for &load in &loads {
+        for &p in &periods_ms {
+            configs.push(
+                standard(AppKind::Apache, Policy::Ond, load)
+                    .with_ondemand_period(SimDuration::from_ms(p)),
+            );
+        }
+    }
+    let results = run_experiments_parallel(&configs);
+
+    let mut t = Table::new(vec![
+        "load (rps)", "1ms", "2ms", "5ms", "10ms", "20ms", "best",
+    ]);
+    for (li, &load) in loads.iter().enumerate() {
+        let row: Vec<&cluster::ExperimentResult> = (0..periods_ms.len())
+            .map(|pi| &results[li * periods_ms.len() + pi])
+            .collect();
+        let best = row
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.latency.p95)
+            .map(|(i, _)| periods_ms[i])
+            .unwrap_or(10);
+        let mut cells = vec![format!("{load:.0}")];
+        cells.extend(row.iter().map(|r| fmt_ns(r.latency.p95)));
+        cells.push(format!("{best}ms"));
+        t.row(cells);
+    }
+    println!("p95 response time by ondemand invocation period:");
+    println!("{t}");
+    println!(
+        "paper's shape: the best period differs per load level, and 1 ms is\n\
+         not uniformly better than 10 ms — the reason Linux hard-codes the\n\
+         10 ms minimum (§2.1)."
+    );
+}

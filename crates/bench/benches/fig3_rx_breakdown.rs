@@ -1,0 +1,171 @@
+//! Figure 3 / §2.2 — receive-path latency breakdown.
+//!
+//! The paper measures that steps ①–③ of the RX path (DMA of the frame to
+//! main memory, interrupt posting under moderation, ICR read over PCIe)
+//! average 86 µs under Apache load — the window NCAP exploits to hide
+//! the processor wake-up. This bench drives the NIC model directly with
+//! a time-ordered event loop (bursty arrivals, DMA completions, MITT
+//! expiries) and reports the same per-step decomposition.
+
+use bytes::Bytes;
+use desim::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+use ncap_bench::header;
+use netsim::packet::{NodeId, Packet};
+use nicsim::{Nic, NicConfig};
+use simstats::{LogHistogram, Table};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Burst,
+    DmaDone { arrival: SimTime, queue: usize },
+    Mitt,
+    Delay { queue: usize, gen: u64 },
+}
+
+struct RxProbe {
+    nic: Nic,
+    /// DMA-completed frames awaiting the moderated interrupt.
+    waiting: Vec<(SimTime, SimTime)>, // (arrival, dma_done)
+    dma_h: LogHistogram,
+    irq_wait_h: LogHistogram,
+    total_h: LogHistogram,
+    icr_read: SimDuration,
+    seq: u64,
+}
+
+impl RxProbe {
+    fn new() -> (Self, SimTime) {
+        let cfg = NicConfig::i82574_like();
+        let icr_read = cfg.icr_read_latency;
+        let mut nic = Nic::new(cfg);
+        let first_mitt = nic.start_mitt(SimTime::ZERO);
+        (
+            RxProbe {
+                nic,
+                waiting: Vec::new(),
+                dma_h: LogHistogram::new(),
+                irq_wait_h: LogHistogram::new(),
+                total_h: LogHistogram::new(),
+                icr_read,
+                seq: 0,
+            },
+            first_mitt,
+        )
+    }
+}
+
+impl EventHandler for RxProbe {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Burst => {
+                // 30 back-to-back frames, Apache-style request sizes.
+                for i in 0..30u64 {
+                    let arrival = now + SimDuration::from_nanos(i * 1_200);
+                    let frame = Packet::request(
+                        NodeId(1),
+                        NodeId(0),
+                        self.seq + i,
+                        Bytes::from_static(b"GET /doc HTTP/1.1\r\n\r\n"),
+                    );
+                    let out = self.nic.frame_arrived(arrival, frame);
+                    if let Some(done) = out.dma_complete_at {
+                        queue.push(
+                            done,
+                            Ev::DmaDone {
+                                arrival,
+                                queue: out.queue,
+                            },
+                        );
+                    }
+                }
+                self.seq += 30;
+                if now < SimTime::from_ms(499) {
+                    queue.push(now + SimDuration::from_nanos(1_250_000), Ev::Burst);
+                }
+            }
+            Ev::DmaDone { arrival, queue: q } => {
+                if let Some((deadline, gen)) = self.nic.rx_dma_complete(now, q) {
+                    queue.push(deadline, Ev::Delay { queue: q, gen });
+                }
+                self.dma_h.record(now.saturating_since(arrival).as_nanos());
+                self.waiting.push((arrival, now));
+            }
+            Ev::Delay { queue: q, gen } => {
+                if self.nic.delay_expired(now, q, gen) {
+                    self.service_irq(now);
+                }
+            }
+            Ev::Mitt => {
+                let (next, raised) = self.nic.mitt_expired(now);
+                queue.push(next, Ev::Mitt);
+                if !raised.is_empty() {
+                    self.service_irq(now);
+                }
+            }
+        }
+    }
+}
+
+impl RxProbe {
+    fn service_irq(&mut self, now: SimTime) {
+        let delivered = now + self.icr_read;
+        self.nic.read_icr(0);
+        while self.nic.fetch_rx(0).is_some() {}
+        for &(arrival, dma_done) in &self.waiting {
+            self.irq_wait_h
+                .record(now.saturating_since(dma_done).as_nanos());
+            self.total_h
+                .record(delivered.saturating_since(arrival).as_nanos());
+        }
+        self.waiting.clear();
+    }
+}
+
+fn main() {
+    header("fig3_rx_breakdown", "Figure 3 / §2.2 (RX path latency, steps 1-3)");
+    let (probe, first_mitt) = RxProbe::new();
+    let icr_read = probe.icr_read;
+    let mut sim = Simulation::new(probe);
+    sim.queue_mut().push(SimTime::from_us(100), Ev::Burst);
+    sim.queue_mut().push(first_mitt, Ev::Mitt);
+    sim.run_until(SimTime::from_ms(500));
+    let probe = sim.into_handler();
+
+    let mut table = Table::new(vec!["step", "mean", "p95", "note"]);
+    let row = |h: &LogHistogram, step: &str, note: &str| {
+        vec![
+            step.to_owned(),
+            format!("{:.1}us", h.mean() / 1e3),
+            format!("{:.1}us", h.percentile(95.0) as f64 / 1e3),
+            note.to_owned(),
+        ]
+    };
+    table.row(row(&probe.dma_h, "1. DMA to main memory", "descriptor fetch + PCIe writes"));
+    table.row(row(
+        &probe.irq_wait_h,
+        "2. interrupt moderation wait",
+        "MITT gates the IRQ posting",
+    ));
+    table.row(vec![
+        "3. ICR read".to_owned(),
+        format!("{:.1}us", icr_read.as_us_f64()),
+        format!("{:.1}us", icr_read.as_us_f64()),
+        "one PCIe round trip".to_owned(),
+    ]);
+    table.row(row(
+        &probe.total_h,
+        "total (steps 1-3)",
+        "paper: 86us average under Apache",
+    ));
+    println!("{table}");
+    println!("frames measured: {}", probe.total_h.count());
+    assert!(probe.total_h.count() > 5_000, "probe must observe traffic");
+    let mean_us = probe.total_h.mean() / 1e3;
+    println!(
+        "measured mean {:.1}us vs paper 86us: same order, dominated by the\n\
+         moderation wait — the latency NCAP overlaps with core wake-up.",
+        mean_us
+    );
+}

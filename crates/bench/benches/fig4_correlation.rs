@@ -1,0 +1,76 @@
+//! Figure 4 — correlation between network activity and power management.
+//!
+//! Runs Apache under `ond.idle` with tracing enabled and prints (a) the
+//! normalized BW(Rx)/BW(Tx), core utilization and frequency over a 200 ms
+//! window, and (b) the per-C-state residency shares — the paper's
+//! demonstration that request bursts drive utilization, frequency and
+//! sleep-state behaviour, with the ondemand governor reacting late.
+
+use cluster::{run_experiment, AppKind, Policy, TraceConfig};
+use ncap_bench::{header, standard};
+use simstats::Table;
+
+fn main() {
+    header("fig4_correlation", "Figure 4 (BW/U/F correlation + C-state residency)");
+    let cfg = standard(AppKind::Apache, Policy::OndIdle, 24_000.0).with_trace(TraceConfig::per_ms());
+    let result = run_experiment(&cfg);
+    let traces = result.traces.as_ref().expect("tracing was enabled");
+
+    let start_ms = 100u64;
+    let window_ms = 200u64;
+    let end_ns = (start_ms + window_ms) * 1_000_000;
+    let rx = traces.rx.finish_normalized(end_ns);
+    let tx = traces.tx.finish_normalized(end_ns);
+    let util = traces.util.rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    let freq = traces.freq.rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+
+    println!("(a) 200 ms snapshot, 1 ms bins printed as 4 ms maxima — BW normalized:");
+    let maxw = |v: &[f64], from: usize, n: usize| -> f64 {
+        v.iter().skip(from).take(n).copied().fold(0.0, f64::max)
+    };
+    let mut t = Table::new(vec!["t (ms)", "BW(Rx)", "BW(Tx)", "U", "F (GHz)"]);
+    for i in (0..window_ms as usize).step_by(4) {
+        let bin = start_ms as usize + i;
+        t.row(vec![
+            format!("{}", bin),
+            format!("{:.2}", maxw(&rx, bin, 4)),
+            format!("{:.2}", maxw(&tx, bin, 4)),
+            format!("{:.2}", maxw(&util, i, 4)),
+            format!("{:.2}", freq[i]),
+        ]);
+    }
+    println!("{t}");
+
+    println!("(b) C-state residency shares over the same window:");
+    let mut t = Table::new(vec!["t (ms)", "T(C1)", "T(C3)", "T(C6)"]);
+    let c1 = traces.cstate_share[0].rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    let c3 = traces.cstate_share[1].rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    let c6 = traces.cstate_share[2].rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    for i in (0..window_ms as usize).step_by(8) {
+        t.row(vec![
+            format!("{}", start_ms as usize + i),
+            format!("{:.2}", c1[i]),
+            format!("{:.2}", c3[i]),
+            format!("{:.2}", c6[i]),
+        ]);
+    }
+    println!("{t}");
+
+    // The paper's summary statistics for the boxed surge.
+    let peak_u = util.iter().copied().fold(0.0, f64::max);
+    let min_f = freq.iter().copied().fold(f64::MAX, f64::min);
+    let max_f = freq.iter().copied().fold(0.0, f64::max);
+    println!(
+        "window stats: peak utilization {:.0}%, frequency range {:.1}-{:.1} GHz, \
+         p95 latency {:.2} ms",
+        peak_u * 100.0,
+        min_f,
+        max_f,
+        result.latency.p95 as f64 / 1e6
+    );
+    println!(
+        "paper's observations to check: BW(Rx) surges precede U rises, which\n\
+         precede BW(Tx) surges; F rises lag the surge by up to one ondemand\n\
+         period (10 ms); cores visit deep C-states between bursts."
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 8 — Apache: response-time distribution, energy consumption, and
+//! BW(Rx)/F snapshots across the seven policies at three load levels.
+
+use cluster::AppKind;
+use ncap_bench::{header, run_fig89};
+
+fn main() {
+    header("fig8_apache", "Figure 8 (Apache: latency dist, energy, snapshots)");
+    run_fig89(AppKind::Apache);
+}

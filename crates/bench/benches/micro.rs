@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks: the simulator's own performance.
+//!
+//! Not a paper artifact — these guard the harness's throughput so the
+//! figure-regeneration benches stay fast: event-queue ops, packet
+//! construction + ReqMonitor inspection, P-state arithmetic, and
+//! end-to-end simulated-seconds-per-wall-second for a small cluster.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{EventQueue, SimDuration, SimTime};
+use ncap::{NcapConfig, ReqMonitor};
+use netsim::http::HttpRequest;
+use netsim::packet::{NodeId, Packet};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_packet_inspect(c: &mut Criterion) {
+    let mut monitor = ReqMonitor::new();
+    monitor.program([*b"GE", *b"HE", *b"PO", *b"ge"]);
+    let get = Packet::request(NodeId(1), NodeId(0), 1, HttpRequest::get("/x").to_payload());
+    let bulk = Packet::new(
+        NodeId(1),
+        NodeId(0),
+        0,
+        Bytes::from(vec![0xA5; 1448]),
+        netsim::PacketMeta::default(),
+    );
+    c.bench_function("reqmonitor_inspect_match", |b| {
+        b.iter(|| black_box(monitor.inspect(black_box(&get))));
+    });
+    c.bench_function("reqmonitor_inspect_miss", |b| {
+        b.iter(|| black_box(monitor.inspect(black_box(&bulk))));
+    });
+    c.bench_function("http_request_build", |b| {
+        b.iter(|| black_box(HttpRequest::get("/doc/123.html").to_payload()));
+    });
+}
+
+fn bench_decision_engine(c: &mut Criterion) {
+    c.bench_function("decision_engine_mitt_expiry", |b| {
+        let mut e = ncap::DecisionEngine::new(NcapConfig::paper_defaults());
+        let mut now = SimTime::ZERO;
+        let mut req = 0u64;
+        b.iter(|| {
+            now += SimDuration::from_us(50);
+            req += 3;
+            black_box(e.on_mitt_expiry(now, req, req * 1_500))
+        });
+    });
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    c.bench_function("cluster_sim_50ms_memcached_ncap", |b| {
+        b.iter(|| {
+            let cfg = cluster::ExperimentConfig::new(
+                cluster::AppKind::Memcached,
+                cluster::Policy::NcapCons,
+                35_000.0,
+            )
+            .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(40));
+            black_box(cluster::run_experiment(&cfg).completed)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_packet_inspect, bench_decision_engine, bench_cluster_sim
+);
+criterion_main!(benches);

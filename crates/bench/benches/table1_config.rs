@@ -1,0 +1,88 @@
+//! Table 1 — processor configuration.
+//!
+//! Prints the simulated platform's configuration next to the paper's
+//! Table 1 values and sanity-checks the derived power curve endpoints.
+
+use cpusim::{CState, PStateTable, PowerModel};
+use ncap_bench::header;
+use simstats::Table;
+
+fn main() {
+    header("table1_config", "Table 1 (processor configurations)");
+    let table = PStateTable::i7_like();
+    let power = PowerModel::i7_like();
+
+    let mut t = Table::new(vec!["parameter", "paper (Table 1)", "this model"]);
+    t.row(vec!["cores".into(), "4".into(), "4".into()]);
+    t.row(vec![
+        "P states".into(),
+        "15".into(),
+        table.len().to_string(),
+    ]);
+    t.row(vec![
+        "V/F range".into(),
+        "0.65V/0.8GHz – 1.2V/3.1GHz".into(),
+        format!(
+            "{:.2}V/{:.1}GHz – {:.2}V/{:.1}GHz",
+            table.voltage(table.deepest()),
+            table.freq_hz(table.deepest()) as f64 / 1e9,
+            table.voltage(table.fastest()),
+            table.freq_hz(table.fastest()) as f64 / 1e9
+        ),
+    ]);
+    let chip_max = 4.0 * power.busy_power(&table, table.fastest()) + power.uncore_active();
+    let chip_min = 4.0 * power.busy_power(&table, table.deepest()) + power.uncore_active();
+    t.row(vec![
+        "processor power at P states".into(),
+        "12 – 80 W".into(),
+        format!("{chip_min:.1} – {chip_max:.1} W"),
+    ]);
+    t.row(vec![
+        "C-state transition latencies".into(),
+        "2, 10, 22 us".into(),
+        format!(
+            "{}, {}, {}",
+            CState::C1.exit_latency(),
+            CState::C3.exit_latency(),
+            CState::C6.exit_latency()
+        ),
+    ]);
+    t.row(vec![
+        "C1 static power".into(),
+        "1.92 – 7.11 W".into(),
+        format!(
+            "{:.2} – {:.2} W",
+            power.sleep_power(&table, table.deepest(), CState::C1),
+            power.sleep_power(&table, table.fastest(), CState::C1)
+        ),
+    ]);
+    t.row(vec![
+        "C3 static power".into(),
+        "1.64 W".into(),
+        format!("{:.2} W", power.sleep_power(&table, table.fastest(), CState::C3)),
+    ]);
+    t.row(vec![
+        "NIC".into(),
+        "Intel 82574GI Gigabit".into(),
+        "82574-like single queue model".into(),
+    ]);
+    t.row(vec![
+        "link".into(),
+        "10 Gbps, 1 us latency".into(),
+        "10 Gbps, 1 us latency".into(),
+    ]);
+    println!("{t}");
+
+    println!("Full P-state ladder:");
+    let mut ladder = Table::new(vec!["state", "freq (GHz)", "V", "core busy (W)", "core C0-poll (W)"]);
+    for (id, p) in table.iter() {
+        ladder.row(vec![
+            id.to_string(),
+            format!("{:.3}", p.freq_hz as f64 / 1e9),
+            format!("{:.3}", p.voltage),
+            format!("{:.2}", power.busy_power(&table, id)),
+            format!("{:.2}", power.c0_idle_power(&table, id)),
+        ]);
+    }
+    println!("{ladder}");
+}

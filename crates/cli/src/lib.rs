@@ -1,0 +1,483 @@
+//! # ncap-cli — argument parsing and command execution
+//!
+//! The library half of the `ncap` binary: a small, dependency-free
+//! command-line parser and the command implementations, kept in a library
+//! so they are unit-testable.
+//!
+//! ```text
+//! ncap policies
+//! ncap run   --app memcached --policy ncap.cons --load 35000 [flags]
+//! ncap sweep --app apache --policies perf,ncap.cons --loads 20000,40000,60000
+//! ncap sla   --app memcached
+//! ```
+
+use cluster::{
+    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy,
+};
+use desim::SimDuration;
+use simstats::{fmt_ns, Table};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the seven policies.
+    Policies,
+    /// Run one experiment.
+    Run(RunArgs),
+    /// Run a policy × load grid.
+    Sweep(SweepArgs),
+    /// Find the SLA via the perf latency-load knee.
+    Sla {
+        /// The application to sweep.
+        app: AppKind,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `ncap run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Application.
+    pub app: AppKind,
+    /// Policy.
+    pub policy: Policy,
+    /// Offered load, requests/second.
+    pub load: f64,
+    /// Measured window (ms).
+    pub measure_ms: u64,
+    /// Warmup (ms).
+    pub warmup_ms: u64,
+    /// Seed.
+    pub seed: u64,
+    /// Poisson arrivals instead of bursts.
+    pub poisson: bool,
+    /// RSS queues on the server NIC.
+    pub queues: usize,
+    /// §7 per-core boost.
+    pub per_core: bool,
+    /// TOE on the server NIC.
+    pub toe: bool,
+}
+
+/// Arguments of `ncap sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Application.
+    pub app: AppKind,
+    /// Policies to run.
+    pub policies: Vec<Policy>,
+    /// Loads to run.
+    pub loads: Vec<f64>,
+    /// Measured window (ms).
+    pub measure_ms: u64,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_app(s: &str) -> Result<AppKind, ParseError> {
+    match s {
+        "apache" => Ok(AppKind::Apache),
+        "memcached" => Ok(AppKind::Memcached),
+        other => Err(ParseError(format!(
+            "unknown app '{other}' (expected apache|memcached)"
+        ))),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<Policy, ParseError> {
+    Policy::ALL
+        .iter()
+        .copied()
+        .find(|p| p.name() == s)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+            ParseError(format!(
+                "unknown policy '{s}' (expected one of {})",
+                names.join(", ")
+            ))
+        })
+}
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    args.next()
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem.
+pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, ParseError> {
+    let mut it = args.into_iter();
+    let cmd = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "policies" => Ok(Command::Policies),
+        "sla" => {
+            let mut app = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--app" => app = Some(parse_app(take_value(&mut it, flag)?)?),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Sla {
+                app: app.ok_or_else(|| ParseError("sla requires --app".into()))?,
+            })
+        }
+        "run" => {
+            let mut a = RunArgs {
+                app: AppKind::Memcached,
+                policy: Policy::NcapCons,
+                load: 35_000.0,
+                measure_ms: 400,
+                warmup_ms: 100,
+                seed: 0x4E43_4150,
+                poisson: false,
+                queues: 1,
+                per_core: false,
+                toe: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--app" => a.app = parse_app(take_value(&mut it, flag)?)?,
+                    "--policy" => a.policy = parse_policy(take_value(&mut it, flag)?)?,
+                    "--load" => {
+                        a.load = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--load expects a number".into()))?;
+                    }
+                    "--measure-ms" => {
+                        a.measure_ms = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--measure-ms expects an integer".into()))?;
+                    }
+                    "--warmup-ms" => {
+                        a.warmup_ms = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--warmup-ms expects an integer".into()))?;
+                    }
+                    "--seed" => {
+                        a.seed = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--seed expects an integer".into()))?;
+                    }
+                    "--queues" => {
+                        a.queues = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--queues expects an integer".into()))?;
+                    }
+                    "--poisson" => a.poisson = true,
+                    "--per-core" => a.per_core = true,
+                    "--toe" => a.toe = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if a.load <= 0.0 {
+                return Err(ParseError("--load must be positive".into()));
+            }
+            Ok(Command::Run(a))
+        }
+        "sweep" => {
+            let mut app = None;
+            let mut policies = Vec::new();
+            let mut loads = Vec::new();
+            let mut measure_ms = 300;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--app" => app = Some(parse_app(take_value(&mut it, flag)?)?),
+                    "--policies" => {
+                        for p in take_value(&mut it, flag)?.split(',') {
+                            policies.push(parse_policy(p)?);
+                        }
+                    }
+                    "--loads" => {
+                        for l in take_value(&mut it, flag)?.split(',') {
+                            loads.push(l.parse().map_err(|_| {
+                                ParseError(format!("bad load '{l}' in --loads"))
+                            })?);
+                        }
+                    }
+                    "--measure-ms" => {
+                        measure_ms = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--measure-ms expects an integer".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Sweep(SweepArgs {
+                app: app.ok_or_else(|| ParseError("sweep requires --app".into()))?,
+                policies: if policies.is_empty() {
+                    Policy::ALL.to_vec()
+                } else {
+                    policies
+                },
+                loads: if loads.is_empty() {
+                    app.map(AppKind::paper_loads)
+                        .unwrap_or([24_000.0, 45_000.0, 66_000.0])
+                        .to_vec()
+                } else {
+                    loads
+                },
+                measure_ms,
+            }))
+        }
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ncap — reproduce and explore NCAP (HPCA 2017) experiments
+
+USAGE:
+  ncap policies
+  ncap run   --app apache|memcached --policy <name> --load <rps>
+             [--measure-ms N] [--warmup-ms N] [--seed N]
+             [--poisson] [--queues N] [--per-core] [--toe]
+  ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
+             [--measure-ms N]
+  ncap sla   --app apache|memcached
+";
+
+/// Executes a parsed command, printing to stdout. Returns the process
+/// exit code.
+#[must_use]
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Policies => {
+            let mut t = Table::new(vec!["policy", "cpufreq", "cpuidle", "NCAP"]);
+            for p in Policy::ALL {
+                t.row(vec![
+                    p.name().to_owned(),
+                    if p.uses_ondemand() { "ondemand" } else { "performance" }.to_owned(),
+                    if p.uses_cstates() { "menu" } else { "poll (disabled)" }.to_owned(),
+                    match p {
+                        Policy::NcapSw => "software",
+                        Policy::NcapCons => "hardware, FCONS=5",
+                        Policy::NcapAggr => "hardware, FCONS=1",
+                        _ => "-",
+                    }
+                    .to_owned(),
+                ]);
+            }
+            println!("{t}");
+            0
+        }
+        Command::Run(a) => {
+            let mut cfg = ExperimentConfig::new(a.app, a.policy, a.load)
+                .with_durations(
+                    SimDuration::from_ms(a.warmup_ms),
+                    SimDuration::from_ms(a.measure_ms),
+                )
+                .with_seed(a.seed);
+            if a.poisson {
+                cfg = cfg.with_poisson();
+            }
+            if a.queues > 1 {
+                cfg = cfg.with_nic_queues(a.queues);
+            }
+            if a.per_core {
+                cfg = cfg.with_per_core_boost();
+            }
+            if a.toe {
+                cfg = cfg.with_toe(nicsim::ToeConfig::typical());
+            }
+            let r = run_experiment(&cfg);
+            println!(
+                "{} / {} @ {:.0} rps over {} ms:",
+                a.app,
+                a.policy,
+                a.load,
+                a.measure_ms
+            );
+            println!(
+                "  latency  p50 {}  p90 {}  p95 {}  p99 {}  mean {:.1}us",
+                fmt_ns(r.latency.p50),
+                fmt_ns(r.latency.p90),
+                fmt_ns(r.latency.p95),
+                fmt_ns(r.latency.p99),
+                r.latency.mean / 1e3
+            );
+            println!(
+                "  energy   {:.2} J ({:.1} W average)",
+                r.energy_j,
+                r.avg_power_w()
+            );
+            println!(
+                "  traffic  {}/{} requests completed (goodput {:.3}), {} NCAP interrupts, {} drops",
+                r.completed,
+                r.offered,
+                r.goodput(),
+                r.wake_markers,
+                r.rx_drops
+            );
+            0
+        }
+        Command::Sweep(a) => {
+            let configs: Vec<ExperimentConfig> = a
+                .loads
+                .iter()
+                .flat_map(|&l| {
+                    a.policies.iter().map(move |&p| {
+                        ExperimentConfig::new(a.app, p, l).with_durations(
+                            SimDuration::from_ms(100),
+                            SimDuration::from_ms(a.measure_ms),
+                        )
+                    })
+                })
+                .collect();
+            let results = run_experiments_parallel(&configs);
+            let mut t = Table::new(vec!["load (rps)", "policy", "p95", "p99", "energy (J)", "goodput"]);
+            for r in &results {
+                t.row(vec![
+                    format!("{:.0}", r.load_rps),
+                    r.policy.name().to_owned(),
+                    fmt_ns(r.latency.p95),
+                    fmt_ns(r.latency.p99),
+                    format!("{:.2}", r.energy_j),
+                    format!("{:.3}", r.goodput()),
+                ]);
+            }
+            println!("{t}");
+            0
+        }
+        Command::Sla { app } => {
+            let loads: Vec<f64> = match app {
+                AppKind::Apache => vec![12e3, 24e3, 36e3, 45e3, 54e3, 60e3, 66e3, 72e3],
+                AppKind::Memcached => vec![20e3, 40e3, 60e3, 90e3, 110e3, 127e3, 138e3, 150e3],
+            };
+            let configs: Vec<ExperimentConfig> = loads
+                .iter()
+                .map(|&l| {
+                    ExperimentConfig::new(app, Policy::Perf, l).with_durations(
+                        SimDuration::from_ms(100),
+                        SimDuration::from_ms(300),
+                    )
+                })
+                .collect();
+            let results = run_experiments_parallel(&configs);
+            let base = results[0].latency.p95.max(1);
+            let mut t = Table::new(vec!["load (rps)", "p95", "note"]);
+            let mut knee = (loads[0], results[0].latency.p95);
+            for r in &results {
+                let within = r.latency.p95 as f64 <= base as f64 * 2.5;
+                if within && r.load_rps >= knee.0 {
+                    knee = (r.load_rps, r.latency.p95);
+                }
+                t.row(vec![
+                    format!("{:.0}", r.load_rps),
+                    fmt_ns(r.latency.p95),
+                    if within { "" } else { "past the knee" }.to_owned(),
+                ]);
+            }
+            println!("{t}");
+            println!("SLA for {app}: {} (p95 at the {:.0} rps inflection)", fmt_ns(knee.1), knee.0);
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse([]).unwrap(), Command::Help);
+        assert_eq!(parse(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse([
+            "run", "--app", "apache", "--policy", "ncap.aggr", "--load", "24000", "--poisson",
+            "--queues", "4", "--per-core", "--toe", "--seed", "7",
+        ])
+        .unwrap();
+        let Command::Run(a) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(a.app, AppKind::Apache);
+        assert_eq!(a.policy, Policy::NcapAggr);
+        assert_eq!(a.load, 24_000.0);
+        assert!(a.poisson && a.per_core && a.toe);
+        assert_eq!(a.queues, 4);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_sweep_lists() {
+        let cmd = parse([
+            "sweep", "--app", "memcached", "--policies", "perf,ncap.cons", "--loads",
+            "10000,20000",
+        ])
+        .unwrap();
+        let Command::Sweep(a) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.policies, vec![Policy::Perf, Policy::NcapCons]);
+        assert_eq!(a.loads, vec![10_000.0, 20_000.0]);
+    }
+
+    #[test]
+    fn sweep_defaults_to_all_policies_and_paper_loads() {
+        let Command::Sweep(a) = parse(["sweep", "--app", "apache"]).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(a.policies.len(), 7);
+        assert_eq!(a.loads, AppKind::Apache.paper_loads().to_vec());
+    }
+
+    #[test]
+    fn rejects_unknown_inputs() {
+        assert!(parse(["frobnicate"]).is_err());
+        assert!(parse(["run", "--app", "nginx"]).is_err());
+        assert!(parse(["run", "--policy", "turbo"]).is_err());
+        assert!(parse(["run", "--load"]).is_err());
+        assert!(parse(["run", "--load", "-5"]).is_err());
+        assert!(parse(["sla"]).is_err());
+    }
+
+    #[test]
+    fn policies_and_help_execute() {
+        assert_eq!(execute(Command::Policies), 0);
+        assert_eq!(execute(Command::Help), 0);
+    }
+
+    #[test]
+    fn tiny_run_executes() {
+        let Command::Run(mut a) = parse([
+            "run", "--app", "memcached", "--policy", "perf", "--load", "20000",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        a.measure_ms = 30;
+        a.warmup_ms = 10;
+        assert_eq!(execute(Command::Run(a)), 0);
+    }
+}

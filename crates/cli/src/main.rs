@@ -1,0 +1,14 @@
+//! The `ncap` command-line tool. See [`ncap_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let code = match ncap_cli::parse(refs) {
+        Ok(cmd) => ncap_cli::execute(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", ncap_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

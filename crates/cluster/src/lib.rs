@@ -1,0 +1,47 @@
+//! # cluster — node assembly, policies, and the experiment runner
+//!
+//! This crate wires every substrate into the paper's evaluation setup
+//! (§5): a four-node star — one OLDI server and three open-loop burst
+//! clients on a 10 GbE switch — run under one of the seven power
+//! management policies of §6:
+//!
+//! | policy      | cpufreq        | cpuidle | NCAP                |
+//! |-------------|----------------|---------|---------------------|
+//! | `perf`      | performance    | poll    | –                   |
+//! | `ond`       | ondemand 10 ms | poll    | –                   |
+//! | `perf.idle` | performance    | menu    | –                   |
+//! | `ond.idle`  | ondemand 10 ms | menu    | –                   |
+//! | `ncap.sw`   | ondemand 10 ms | menu    | software (driver)   |
+//! | `ncap.cons` | ondemand 10 ms | menu    | hardware, FCONS = 5 |
+//! | `ncap.aggr` | ondemand 10 ms | menu    | hardware, FCONS = 1 |
+//!
+//! [`run_experiment`] runs one configuration to completion and returns
+//! latency percentiles, energy (total and per mode), and optional
+//! bandwidth/frequency traces; [`run_experiments_parallel`] fans a batch
+//! out across OS threads (each simulation is single-threaded and
+//! deterministic for its seed).
+//!
+//! ## Example
+//!
+//! ```
+//! use cluster::{AppKind, ExperimentConfig, Policy, run_experiment};
+//! use desim::SimDuration;
+//!
+//! let cfg = ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, 30_000.0)
+//!     .with_durations(SimDuration::from_ms(20), SimDuration::from_ms(50));
+//! let result = run_experiment(&cfg);
+//! assert!(result.completed > 0);
+//! assert!(result.energy_j > 0.0);
+//! ```
+
+pub mod config;
+pub mod policy;
+pub mod runner;
+pub mod sim;
+pub mod trace;
+
+pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
+pub use policy::Policy;
+pub use runner::{run_experiment, run_experiments_parallel, run_imbalanced, ExperimentResult, MultiServerResult};
+pub use sim::{ClusterEvent, ClusterSim};
+pub use trace::{TraceConfig, Traces};

@@ -1,0 +1,420 @@
+//! Building and running experiments.
+
+use crate::config::{AppKind, ExperimentConfig};
+use crate::policy::Policy;
+use crate::sim::ClusterSim;
+use crate::trace::Traces;
+use cpusim::EnergyMeter;
+use desim::{SimTime, Simulation};
+use ncap::{EnhancedDriver, SoftwareNcap};
+use netsim::NodeId;
+use nicsim::{Nic, NicConfig};
+use oldi_apps::{ApacheApp, ClientConfig, MemcachedApp, OpenLoopClient, Workload};
+use oskernel::{Kernel, KernelConfig, ServerApp};
+use simstats::LatencySummary;
+
+/// Everything one experiment produces.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The policy that ran.
+    pub policy: Policy,
+    /// The application that ran.
+    pub app: AppKind,
+    /// Offered load (requests/second across all clients).
+    pub load_rps: f64,
+    /// Response-time summary over the measured window.
+    pub latency: LatencySummary,
+    /// Measured-window processor energy, per mode.
+    pub energy: EnergyMeter,
+    /// Measured-window processor energy, joules.
+    pub energy_j: f64,
+    /// Requests offered during the measured window.
+    pub offered: u64,
+    /// Requests completed during the measured window.
+    pub completed: u64,
+    /// NCAP proactive interrupts observed (whole run).
+    pub wake_markers: usize,
+    /// RX-ring drops at the server NIC (whole run).
+    pub rx_drops: u64,
+    /// Length of the measured window.
+    pub measure: desim::SimDuration,
+    /// Optional traces.
+    pub traces: Option<Traces>,
+    /// Sampled server-side request waterfalls (when
+    /// [`ExperimentConfig::with_request_tracing`] was set).
+    pub server_request_traces: Option<Vec<oskernel::RequestTrace>>,
+    /// Server kernel operational counters (whole run).
+    pub kernel_stats: oskernel::KernelStats,
+}
+
+impl ExperimentResult {
+    /// Average processor power over the measured window, watts.
+    #[must_use]
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy_j / self.measure.as_secs_f64()
+    }
+
+    /// Fraction of offered requests completed in the window (values just
+    /// below 1.0 are normal: responses in flight at the horizon).
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+}
+
+fn build_app(cfg: &ExperimentConfig) -> Box<dyn ServerApp + Send> {
+    match cfg.app {
+        AppKind::Apache => Box::new(ApacheApp::new(cfg.seed ^ 0xA9AC)
+            ),
+        AppKind::Memcached => Box::new(MemcachedApp::new(cfg.seed ^ 0x3E3C)),
+    }
+}
+
+/// Builds the server kernel for an experiment configuration.
+#[must_use]
+pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
+    let table = cpusim::PStateTable::i7_like();
+    let ncap_cfg = |policy: Policy| {
+        cfg.ncap_override
+            .clone()
+            .or_else(|| policy.ncap_config())
+    };
+    let mut nic_config = if cfg.policy.uses_ncap_hardware() {
+        NicConfig::i82574_like()
+            .with_ncap(ncap_cfg(cfg.policy).expect("hardware NCAP policy has a config"))
+    } else {
+        NicConfig::i82574_like()
+    };
+    if let Some(toe) = cfg.toe {
+        nic_config = nic_config.with_toe(toe);
+    }
+    if cfg.nic_queues > 1 {
+        nic_config = nic_config.with_queues(cfg.nic_queues);
+    }
+    let mut kernel_cfg = KernelConfig::server_defaults()
+        .with_initial_pstate(cfg.policy.initial_pstate(&table));
+    if cfg.per_core_boost {
+        kernel_cfg = kernel_cfg.with_per_core_boost();
+    }
+    if let Some(n) = cfg.request_trace_every {
+        kernel_cfg = kernel_cfg.with_request_tracing(n);
+    }
+    let cores = kernel_cfg.cores as usize;
+    let cpuidle: Box<dyn governors::CpuidleGovernor + Send> =
+        if cfg.use_ladder && cfg.policy.uses_cstates() {
+            Box::new(governors::Ladder::new(cores))
+        } else {
+            cfg.policy.cpuidle(cores)
+        };
+    let mut kernel = Kernel::new(
+        kernel_cfg,
+        server_id,
+        Nic::new(nic_config),
+        cfg.policy.cpufreq(cfg.ondemand_period),
+        cpuidle,
+        build_app(cfg),
+    );
+    if cfg.policy.uses_ncap_hardware() {
+        kernel = kernel.with_ncap_driver(EnhancedDriver::new(
+            ncap_cfg(cfg.policy).expect("checked above"),
+            &table,
+        ));
+    }
+    if cfg.policy == Policy::NcapSw {
+        kernel = kernel.with_software_ncap(SoftwareNcap::new(
+            ncap_cfg(cfg.policy).expect("ncap.sw has a config"),
+            &table,
+        ));
+    }
+    kernel
+}
+
+fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClient>, Vec<bool>) {
+    let period = cfg.burst_period();
+    let mut clients = Vec::new();
+    let mut background = Vec::new();
+    for i in 0..cfg.clients {
+        let me = NodeId((i + 1) as u16);
+        let seed = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+        let mut cc = match cfg.app {
+            AppKind::Apache => ClientConfig::apache(me, server_id, cfg.burst_size, period, seed),
+            AppKind::Memcached => {
+                ClientConfig::memcached(me, server_id, cfg.burst_size, period, seed)
+            }
+        };
+        if cfg.poisson {
+            cc = cc.with_poisson();
+        }
+        if let Some((at, new_load)) = cfg.load_step {
+            let per_client = new_load / cfg.clients as f64;
+            let new_period =
+                desim::SimDuration::from_secs_f64(f64::from(cfg.burst_size) / per_client);
+            cc = cc.with_step(desim::SimTime::ZERO + at, new_period);
+        }
+        clients.push(OpenLoopClient::new(cc));
+        background.push(false);
+    }
+    if let Some(bg) = cfg.background {
+        let me = NodeId((cfg.clients + 1) as u16);
+        let bg_period =
+            desim::SimDuration::from_secs_f64(f64::from(bg.burst_size) / bg.rate.max(1.0));
+        let workload = if bg.bulk {
+            Workload::Bulk
+        } else {
+            Workload::ApachePut
+        };
+        let cc = ClientConfig::apache(me, server_id, bg.burst_size, bg_period, cfg.seed ^ 0xB6)
+            .with_workload(workload);
+        clients.push(OpenLoopClient::new(cc));
+        background.push(true);
+    }
+    (clients, background)
+}
+
+/// Runs one experiment to its horizon and collects the results.
+///
+/// Deterministic: equal configurations (including seed) produce equal
+/// results.
+#[must_use]
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let server_id = NodeId(0);
+    let server = build_server(cfg, server_id);
+    let (clients, background) = build_clients(cfg, server_id);
+    let mut cluster = ClusterSim::new(server, clients, background, cfg.trace);
+    let horizon = SimTime::ZERO + cfg.horizon();
+    let initial = cluster.initial_events(cfg.warmup, horizon);
+    let mut sim = Simulation::new(cluster);
+    for (t, e) in initial {
+        sim.queue_mut().push(t, e);
+    }
+    sim.run_until(horizon);
+    let now = sim.now();
+    let cluster = sim.handler_mut();
+    cluster.finalize(now);
+    let energy = cluster.measured_energy();
+    let latency = LatencySummary::from_histogram(cluster.tracker().latencies());
+    let result = ExperimentResult {
+        policy: cfg.policy,
+        app: cfg.app,
+        load_rps: cfg.load_rps,
+        latency,
+        energy_j: energy.total_joules(),
+        energy,
+        offered: cluster.offered_measured(),
+        completed: cluster.tracker().completed(),
+        wake_markers: cluster.server().wake_marker_times().len(),
+        rx_drops: cluster.server().nic().rx_drops(),
+        measure: cfg.measure,
+        traces: None,
+        server_request_traces: cfg
+            .request_trace_every
+            .map(|_| cluster.server().request_traces().to_vec()),
+        kernel_stats: cluster.server().stats(),
+    };
+    let traces = sim.into_handler().into_traces();
+    ExperimentResult { traces, ..result }
+}
+
+/// Runs a batch of experiments across OS threads (each simulation is
+/// single-threaded and deterministic). Results come back in input order.
+#[must_use]
+pub fn run_experiments_parallel(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+    let threads = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZero::get)
+        .min(configs.len().max(1));
+    let mut results: Vec<Option<ExperimentResult>> = Vec::new();
+    results.resize_with(configs.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let r = run_experiment(&configs[i]);
+                results_mx.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    fn quick(app: AppKind, policy: Policy, load: f64) -> ExperimentConfig {
+        ExperimentConfig::new(app, policy, load)
+            .with_durations(SimDuration::from_ms(20), SimDuration::from_ms(60))
+    }
+
+    #[test]
+    fn memcached_perf_completes_requests() {
+        let r = run_experiment(&quick(AppKind::Memcached, Policy::Perf, 30_000.0));
+        assert!(r.offered > 1_000, "offered {}", r.offered);
+        assert!(r.goodput() > 0.95, "goodput {}", r.goodput());
+        assert!(r.latency.p95 > 0);
+        assert!(r.energy_j > 0.0);
+        assert_eq!(r.rx_drops, 0);
+    }
+
+    #[test]
+    fn apache_perf_completes_requests() {
+        let r = run_experiment(&quick(AppKind::Apache, Policy::Perf, 24_000.0));
+        assert!(r.goodput() > 0.9, "goodput {}", r.goodput());
+        // Apache's disk phase pushes the mean well above a millisecond at
+        // burst arrival.
+        assert!(r.latency.mean > 300_000.0, "mean {}", r.latency.mean);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let cfg = quick(AppKind::Memcached, Policy::NcapCons, 35_000.0);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.latency.p95, b.latency.p95);
+        assert_eq!(a.completed, b.completed);
+        assert!((a.energy_j - b.energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_policy_saves_energy_vs_perf() {
+        let perf = run_experiment(&quick(AppKind::Apache, Policy::Perf, 24_000.0));
+        let idle = run_experiment(&quick(AppKind::Apache, Policy::PerfIdle, 24_000.0));
+        assert!(
+            idle.energy_j < perf.energy_j * 0.8,
+            "perf.idle {} vs perf {}",
+            idle.energy_j,
+            perf.energy_j
+        );
+    }
+
+    #[test]
+    fn ncap_uses_proactive_interrupts() {
+        let r = run_experiment(&quick(AppKind::Apache, Policy::NcapCons, 24_000.0));
+        assert!(r.wake_markers > 0, "NCAP never fired");
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let cfgs = vec![
+            quick(AppKind::Memcached, Policy::Perf, 20_000.0),
+            quick(AppKind::Memcached, Policy::PerfIdle, 20_000.0),
+        ];
+        let rs = run_experiments_parallel(&cfgs);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].policy, Policy::Perf);
+        assert_eq!(rs[1].policy, Policy::PerfIdle);
+        // And matches serial runs exactly.
+        let serial = run_experiment(&cfgs[0]);
+        assert_eq!(serial.latency.p95, rs[0].latency.p95);
+    }
+}
+
+/// Results of a multi-server (imbalanced datacenter) run — §7's
+/// discussion scenario.
+#[derive(Debug)]
+pub struct MultiServerResult {
+    /// The policy every server ran.
+    pub policy: Policy,
+    /// Cluster-wide response-time summary.
+    pub latency: LatencySummary,
+    /// Per-server measured energy (joules), index-aligned with the loads.
+    pub per_server_energy_j: Vec<f64>,
+    /// Cluster-wide measured energy (joules).
+    pub total_energy_j: f64,
+    /// Requests offered / completed in the measured window.
+    pub offered: u64,
+    /// Requests completed in the measured window.
+    pub completed: u64,
+}
+
+/// Runs a cluster of `per_server_loads.len()` servers, each fed by its
+/// own open-loop client at the given load — the paper's §7 scenario of a
+/// datacenter with load imbalance across nodes.
+///
+/// # Panics
+///
+/// Panics if `per_server_loads` is empty.
+#[must_use]
+pub fn run_imbalanced(
+    app: AppKind,
+    policy: Policy,
+    per_server_loads: &[f64],
+    warmup: desim::SimDuration,
+    measure: desim::SimDuration,
+    seed: u64,
+) -> MultiServerResult {
+    assert!(!per_server_loads.is_empty(), "need at least one server");
+    let n = per_server_loads.len();
+    let template = ExperimentConfig::new(app, policy, per_server_loads[0])
+        .with_durations(warmup, measure)
+        .with_seed(seed);
+    let servers: Vec<Kernel> = (0..n)
+        .map(|i| build_server(&template, NodeId(i as u16)))
+        .collect();
+    let mut clients = Vec::new();
+    let mut background = Vec::new();
+    for (i, &load) in per_server_loads.iter().enumerate() {
+        let me = NodeId((n + i) as u16);
+        let burst = template.burst_size;
+        let period = desim::SimDuration::from_secs_f64(f64::from(burst) / load.max(1.0));
+        let cc = match app {
+            AppKind::Apache => {
+                ClientConfig::apache(me, NodeId(i as u16), burst, period, seed + i as u64)
+            }
+            AppKind::Memcached => {
+                ClientConfig::memcached(me, NodeId(i as u16), burst, period, seed + i as u64)
+            }
+        };
+        clients.push(OpenLoopClient::new(cc));
+        background.push(false);
+    }
+    let mut cluster = ClusterSim::with_servers(servers, clients, background, None);
+    let horizon = SimTime::ZERO + warmup + measure;
+    let initial = cluster.initial_events(warmup, horizon);
+    let mut sim = Simulation::new(cluster);
+    for (t, e) in initial {
+        sim.queue_mut().push(t, e);
+    }
+    sim.run_until(horizon);
+    let now = sim.now();
+    let cluster = sim.handler_mut();
+    cluster.finalize(now);
+    let total = cluster.measured_energy();
+    // Per-server split: recompute from each kernel's meters (whole-run,
+    // not warmup-adjusted — adequate for the imbalance comparison since
+    // the warmup is uniform across servers).
+    let horizon_secs = (warmup + measure).as_secs_f64();
+    let measure_frac = measure.as_secs_f64() / horizon_secs;
+    let per_server_energy_j = cluster
+        .servers()
+        .iter()
+        .map(|s| {
+            let mut m = EnergyMeter::new();
+            for c in s.cores() {
+                m.merge(c.energy());
+            }
+            m.merge(s.uncore_energy());
+            m.total_joules() * measure_frac
+        })
+        .collect();
+    MultiServerResult {
+        policy,
+        latency: LatencySummary::from_histogram(cluster.tracker().latencies()),
+        per_server_energy_j,
+        total_energy_j: total.total_joules(),
+        offered: cluster.offered_measured(),
+        completed: cluster.tracker().completed(),
+    }
+}

@@ -1,0 +1,441 @@
+//! The cluster simulation: one server, N clients, a switch.
+//!
+//! [`ClusterSim`] implements [`desim::EventHandler`]; the experiment
+//! runner seeds it with initial events and drives it to the horizon.
+//! Frames travel client → switch → server and back; the server node is a
+//! full [`oskernel::Kernel`], clients are open-loop generators plus a
+//! response tracker (per the paper's methodology, client-side processing
+//! is not modelled — latency is measured at the final response frame).
+
+use crate::trace::{TraceConfig, Traces};
+use cpusim::{EnergyMeter, PowerMode};
+use desim::{EventHandler, EventQueue, SimDuration, SimTime};
+use netsim::{NodeId, Packet, Switch};
+use oldi_apps::{OpenLoopClient, ResponseTracker};
+use oskernel::{Effects, Kernel, NodeEvent};
+
+/// Events of the cluster world.
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// An event for one server node's kernel.
+    Server(NodeId, NodeEvent),
+    /// Client `idx` emits its next burst.
+    ClientBurst {
+        /// Index into the client list.
+        idx: usize,
+    },
+    /// A frame finishes traversing the network and arrives at `dst`.
+    Deliver {
+        /// The arriving frame.
+        frame: Packet,
+    },
+    /// Periodic trace sample.
+    Sample,
+    /// End of warmup: reset measurement baselines.
+    StartMeasure,
+}
+
+/// The simulated four-node (or N-node) cluster.
+pub struct ClusterSim {
+    servers: Vec<Kernel>,
+    clients: Vec<OpenLoopClient>,
+    /// Client indices whose traffic is background (not latency-tracked).
+    background: Vec<bool>,
+    tracker: ResponseTracker,
+    switch: Switch,
+    traces: Option<Traces>,
+    sample_period: SimDuration,
+    load_end: SimTime,
+    measure_start: SimTime,
+    measuring: bool,
+    energy_baseline: EnergyMeter,
+    offered_measured: u64,
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("servers", &self.servers)
+            .field("clients", &self.clients.len())
+            .field("measuring", &self.measuring)
+            .finish()
+    }
+}
+
+impl ClusterSim {
+    /// Assembles the cluster. `background[i]` marks client `i` as
+    /// non-latency-critical side traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` and `clients` lengths differ, or if no
+    /// server is supplied.
+    #[must_use]
+    pub fn new(
+        server: Kernel,
+        clients: Vec<OpenLoopClient>,
+        background: Vec<bool>,
+        trace: Option<TraceConfig>,
+    ) -> Self {
+        Self::with_servers(vec![server], clients, background, trace)
+    }
+
+    /// Assembles a cluster with several server nodes (§7's datacenter
+    /// discussion: clients are distributed across servers and overall
+    /// load is imbalanced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` and `clients` lengths differ, or if no
+    /// server is supplied.
+    #[must_use]
+    pub fn with_servers(
+        servers: Vec<Kernel>,
+        clients: Vec<OpenLoopClient>,
+        background: Vec<bool>,
+        trace: Option<TraceConfig>,
+    ) -> Self {
+        assert_eq!(clients.len(), background.len(), "flag per client required");
+        assert!(!servers.is_empty(), "at least one server required");
+        let mut switch = Switch::new(SimDuration::from_nanos(500));
+        for srv in &servers {
+            switch.attach(srv.node(), netsim::Link::ten_gbe(), netsim::Link::ten_gbe());
+        }
+        for c in &clients {
+            switch.attach(
+                c.config().me,
+                netsim::Link::ten_gbe(),
+                netsim::Link::ten_gbe(),
+            );
+        }
+        let sample_period = trace.map_or(SimDuration::from_ms(1), |t| t.window);
+        ClusterSim {
+            servers,
+            clients,
+            background,
+            tracker: ResponseTracker::new(),
+            switch,
+            traces: trace.map(Traces::new),
+            sample_period,
+            load_end: SimTime::MAX,
+            measure_start: SimTime::ZERO,
+            measuring: true,
+            energy_baseline: EnergyMeter::new(),
+            offered_measured: 0,
+        }
+    }
+
+    /// Seeds the initial events: kernel boot, staggered client bursts,
+    /// warmup boundary and trace sampling. Call once before running.
+    pub fn initial_events(
+        &mut self,
+        warmup: SimDuration,
+        load_end: SimTime,
+    ) -> Vec<(SimTime, ClusterEvent)> {
+        self.load_end = load_end;
+        if !warmup.is_zero() {
+            self.measuring = false;
+        }
+        let mut events = Vec::new();
+        for si in 0..self.servers.len() {
+            let node = self.servers[si].node();
+            let fx = self.servers[si].init(SimTime::ZERO);
+            for (t, e) in fx.schedule {
+                events.push((t, ClusterEvent::Server(node, e)));
+            }
+        }
+        // Stagger client start offsets so the three independent load
+        // generators do not begin phase-locked.
+        let n = self.clients.len().max(1) as u64;
+        for (i, c) in self.clients.iter().enumerate() {
+            let offset = c.config().period.as_nanos() * i as u64 / n;
+            events.push((
+                SimTime::from_nanos(offset),
+                ClusterEvent::ClientBurst { idx: i },
+            ));
+        }
+        if !warmup.is_zero() {
+            events.push((SimTime::ZERO + warmup, ClusterEvent::StartMeasure));
+        }
+        if self.traces.is_some() {
+            events.push((SimTime::ZERO + self.sample_period, ClusterEvent::Sample));
+        }
+        events
+    }
+
+    fn route(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
+        let arrival = self
+            .switch
+            .forward(now, frame.src(), frame.dst(), frame.wire_len())
+            .expect("all nodes are attached to the switch");
+        queue.push(arrival, ClusterEvent::Deliver { frame });
+    }
+
+    fn apply_effects(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        fx: Effects,
+        queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        for (t, e) in fx.schedule {
+            queue.push(t, ClusterEvent::Server(node, e));
+        }
+        for frame in fx.transmit {
+            if let Some(tr) = self.traces.as_mut() {
+                tr.tx.add(now.as_nanos(), frame.wire_len() as f64);
+            }
+            self.route(now, frame, queue);
+        }
+    }
+
+    fn on_client_burst(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        let (frames, next) = self.clients[idx].next_burst(now);
+        let is_bg = self.background[idx];
+        for frame in frames {
+            if !is_bg {
+                if let Some(id) = frame.meta().request_id {
+                    self.tracker.note_sent(id);
+                    if self.measuring {
+                        self.offered_measured += 1;
+                    }
+                }
+            }
+            self.route(now, frame, queue);
+        }
+        if next <= self.load_end {
+            queue.push(next, ClusterEvent::ClientBurst { idx });
+        }
+    }
+
+    fn server_index(&self, node: NodeId) -> Option<usize> {
+        self.servers.iter().position(|s| s.node() == node)
+    }
+
+    fn on_deliver(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
+        if let Some(si) = self.server_index(frame.dst()) {
+            if let Some(tr) = self.traces.as_mut() {
+                tr.rx.add(now.as_nanos(), frame.wire_len() as f64);
+            }
+            let node = self.servers[si].node();
+            let fx = self.servers[si].handle(now, NodeEvent::FrameFromWire(frame));
+            self.apply_effects(now, node, fx, queue);
+        } else if frame.meta().sent_at >= self.measure_start && self.measuring {
+            self.tracker.on_response_frame(now, &frame);
+        }
+    }
+
+    fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
+        // Traces follow the first server (the paper's single-server study).
+        self.servers[0].finalize(now);
+        let cores = self.servers[0].cores();
+        let freq_ghz = cores[0].freq_hz() as f64 / 1e9;
+        let total_busy: SimDuration = cores.iter().map(cpusim::Core::busy_time).sum();
+        let modes = Traces::cstate_modes();
+        let mut cstate = [SimDuration::ZERO; 3];
+        for (i, m) in modes.iter().enumerate() {
+            cstate[i] = cores
+                .iter()
+                .map(|c| c.energy().time_in(*m))
+                .sum();
+        }
+        let ncores = cores.len();
+        if let Some(tr) = self.traces.as_mut() {
+            tr.sample(now, freq_ghz, total_busy, cstate, ncores);
+        }
+        queue.push(now + self.sample_period, ClusterEvent::Sample);
+    }
+
+    fn on_start_measure(&mut self, now: SimTime) {
+        for s in &mut self.servers {
+            s.finalize(now);
+        }
+        self.energy_baseline = self.total_energy_raw();
+        self.measure_start = now;
+        self.measuring = true;
+        self.tracker = ResponseTracker::new();
+        self.offered_measured = 0;
+    }
+
+    fn total_energy_raw(&self) -> EnergyMeter {
+        let mut total = EnergyMeter::new();
+        for s in &self.servers {
+            for c in s.cores() {
+                total.merge(c.energy());
+            }
+            total.merge(s.uncore_energy());
+        }
+        total
+    }
+
+    // ----- results -------------------------------------------------------
+
+    /// Flushes accounting to `now` (call once at the horizon).
+    pub fn finalize(&mut self, now: SimTime) {
+        for s in &mut self.servers {
+            s.finalize(now);
+        }
+        if let Some(tr) = self.traces.as_mut() {
+            tr.wake_markers = self.servers[0].wake_marker_times().to_vec();
+        }
+    }
+
+    /// Energy consumed since the warmup boundary, per mode.
+    #[must_use]
+    pub fn measured_energy(&self) -> EnergyMeter {
+        self.total_energy_raw().diff(&self.energy_baseline)
+    }
+
+    /// Measured-window processor energy in joules.
+    #[must_use]
+    pub fn measured_energy_j(&self) -> f64 {
+        self.measured_energy().total_joules()
+    }
+
+    /// Busy-mode share of measured energy (diagnostics).
+    #[must_use]
+    pub fn measured_busy_fraction(&self) -> f64 {
+        let e = self.measured_energy();
+        if e.total_joules() == 0.0 {
+            0.0
+        } else {
+            e.joules(PowerMode::Busy) / e.total_joules()
+        }
+    }
+
+    /// The response tracker (latency histogram, completion counts).
+    #[must_use]
+    pub fn tracker(&self) -> &ResponseTracker {
+        &self.tracker
+    }
+
+    /// Latency-critical requests offered during the measured window.
+    #[must_use]
+    pub fn offered_measured(&self) -> u64 {
+        self.offered_measured
+    }
+
+    /// The first (or only) server kernel (counters, cores, NIC).
+    #[must_use]
+    pub fn server(&self) -> &Kernel {
+        &self.servers[0]
+    }
+
+    /// All server kernels.
+    #[must_use]
+    pub fn servers(&self) -> &[Kernel] {
+        &self.servers
+    }
+
+    /// The collected traces, if tracing was enabled.
+    #[must_use]
+    pub fn traces(&self) -> Option<&Traces> {
+        self.traces.as_ref()
+    }
+
+    /// Consumes the simulation, returning the traces.
+    #[must_use]
+    pub fn into_traces(self) -> Option<Traces> {
+        self.traces
+    }
+}
+
+impl EventHandler for ClusterSim {
+    type Event = ClusterEvent;
+
+    fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
+        match event {
+            ClusterEvent::Server(node, e) => {
+                let si = self.server_index(node).expect("event for a known server");
+                let fx = self.servers[si].handle(now, e);
+                self.apply_effects(now, node, fx, queue);
+            }
+            ClusterEvent::ClientBurst { idx } => self.on_client_burst(now, idx, queue),
+            ClusterEvent::Deliver { frame } => self.on_deliver(now, frame, queue),
+            ClusterEvent::Sample => self.on_sample(now, queue),
+            ClusterEvent::StartMeasure => self.on_start_measure(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppKind, ExperimentConfig};
+    use crate::policy::Policy;
+    use crate::runner::build_server;
+    use desim::Simulation;
+    use oldi_apps::ClientConfig;
+
+    fn tiny_cluster(policy: Policy) -> (ClusterSim, Vec<(SimTime, ClusterEvent)>) {
+        let cfg = ExperimentConfig::new(AppKind::Memcached, policy, 10_000.0)
+            .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(20));
+        let server = build_server(&cfg, NodeId(0));
+        let client = oldi_apps::OpenLoopClient::new(ClientConfig::memcached(
+            NodeId(1),
+            NodeId(0),
+            20,
+            SimDuration::from_ms(2),
+            3,
+        ));
+        let mut sim = ClusterSim::new(server, vec![client], vec![false], None);
+        let initial = sim.initial_events(cfg.warmup, SimTime::from_ms(25));
+        (sim, initial)
+    }
+
+    fn run(policy: Policy) -> ClusterSim {
+        let (cluster, initial) = tiny_cluster(policy);
+        let mut sim = Simulation::new(cluster);
+        for (t, e) in initial {
+            sim.queue_mut().push(t, e);
+        }
+        sim.run_until(SimTime::from_ms(25));
+        let now = sim.now();
+        let c = sim.handler_mut();
+        c.finalize(now);
+        sim.into_handler()
+    }
+
+    #[test]
+    fn direct_cluster_roundtrip() {
+        let c = run(Policy::Perf);
+        assert!(c.tracker().completed() > 100, "completed {}", c.tracker().completed());
+        assert!(c.measured_energy_j() > 0.0);
+        assert!(c.offered_measured() > 0);
+        assert!(c.measured_busy_fraction() > 0.0);
+    }
+
+    #[test]
+    fn warmup_boundary_resets_measurement() {
+        let c = run(Policy::Perf);
+        // Offered during the measured window only: 20 ms at 10 K rps ≈ 200,
+        // far less than the 25 ms total would imply if warmup leaked in.
+        assert!(c.offered_measured() <= 260, "offered {}", c.offered_measured());
+    }
+
+    #[test]
+    fn ncap_cluster_records_wake_markers() {
+        let c = run(Policy::NcapCons);
+        assert!(!c.server().wake_marker_times().is_empty());
+        assert_eq!(c.servers().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flag per client required")]
+    fn mismatched_background_flags_rejected() {
+        let cfg = ExperimentConfig::new(AppKind::Memcached, Policy::Perf, 10_000.0);
+        let server = build_server(&cfg, NodeId(0));
+        let _ = ClusterSim::new(server, Vec::new(), vec![false], None);
+    }
+
+    #[test]
+    fn debug_output_mentions_servers() {
+        let (c, _) = tiny_cluster(Policy::Perf);
+        assert!(format!("{c:?}").contains("servers"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Interrupt Cause Read (ICR) register bits.
+//!
+//! NICs record *why* they interrupted the processor in the ICR register;
+//! the driver's interrupt handler reads it over PCIe to dispatch (paper
+//! §2.2). NCAP claims two unused bits for its proactive interrupts
+//! (paper §4.2): `IT_HIGH` ("go to maximum performance now") and
+//! `IT_LOW` ("activity has been low; step performance down").
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A set of ICR cause bits.
+///
+/// # Example
+///
+/// ```
+/// use ncap::IcrFlags;
+/// let icr = IcrFlags::IT_HIGH | IcrFlags::IT_RX;
+/// assert!(icr.contains(IcrFlags::IT_HIGH));
+/// assert!(!icr.contains(IcrFlags::IT_LOW));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IcrFlags(u32);
+
+impl IcrFlags {
+    /// No cause recorded.
+    pub const EMPTY: IcrFlags = IcrFlags(0);
+    /// A received frame is ready for the network stack.
+    pub const IT_RX: IcrFlags = IcrFlags(1 << 0);
+    /// Transmit descriptors were written back.
+    pub const IT_TX: IcrFlags = IcrFlags(1 << 1);
+    /// NCAP: a burst of latency-critical requests is arriving — transition
+    /// to the highest performance state (paper §4.2, new bit).
+    pub const IT_HIGH: IcrFlags = IcrFlags(1 << 16);
+    /// NCAP: sustained low activity — reduce the performance state
+    /// (paper §4.2, new bit).
+    pub const IT_LOW: IcrFlags = IcrFlags(1 << 17);
+
+    /// `true` when no bits are set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when all bits of `other` are set in `self`.
+    #[must_use]
+    pub fn contains(self, other: IcrFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The raw register value.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Inserts the bits of `other`.
+    pub fn insert(&mut self, other: IcrFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Reads-and-clears, as a driver ICR read does on real hardware.
+    pub fn take(&mut self) -> IcrFlags {
+        core::mem::take(self)
+    }
+}
+
+impl BitOr for IcrFlags {
+    type Output = IcrFlags;
+    fn bitor(self, rhs: IcrFlags) -> IcrFlags {
+        IcrFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for IcrFlags {
+    fn bitor_assign(&mut self, rhs: IcrFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for IcrFlags {
+    type Output = IcrFlags;
+    fn bitand(self, rhs: IcrFlags) -> IcrFlags {
+        IcrFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for IcrFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        let mut first = true;
+        for (bit, name) in [
+            (IcrFlags::IT_RX, "IT_RX"),
+            (IcrFlags::IT_TX, "IT_TX"),
+            (IcrFlags::IT_HIGH, "IT_HIGH"),
+            (IcrFlags::IT_LOW, "IT_LOW"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_ops() {
+        let mut icr = IcrFlags::EMPTY;
+        assert!(icr.is_empty());
+        icr |= IcrFlags::IT_RX;
+        icr.insert(IcrFlags::IT_HIGH);
+        assert!(icr.contains(IcrFlags::IT_RX | IcrFlags::IT_HIGH));
+        assert!(!icr.contains(IcrFlags::IT_LOW));
+        assert_eq!((icr & IcrFlags::IT_RX).bits(), IcrFlags::IT_RX.bits());
+    }
+
+    #[test]
+    fn take_clears_like_a_read() {
+        let mut icr = IcrFlags::IT_RX | IcrFlags::IT_LOW;
+        let read = icr.take();
+        assert!(read.contains(IcrFlags::IT_LOW));
+        assert!(icr.is_empty());
+    }
+
+    #[test]
+    fn ncap_bits_use_high_word() {
+        // The paper uses *unused* ICR bits; keep them clear of the
+        // standard causes.
+        assert!(IcrFlags::IT_HIGH.bits() > u32::from(u16::MAX));
+        assert!(IcrFlags::IT_LOW.bits() > u32::from(u16::MAX));
+        assert_eq!(IcrFlags::IT_HIGH & IcrFlags::IT_LOW, IcrFlags::EMPTY);
+    }
+
+    #[test]
+    fn display_lists_causes() {
+        assert_eq!(IcrFlags::EMPTY.to_string(), "(none)");
+        assert_eq!((IcrFlags::IT_RX | IcrFlags::IT_HIGH).to_string(), "IT_RX|IT_HIGH");
+    }
+}

@@ -1,0 +1,223 @@
+//! ReqMonitor: context-aware detection of latency-critical requests.
+//!
+//! Paper §4.1 / Figure 5(b): "ReqMonitor compares the first two bytes of
+//! the payload with a set of templates that are stored in some registers
+//! in a NIC … Consequently, ReqMonitor can determine whether or not a
+//! received network packet is a latency-critical one. If so, ReqMonitor
+//! increments ReqCnt."
+//!
+//! This is what distinguishes NCAP from a naive packet-rate trigger:
+//! bulk traffic (storage replication, VM migration, `PUT` updates) never
+//! matches a template and therefore never drives the processor to P0.
+
+use crate::sysfs::Sysfs;
+use netsim::Packet;
+
+/// The template-matching request detector in the enhanced NIC.
+#[derive(Debug, Clone, Default)]
+pub struct ReqMonitor {
+    templates: Vec<[u8; 2]>,
+    match_all: bool,
+    req_cnt: u64,
+    frames_seen: u64,
+}
+
+impl ReqMonitor {
+    /// A monitor with no templates programmed (matches nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        ReqMonitor::default()
+    }
+
+    /// Loads templates from the sysfs registers — the NIC-driver init
+    /// subroutine's job (paper §4.1).
+    pub fn program_from_sysfs(&mut self, sysfs: &Sysfs) {
+        self.templates = sysfs.templates();
+    }
+
+    /// Directly programs a template set (tests, ablations).
+    pub fn program(&mut self, templates: impl IntoIterator<Item = [u8; 2]>) {
+        self.templates = templates.into_iter().collect();
+    }
+
+    /// The currently active templates.
+    #[must_use]
+    pub fn templates(&self) -> &[[u8; 2]] {
+        &self.templates
+    }
+
+    /// Switches to counting *every* received frame as a request — the
+    /// naive, context-free trigger of the paper's §4.1 strawman.
+    pub fn set_match_all(&mut self, match_all: bool) {
+        self.match_all = match_all;
+    }
+
+    /// Inspects one received frame. Returns `true` (and increments
+    /// `ReqCnt`) if the first two payload bytes match any template.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ncap::ReqMonitor;
+    /// use netsim::packet::{NodeId, Packet};
+    /// use netsim::http::HttpRequest;
+    ///
+    /// let mut m = ReqMonitor::new();
+    /// m.program([*b"GE"]);
+    /// let get = Packet::request(NodeId(1), NodeId(0), 1,
+    ///     HttpRequest::get("/").to_payload());
+    /// assert!(m.inspect(&get));
+    /// let put = Packet::request(NodeId(1), NodeId(0), 2,
+    ///     HttpRequest::put("/").to_payload());
+    /// assert!(!m.inspect(&put));
+    /// assert_eq!(m.req_cnt(), 1);
+    /// ```
+    pub fn inspect(&mut self, frame: &Packet) -> bool {
+        self.frames_seen += 1;
+        if self.match_all {
+            self.req_cnt += 1;
+            return true;
+        }
+        let Some(lead) = frame.leading_bytes() else {
+            return false;
+        };
+        if self.templates.contains(&lead) {
+            self.req_cnt += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inspects a raw wire frame (as produced by [`netsim::wire::encode`])
+    /// the way the hardware comparator does: two bytes at the fixed
+    /// payload offset. Frames shorter than offset+2 never match.
+    pub fn inspect_wire(&mut self, frame: &[u8]) -> bool {
+        self.frames_seen += 1;
+        let off = netsim::packet::PAYLOAD_OFFSET;
+        if self.match_all {
+            self.req_cnt += 1;
+            return true;
+        }
+        let Some(lead) = frame.get(off..off + 2) else {
+            return false;
+        };
+        if self.templates.contains(&[lead[0], lead[1]]) {
+            self.req_cnt += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The running latency-critical request count (`ReqCnt`).
+    #[must_use]
+    pub fn req_cnt(&self) -> u64 {
+        self.req_cnt
+    }
+
+    /// Total frames inspected (matching or not).
+    #[must_use]
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::http::{HttpRequest, MemcachedRequest};
+    use netsim::packet::{NodeId, PacketMeta};
+
+    fn frame(payload: Bytes) -> Packet {
+        Packet::new(NodeId(1), NodeId(0), 0, payload, PacketMeta::default())
+    }
+
+    #[test]
+    fn matches_only_programmed_templates() {
+        let mut m = ReqMonitor::new();
+        m.program([*b"GE", *b"ge"]);
+        assert!(m.inspect(&frame(HttpRequest::get("/a").to_payload())));
+        assert!(m.inspect(&frame(MemcachedRequest::get("k").to_payload())));
+        assert!(!m.inspect(&frame(HttpRequest::put("/a").to_payload())));
+        assert!(!m.inspect(&frame(MemcachedRequest::set("k", 4).to_payload())));
+        assert_eq!(m.req_cnt(), 2);
+        assert_eq!(m.frames_seen(), 4);
+    }
+
+    #[test]
+    fn empty_template_set_matches_nothing() {
+        let mut m = ReqMonitor::new();
+        assert!(!m.inspect(&frame(HttpRequest::get("/").to_payload())));
+        assert_eq!(m.req_cnt(), 0);
+    }
+
+    #[test]
+    fn short_payloads_never_match() {
+        let mut m = ReqMonitor::new();
+        m.program([*b"GE"]);
+        assert!(!m.inspect(&frame(Bytes::new())));
+        assert!(!m.inspect(&frame(Bytes::from_static(b"G"))));
+    }
+
+    #[test]
+    fn bulk_transfer_payloads_do_not_match() {
+        // Response-like data payloads (no method token) are ignored even
+        // at high rate — the context-awareness claim.
+        let mut m = ReqMonitor::new();
+        m.program([*b"GE", *b"HE", *b"PO", *b"ge"]);
+        for _ in 0..1000 {
+            assert!(!m.inspect(&frame(Bytes::from(vec![0xAB; 1400]))));
+        }
+        assert_eq!(m.req_cnt(), 0);
+        assert_eq!(m.frames_seen(), 1000);
+    }
+
+    #[test]
+    fn wire_inspection_matches_object_inspection() {
+        // The byte-level comparator and the object-level one agree on
+        // every payload family.
+        let mut obj = ReqMonitor::new();
+        let mut wire = ReqMonitor::new();
+        obj.program([*b"GE", *b"ge"]);
+        wire.program([*b"GE", *b"ge"]);
+        for payload in [
+            HttpRequest::get("/a").to_payload(),
+            HttpRequest::put("/a").to_payload(),
+            MemcachedRequest::get("k").to_payload(),
+            Bytes::from(vec![0xA5; 100]),
+        ] {
+            let pkt = frame(payload);
+            let bytes = netsim::wire::encode(&pkt);
+            assert_eq!(obj.inspect(&pkt), wire.inspect_wire(&bytes));
+        }
+        assert_eq!(obj.req_cnt(), wire.req_cnt());
+    }
+
+    #[test]
+    fn wire_inspection_rejects_short_frames() {
+        let mut m = ReqMonitor::new();
+        m.program([*b"GE"]);
+        assert!(!m.inspect_wire(&[0u8; 60]));
+    }
+
+    #[test]
+    fn match_all_counts_everything() {
+        let mut m = ReqMonitor::new();
+        m.set_match_all(true);
+        assert!(m.inspect(&frame(Bytes::from(vec![0xAB; 100]))));
+        assert!(m.inspect(&frame(Bytes::new())));
+        assert_eq!(m.req_cnt(), 2);
+    }
+
+    #[test]
+    fn programs_from_sysfs() {
+        let mut fs = Sysfs::new();
+        fs.program_default_templates();
+        let mut m = ReqMonitor::new();
+        m.program_from_sysfs(&fs);
+        assert_eq!(m.templates().len(), 4);
+        assert!(m.inspect(&frame(HttpRequest::get("/").to_payload())));
+    }
+}

@@ -1,0 +1,202 @@
+//! `ncap.sw`: the software implementation of NCAP (paper §5).
+//!
+//! The same ReqMonitor/TxBytesCounter/DecisionEngine algorithms run in
+//! the NIC *driver* instead of NIC hardware: the receive SoftIRQ calls a
+//! ReqMonitor function per packet, the transmit SoftIRQ counts bytes, and
+//! a 1 ms high-resolution kernel timer evaluates the rates.
+//!
+//! Two structural handicaps versus the hardware variant — both visible in
+//! the paper's results — fall out of this placement:
+//!
+//! 1. **CPU overhead**: every inspected packet and every timer tick burns
+//!    processor cycles ([`SW_PER_PACKET_CYCLES`], [`SW_TIMER_CYCLES`]),
+//!    which at high load steals capacity from request processing;
+//! 2. **no early wake**: detection happens *after* the packet has already
+//!    traversed DMA and the interrupt path, so nothing overlaps the
+//!    C-state exit or V/F ramp with packet delivery — the CIT-based
+//!    immediate `IT_RX` simply cannot exist in software.
+
+use crate::config::NcapConfig;
+use crate::decision::DecisionEngine;
+use crate::driver::{DriverAction, EnhancedDriver};
+use crate::icr::IcrFlags;
+use crate::req_monitor::ReqMonitor;
+use crate::sysfs::Sysfs;
+use crate::tx_counter::TxBytesCounter;
+use cpusim::{PStateId, PStateTable};
+use desim::{SimDuration, SimTime};
+use netsim::Packet;
+
+/// Cycles the SoftIRQ pays to run the ReqMonitor function per received
+/// packet (template compare + counter update + branch overhead in kernel
+/// code).
+pub const SW_PER_PACKET_CYCLES: u64 = 400;
+/// Cycles per transmitted packet for TxCnt accounting.
+pub const SW_PER_TX_CYCLES: u64 = 120;
+/// Cycles per 1 ms timer invocation (hrtimer dispatch, rate computation,
+/// DecisionEngine logic, possible cpufreq calls).
+pub const SW_TIMER_CYCLES: u64 = 30_000;
+
+/// The driver-resident NCAP implementation.
+#[derive(Debug, Clone)]
+pub struct SoftwareNcap {
+    monitor: ReqMonitor,
+    tx: TxBytesCounter,
+    engine: DecisionEngine,
+    driver: EnhancedDriver,
+    timer_period: SimDuration,
+}
+
+impl SoftwareNcap {
+    /// Builds `ncap.sw` with the paper's 1 ms evaluation timer.
+    #[must_use]
+    pub fn new(config: NcapConfig, table: &PStateTable) -> Self {
+        let timer_period = SimDuration::from_ms(1);
+        // The software variant evaluates rates at timer granularity; its
+        // decision engine therefore runs with the timer as its "MITT".
+        let engine_cfg = config.clone().with_mitt_period(timer_period);
+        let mut sysfs = Sysfs::new();
+        sysfs.program_default_templates();
+        let mut monitor = ReqMonitor::new();
+        monitor.program_from_sysfs(&sysfs);
+        SoftwareNcap {
+            monitor,
+            tx: TxBytesCounter::new(),
+            engine: DecisionEngine::new(engine_cfg),
+            driver: EnhancedDriver::new(config, table),
+            timer_period,
+        }
+    }
+
+    /// The evaluation timer period (1 ms, per §5).
+    #[must_use]
+    pub fn timer_period(&self) -> SimDuration {
+        self.timer_period
+    }
+
+    /// Called by the receive SoftIRQ for each packet, *before* it is
+    /// handed to the upper layers. Returns the CPU cycles consumed.
+    pub fn on_rx_packet(&mut self, frame: &Packet) -> u64 {
+        self.monitor.inspect(frame);
+        SW_PER_PACKET_CYCLES
+    }
+
+    /// Called by the transmit SoftIRQ per sent frame. Returns cycles.
+    pub fn on_tx_packet(&mut self, wire_bytes: usize) -> u64 {
+        self.tx.on_transmit(wire_bytes);
+        SW_PER_TX_CYCLES
+    }
+
+    /// The 1 ms timer handler: evaluates rates and returns the cycles
+    /// consumed plus the power-management action to apply.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        current_goal: PStateId,
+        table: &PStateTable,
+    ) -> (u64, DriverAction) {
+        let icr = self
+            .engine
+            .on_mitt_expiry(now, self.monitor.req_cnt(), self.tx.tx_bytes())
+            .unwrap_or(IcrFlags::EMPTY);
+        let action = if icr.is_empty() {
+            DriverAction::default()
+        } else {
+            self.driver.handle_interrupt(icr, current_goal, table)
+        };
+        (SW_TIMER_CYCLES, action)
+    }
+
+    /// Mirrors the applied frequency status into the decision engine.
+    pub fn note_freq_status(&mut self, at_max: bool, at_min: bool) {
+        self.engine.note_freq_status(at_max, at_min);
+    }
+
+    /// The embedded monitor (for tests).
+    #[must_use]
+    pub fn monitor(&self) -> &ReqMonitor {
+        &self.monitor
+    }
+
+    /// The embedded decision engine (for tests).
+    #[must_use]
+    pub fn engine(&self) -> &DecisionEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::http::HttpRequest;
+    use netsim::packet::NodeId;
+
+    fn get_frame(id: u64) -> Packet {
+        Packet::request(NodeId(1), NodeId(0), id, HttpRequest::get("/").to_payload())
+    }
+
+    fn sw() -> (SoftwareNcap, PStateTable) {
+        let t = PStateTable::i7_like();
+        let s = SoftwareNcap::new(NcapConfig::paper_defaults(), &t);
+        (s, t)
+    }
+
+    #[test]
+    fn per_packet_costs_are_charged() {
+        let (mut s, _) = sw();
+        assert_eq!(s.on_rx_packet(&get_frame(1)), SW_PER_PACKET_CYCLES);
+        assert_eq!(s.on_tx_packet(1500), SW_PER_TX_CYCLES);
+        assert_eq!(s.monitor().req_cnt(), 1);
+    }
+
+    #[test]
+    fn timer_detects_burst_and_boosts() {
+        let (mut s, t) = sw();
+        s.note_freq_status(false, false);
+        // Baseline tick.
+        let (c, a) = s.on_timer(SimTime::from_ms(1), t.deepest(), &t);
+        assert_eq!(c, SW_TIMER_CYCLES);
+        assert!(a.is_noop());
+        // 100 GETs within the next millisecond = 100 K rps > RHT.
+        for i in 0..100 {
+            s.on_rx_packet(&get_frame(i));
+        }
+        let (_, a) = s.on_timer(SimTime::from_ms(2), t.deepest(), &t);
+        assert_eq!(a.set_pstate, Some(t.fastest()));
+        assert!(a.disable_menu);
+    }
+
+    #[test]
+    fn timer_descends_after_quiet_period() {
+        let (mut s, t) = sw();
+        s.note_freq_status(true, false);
+        let mut now = SimTime::ZERO;
+        let mut saw_descent = false;
+        for _ in 0..10 {
+            now += SimDuration::from_ms(1);
+            let (_, a) = s.on_timer(now, t.fastest(), &t);
+            if a.set_pstate.is_some() {
+                assert!(a.enable_menu);
+                saw_descent = true;
+                break;
+            }
+        }
+        assert!(saw_descent, "sustained quiet must trigger a descent");
+    }
+
+    #[test]
+    fn detection_granularity_is_the_timer() {
+        // Unlike the hardware variant, nothing happens between timer
+        // ticks no matter how many requests arrive.
+        let (mut s, t) = sw();
+        s.note_freq_status(false, false);
+        s.on_timer(SimTime::from_ms(1), t.deepest(), &t);
+        for i in 0..500 {
+            s.on_rx_packet(&get_frame(i));
+        }
+        // Still nothing until the next tick evaluates the rates.
+        assert_eq!(s.engine().posted_counts().0, 0);
+        let (_, a) = s.on_timer(SimTime::from_ms(2), t.deepest(), &t);
+        assert!(a.set_pstate.is_some());
+    }
+}

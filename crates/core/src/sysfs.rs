@@ -1,0 +1,188 @@
+//! A sysfs-like configuration surface for the enhanced NIC.
+//!
+//! The paper programs ReqMonitor's template registers "through the
+//! operating system's sysfs interface … when running the initialization
+//! subroutine of the NIC driver" (§4.1). This module models that
+//! control-plane path: a small key/value filesystem under `ncap/` whose
+//! writes are validated like a driver's sysfs store hooks would.
+
+use std::collections::BTreeMap;
+
+/// Errors from sysfs reads/writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysfsError {
+    /// The attribute path does not exist.
+    NoSuchAttribute(String),
+    /// The written value failed the attribute's validation.
+    InvalidValue { path: String, reason: String },
+}
+
+impl core::fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SysfsError::NoSuchAttribute(p) => write!(f, "no such attribute: {p}"),
+            SysfsError::InvalidValue { path, reason } => {
+                write!(f, "invalid value for {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysfsError {}
+
+/// Number of template registers the enhanced NIC exposes. Real GbE
+/// controllers have a handful of spare filter registers; eight covers
+/// every latency-critical method of HTTP and Memcached with room to
+/// spare.
+pub const TEMPLATE_REGISTERS: usize = 8;
+
+/// The `ncap/` sysfs directory: template registers plus readable counters.
+///
+/// # Example
+///
+/// ```
+/// use ncap::Sysfs;
+/// let mut fs = Sysfs::new();
+/// fs.write("ncap/template0", "GE").unwrap();
+/// assert_eq!(fs.read("ncap/template0").unwrap(), "GE");
+/// assert!(fs.write("ncap/template0", "TOO LONG").is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sysfs {
+    attrs: BTreeMap<String, String>,
+}
+
+impl Sysfs {
+    /// Creates the directory with all template registers empty.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut attrs = BTreeMap::new();
+        for i in 0..TEMPLATE_REGISTERS {
+            attrs.insert(format!("ncap/template{i}"), String::new());
+        }
+        Sysfs { attrs }
+    }
+
+    /// Writes `value` to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SysfsError::NoSuchAttribute`] for unknown paths;
+    /// [`SysfsError::InvalidValue`] when a template is not exactly 0 or 2
+    /// bytes (the hardware compares exactly two bytes).
+    pub fn write(&mut self, path: &str, value: &str) -> Result<(), SysfsError> {
+        let slot = self
+            .attrs
+            .get_mut(path)
+            .ok_or_else(|| SysfsError::NoSuchAttribute(path.to_owned()))?;
+        if path.starts_with("ncap/template") && !(value.is_empty() || value.len() == 2) {
+            return Err(SysfsError::InvalidValue {
+                path: path.to_owned(),
+                reason: format!("template must be empty or 2 bytes, got {}", value.len()),
+            });
+        }
+        *slot = value.to_owned();
+        Ok(())
+    }
+
+    /// Reads the value at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SysfsError::NoSuchAttribute`] for unknown paths.
+    pub fn read(&self, path: &str) -> Result<&str, SysfsError> {
+        self.attrs
+            .get(path)
+            .map(String::as_str)
+            .ok_or_else(|| SysfsError::NoSuchAttribute(path.to_owned()))
+    }
+
+    /// The currently programmed two-byte templates, in register order.
+    #[must_use]
+    pub fn templates(&self) -> Vec<[u8; 2]> {
+        (0..TEMPLATE_REGISTERS)
+            .filter_map(|i| {
+                let v = self.attrs.get(&format!("ncap/template{i}"))?;
+                let b = v.as_bytes();
+                (b.len() == 2).then(|| [b[0], b[1]])
+            })
+            .collect()
+    }
+
+    /// Programs the standard latency-critical templates for HTTP and
+    /// Memcached traffic — what the NIC driver's init subroutine does.
+    ///
+    /// # Panics
+    ///
+    /// Never: the built-in templates are valid.
+    pub fn program_default_templates(&mut self) {
+        for (i, t) in ["GE", "HE", "PO", "ge"].iter().enumerate() {
+            self.write(&format!("ncap/template{i}"), t)
+                .expect("built-in templates are valid");
+        }
+    }
+
+    /// Lists all attribute paths (for discovery/tests).
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.attrs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_exist_and_start_empty() {
+        let fs = Sysfs::new();
+        assert_eq!(fs.paths().count(), TEMPLATE_REGISTERS);
+        assert!(fs.templates().is_empty());
+        assert_eq!(fs.read("ncap/template0").unwrap(), "");
+    }
+
+    #[test]
+    fn write_and_read_template() {
+        let mut fs = Sysfs::new();
+        fs.write("ncap/template3", "PU").unwrap();
+        assert_eq!(fs.read("ncap/template3").unwrap(), "PU");
+        assert_eq!(fs.templates(), vec![*b"PU"]);
+    }
+
+    #[test]
+    fn invalid_length_rejected() {
+        let mut fs = Sysfs::new();
+        let err = fs.write("ncap/template0", "GET").unwrap_err();
+        assert!(matches!(err, SysfsError::InvalidValue { .. }));
+        assert!(err.to_string().contains("template"));
+    }
+
+    #[test]
+    fn unknown_path_rejected() {
+        let mut fs = Sysfs::new();
+        assert_eq!(
+            fs.write("ncap/bogus", "xx"),
+            Err(SysfsError::NoSuchAttribute("ncap/bogus".to_owned()))
+        );
+        assert!(fs.read("nope").is_err());
+    }
+
+    #[test]
+    fn clearing_a_template() {
+        let mut fs = Sysfs::new();
+        fs.write("ncap/template0", "GE").unwrap();
+        fs.write("ncap/template0", "").unwrap();
+        assert!(fs.templates().is_empty());
+    }
+
+    #[test]
+    fn default_templates_cover_http_and_memcached() {
+        let mut fs = Sysfs::new();
+        fs.program_default_templates();
+        let t = fs.templates();
+        assert!(t.contains(b"GE"));
+        assert!(t.contains(b"ge"));
+        // PUT is deliberately absent: updates are not latency-critical
+        // (paper §4.1).
+        assert!(!t.contains(b"PU"));
+    }
+}

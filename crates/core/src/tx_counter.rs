@@ -1,0 +1,74 @@
+//! TxBytesCounter: context-free transmit accounting.
+//!
+//! Paper §4.1: detecting latency-critical *responses* would need complex
+//! hardware (one response spans many frames), so NCAP simply counts
+//! transmitted bytes — "most responses are larger than the Ethernet
+//! maximum transmission unit". A falling TxCnt rate marks the end of a
+//! response burst and gates the `IT_LOW` descent.
+
+/// The transmitted-bytes counter in the enhanced NIC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxBytesCounter {
+    tx_bytes: u64,
+    tx_frames: u64,
+}
+
+impl TxBytesCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        TxBytesCounter::default()
+    }
+
+    /// Records one transmitted frame of `wire_bytes`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ncap::TxBytesCounter;
+    /// let mut c = TxBytesCounter::new();
+    /// c.on_transmit(1500);
+    /// c.on_transmit(700);
+    /// assert_eq!(c.tx_bytes(), 2200);
+    /// ```
+    pub fn on_transmit(&mut self, wire_bytes: usize) {
+        self.tx_bytes += wire_bytes as u64;
+        self.tx_frames += 1;
+    }
+
+    /// Cumulative transmitted bytes (`TxCnt`).
+    #[must_use]
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Cumulative transmitted frames.
+    #[must_use]
+    pub fn tx_frames(&self) -> u64 {
+        self.tx_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_bytes_and_frames() {
+        let mut c = TxBytesCounter::new();
+        assert_eq!(c.tx_bytes(), 0);
+        for i in 1..=10 {
+            c.on_transmit(i * 100);
+        }
+        assert_eq!(c.tx_bytes(), 5_500);
+        assert_eq!(c.tx_frames(), 10);
+    }
+
+    #[test]
+    fn zero_byte_frames_count_frames_only() {
+        let mut c = TxBytesCounter::new();
+        c.on_transmit(0);
+        assert_eq!(c.tx_bytes(), 0);
+        assert_eq!(c.tx_frames(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! ACPI C-states: core sleep states.
+//!
+//! The paper evaluates three sleep states with exit latencies 2/10/22 µs
+//! and target residencies 10/40/150 µs (§5, citing the TURBO diaries).
+//! Table 1 names them C1/C3/C6 while the methodology prose says
+//! "C1, C2, C3" with the same numbers; we follow Table 1's names
+//! (documented in DESIGN.md).
+
+use desim::SimDuration;
+
+/// A core sleep state. `C0` is "running/idle-polling", not a sleep state,
+/// but is included so residency accounting can classify all time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CState {
+    /// Active/polling: the kernel idle loop spinning on the run queue.
+    C0,
+    /// Halt: clock gated, architectural state retained at full voltage.
+    C1,
+    /// Sleep: voltage dropped to a retention level (0.6 V in the paper).
+    C3,
+    /// Off: clock and power gated; zero static power.
+    C6,
+}
+
+impl CState {
+    /// All sleep states, shallowest first (what a cpuidle driver exposes).
+    pub const SLEEP_STATES: [CState; 3] = [CState::C1, CState::C3, CState::C6];
+
+    /// Latency to transition from this state back to execution
+    /// (paper §5: 2/10/22 µs for C1/C3/C6; C0 exits instantly).
+    #[must_use]
+    pub fn exit_latency(self) -> SimDuration {
+        match self {
+            CState::C0 => SimDuration::ZERO,
+            CState::C1 => SimDuration::from_us(2),
+            CState::C3 => SimDuration::from_us(10),
+            CState::C6 => SimDuration::from_us(22),
+        }
+    }
+
+    /// Minimum time the core should stay in this state for the entry to
+    /// pay off energetically (paper §5: 10/40/150 µs).
+    #[must_use]
+    pub fn target_residency(self) -> SimDuration {
+        match self {
+            CState::C0 => SimDuration::ZERO,
+            CState::C1 => SimDuration::from_us(10),
+            CState::C3 => SimDuration::from_us(40),
+            CState::C6 => SimDuration::from_us(150),
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CState::C0 => "C0",
+            CState::C1 => "C1",
+            CState::C3 => "C3",
+            CState::C6 => "C6",
+        }
+    }
+
+    /// Index into dense per-state arrays (C0=0 … C6=3).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CState::C0 => 0,
+            CState::C1 => 1,
+            CState::C3 => 2,
+            CState::C6 => 3,
+        }
+    }
+}
+
+impl core::fmt::Display for CState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        assert_eq!(CState::C1.exit_latency(), SimDuration::from_us(2));
+        assert_eq!(CState::C3.exit_latency(), SimDuration::from_us(10));
+        assert_eq!(CState::C6.exit_latency(), SimDuration::from_us(22));
+    }
+
+    #[test]
+    fn paper_residencies() {
+        assert_eq!(CState::C1.target_residency(), SimDuration::from_us(10));
+        assert_eq!(CState::C3.target_residency(), SimDuration::from_us(40));
+        assert_eq!(CState::C6.target_residency(), SimDuration::from_us(150));
+    }
+
+    #[test]
+    fn deeper_states_cost_more_to_leave() {
+        let mut last = SimDuration::ZERO;
+        for s in CState::SLEEP_STATES {
+            assert!(s.exit_latency() > last);
+            last = s.exit_latency();
+        }
+    }
+
+    #[test]
+    fn residency_exceeds_exit_latency() {
+        for s in CState::SLEEP_STATES {
+            assert!(s.target_residency() > s.exit_latency());
+        }
+    }
+
+    #[test]
+    fn names_and_indices_are_distinct() {
+        let all = [CState::C0, CState::C1, CState::C3, CState::C6];
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(s.to_string(), s.name());
+        }
+    }
+}

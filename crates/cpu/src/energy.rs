@@ -1,0 +1,194 @@
+//! Energy accounting by power mode.
+//!
+//! Every nanosecond of a core's life is attributed to exactly one
+//! [`PowerMode`]; the [`EnergyMeter`] integrates `power × time` per mode.
+//! Experiments report both total joules (the paper's energy-consumption
+//! bars) and the per-mode/per-C-state breakdown (paper Figure 4(b)).
+
+use desim::SimDuration;
+
+/// What a core is doing, for energy attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerMode {
+    /// Executing application/kernel work.
+    Busy,
+    /// Spinning in the C0 idle loop.
+    IdleC0,
+    /// Halted for a PLL relock during a P-state change.
+    Halt,
+    /// Transitioning out of a sleep state.
+    Wake,
+    /// Sleeping in C1.
+    SleepC1,
+    /// Sleeping in C3.
+    SleepC3,
+    /// Sleeping in C6.
+    SleepC6,
+    /// Shared package/uncore power (system bus, caches, memory
+    /// controller), accounted once per chip rather than per core.
+    Uncore,
+}
+
+impl PowerMode {
+    /// All modes, in a fixed order for dense arrays.
+    pub const ALL: [PowerMode; 8] = [
+        PowerMode::Busy,
+        PowerMode::IdleC0,
+        PowerMode::Halt,
+        PowerMode::Wake,
+        PowerMode::SleepC1,
+        PowerMode::SleepC3,
+        PowerMode::SleepC6,
+        PowerMode::Uncore,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            PowerMode::Busy => 0,
+            PowerMode::IdleC0 => 1,
+            PowerMode::Halt => 2,
+            PowerMode::Wake => 3,
+            PowerMode::SleepC1 => 4,
+            PowerMode::SleepC3 => 5,
+            PowerMode::SleepC6 => 6,
+            PowerMode::Uncore => 7,
+        }
+    }
+
+    /// Mode name for report tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerMode::Busy => "busy",
+            PowerMode::IdleC0 => "idle-c0",
+            PowerMode::Halt => "halt",
+            PowerMode::Wake => "wake",
+            PowerMode::SleepC1 => "sleep-c1",
+            PowerMode::SleepC3 => "sleep-c3",
+            PowerMode::SleepC6 => "sleep-c6",
+            PowerMode::Uncore => "uncore",
+        }
+    }
+}
+
+/// Integrates energy and residency per [`PowerMode`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    joules: [f64; 8],
+    time_ns: [u64; 8],
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Accumulates `power_w` drawn for `dur` in `mode`.
+    pub fn accumulate(&mut self, mode: PowerMode, power_w: f64, dur: SimDuration) {
+        debug_assert!(power_w >= 0.0, "power cannot be negative");
+        let i = mode.index();
+        self.joules[i] += power_w * dur.as_secs_f64();
+        self.time_ns[i] += dur.as_nanos();
+    }
+
+    /// Adds a lump of energy to `mode` without advancing residency time
+    /// (used for instantaneous transition costs).
+    pub fn add_joules(&mut self, mode: PowerMode, joules: f64) {
+        debug_assert!(joules >= 0.0, "energy cannot be negative");
+        self.joules[mode.index()] += joules;
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Energy attributed to `mode`, in joules.
+    #[must_use]
+    pub fn joules(&self, mode: PowerMode) -> f64 {
+        self.joules[mode.index()]
+    }
+
+    /// Time spent in `mode`.
+    #[must_use]
+    pub fn time_in(&self, mode: PowerMode) -> SimDuration {
+        SimDuration::from_nanos(self.time_ns[mode.index()])
+    }
+
+    /// Total accounted time across all modes.
+    #[must_use]
+    pub fn total_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.time_ns.iter().sum())
+    }
+
+    /// Merges another meter into this one (multi-core aggregation).
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for i in 0..8 {
+            self.joules[i] += other.joules[i];
+            self.time_ns[i] += other.time_ns[i];
+        }
+    }
+
+    /// The per-mode difference `self − baseline`, for measuring a window
+    /// that started after a warmup.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `baseline` is not ahead of `self` in any mode.
+    #[must_use]
+    pub fn diff(&self, baseline: &EnergyMeter) -> EnergyMeter {
+        let mut out = EnergyMeter::new();
+        for i in 0..8 {
+            debug_assert!(self.time_ns[i] >= baseline.time_ns[i], "baseline ahead");
+            out.joules[i] = self.joules[i] - baseline.joules[i];
+            out.time_ns[i] = self.time_ns[i] - baseline.time_ns[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_integrates_power() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(PowerMode::Busy, 20.0, SimDuration::from_ms(100));
+        assert!((m.total_joules() - 2.0).abs() < 1e-12);
+        assert_eq!(m.time_in(PowerMode::Busy), SimDuration::from_ms(100));
+    }
+
+    #[test]
+    fn modes_are_separate() {
+        let mut m = EnergyMeter::new();
+        m.accumulate(PowerMode::Busy, 10.0, SimDuration::from_ms(1));
+        m.accumulate(PowerMode::SleepC6, 0.0, SimDuration::from_ms(9));
+        assert!(m.joules(PowerMode::Busy) > 0.0);
+        assert_eq!(m.joules(PowerMode::SleepC6), 0.0);
+        assert_eq!(m.time_in(PowerMode::SleepC6), SimDuration::from_ms(9));
+        assert_eq!(m.total_time(), SimDuration::from_ms(10));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        a.accumulate(PowerMode::Busy, 5.0, SimDuration::from_ms(2));
+        b.accumulate(PowerMode::Busy, 5.0, SimDuration::from_ms(2));
+        b.accumulate(PowerMode::IdleC0, 3.0, SimDuration::from_ms(1));
+        a.merge(&b);
+        assert!((a.joules(PowerMode::Busy) - 0.02).abs() < 1e-12);
+        assert!((a.joules(PowerMode::IdleC0) - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_modes_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            PowerMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), PowerMode::ALL.len());
+    }
+}

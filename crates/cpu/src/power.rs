@@ -1,0 +1,286 @@
+//! Analytic power model calibrated to the paper's Table 1.
+//!
+//! The paper uses McPAT to map operating conditions to power; we use the
+//! same functional forms McPAT is built on, calibrated to the endpoints
+//! the paper publishes:
+//!
+//! * processor (4-core) max power across P-states: 12–80 W;
+//! * core static power at C1: 1.92–7.11 W (voltage-dependent);
+//! * core static power at C3: 1.64 W (retention at 0.6 V);
+//! * core static power at C6: 0 W.
+//!
+//! The chip also draws **uncore/package power** (system bus at 1.2 GHz,
+//! shared caches, memory controller — all listed in Table 1) whenever any
+//! core is awake; it drops to a retention trickle when every core sleeps
+//! and to ≈ 0 when all cores are in C6 and the package can power-gate.
+//! This shared component is what makes race-to-halt pay off — the paper's
+//! observation that `perf.idle` "is often more energy-efficient than a
+//! policy that makes cores process the requests at a deep P state" (§6)
+//! only holds when finishing early lets shared power turn off sooner.
+//!
+//! Model: `P_busy(V, f) = k·V²·f + P_static(V)` per core with
+//! `P_static(V) = c·V^n` fitted through the two C1 endpoints
+//! (n ≈ 2.13, c ≈ 4.82), plus `UNCORE_ACTIVE` per chip. `k` is calibrated
+//! so a fully-busy chip at P0 draws 80 W (4 × 18.75 W cores + 5 W
+//! uncore). Table 1's 12 W lower bound is mutually inconsistent with its
+//! own C1 static range (4 × 1.92 + uncore > 12); we keep the P0 endpoint
+//! and the C-state statics exact and let the deepest-P busy power land at
+//! ≈ 16 W (documented in DESIGN.md).
+
+use crate::cstate::CState;
+use crate::pstate::{PStateId, PStateTable};
+
+/// Per-core power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Effective switching constant: W per (V²·Hz).
+    k_dyn: f64,
+    /// Static power coefficient: `P_static = c·V^n`.
+    static_c: f64,
+    /// Static power exponent.
+    static_n: f64,
+    /// Fraction of dynamic power burned by the C0 idle loop. The paper's
+    /// §2.1: in C0 "the core waits for a job ... while executing NOP in a
+    /// kernel while loop" — a NOP spin keeps fetch/decode/retire clocking
+    /// at full rate, so polling draws nearly busy power.
+    c0_idle_dyn_fraction: f64,
+    /// Static power at C3 retention voltage (0.6 V), in watts.
+    c3_static_w: f64,
+    /// Package/uncore power while any core is awake, in watts.
+    uncore_active_w: f64,
+    /// Package/uncore power when every core sleeps but not all in C6.
+    uncore_sleep_w: f64,
+    /// Package/uncore power when all cores are in C6 (package gated).
+    uncore_gated_w: f64,
+}
+
+impl PowerModel {
+    /// The model calibrated to the paper's Table 1 (see module docs).
+    #[must_use]
+    pub fn i7_like() -> Self {
+        // Fit P_static = c·V^n through (0.65 V, 1.92 W) and (1.2 V, 7.11 W).
+        let n = (7.11f64 / 1.92).ln() / (1.2f64 / 0.65).ln();
+        let c = 7.11 / 1.2f64.powf(n);
+        // Busy chip at P0 draws 80 W: 4 cores × 18.75 W + 5 W uncore.
+        let k = (18.75 - 7.11) / (1.2 * 1.2 * 3.1e9);
+        PowerModel {
+            k_dyn: k,
+            static_c: c,
+            static_n: n,
+            c0_idle_dyn_fraction: 0.85,
+            c3_static_w: 1.64,
+            uncore_active_w: 5.0,
+            uncore_sleep_w: 1.5,
+            uncore_gated_w: 0.3,
+        }
+    }
+
+    /// Package/uncore power while at least one core is awake (C0 or
+    /// executing), in watts.
+    #[must_use]
+    pub fn uncore_active(&self) -> f64 {
+        self.uncore_active_w
+    }
+
+    /// Package/uncore power when every core is in a sleep state but the
+    /// package cannot fully gate (some core shallower than C6).
+    #[must_use]
+    pub fn uncore_sleep(&self) -> f64 {
+        self.uncore_sleep_w
+    }
+
+    /// Package/uncore power with all cores in C6 (package power-gated).
+    #[must_use]
+    pub fn uncore_gated(&self) -> f64 {
+        self.uncore_gated_w
+    }
+
+    /// Static (leakage) power at supply voltage `v`, in watts.
+    #[must_use]
+    pub fn static_power(&self, v: f64) -> f64 {
+        self.static_c * v.powf(self.static_n)
+    }
+
+    /// Power of a core actively executing at the given operating point.
+    #[must_use]
+    pub fn busy_power(&self, table: &PStateTable, p: PStateId) -> f64 {
+        let op = table.get(p);
+        self.k_dyn * op.voltage * op.voltage * op.freq_hz as f64 + self.static_power(op.voltage)
+    }
+
+    /// Power of a core spinning in the C0 idle loop at the given point.
+    #[must_use]
+    pub fn c0_idle_power(&self, table: &PStateTable, p: PStateId) -> f64 {
+        let op = table.get(p);
+        self.k_dyn * op.voltage * op.voltage * op.freq_hz as f64 * self.c0_idle_dyn_fraction
+            + self.static_power(op.voltage)
+    }
+
+    /// Power while halted for a PLL relock: clock stopped, full voltage.
+    #[must_use]
+    pub fn halt_power(&self, table: &PStateTable, p: PStateId) -> f64 {
+        self.static_power(table.voltage(p))
+    }
+
+    /// Power in sleep state `c`, given the P-state held on entry.
+    ///
+    /// Paper §5 assumptions: C1 keeps static power at the pre-idle
+    /// voltage; C3 keeps static power at 0.6 V retention; C6 is fully
+    /// gated (0 W).
+    #[must_use]
+    pub fn sleep_power(&self, table: &PStateTable, entry_pstate: PStateId, c: CState) -> f64 {
+        match c {
+            CState::C0 => self.c0_idle_power(table, entry_pstate),
+            CState::C1 => self.static_power(table.voltage(entry_pstate)),
+            CState::C3 => self.c3_static_w,
+            CState::C6 => 0.0,
+        }
+    }
+
+    /// Power during a wake-up transition (voltage restored, pipeline
+    /// refilling): modelled as the C0 idle power at the entry P-state.
+    #[must_use]
+    pub fn wake_power(&self, table: &PStateTable, entry_pstate: PStateId) -> f64 {
+        self.c0_idle_power(table, entry_pstate)
+    }
+
+    /// One-off energy cost of a sleep entry + exit (context save, cache
+    /// flush and later refill, voltage ramps). Derived from the state's
+    /// target residency: by definition, a sleep lasting exactly the
+    /// residency breaks even, i.e. the transition overhead equals the
+    /// power saved over that interval:
+    /// `E = residency × (P_C0idle − P_sleep)`.
+    #[must_use]
+    pub fn transition_energy(
+        &self,
+        table: &PStateTable,
+        entry_pstate: PStateId,
+        c: CState,
+    ) -> f64 {
+        let saved = self.c0_idle_power(table, entry_pstate) - self.sleep_power(table, entry_pstate, c);
+        c.target_residency().as_secs_f64() * saved.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PowerModel, PStateTable) {
+        (PowerModel::i7_like(), PStateTable::i7_like())
+    }
+
+    #[test]
+    fn busy_power_matches_table1_p0_endpoint() {
+        let (m, t) = setup();
+        let chip_p0 = 4.0 * m.busy_power(&t, t.fastest()) + m.uncore_active();
+        assert!((chip_p0 - 80.0).abs() < 1e-6, "chip at P0 {chip_p0}");
+        // The deepest-P busy power lands near (not exactly at) Table 1's
+        // inconsistent 12 W bound; see module docs.
+        let chip_pmin = 4.0 * m.busy_power(&t, t.deepest()) + m.uncore_active();
+        assert!((12.0..20.0).contains(&chip_pmin), "chip at Pmin {chip_pmin}");
+    }
+
+    #[test]
+    fn uncore_ladder_is_monotone() {
+        let (m, _) = setup();
+        assert!(m.uncore_active() > m.uncore_sleep());
+        assert!(m.uncore_sleep() > m.uncore_gated());
+        assert!(m.uncore_gated() >= 0.0);
+    }
+
+    #[test]
+    fn race_to_halt_beats_slow_execution_for_single_jobs() {
+        // The paper's §6 observation: with shared uncore power, finishing
+        // a job fast at P0 and gating the package beats stretching it at
+        // the deepest P-state. Compare energy for W cycles on one core.
+        let (m, t) = setup();
+        let w = 1e9; // cycles
+        let fast = {
+            let f = t.freq_hz(t.fastest()) as f64;
+            let dur = w / f;
+            (m.busy_power(&t, t.fastest()) + m.uncore_active()) * dur
+            // then package gated: ~0 afterwards
+        };
+        let slow = {
+            let f = t.freq_hz(t.deepest()) as f64;
+            let dur = w / f;
+            (m.busy_power(&t, t.deepest()) + m.uncore_active()) * dur
+        };
+        assert!(
+            fast < slow,
+            "race-to-halt must win: fast {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    fn c1_static_matches_table1() {
+        let (m, t) = setup();
+        let hi = m.sleep_power(&t, t.fastest(), CState::C1);
+        let lo = m.sleep_power(&t, t.deepest(), CState::C1);
+        assert!((hi - 7.11).abs() < 0.01, "C1 at 1.2V: {hi}");
+        assert!((lo - 1.92).abs() < 0.01, "C1 at 0.65V: {lo}");
+    }
+
+    #[test]
+    fn c3_and_c6_follow_paper_assumptions() {
+        let (m, t) = setup();
+        assert_eq!(m.sleep_power(&t, t.fastest(), CState::C3), 1.64);
+        assert_eq!(m.sleep_power(&t, t.fastest(), CState::C6), 0.0);
+    }
+
+    #[test]
+    fn deeper_sleep_draws_less() {
+        let (m, t) = setup();
+        for p in [t.fastest(), t.deepest()] {
+            let c0 = m.sleep_power(&t, p, CState::C0);
+            let c1 = m.sleep_power(&t, p, CState::C1);
+            let c3 = m.sleep_power(&t, p, CState::C3);
+            let c6 = m.sleep_power(&t, p, CState::C6);
+            assert!(c0 > c1 && c1 > c3 && c3 > c6);
+        }
+    }
+
+    #[test]
+    fn idle_cheaper_than_busy_pricier_than_halt() {
+        let (m, t) = setup();
+        for (id, _) in t.iter() {
+            assert!(m.c0_idle_power(&t, id) < m.busy_power(&t, id));
+            assert!(m.halt_power(&t, id) < m.c0_idle_power(&t, id));
+        }
+    }
+
+    #[test]
+    fn busy_power_is_monotone_in_pstate() {
+        let (m, t) = setup();
+        let powers: Vec<f64> = t.iter().map(|(id, _)| m.busy_power(&t, id)).collect();
+        for w in powers.windows(2) {
+            assert!(w[0] > w[1], "busy power must fall with deeper P-states");
+        }
+    }
+
+    #[test]
+    fn transition_energy_grows_with_depth() {
+        let (m, t) = setup();
+        let e1 = m.transition_energy(&t, t.fastest(), CState::C1);
+        let e3 = m.transition_energy(&t, t.fastest(), CState::C3);
+        let e6 = m.transition_energy(&t, t.fastest(), CState::C6);
+        assert!(e1 < e3 && e3 < e6, "{e1} {e3} {e6}");
+        // C6 at 1.2 V: 150 us × ~17 W (NOP-loop C0 power) ≈ 2.6 mJ.
+        assert!((1.5e-3..3.5e-3).contains(&e6), "C6 transition {e6}");
+        // Breakeven property: sleeping exactly the residency saves what
+        // the transition cost.
+        let saved = (m.c0_idle_power(&t, t.fastest()) - 0.0)
+            * CState::C6.target_residency().as_secs_f64();
+        assert!((saved - e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wake_power_equals_c0_idle() {
+        let (m, t) = setup();
+        assert_eq!(
+            m.wake_power(&t, PStateId(4)),
+            m.c0_idle_power(&t, PStateId(4))
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! ACPI P-states: discrete voltage/frequency operating points.
+//!
+//! P0 is the highest-performance state (max V/F); deeper states trade
+//! performance for power. Table 1 of the paper specifies 15 P-states
+//! spanning 0.65 V/0.8 GHz to 1.2 V/3.1 GHz for an Intel i7-3770-like
+//! part; [`PStateTable::i7_like`] reproduces that ladder with linear V and
+//! F spacing.
+
+use core::fmt;
+
+/// Index into a [`PStateTable`]. `PStateId(0)` is P0, the fastest state;
+/// larger indices are deeper (slower, lower-power) states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PStateId(pub u8);
+
+impl fmt::Display for PStateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// One operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PState {
+    /// Core clock frequency in hertz.
+    pub freq_hz: u64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+/// An ordered ladder of operating points, P0 first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStateTable {
+    entries: Vec<PState>,
+}
+
+impl PStateTable {
+    /// Builds a table from explicit entries (P0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, or if frequency/voltage are not
+    /// non-increasing from P0 downward (the ladder must be monotone).
+    #[must_use]
+    pub fn new(entries: Vec<PState>) -> Self {
+        assert!(!entries.is_empty(), "P-state table cannot be empty");
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].freq_hz >= pair[1].freq_hz && pair[0].voltage >= pair[1].voltage,
+                "P-states must be monotone (P0 fastest)"
+            );
+        }
+        PStateTable { entries }
+    }
+
+    /// The paper's Table 1 processor: 15 P-states, 0.8–3.1 GHz,
+    /// 0.65–1.2 V, linearly spaced.
+    #[must_use]
+    pub fn i7_like() -> Self {
+        const STATES: usize = 15;
+        let entries = (0..STATES)
+            .map(|i| {
+                // i = 0 is P0 (fastest).
+                let t = i as f64 / (STATES - 1) as f64;
+                let freq_ghz = 3.1 - t * (3.1 - 0.8);
+                let voltage = 1.2 - t * (1.2 - 0.65);
+                PState {
+                    freq_hz: (freq_ghz * 1e9).round() as u64,
+                    voltage,
+                }
+            })
+            .collect();
+        PStateTable::new(entries)
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `false`: a table always has at least one state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The fastest state.
+    #[must_use]
+    pub fn fastest(&self) -> PStateId {
+        PStateId(0)
+    }
+
+    /// The slowest (deepest) state.
+    #[must_use]
+    pub fn deepest(&self) -> PStateId {
+        PStateId((self.entries.len() - 1) as u8)
+    }
+
+    /// The operating point for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: PStateId) -> PState {
+        self.entries[id.0 as usize]
+    }
+
+    /// Frequency of `id` in hertz.
+    #[must_use]
+    pub fn freq_hz(&self, id: PStateId) -> u64 {
+        self.get(id).freq_hz
+    }
+
+    /// Voltage of `id` in volts.
+    #[must_use]
+    pub fn voltage(&self, id: PStateId) -> f64 {
+        self.get(id).voltage
+    }
+
+    /// Steps `levels` states deeper (toward min frequency), saturating.
+    #[must_use]
+    pub fn step_down(&self, from: PStateId, levels: u8) -> PStateId {
+        PStateId(
+            from.0
+                .saturating_add(levels)
+                .min(self.deepest().0),
+        )
+    }
+
+    /// Steps `levels` states shallower (toward max frequency), saturating.
+    #[must_use]
+    pub fn step_up(&self, from: PStateId, levels: u8) -> PStateId {
+        PStateId(from.0.saturating_sub(levels))
+    }
+
+    /// The shallowest state whose frequency is at least
+    /// `fraction × max frequency` — the ondemand governor's proportional
+    /// mapping from utilization to a target frequency.
+    #[must_use]
+    pub fn for_freq_fraction(&self, fraction: f64) -> PStateId {
+        let target = self.entries[0].freq_hz as f64 * fraction.clamp(0.0, 1.0);
+        // Scan from deepest: pick the deepest state that still meets target.
+        for i in (0..self.entries.len()).rev() {
+            if self.entries[i].freq_hz as f64 >= target {
+                return PStateId(i as u8);
+            }
+        }
+        PStateId(0)
+    }
+
+    /// Number of steps a single FCONS stage should descend so that `fcons`
+    /// back-to-back IT_LOW interrupts reach the deepest state (paper §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fcons` is zero.
+    #[must_use]
+    pub fn fcons_step(&self, fcons: u8) -> u8 {
+        assert!(fcons > 0, "FCONS must be at least 1");
+        ((self.entries.len() - 1) as u8).div_ceil(fcons)
+    }
+
+    /// Iterates over `(PStateId, PState)` pairs, P0 first.
+    pub fn iter(&self) -> impl Iterator<Item = (PStateId, PState)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PStateId(i as u8), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i7_table_matches_paper_endpoints() {
+        let t = PStateTable::i7_like();
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.freq_hz(t.fastest()), 3_100_000_000);
+        assert_eq!(t.freq_hz(t.deepest()), 800_000_000);
+        assert!((t.voltage(t.fastest()) - 1.2).abs() < 1e-9);
+        assert!((t.voltage(t.deepest()) - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_ladder() {
+        let t = PStateTable::i7_like();
+        for ((_, a), (_, b)) in t.iter().zip(t.iter().skip(1)) {
+            assert!(a.freq_hz > b.freq_hz);
+            assert!(a.voltage > b.voltage);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_nonmonotone() {
+        let _ = PStateTable::new(vec![
+            PState { freq_hz: 1, voltage: 1.0 },
+            PState { freq_hz: 2, voltage: 1.0 },
+        ]);
+    }
+
+    #[test]
+    fn step_saturates() {
+        let t = PStateTable::i7_like();
+        assert_eq!(t.step_down(t.deepest(), 3), t.deepest());
+        assert_eq!(t.step_up(t.fastest(), 3), t.fastest());
+        assert_eq!(t.step_down(PStateId(0), 2), PStateId(2));
+        assert_eq!(t.step_up(PStateId(5), 2), PStateId(3));
+    }
+
+    #[test]
+    fn freq_fraction_mapping() {
+        let t = PStateTable::i7_like();
+        assert_eq!(t.for_freq_fraction(1.0), t.fastest());
+        assert_eq!(t.for_freq_fraction(0.0), t.deepest());
+        // 50% of 3.1 GHz = 1.55 GHz: the deepest state ≥ 1.55 GHz.
+        let mid = t.for_freq_fraction(0.5);
+        assert!(t.freq_hz(mid) >= 1_550_000_000);
+        if mid != t.deepest() {
+            assert!(t.freq_hz(t.step_down(mid, 1)) < 1_550_000_000);
+        }
+    }
+
+    #[test]
+    fn fcons_step_spans_ladder() {
+        let t = PStateTable::i7_like();
+        // FCONS=1: one interrupt drops to the deepest state.
+        assert_eq!(t.fcons_step(1), 14);
+        // FCONS=5: five interrupts cover 14 levels.
+        let s = t.fcons_step(5);
+        assert!(u32::from(s) * 5 >= 14);
+        assert!(u32::from(s) * 4 < 14 + u32::from(s));
+    }
+
+    proptest! {
+        /// for_freq_fraction always returns the deepest satisfying state.
+        #[test]
+        fn prop_freq_fraction_tight(frac in 0.0f64..1.0) {
+            let t = PStateTable::i7_like();
+            let id = t.for_freq_fraction(frac);
+            let target = 3.1e9 * frac;
+            prop_assert!(t.freq_hz(id) as f64 >= target - 1.0);
+            if id != t.deepest() {
+                prop_assert!(t.freq_hz(PStateId(id.0 + 1)) as f64 <= target + 1.0);
+            }
+        }
+    }
+}

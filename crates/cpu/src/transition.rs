@@ -1,0 +1,248 @@
+//! V/F transition sequencing (paper Figure 1).
+//!
+//! Raising the operating point: voltage ramps **first** at 6.25 mV/µs (the
+//! core keeps executing at the old frequency during the ramp), then the
+//! PLL relocks for ~5 µs, during which the core must halt. Lowering:
+//! frequency drops first (5 µs PLL halt), then voltage ramps down in the
+//! background with no performance effect.
+//!
+//! On the paper's i7-3770-like ladder this yields ≈ 50 µs for a
+//! min→max transition (0.55 V ramp = 88 µs? no — the paper reports ~50 µs
+//! for i7-3770; with Table 1's 0.65→1.2 V span and the 6.25 mV/µs ramp
+//! rate the analytic number is 88 µs + 5 µs halt. We keep the paper's
+//! component model — ramp rate and halt — rather than forcing the 50 µs
+//! headline, and verify the down-transition ≈ 5 µs exactly as stated).
+
+use crate::pstate::{PStateId, PStateTable};
+use desim::{SimDuration, SimTime};
+
+/// Voltage slew rate: 6.25 mV/µs (paper §2.1, citing Intel design guides).
+pub const V_RAMP_VOLTS_PER_US: f64 = 0.00625;
+/// PLL relock halt: the core executes nothing for this long (paper §2.1).
+pub const PLL_RELOCK: SimDuration = SimDuration::from_us(5);
+
+/// The timing plan for one P-state change requested at `requested_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionPlan {
+    /// When the change was requested.
+    pub requested_at: SimTime,
+    /// Start of the window in which the core is halted (PLL relock).
+    pub halt_start: SimTime,
+    /// End of the halt window; the new frequency applies from here.
+    pub effective_at: SimTime,
+}
+
+impl TransitionPlan {
+    /// Total latency from request to the new operating point being live.
+    #[must_use]
+    pub fn total_latency(&self) -> SimDuration {
+        self.effective_at - self.requested_at
+    }
+
+    /// Length of the halted (no-execution) window.
+    #[must_use]
+    pub fn halt_duration(&self) -> SimDuration {
+        self.effective_at - self.halt_start
+    }
+}
+
+/// Computes the transition plan from `from` to `to` starting at `now`.
+///
+/// Equal states yield a degenerate plan (`effective_at == now`, no halt).
+///
+/// # Example
+///
+/// ```
+/// use cpusim::{transition_plan, PStateTable};
+/// use desim::{SimTime, SimDuration};
+///
+/// let t = PStateTable::i7_like();
+/// // Down-transitions halt 5 us and are effective immediately after.
+/// let down = transition_plan(&t, t.fastest(), t.deepest(), SimTime::ZERO);
+/// assert_eq!(down.total_latency(), SimDuration::from_us(5));
+/// // Up-transitions pay the voltage ramp first.
+/// let up = transition_plan(&t, t.deepest(), t.fastest(), SimTime::ZERO);
+/// assert!(up.total_latency() > SimDuration::from_us(50));
+/// ```
+#[must_use]
+pub fn transition_plan(
+    table: &PStateTable,
+    from: PStateId,
+    to: PStateId,
+    now: SimTime,
+) -> TransitionPlan {
+    if from == to {
+        return TransitionPlan {
+            requested_at: now,
+            halt_start: now,
+            effective_at: now,
+        };
+    }
+    let v_from = table.voltage(from);
+    let v_to = table.voltage(to);
+    if v_to > v_from {
+        // Raising: ramp V up (still executing), then halt for PLL relock.
+        let ramp_us = (v_to - v_from) / V_RAMP_VOLTS_PER_US;
+        let halt_start = now + SimDuration::from_secs_f64(ramp_us * 1e-6);
+        TransitionPlan {
+            requested_at: now,
+            halt_start,
+            effective_at: halt_start + PLL_RELOCK,
+        }
+    } else {
+        // Lowering: halt immediately for PLL relock; V ramps down after,
+        // with no performance effect.
+        TransitionPlan {
+            requested_at: now,
+            halt_start: now,
+            effective_at: now + PLL_RELOCK,
+        }
+    }
+}
+
+/// A `(time, voltage, freq)` sample of a transition trace — the data
+/// behind the paper's Figure 1 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfTracePoint {
+    /// Offset from the request instant.
+    pub at: SimDuration,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Effective frequency in hertz (0 while halted).
+    pub freq_hz: u64,
+}
+
+/// Produces the piecewise V/F trace of a transition, for Figure 1.
+#[must_use]
+pub fn vf_trace(table: &PStateTable, from: PStateId, to: PStateId) -> Vec<VfTracePoint> {
+    let plan = transition_plan(table, from, to, SimTime::ZERO);
+    let (v0, f0) = (table.voltage(from), table.freq_hz(from));
+    let (v1, f1) = (table.voltage(to), table.freq_hz(to));
+    let halt_start = plan.halt_start - SimTime::ZERO;
+    let effective = plan.effective_at - SimTime::ZERO;
+    if v1 > v0 {
+        vec![
+            VfTracePoint { at: SimDuration::ZERO, voltage: v0, freq_hz: f0 },
+            // End of V ramp / start of halt.
+            VfTracePoint { at: halt_start, voltage: v1, freq_hz: 0 },
+            // PLL relocked: new frequency live.
+            VfTracePoint { at: effective, voltage: v1, freq_hz: f1 },
+        ]
+    } else {
+        let ramp_us = (v0 - v1) / V_RAMP_VOLTS_PER_US;
+        let ramp_end = effective + SimDuration::from_secs_f64(ramp_us * 1e-6);
+        vec![
+            VfTracePoint { at: SimDuration::ZERO, voltage: v0, freq_hz: 0 },
+            VfTracePoint { at: effective, voltage: v0, freq_hz: f1 },
+            VfTracePoint { at: ramp_end, voltage: v1, freq_hz: f1 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> PStateTable {
+        PStateTable::i7_like()
+    }
+
+    #[test]
+    fn same_state_is_free() {
+        let t = table();
+        let plan = transition_plan(&t, PStateId(3), PStateId(3), SimTime::from_us(7));
+        assert_eq!(plan.total_latency(), SimDuration::ZERO);
+        assert_eq!(plan.halt_duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn down_transition_is_5us_halt() {
+        // Paper §2.1: highest→lowest V/F takes ~5 us.
+        let t = table();
+        let plan = transition_plan(&t, t.fastest(), t.deepest(), SimTime::ZERO);
+        assert_eq!(plan.total_latency(), SimDuration::from_us(5));
+        assert_eq!(plan.halt_duration(), SimDuration::from_us(5));
+        assert_eq!(plan.halt_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn up_transition_pays_voltage_ramp() {
+        let t = table();
+        let plan = transition_plan(&t, t.deepest(), t.fastest(), SimTime::ZERO);
+        // 0.55 V at 6.25 mV/us = 88 us ramp + 5 us halt.
+        assert_eq!(plan.total_latency(), SimDuration::from_nanos(93_000));
+        // The core only halts for the PLL relock, not the whole ramp.
+        assert_eq!(plan.halt_duration(), PLL_RELOCK);
+    }
+
+    #[test]
+    fn single_step_up_is_cheap() {
+        let t = table();
+        let plan = transition_plan(&t, PStateId(1), PStateId(0), SimTime::ZERO);
+        // One ladder step ≈ 39 mV ≈ 6.3 us ramp + 5 us halt.
+        assert!(plan.total_latency() < SimDuration::from_us(12));
+        assert!(plan.total_latency() > SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn up_trace_shape() {
+        let t = table();
+        let tr = vf_trace(&t, t.deepest(), t.fastest());
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr[0].freq_hz, 800_000_000);
+        assert_eq!(tr[1].freq_hz, 0); // halted
+        assert!((tr[1].voltage - 1.2).abs() < 1e-9); // V already ramped
+        assert_eq!(tr[2].freq_hz, 3_100_000_000);
+    }
+
+    #[test]
+    fn down_trace_shape() {
+        let t = table();
+        let tr = vf_trace(&t, t.fastest(), t.deepest());
+        assert_eq!(tr[0].freq_hz, 0); // halts immediately
+        assert_eq!(tr[1].freq_hz, 800_000_000); // slow clock live at 5 us
+        assert!((tr[1].voltage - 1.2).abs() < 1e-9); // V still high
+        assert!((tr[2].voltage - 0.65).abs() < 1e-9); // V settles later
+        assert!(tr[2].at > tr[1].at);
+    }
+
+    proptest! {
+        /// V/F traces are time-monotone, start at the source operating
+        /// point and end at the target one.
+        #[test]
+        fn prop_trace_endpoints(a in 0u8..15, b in 0u8..15) {
+            prop_assume!(a != b);
+            let t = table();
+            let trace = vf_trace(&t, PStateId(a), PStateId(b));
+            prop_assert!(trace.len() >= 3);
+            for w in trace.windows(2) {
+                prop_assert!(w[1].at >= w[0].at, "trace must be time-ordered");
+            }
+            let first = trace.first().unwrap();
+            let last = trace.last().unwrap();
+            prop_assert!((first.voltage - t.voltage(PStateId(a))).abs() < 1e-9);
+            prop_assert!((last.voltage - t.voltage(PStateId(b))).abs() < 1e-9);
+            prop_assert_eq!(last.freq_hz, t.freq_hz(PStateId(b)));
+        }
+
+        /// Every plan halts for exactly the PLL relock time (unless
+        /// degenerate), and up-transitions are never faster than down.
+        #[test]
+        fn prop_plan_invariants(a in 0u8..15, b in 0u8..15) {
+            let t = table();
+            let plan = transition_plan(&t, PStateId(a), PStateId(b), SimTime::ZERO);
+            if a == b {
+                prop_assert_eq!(plan.total_latency(), SimDuration::ZERO);
+            } else {
+                prop_assert_eq!(plan.halt_duration(), PLL_RELOCK);
+                prop_assert!(plan.halt_start >= plan.requested_at);
+                let reverse = transition_plan(&t, PStateId(b), PStateId(a), SimTime::ZERO);
+                if a > b {
+                    // a deeper than b: a→b raises performance.
+                    prop_assert!(plan.total_latency() >= reverse.total_latency());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The simulation driver loop.
+//!
+//! A [`Simulation`] owns an [`EventQueue`] and a user-supplied
+//! [`EventHandler`]; it repeatedly pops the earliest event, advances the
+//! clock, and lets the handler react (usually by scheduling further events).
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// The reaction logic of a simulation: consumes events, schedules new ones.
+///
+/// Implementors are the "world" being simulated. The handler receives the
+/// queue so it can schedule follow-up events; it must only schedule at
+/// `now` or later (enforced by a debug assertion in the driver).
+pub trait EventHandler {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Reacts to `event` occurring at instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a [`Simulation::run_until`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon was reached.
+    QueueExhausted,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (runaway protection).
+    EventBudgetExhausted,
+}
+
+/// A discrete-event simulation: clock + queue + handler.
+///
+/// # Example
+///
+/// ```
+/// use desim::{EventHandler, EventQueue, Simulation, SimTime, SimDuration};
+///
+/// struct Counter { fired: u32 }
+/// impl EventHandler for Counter {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _e: (), q: &mut EventQueue<()>) {
+///         self.fired += 1;
+///         if self.fired < 3 {
+///             q.push(now + SimDuration::from_us(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter { fired: 0 });
+/// sim.queue_mut().push(SimTime::ZERO, ());
+/// sim.run_until(SimTime::from_ms(1));
+/// assert_eq!(sim.handler().fired, 3);
+/// assert_eq!(sim.now(), SimTime::from_us(20));
+/// ```
+pub struct Simulation<H: EventHandler> {
+    queue: EventQueue<H::Event>,
+    handler: H,
+    now: SimTime,
+    processed: u64,
+    event_budget: u64,
+}
+
+impl<H: EventHandler> Simulation<H> {
+    /// Default cap on events per run, guarding against schedule loops.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 10_000_000_000;
+
+    /// Creates a simulation at time zero with an empty queue.
+    pub fn new(handler: H) -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            handler,
+            now: SimTime::ZERO,
+            processed: 0,
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Replaces the runaway-protection event budget.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulated instant (time of the last delivered event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the world.
+    #[must_use]
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Exclusive access to the world (e.g. to extract results).
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// Consumes the simulation, returning the world.
+    #[must_use]
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+
+    /// Exclusive access to the queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<H::Event> {
+        &mut self.queue
+    }
+
+    /// Shared access to the queue.
+    #[must_use]
+    pub fn queue(&self) -> &EventQueue<H::Event> {
+        &self.queue
+    }
+
+    /// Runs until the queue drains, the budget is spent, or the next event
+    /// would occur strictly after `horizon`. Events **at** the horizon are
+    /// delivered. The clock never exceeds the horizon.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::QueueExhausted,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let (time, event) = self.queue.pop().expect("peeked entry vanished");
+                    debug_assert!(time >= self.now, "event scheduled in the past");
+                    self.now = time;
+                    self.processed += 1;
+                    self.handler.handle(time, event, &mut self.queue);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue is empty (or budget spent).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Delivers exactly one event, if any is pending. Returns its time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        self.now = time;
+        self.processed += 1;
+        self.handler.handle(time, event, &mut self.queue);
+        Some(time)
+    }
+}
+
+impl<H: EventHandler + std::fmt::Debug> std::fmt::Debug for Simulation<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("pending", &self.queue.len())
+            .field("handler", &self.handler)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug)]
+    struct Ticker {
+        period: SimDuration,
+        ticks: Vec<SimTime>,
+        limit: usize,
+    }
+
+    impl EventHandler for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), q: &mut EventQueue<()>) {
+            self.ticks.push(now);
+            if self.ticks.len() < self.limit {
+                q.push(now + self.period, ());
+            }
+        }
+    }
+
+    fn ticker(limit: usize) -> Simulation<Ticker> {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_us(100),
+            ticks: Vec::new(),
+            limit,
+        });
+        sim.queue_mut().push(SimTime::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut sim = ticker(5);
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueExhausted);
+        assert_eq!(sim.handler().ticks.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_us(400));
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn horizon_is_inclusive_and_clamps_clock() {
+        let mut sim = ticker(100);
+        let outcome = sim.run_until(SimTime::from_us(250));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Ticks at 0, 100, 200 delivered; 300 withheld.
+        assert_eq!(sim.handler().ticks.len(), 3);
+        assert_eq!(sim.now(), SimTime::from_us(250));
+        // Continuing picks up where we left off.
+        sim.run_until(SimTime::from_us(300));
+        assert_eq!(sim.handler().ticks.len(), 4);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        let mut sim = ticker(usize::MAX);
+        sim.set_event_budget(10);
+        assert_eq!(sim.run_to_completion(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn step_delivers_single_event() {
+        let mut sim = ticker(3);
+        assert_eq!(sim.step(), Some(SimTime::ZERO));
+        assert_eq!(sim.step(), Some(SimTime::from_us(100)));
+        assert_eq!(sim.handler().ticks.len(), 2);
+    }
+
+    #[test]
+    fn into_handler_returns_world() {
+        let mut sim = ticker(2);
+        sim.run_to_completion();
+        let world = sim.into_handler();
+        assert_eq!(world.ticks.len(), 2);
+    }
+}

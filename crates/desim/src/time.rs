@@ -1,0 +1,393 @@
+//! Simulation time: nanosecond-resolution instants and durations.
+//!
+//! [`SimTime`] is an absolute instant since the start of the simulation and
+//! [`SimDuration`] is a span between instants. Both wrap a `u64` nanosecond
+//! count, which comfortably covers > 580 years of simulated time — far more
+//! than the hundreds of milliseconds to seconds the NCAP experiments need.
+//!
+//! The two types are kept distinct ([C-NEWTYPE]) so that instants and spans
+//! cannot be confused: `SimTime + SimDuration = SimTime`,
+//! `SimTime - SimTime = SimDuration`, and adding two instants does not
+//! compile.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in nanoseconds since time zero.
+///
+/// # Example
+///
+/// ```
+/// use desim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_ms(2);
+/// assert_eq!(t.as_nanos(), 2_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimDuration;
+/// assert_eq!(SimDuration::from_us(3).as_nanos(), 3_000);
+/// assert_eq!(SimDuration::from_ms(1) / 4, SimDuration::from_us(250));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from a raw nanosecond count.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after time zero.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after time zero.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Raw nanosecond count since time zero.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time since zero expressed in (possibly fractional) microseconds.
+    #[must_use]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time since zero expressed in (possibly fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time since zero expressed in (possibly fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future (saturating, never panics).
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as an "infinite" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from a raw nanosecond count.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span of `s` seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to nanoseconds.
+    ///
+    /// Negative and non-finite inputs clamp to zero; this keeps workload
+    /// arithmetic (e.g. `1.0 / rate`) panic-free.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (s * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in (possibly fractional) microseconds.
+    #[must_use]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Span in (possibly fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Span in (possibly fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// `true` if the span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a fractional factor, rounding to nanoseconds.
+    /// Negative or non-finite factors clamp to zero.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// The larger of two spans.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_nanos(1_000_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_ms(1_000));
+    }
+
+    #[test]
+    fn instant_duration_arithmetic() {
+        let t = SimTime::from_us(10);
+        let d = SimDuration::from_us(4);
+        assert_eq!(t + d, SimTime::from_us(14));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, SimTime::from_us(6));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_us(1);
+        let late = SimTime::from_us(9);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_us(8));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_inputs() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_ms(500)
+        );
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_us(100);
+        assert_eq!(d * 3, SimDuration::from_us(300));
+        assert_eq!(d / 2, SimDuration::from_us(50));
+        assert_eq!(d.mul_f64(0.25), SimDuration::from_us(25));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_us(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn conversions_to_float() {
+        assert_eq!(SimDuration::from_ms(1).as_us_f64(), 1_000.0);
+        assert_eq!(SimTime::from_ms(250).as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let total: SimDuration = [1, 2, 3].iter().map(|&u| SimDuration::from_us(u)).sum();
+        assert_eq!(total, SimDuration::from_us(6));
+        assert_eq!(
+            SimDuration::from_us(1).max(SimDuration::from_us(2)),
+            SimDuration::from_us(2)
+        );
+        assert_eq!(
+            SimDuration::from_us(1).min(SimDuration::from_us(2)),
+            SimDuration::from_us(1)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Cancellable/re-armable timers on top of the append-only event queue.
+//!
+//! The [`EventQueue`](crate::EventQueue) cannot remove scheduled entries, so
+//! components that re-arm timers (interrupt throttling timers, governor
+//! ticks with disable windows, low-activity watchdogs) use a generation
+//! token: each arm increments the generation, the scheduled event carries
+//! the generation it was armed with, and stale firings are ignored.
+
+use crate::time::SimTime;
+
+/// A logical timer slot with generation-based cancellation.
+///
+/// # Example
+///
+/// ```
+/// use desim::{TimerSlot, SimTime};
+///
+/// let mut t = TimerSlot::new();
+/// let g1 = t.arm(SimTime::from_us(10));
+/// let g2 = t.arm(SimTime::from_us(20)); // re-arm supersedes g1
+/// assert!(!t.fires(g1)); // stale
+/// assert!(t.fires(g2));
+/// t.disarm();
+/// assert!(!t.fires(g2));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimerSlot {
+    generation: u64,
+    armed: bool,
+    deadline: SimTime,
+}
+
+impl TimerSlot {
+    /// Creates a disarmed timer.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerSlot::default()
+    }
+
+    /// Arms (or re-arms) the timer for `deadline`, invalidating any earlier
+    /// arm. Returns the generation token to embed in the scheduled event.
+    pub fn arm(&mut self, deadline: SimTime) -> u64 {
+        self.generation += 1;
+        self.armed = true;
+        self.deadline = deadline;
+        self.generation
+    }
+
+    /// Cancels the timer; all outstanding generations become stale.
+    pub fn disarm(&mut self) {
+        self.generation += 1;
+        self.armed = false;
+    }
+
+    /// `true` if an event carrying `generation` is the live arming and the
+    /// timer should fire. The timer disarms itself on a positive answer, so
+    /// periodic timers must re-[`arm`](Self::arm).
+    pub fn fires(&mut self, generation: u64) -> bool {
+        if self.armed && generation == self.generation {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` while an arming is outstanding.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Deadline of the live arming. Meaningless when disarmed.
+    #[must_use]
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_current_generation() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm(SimTime::from_us(1));
+        let g2 = t.arm(SimTime::from_us(2));
+        assert!(!t.fires(g1));
+        assert!(t.is_armed());
+        assert!(t.fires(g2));
+        assert!(!t.is_armed());
+        // A fired generation cannot fire twice.
+        assert!(!t.fires(g2));
+    }
+
+    #[test]
+    fn disarm_invalidates() {
+        let mut t = TimerSlot::new();
+        let g = t.arm(SimTime::from_us(5));
+        t.disarm();
+        assert!(!t.fires(g));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn deadline_tracks_live_arm() {
+        let mut t = TimerSlot::new();
+        t.arm(SimTime::from_us(7));
+        assert_eq!(t.deadline(), SimTime::from_us(7));
+        t.arm(SimTime::from_us(9));
+        assert_eq!(t.deadline(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn rearm_after_fire_works() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm(SimTime::from_us(1));
+        assert!(t.fires(g1));
+        let g2 = t.arm(SimTime::from_us(2));
+        assert!(t.fires(g2));
+    }
+}

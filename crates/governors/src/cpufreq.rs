@@ -1,0 +1,389 @@
+//! cpufreq governors: mapping utilization to P-states.
+//!
+//! Linux offers three static policies (performance, powersave, userspace)
+//! and the dynamic ondemand policy (paper §2.1, citing Pallipadi &
+//! Starikovskiy). Ondemand samples utilization every invocation period —
+//! hard-coded to a 10 ms minimum in mainline Linux; the paper recompiled
+//! the kernel to explore 1 ms periods (Figure 2), so the period here is a
+//! constructor parameter.
+
+use cpusim::{PStateId, PStateTable};
+use desim::{SimDuration, SimTime};
+
+/// A P-state selection policy, invoked by the kernel's cpufreq core.
+pub trait CpufreqGovernor {
+    /// Chooses the target P-state given the utilization observed over the
+    /// last sampling window (`0.0..=1.0`, the max across cores of the
+    /// shared frequency domain).
+    fn target(
+        &mut self,
+        now: SimTime,
+        utilization: f64,
+        current: PStateId,
+        table: &PStateTable,
+    ) -> PStateId;
+
+    /// Invocation period for dynamic governors; `None` for static ones
+    /// (the kernel then applies them once and never ticks them).
+    fn period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Governor name, as it would appear in
+    /// `/sys/devices/system/cpu/cpufreq/scaling_governor`.
+    fn name(&self) -> &'static str;
+}
+
+/// Always runs at P0 — the paper's `perf` baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Performance;
+
+impl CpufreqGovernor for Performance {
+    fn target(&mut self, _: SimTime, _: f64, _: PStateId, table: &PStateTable) -> PStateId {
+        table.fastest()
+    }
+
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+}
+
+/// Always runs at the deepest P-state (lowest V/F).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Powersave;
+
+impl CpufreqGovernor for Powersave {
+    fn target(&mut self, _: SimTime, _: f64, _: PStateId, table: &PStateTable) -> PStateId {
+        table.deepest()
+    }
+
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+}
+
+/// Pins the frequency to a user-chosen P-state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Userspace {
+    target: PStateId,
+}
+
+impl Userspace {
+    /// Creates a governor pinned to `target`.
+    #[must_use]
+    pub fn new(target: PStateId) -> Self {
+        Userspace { target }
+    }
+
+    /// Repins the frequency (the sysfs `scaling_setspeed` write).
+    pub fn set_target(&mut self, target: PStateId) {
+        self.target = target;
+    }
+}
+
+impl CpufreqGovernor for Userspace {
+    fn target(&mut self, _: SimTime, _: f64, _: PStateId, _: &PStateTable) -> PStateId {
+        self.target
+    }
+
+    fn name(&self) -> &'static str {
+        "userspace"
+    }
+}
+
+/// The dynamic ondemand governor.
+///
+/// Algorithm (per the Linux implementation the paper describes): every
+/// sampling period, look at the utilization of the busiest core in the
+/// frequency domain. If it exceeds `up_threshold` (80 %), jump straight
+/// to the maximum frequency. Otherwise pick the lowest frequency that
+/// would have kept utilization at the threshold:
+/// `f_next = f_max × load / up_threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ondemand {
+    period: SimDuration,
+    up_threshold: f64,
+    invocations: u64,
+}
+
+impl Ondemand {
+    /// Linux's hard-coded minimum sampling period (paper §2.1).
+    pub const LINUX_MIN_PERIOD: SimDuration = SimDuration::from_ms(10);
+    /// Default up-threshold (Linux default is 80 %).
+    pub const DEFAULT_UP_THRESHOLD: f64 = 0.80;
+
+    /// Ondemand at the Linux-default 10 ms period.
+    #[must_use]
+    pub fn new() -> Self {
+        Ondemand::with_period(Self::LINUX_MIN_PERIOD)
+    }
+
+    /// Ondemand with a custom invocation period (the paper recompiled the
+    /// kernel to try 1 ms — Figure 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_period(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "invocation period must be positive");
+        Ondemand {
+            period,
+            up_threshold: Self::DEFAULT_UP_THRESHOLD,
+            invocations: 0,
+        }
+    }
+
+    /// Overrides the up-threshold (fraction in `(0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `(0, 1]`.
+    #[must_use]
+    pub fn up_threshold(mut self, t: f64) -> Self {
+        assert!(t > 0.0 && t <= 1.0, "threshold must be in (0, 1]");
+        self.up_threshold = t;
+        self
+    }
+
+    /// Times the governor has been invoked.
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl Default for Ondemand {
+    fn default() -> Self {
+        Ondemand::new()
+    }
+}
+
+impl CpufreqGovernor for Ondemand {
+    fn target(
+        &mut self,
+        _now: SimTime,
+        utilization: f64,
+        _current: PStateId,
+        table: &PStateTable,
+    ) -> PStateId {
+        self.invocations += 1;
+        let u = utilization.clamp(0.0, 1.0);
+        if u > self.up_threshold {
+            table.fastest()
+        } else {
+            table.for_freq_fraction(u / self.up_threshold)
+        }
+    }
+
+    fn period(&self) -> Option<SimDuration> {
+        Some(self.period)
+    }
+
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+}
+
+/// The conservative governor: Linux's other in-tree dynamic policy.
+///
+/// Unlike ondemand's jump-to-max, conservative walks the frequency up and
+/// down in steps — gentler on power, slower to react. Provided for
+/// completeness of the Linux cpufreq suite (the paper evaluates ondemand;
+/// conservative makes the burst-reaction gap even wider, which the
+/// `ablation_burstiness` bench exploits as a worst-case anchor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conservative {
+    period: SimDuration,
+    up_threshold: f64,
+    down_threshold: f64,
+    /// Ladder steps taken per decision.
+    step: u8,
+    invocations: u64,
+}
+
+impl Conservative {
+    /// Linux defaults: 80 % up, 20 % down, one frequency step per tick.
+    #[must_use]
+    pub fn new() -> Self {
+        Conservative {
+            period: SimDuration::from_ms(10),
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+            step: 1,
+            invocations: 0,
+        }
+    }
+
+    /// Overrides the invocation period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "invocation period must be positive");
+        self.period = period;
+        self
+    }
+
+    /// Times the governor has been invoked.
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl Default for Conservative {
+    fn default() -> Self {
+        Conservative::new()
+    }
+}
+
+impl CpufreqGovernor for Conservative {
+    fn target(
+        &mut self,
+        _now: SimTime,
+        utilization: f64,
+        current: PStateId,
+        table: &PStateTable,
+    ) -> PStateId {
+        self.invocations += 1;
+        let u = utilization.clamp(0.0, 1.0);
+        if u > self.up_threshold {
+            table.step_up(current, self.step)
+        } else if u < self.down_threshold {
+            table.step_down(current, self.step)
+        } else {
+            current
+        }
+    }
+
+    fn period(&self) -> Option<SimDuration> {
+        Some(self.period)
+    }
+
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PStateTable {
+        PStateTable::i7_like()
+    }
+
+    #[test]
+    fn performance_always_p0() {
+        let t = table();
+        let mut g = Performance;
+        for u in [0.0, 0.5, 1.0] {
+            assert_eq!(g.target(SimTime::ZERO, u, t.deepest(), &t), t.fastest());
+        }
+        assert_eq!(g.period(), None);
+        assert_eq!(g.name(), "performance");
+    }
+
+    #[test]
+    fn powersave_always_deepest() {
+        let t = table();
+        let mut g = Powersave;
+        assert_eq!(g.target(SimTime::ZERO, 1.0, t.fastest(), &t), t.deepest());
+        assert_eq!(g.name(), "powersave");
+    }
+
+    #[test]
+    fn userspace_pins_and_repins() {
+        let t = table();
+        let mut g = Userspace::new(PStateId(7));
+        assert_eq!(g.target(SimTime::ZERO, 1.0, t.fastest(), &t), PStateId(7));
+        g.set_target(PStateId(2));
+        assert_eq!(g.target(SimTime::ZERO, 0.0, t.fastest(), &t), PStateId(2));
+        assert_eq!(g.name(), "userspace");
+    }
+
+    #[test]
+    fn ondemand_jumps_to_max_above_threshold() {
+        let t = table();
+        let mut g = Ondemand::new();
+        assert_eq!(g.target(SimTime::ZERO, 0.81, t.deepest(), &t), t.fastest());
+        assert_eq!(g.target(SimTime::ZERO, 1.0, t.deepest(), &t), t.fastest());
+    }
+
+    #[test]
+    fn ondemand_scales_proportionally_below_threshold() {
+        let t = table();
+        let mut g = Ondemand::new();
+        // At 40 % load with an 80 % threshold, target f = f_max / 2.
+        let p = g.target(SimTime::ZERO, 0.4, t.fastest(), &t);
+        assert!(t.freq_hz(p) >= 1_550_000_000);
+        assert!(p > t.fastest(), "should not stay at max");
+        // Zero load goes to the deepest state.
+        assert_eq!(g.target(SimTime::ZERO, 0.0, t.fastest(), &t), t.deepest());
+    }
+
+    #[test]
+    fn ondemand_default_period_is_10ms() {
+        let g = Ondemand::new();
+        assert_eq!(g.period(), Some(SimDuration::from_ms(10)));
+        assert_eq!(g.name(), "ondemand");
+    }
+
+    #[test]
+    fn ondemand_counts_invocations() {
+        let t = table();
+        let mut g = Ondemand::with_period(SimDuration::from_ms(1));
+        for _ in 0..5 {
+            g.target(SimTime::ZERO, 0.5, t.fastest(), &t);
+        }
+        assert_eq!(g.invocations(), 5);
+    }
+
+    #[test]
+    fn ondemand_monotone_in_utilization() {
+        let t = table();
+        let mut g = Ondemand::new();
+        let mut last = t.deepest();
+        for i in 0..=20 {
+            let u = i as f64 / 20.0;
+            let p = g.target(SimTime::ZERO, u, t.fastest(), &t);
+            assert!(p <= last, "higher load must not pick deeper state");
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invocation period must be positive")]
+    fn zero_period_rejected() {
+        let _ = Ondemand::with_period(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conservative_steps_up_and_down() {
+        let t = table();
+        let mut g = Conservative::new();
+        // High load: one step up per tick, never a jump.
+        let p1 = g.target(SimTime::ZERO, 0.95, t.deepest(), &t);
+        assert_eq!(p1, PStateId(t.deepest().0 - 1));
+        let p2 = g.target(SimTime::ZERO, 0.95, p1, &t);
+        assert_eq!(p2, PStateId(p1.0 - 1));
+        // Mid load: hold.
+        assert_eq!(g.target(SimTime::ZERO, 0.5, p2, &t), p2);
+        // Low load: step back down.
+        assert_eq!(g.target(SimTime::ZERO, 0.1, p2, &t), PStateId(p2.0 + 1));
+        assert_eq!(g.name(), "conservative");
+        assert_eq!(g.invocations(), 4);
+        assert_eq!(g.period(), Some(SimDuration::from_ms(10)));
+    }
+
+    #[test]
+    fn conservative_saturates_at_ladder_ends() {
+        let t = table();
+        let mut g = Conservative::new();
+        assert_eq!(g.target(SimTime::ZERO, 1.0, t.fastest(), &t), t.fastest());
+        assert_eq!(g.target(SimTime::ZERO, 0.0, t.deepest(), &t), t.deepest());
+    }
+}

@@ -1,0 +1,352 @@
+//! cpuidle governors: choosing sleep states for idle cores.
+//!
+//! The paper describes Linux's two policies (§2.1, citing Pallipadi, Li &
+//! Belay's "cpuidle: Do nothing, efficiently"):
+//!
+//! * **ladder** — walk one state deeper each time the core slept "long
+//!   enough" in the current state, back off after short sleeps;
+//! * **menu** — predict the coming idle duration from recent history and
+//!   jump directly to the most efficient state whose target residency
+//!   fits the prediction (the Linux default, and what the paper's `idle`
+//!   policies use).
+//!
+//! A third, [`PollIdle`], models C-states being disabled (`perf`/`ond`
+//! policies): the core stays in the C0 polling loop.
+
+use cpusim::CState;
+use desim::{SimDuration, SimTime};
+
+/// A sleep-state selection policy, invoked from the kernel idle loop.
+pub trait CpuidleGovernor {
+    /// Chooses a sleep state for `core` going idle at `now`. `None` means
+    /// "stay in the C0 polling loop".
+    fn select(&mut self, core: usize, now: SimTime) -> Option<CState>;
+
+    /// Reports the idle period that just ended, so predictive governors
+    /// can learn. `slept` is the time between idle entry and wake-up.
+    fn note_idle_end(&mut self, core: usize, now: SimTime, slept: SimDuration);
+
+    /// Governor name, as in `/sys/devices/system/cpu/cpuidle/current_governor`.
+    fn name(&self) -> &'static str;
+}
+
+/// C-states disabled: never sleeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollIdle;
+
+impl CpuidleGovernor for PollIdle {
+    fn select(&mut self, _: usize, _: SimTime) -> Option<CState> {
+        None
+    }
+
+    fn note_idle_end(&mut self, _: usize, _: SimTime, _: SimDuration) {}
+
+    fn name(&self) -> &'static str {
+        "poll"
+    }
+}
+
+/// The ladder governor: stepwise promotion/demotion.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    /// Per-core current rung into [`CState::SLEEP_STATES`].
+    rung: Vec<usize>,
+}
+
+impl Ladder {
+    /// Creates a ladder governor for `cores` cores, all starting at C1.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Ladder {
+            rung: vec![0; cores],
+        }
+    }
+}
+
+impl CpuidleGovernor for Ladder {
+    fn select(&mut self, core: usize, _: SimTime) -> Option<CState> {
+        Some(CState::SLEEP_STATES[self.rung[core]])
+    }
+
+    fn note_idle_end(&mut self, core: usize, _: SimTime, slept: SimDuration) {
+        let rung = &mut self.rung[core];
+        let current = CState::SLEEP_STATES[*rung];
+        if slept >= current.target_residency() {
+            // Slept long enough: promote one state deeper next time.
+            *rung = (*rung + 1).min(CState::SLEEP_STATES.len() - 1);
+        } else if slept < current.exit_latency() * 2 {
+            // Very short sleep: demote.
+            *rung = rung.saturating_sub(1);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+}
+
+/// Number of recent idle intervals the menu governor remembers per core
+/// (Linux uses the same constant, `INTERVALS = 8`).
+pub const MENU_INTERVALS: usize = 8;
+
+/// The menu governor: history-based idle-duration prediction.
+///
+/// Faithful-in-spirit simplification of Linux's menu governor: per core it
+/// keeps the last [`MENU_INTERVALS`] observed idle durations. When the
+/// intervals are *stable* (low coefficient of variation) the prediction is
+/// their average, shrunk by a correction factor (EWMA of
+/// observed/predicted — the role of Linux's `correction_factor` buckets).
+/// When the intervals are *bimodal or erratic* — short in-burst gaps mixed
+/// with long inter-burst gaps — Linux's menu falls back to the
+/// next-timer-event estimate, which on a quiescent server is long; the
+/// model mirrors that with a long fallback prediction. This reproduces the
+/// pathology the paper measures in §3/Figure 4(b): during request surges
+/// the menu governor still drops cores into C3/C6 for ~30 µs dips, paying
+/// wake latency on the critical path — precisely what NCAP's
+/// burst-scoped menu disable prevents.
+#[derive(Debug, Clone)]
+pub struct Menu {
+    history: Vec<[u64; MENU_INTERVALS]>,
+    cursor: Vec<usize>,
+    filled: Vec<usize>,
+    /// EWMA of (actual / predicted), clamped to [0.1, 1.0].
+    correction: Vec<f64>,
+    last_prediction_ns: Vec<u64>,
+}
+
+impl Menu {
+    /// Creates a menu governor for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Menu {
+            history: vec![[0; MENU_INTERVALS]; cores],
+            cursor: vec![0; cores],
+            filled: vec![0; cores],
+            correction: vec![1.0; cores],
+            last_prediction_ns: vec![0; cores],
+        }
+    }
+
+    /// The long-fallback prediction used when interval history is erratic
+    /// (Linux would consult the next timer event; on a mostly-idle server
+    /// that is milliseconds away).
+    pub const TIMER_FALLBACK: SimDuration = SimDuration::from_ms(1);
+
+    /// The governor's current idle-duration prediction for `core`.
+    #[must_use]
+    pub fn predict(&self, core: usize) -> SimDuration {
+        let filled = self.filled[core];
+        if filled == 0 {
+            // No history: fall back to the next-timer estimate.
+            return Self::TIMER_FALLBACK;
+        }
+        let vals = &self.history[core][..filled];
+        let avg = vals.iter().sum::<u64>() as f64 / filled as f64;
+        let var = vals
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - avg;
+                d * d
+            })
+            .sum::<f64>()
+            / filled as f64;
+        let cv = if avg > 0.0 { var.sqrt() / avg } else { 0.0 };
+        if cv > 0.5 {
+            // Erratic/bimodal intervals: Linux menu distrusts the history
+            // and uses the (long) next-timer estimate — the over-prediction
+            // that causes mid-burst C6 dips.
+            Self::TIMER_FALLBACK
+        } else {
+            SimDuration::from_nanos((avg * self.correction[core]) as u64)
+        }
+    }
+}
+
+impl CpuidleGovernor for Menu {
+    fn select(&mut self, core: usize, _: SimTime) -> Option<CState> {
+        let predicted = self.predict(core);
+        self.last_prediction_ns[core] = predicted.as_nanos();
+        // Deepest state whose residency fits the predicted idle period.
+        CState::SLEEP_STATES
+            .iter()
+            .rev()
+            .copied()
+            .find(|s| s.target_residency() <= predicted)
+            .or(Some(CState::C1))
+    }
+
+    fn note_idle_end(&mut self, core: usize, _: SimTime, slept: SimDuration) {
+        let cur = self.cursor[core];
+        self.history[core][cur] = slept.as_nanos();
+        self.cursor[core] = (cur + 1) % MENU_INTERVALS;
+        self.filled[core] = (self.filled[core] + 1).min(MENU_INTERVALS);
+        let predicted = self.last_prediction_ns[core];
+        if predicted > 0 {
+            let ratio = (slept.as_nanos() as f64 / predicted as f64).clamp(0.1, 1.0);
+            self.correction[core] = 0.8 * self.correction[core] + 0.2 * ratio;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "menu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn poll_never_sleeps() {
+        let mut g = PollIdle;
+        assert_eq!(g.select(0, SimTime::ZERO), None);
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1));
+        assert_eq!(g.select(0, SimTime::ZERO), None);
+        assert_eq!(g.name(), "poll");
+    }
+
+    #[test]
+    fn ladder_promotes_on_long_sleeps() {
+        let mut g = Ladder::new(1);
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C1));
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1));
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C3));
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1));
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C6));
+        // Saturates at the deepest state.
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1));
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C6));
+    }
+
+    #[test]
+    fn ladder_demotes_on_short_sleeps() {
+        let mut g = Ladder::new(1);
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1)); // → C3
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(100)); // short → C1
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C1));
+    }
+
+    #[test]
+    fn ladder_cores_are_independent() {
+        let mut g = Ladder::new(2);
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(1));
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C3));
+        assert_eq!(g.select(1, SimTime::ZERO), Some(CState::C1));
+    }
+
+    #[test]
+    fn menu_with_long_history_goes_deep() {
+        let mut g = Menu::new(1);
+        for _ in 0..8 {
+            g.select(0, SimTime::ZERO);
+            g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(2));
+        }
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C6));
+    }
+
+    #[test]
+    fn menu_with_short_history_stays_shallow() {
+        let mut g = Menu::new(1);
+        for _ in 0..8 {
+            g.select(0, SimTime::ZERO);
+            g.note_idle_end(0, SimTime::ZERO, SimDuration::from_us(15));
+        }
+        // Average ≈ 15 us fits C1 (10 us) but not C3 (40 us).
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C1));
+    }
+
+    #[test]
+    fn menu_learns_overprediction_on_stable_history() {
+        let mut g = Menu::new(1);
+        // Seed with long idles, then observe consistently short ones:
+        // once the history is uniformly short (low variance), the
+        // correction factor pulls the prediction down.
+        for _ in 0..8 {
+            g.select(0, SimTime::ZERO);
+            g.note_idle_end(0, SimTime::ZERO, SimDuration::from_ms(5));
+        }
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C6));
+        for _ in 0..20 {
+            g.select(0, SimTime::ZERO);
+            g.note_idle_end(0, SimTime::ZERO, SimDuration::from_us(20));
+        }
+        let s = g.select(0, SimTime::ZERO);
+        assert!(s == Some(CState::C1) || s == Some(CState::C3), "got {s:?}");
+    }
+
+    #[test]
+    fn menu_overpredicts_on_bimodal_history() {
+        // The paper's §3 observation: mixing long inter-burst idles with
+        // short in-burst gaps makes menu keep choosing deep states, so
+        // cores take ~30 us C6 dips during surges.
+        let mut g = Menu::new(1);
+        for i in 0..8 {
+            g.select(0, SimTime::ZERO);
+            let d = if i % 2 == 0 {
+                SimDuration::from_ms(8)
+            } else {
+                SimDuration::from_us(30)
+            };
+            g.note_idle_end(0, SimTime::ZERO, d);
+        }
+        assert_eq!(g.select(0, SimTime::ZERO), Some(CState::C6));
+    }
+
+    #[test]
+    fn menu_prediction_is_bounded_by_history() {
+        let mut g = Menu::new(1);
+        g.select(0, SimTime::ZERO);
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_us(100));
+        let p = g.predict(0);
+        assert!(p <= SimDuration::from_us(100));
+        assert!(p >= SimDuration::from_us(10));
+    }
+
+    proptest! {
+        /// Whatever the history, menu never selects a state whose target
+        /// residency exceeds its own prediction (except the C1 floor).
+        #[test]
+        fn prop_menu_selection_fits_prediction(
+            idles in prop::collection::vec(1u64..20_000_000, 1..30)
+        ) {
+            let mut g = Menu::new(1);
+            for &ns in &idles {
+                g.select(0, SimTime::ZERO);
+                g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
+            }
+            let predicted = g.predict(0);
+            let chosen = g.select(0, SimTime::ZERO).expect("menu always sleeps");
+            if chosen != CState::C1 {
+                prop_assert!(chosen.target_residency() <= predicted,
+                    "{chosen} residency exceeds prediction {predicted}");
+            }
+        }
+
+        /// The ladder moves at most one rung per observation and stays in
+        /// bounds.
+        #[test]
+        fn prop_ladder_moves_one_rung(
+            idles in prop::collection::vec(1u64..10_000_000, 1..50)
+        ) {
+            let mut g = Ladder::new(1);
+            let mut last = g.select(0, SimTime::ZERO).unwrap().index();
+            for &ns in &idles {
+                g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
+                let cur = g.select(0, SimTime::ZERO).unwrap().index();
+                prop_assert!(cur.abs_diff(last) <= 1, "jumped {last} -> {cur}");
+                last = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn menu_never_returns_none() {
+        let mut g = Menu::new(1);
+        // Even with tiny history, menu picks at least C1 (Linux's menu
+        // always returns a state; disabling C-states is a separate knob).
+        g.select(0, SimTime::ZERO);
+        g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(10));
+        assert!(g.select(0, SimTime::ZERO).is_some());
+    }
+}

@@ -1,0 +1,106 @@
+//! The server-application interface.
+//!
+//! The kernel hands incoming requests to a [`ServerApp`], which returns
+//! an execution plan: alternating CPU phases (cycles on a core) and IO
+//! phases (a wait with the core released — disk access for the
+//! Apache-like workload), then a response of a given size. The concrete
+//! Apache-like and Memcached-like models live in the `oldi-apps` crate.
+
+use bytes::Bytes;
+use desim::{SimDuration, SimTime};
+use netsim::NodeId;
+
+/// One step of a request's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppPhase {
+    /// Execute on a core for this many cycles.
+    Cpu {
+        /// Work amount in core cycles.
+        cycles: u64,
+    },
+    /// Wait (e.g. disk access) with the core released.
+    Io {
+        /// Wait duration, independent of core frequency.
+        wait: SimDuration,
+    },
+}
+
+/// What the application wants done for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppPlan {
+    /// Execution phases, in order.
+    pub phases: Vec<AppPhase>,
+    /// Size of the response body to send back, in bytes.
+    pub response_bytes: usize,
+}
+
+impl AppPlan {
+    /// Total CPU cycles across all phases.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                AppPhase::Cpu { cycles } => *cycles,
+                AppPhase::Io { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total IO wait across all phases.
+    #[must_use]
+    pub fn total_io(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                AppPhase::Cpu { .. } => SimDuration::ZERO,
+                AppPhase::Io { wait } => *wait,
+            })
+            .sum()
+    }
+}
+
+/// A request as the application sees it.
+#[derive(Debug, Clone)]
+pub struct RequestInfo {
+    /// Client-assigned request identifier (globally unique).
+    pub id: u64,
+    /// The client node to respond to.
+    pub src: NodeId,
+    /// When the client issued the request (for end-to-end latency).
+    pub sent_at: SimTime,
+    /// The request payload (e.g. the HTTP request line).
+    pub payload: Bytes,
+}
+
+/// A server application model.
+pub trait ServerApp {
+    /// Plans the execution of `request`, or `None` if this payload is not
+    /// a request the application answers (background traffic, updates
+    /// handled out of band, …).
+    fn plan(&mut self, now: SimTime, request: &RequestInfo) -> Option<AppPlan>;
+
+    /// The application's name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_totals() {
+        let plan = AppPlan {
+            phases: vec![
+                AppPhase::Cpu { cycles: 1_000 },
+                AppPhase::Io {
+                    wait: SimDuration::from_us(200),
+                },
+                AppPhase::Cpu { cycles: 2_000 },
+            ],
+            response_bytes: 4_096,
+        };
+        assert_eq!(plan.total_cycles(), 3_000);
+        assert_eq!(plan.total_io(), SimDuration::from_us(200));
+    }
+}

@@ -1,0 +1,135 @@
+//! Kernel configuration: per-path CPU costs and platform constants.
+//!
+//! The cycle costs below size the software layers the way the paper's
+//! measurements imply: at the maximum sustained Apache load (~68 K rps on
+//! four 3.1 GHz cores) the network stack on core 0 plus application work
+//! on the remaining cores saturates the chip, and at the ~2.1×-higher
+//! Memcached ceiling the (much lighter) per-request work does the same.
+
+use cpusim::PStateId;
+use desim::SimDuration;
+
+/// Tunable kernel parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// Number of cores (Table 1: 4).
+    pub cores: u8,
+    /// P-state cores boot in.
+    pub initial_pstate: PStateId,
+    /// ISR cost in cycles, excluding the ICR PCIe read (which is charged
+    /// as a frequency-independent stall from the NIC config).
+    pub isr_cycles: u64,
+    /// Receive SoftIRQ cost per frame (protocol processing, skb
+    /// management, socket delivery).
+    pub rx_stack_cycles: u64,
+    /// Transmit path cost per frame (segmentation bookkeeping, qdisc,
+    /// descriptor setup).
+    pub tx_stack_cycles: u64,
+    /// Cost of one dynamic-governor invocation (timer dispatch, load
+    /// sampling, cpufreq plumbing).
+    pub governor_tick_cycles: u64,
+    /// Extra wake-up penalty for the MWAIT/MONITOR kernel path
+    /// (§2.1: privileged instructions costing 6–60 µs end to end; the
+    /// low end applies to the hot path modelled here).
+    pub mwait_wake_overhead: SimDuration,
+    /// Paper §7 extension (multi-queue NICs): when `true`, an NCAP boost
+    /// raises only cores that actually process packets/requests — core 0
+    /// immediately, other cores on their first work dispatch — instead of
+    /// the whole chip. Idle cores keep polling at their lower voltage.
+    pub per_core_boost: bool,
+    /// Stage-level request tracing: record a waterfall for every Nth
+    /// request id (`None` disables; tracing is measurement-only and does
+    /// not perturb the simulated system).
+    pub trace_requests_every: Option<u64>,
+}
+
+impl KernelConfig {
+    /// The four-core server of Table 1, booting at the deepest P-state
+    /// (a dynamic governor raises it on demand).
+    #[must_use]
+    pub fn server_defaults() -> Self {
+        KernelConfig {
+            cores: 4,
+            initial_pstate: PStateId(14),
+            isr_cycles: 3_000,
+            rx_stack_cycles: 6_000,
+            tx_stack_cycles: 3_000,
+            governor_tick_cycles: 20_000,
+            mwait_wake_overhead: SimDuration::from_us(25),
+            per_core_boost: false,
+            trace_requests_every: None,
+        }
+    }
+
+    /// Builder-style core count override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn with_cores(mut self, cores: u8) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        self.cores = cores;
+        self
+    }
+
+    /// Builder-style initial P-state override.
+    #[must_use]
+    pub fn with_initial_pstate(mut self, p: PStateId) -> Self {
+        self.initial_pstate = p;
+        self
+    }
+
+    /// Builder-style enable of the §7 per-core boost extension.
+    #[must_use]
+    pub fn with_per_core_boost(mut self) -> Self {
+        self.per_core_boost = true;
+        self
+    }
+
+    /// Builder-style enable of request-stage tracing for every `n`th id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_request_tracing(mut self, n: u64) -> Self {
+        assert!(n > 0, "sampling interval must be positive");
+        self.trace_requests_every = Some(n);
+        self
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::server_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1_shape() {
+        let c = KernelConfig::server_defaults();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.initial_pstate, PStateId(14));
+        assert!(c.mwait_wake_overhead >= SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn builders() {
+        let c = KernelConfig::server_defaults()
+            .with_cores(2)
+            .with_initial_pstate(PStateId(0));
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.initial_pstate, PStateId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = KernelConfig::server_defaults().with_cores(0);
+    }
+}

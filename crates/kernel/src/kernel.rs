@@ -1,0 +1,1258 @@
+//! The per-node kernel: event handlers tying every substrate together.
+//!
+//! See the crate docs for the model. The kernel is driven through
+//! [`Kernel::handle`]; every handler returns [`Effects`] — follow-up
+//! events for this node plus frames leaving on the wire (which the
+//! cluster routes through the switch).
+
+use crate::app::{AppPhase, RequestInfo, ServerApp};
+use crate::config::KernelConfig;
+use crate::work::{Work, WorkKind};
+use bytes::Bytes;
+use cpusim::{CState, Core, CoreId, CoreStateKind, EnergyMeter, PStateTable, PowerMode, PowerModel};
+use desim::{SimTime, TimerSlot};
+use governors::{CpufreqGovernor, CpuidleGovernor};
+use ncap::{DriverAction, EnhancedDriver, IcrFlags, SoftwareNcap};
+use netsim::tcp::segment_response;
+use netsim::{NodeId, Packet};
+use nicsim::Nic;
+use std::collections::{HashMap, VecDeque};
+
+/// Events delivered to a node's kernel.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// A frame fully arrived from the wire.
+    FrameFromWire(Packet),
+    /// A queue's head-of-line RX DMA completed.
+    RxDmaComplete {
+        /// The RSS queue.
+        queue: u8,
+    },
+    /// An AITT/PITT delay-timer deadline (validated by generation).
+    ModerationDelay {
+        /// The RSS queue.
+        queue: u8,
+        /// Timer-slot generation from the NIC.
+        gen: u64,
+    },
+    /// The NIC's master interrupt throttling timer expired.
+    MittExpired,
+    /// A core's current job finished (validated by generation).
+    JobDone {
+        /// Core index.
+        core: u8,
+        /// Timer-slot generation.
+        gen: u64,
+    },
+    /// A core finished waking from a C-state (validated by generation).
+    WakeDone {
+        /// Core index.
+        core: u8,
+        /// Timer-slot generation.
+        gen: u64,
+    },
+    /// Periodic dynamic cpufreq governor invocation.
+    GovernorTick,
+    /// The `ncap.sw` 1 ms evaluation timer.
+    NcapSwTimer,
+    /// An application IO phase (e.g. disk access) completed.
+    IoDone {
+        /// Kernel-internal request token.
+        token: u64,
+    },
+    /// A frame finished DMA into the NIC and hits the wire now.
+    TxWire {
+        /// The departing frame.
+        frame: Packet,
+    },
+}
+
+/// What a handler wants done next.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Events to schedule on this node at absolute instants.
+    pub schedule: Vec<(SimTime, NodeEvent)>,
+    /// Frames leaving on the wire *now* (cluster routes via the switch).
+    pub transmit: Vec<Packet>,
+}
+
+impl Effects {
+    fn at(&mut self, t: SimTime, e: NodeEvent) {
+        self.schedule.push((t, e));
+    }
+}
+
+struct ReqState {
+    info: RequestInfo,
+    phases: VecDeque<AppPhase>,
+    response_bytes: usize,
+}
+
+/// Operational counters of one kernel — the `/proc`-style observability a
+/// production deployment would watch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Interrupt service routines executed.
+    pub isrs: u64,
+    /// Receive SoftIRQ work items processed (one per frame).
+    pub softirq_rx: u64,
+    /// Transmit-path work items processed (one per frame).
+    pub softirq_tx: u64,
+    /// Application work items executed.
+    pub app_jobs: u64,
+    /// Dynamic-governor invocations that actually evaluated (not
+    /// suspended by NCAP).
+    pub governor_ticks: u64,
+    /// Core wake-ups out of C-states.
+    pub core_wakes: u64,
+}
+
+/// A stage-level waterfall of one sampled request's life inside the
+/// server — measurement-only instrumentation (the gem5-pseudo-instruction
+/// role of the paper's methodology, at per-stage granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The client's request id.
+    pub id: u64,
+    /// The request frame fully arrived at the NIC.
+    pub nic_arrival: SimTime,
+    /// The receive SoftIRQ delivered the request to the application.
+    pub stack_done: SimTime,
+    /// The application finished generating the response.
+    pub app_done: SimTime,
+    /// Total IO (disk) wait inside the application phases.
+    pub io_wait: desim::SimDuration,
+    /// The final response frame left on the wire.
+    pub last_tx: SimTime,
+}
+
+impl RequestTrace {
+    /// Server-internal residence time (NIC arrival to last TX byte).
+    #[must_use]
+    pub fn residence(&self) -> desim::SimDuration {
+        self.last_tx.saturating_since(self.nic_arrival)
+    }
+}
+
+/// The kernel of one simulated server node.
+pub struct Kernel {
+    cfg: KernelConfig,
+    node: NodeId,
+    table: PStateTable,
+    cores: Vec<Core>,
+    nic: Nic,
+    cpufreq: Box<dyn CpufreqGovernor + Send>,
+    cpuidle: Box<dyn CpuidleGovernor + Send>,
+    app: Box<dyn ServerApp + Send>,
+    ncap_driver: Option<EnhancedDriver>,
+    ncap_sw: Option<SoftwareNcap>,
+
+    desired_pstate: cpusim::PStateId,
+    menu_disabled: bool,
+    ondemand_suspended_until: SimTime,
+    last_gov_sample: SimTime,
+    last_busy: Vec<desim::SimDuration>,
+
+    run_queue: VecDeque<Work>,
+    current: Vec<Option<Work>>,
+    job_slots: Vec<TimerSlot>,
+    wake_slots: Vec<TimerSlot>,
+    sleep_since: Vec<SimTime>,
+    isr_pending: Vec<bool>,
+
+    power: PowerModel,
+    uncore: EnergyMeter,
+    uncore_sync: SimTime,
+
+    requests: HashMap<u64, ReqState>,
+    req_traces: HashMap<u64, RequestTrace>,
+    finished_traces: Vec<RequestTrace>,
+    next_token: u64,
+    tx_backlog: VecDeque<Packet>,
+    completed_responses: u64,
+    wake_marker_times: Vec<SimTime>,
+    stats: KernelStats,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("node", &self.node)
+            .field("cores", &self.cores.len())
+            .field("cpufreq", &self.cpufreq.name())
+            .field("cpuidle", &self.cpuidle.name())
+            .field("app", &self.app.name())
+            .field("desired_pstate", &self.desired_pstate)
+            .field("run_queue", &self.run_queue.len())
+            .field("in_flight_requests", &self.requests.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Builds a kernel.
+    #[must_use]
+    pub fn new(
+        cfg: KernelConfig,
+        node: NodeId,
+        nic: Nic,
+        cpufreq: Box<dyn CpufreqGovernor + Send>,
+        cpuidle: Box<dyn CpuidleGovernor + Send>,
+        app: Box<dyn ServerApp + Send>,
+    ) -> Self {
+        let table = PStateTable::i7_like();
+        let power = PowerModel::i7_like();
+        let n = cfg.cores as usize;
+        let cores = (0..cfg.cores)
+            .map(|i| Core::new(CoreId(i), table.clone(), power.clone(), cfg.initial_pstate))
+            .collect();
+        let isr_pending = vec![false; nic.queue_count()];
+        Kernel {
+            power,
+            uncore: EnergyMeter::new(),
+            uncore_sync: SimTime::ZERO,
+            desired_pstate: cfg.initial_pstate,
+            table,
+            cores,
+            nic,
+            cpufreq,
+            cpuidle,
+            app,
+            ncap_driver: None,
+            ncap_sw: None,
+            menu_disabled: false,
+            ondemand_suspended_until: SimTime::ZERO,
+            last_gov_sample: SimTime::ZERO,
+            last_busy: vec![desim::SimDuration::ZERO; n],
+            run_queue: VecDeque::new(),
+            current: std::iter::repeat_with(|| None).take(n).collect(),
+            job_slots: vec![TimerSlot::new(); n],
+            wake_slots: vec![TimerSlot::new(); n],
+            sleep_since: vec![SimTime::ZERO; n],
+            isr_pending,
+            requests: HashMap::new(),
+            req_traces: HashMap::new(),
+            finished_traces: Vec::new(),
+            next_token: 0,
+            tx_backlog: VecDeque::new(),
+            completed_responses: 0,
+            wake_marker_times: Vec::new(),
+            stats: KernelStats::default(),
+            node,
+            cfg,
+        }
+    }
+
+    /// Attaches the NCAP-enhanced driver (hardware NCAP policies).
+    #[must_use]
+    pub fn with_ncap_driver(mut self, driver: EnhancedDriver) -> Self {
+        self.ncap_driver = Some(driver);
+        self
+    }
+
+    /// Attaches the software NCAP implementation (`ncap.sw`).
+    #[must_use]
+    pub fn with_software_ncap(mut self, sw: SoftwareNcap) -> Self {
+        self.ncap_sw = Some(sw);
+        self
+    }
+
+    /// Boots the node: applies the static governor (or schedules the
+    /// dynamic one), arms the MITT and the `ncap.sw` timer, and lets idle
+    /// cores consult cpuidle.
+    pub fn init(&mut self, now: SimTime) -> Effects {
+        let mut fx = Effects::default();
+        match self.cpufreq.period() {
+            None => {
+                self.desired_pstate =
+                    self.cpufreq
+                        .target(now, 0.0, self.cfg.initial_pstate, &self.table);
+                self.apply_pstates(now, &mut fx);
+            }
+            Some(p) => {
+                self.last_gov_sample = now;
+                fx.at(now + p, NodeEvent::GovernorTick);
+                // Write the initial status back so NCAP's mirror is sane.
+                self.writeback_freq_status();
+            }
+        }
+        let mitt = self.nic.start_mitt(now);
+        fx.at(mitt, NodeEvent::MittExpired);
+        if let Some(sw) = &self.ncap_sw {
+            fx.at(now + sw.timer_period(), NodeEvent::NcapSwTimer);
+        }
+        for ci in 0..self.cores.len() {
+            if self.cores[ci].is_idle() {
+                self.idle_enter(now, ci);
+            }
+        }
+        fx
+    }
+
+    /// Bills package/uncore power for the interval since the last event,
+    /// using the core states that held throughout it (all state changes
+    /// happen inside event handlers, so the interval is homogeneous).
+    fn sync_uncore(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.uncore_sync);
+        if dt.is_zero() {
+            return;
+        }
+        self.uncore_sync = now;
+        let mut any_awake = false;
+        let mut all_c6 = true;
+        for c in &self.cores {
+            match c.state_kind() {
+                CoreStateKind::Active | CoreStateKind::Waking(_) => {
+                    any_awake = true;
+                    all_c6 = false;
+                }
+                CoreStateKind::Asleep(s) => {
+                    if s != CState::C6 {
+                        all_c6 = false;
+                    }
+                }
+            }
+        }
+        let w = if any_awake {
+            self.power.uncore_active()
+        } else if all_c6 {
+            self.power.uncore_gated()
+        } else {
+            self.power.uncore_sleep()
+        };
+        self.uncore.accumulate(PowerMode::Uncore, w, dt);
+    }
+
+    /// Handles one event. The single entry point for the event loop.
+    pub fn handle(&mut self, now: SimTime, event: NodeEvent) -> Effects {
+        self.sync_uncore(now);
+        let mut fx = Effects::default();
+        match event {
+            NodeEvent::FrameFromWire(frame) => self.on_frame_from_wire(now, frame, &mut fx),
+            NodeEvent::RxDmaComplete { queue } => {
+                if let Some((deadline, gen)) = self.nic.rx_dma_complete(now, queue as usize) {
+                    fx.at(deadline, NodeEvent::ModerationDelay { queue, gen });
+                }
+            }
+            NodeEvent::ModerationDelay { queue, gen } => {
+                if self.nic.delay_expired(now, queue as usize, gen) {
+                    self.deliver_irq(now, queue as usize, &mut fx);
+                }
+            }
+            NodeEvent::MittExpired => self.on_mitt(now, &mut fx),
+            NodeEvent::JobDone { core, gen } => self.on_job_done(now, core as usize, gen, &mut fx),
+            NodeEvent::WakeDone { core, gen } => {
+                self.on_wake_done(now, core as usize, gen, &mut fx);
+            }
+            NodeEvent::GovernorTick => self.on_governor_tick(now, &mut fx),
+            NodeEvent::NcapSwTimer => self.on_sw_timer(now, &mut fx),
+            NodeEvent::IoDone { token } => self.advance_request(now, token, &mut fx),
+            NodeEvent::TxWire { frame } => self.on_tx_wire(now, frame, &mut fx),
+        }
+        fx
+    }
+
+    // ----- RX path -------------------------------------------------------
+
+    fn sampled(&self, id: u64) -> bool {
+        self.cfg
+            .trace_requests_every
+            .is_some_and(|n| id.is_multiple_of(n))
+    }
+
+    fn on_frame_from_wire(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
+        if let Some(id) = frame.meta().request_id {
+            if self.sampled(id) {
+                self.req_traces.entry(id).or_insert(RequestTrace {
+                    id,
+                    nic_arrival: now,
+                    stack_done: now,
+                    app_done: now,
+                    io_wait: desim::SimDuration::ZERO,
+                    last_tx: now,
+                });
+            }
+        }
+        let out = self.nic.frame_arrived(now, frame);
+        if out.immediate_irq {
+            // NCAP CIT rule: a proactive wake-up interrupt.
+            self.wake_marker_times.push(now);
+            self.deliver_irq(now, out.queue, fx);
+        }
+        if let Some(t) = out.dma_complete_at {
+            fx.at(
+                t,
+                NodeEvent::RxDmaComplete {
+                    queue: out.queue as u8,
+                },
+            );
+        }
+    }
+
+    fn on_mitt(&mut self, now: SimTime, fx: &mut Effects) {
+        let (next, raised) = self.nic.mitt_expired(now);
+        fx.at(next, NodeEvent::MittExpired);
+        for queue in raised {
+            self.deliver_irq(now, queue, fx);
+        }
+        // Opportunistic retry of P-state application for cores that were
+        // mid-transition when the last change was requested.
+        self.apply_pstates(now, fx);
+    }
+
+    /// The core servicing a queue's MSI-X vector: vectors are distributed
+    /// round-robin across cores, as irqbalance pins them.
+    fn irq_core(&self, queue: usize) -> usize {
+        queue % self.cores.len()
+    }
+
+    fn deliver_irq(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
+        if self.isr_pending[queue] {
+            return; // level-triggered: causes accumulate in the vector
+        }
+        self.isr_pending[queue] = true;
+        let core = self.irq_core(queue);
+        let isr = Work::cycles(self.cfg.isr_cycles, WorkKind::Isr { queue: queue as u8 })
+            .on_core(core as u8)
+            .with_fixed(self.nic.config().icr_read_latency);
+        self.run_queue.push_front(isr);
+        if matches!(self.cores[core].state_kind(), CoreStateKind::Asleep(_)) {
+            self.wake_core(now, core, fx);
+        }
+        self.try_dispatch(now, fx);
+    }
+
+    // ----- scheduler -----------------------------------------------------
+
+    fn wake_core(&mut self, now: SimTime, ci: usize, fx: &mut Effects) {
+        if self.wake_slots[ci].is_armed() {
+            return; // wake already in progress
+        }
+        if let Ok(ready) = self.cores[ci].begin_wake(now) {
+            self.stats.core_wakes += 1;
+            let done = ready + self.cfg.mwait_wake_overhead;
+            let gen = self.wake_slots[ci].arm(done);
+            fx.at(
+                done,
+                NodeEvent::WakeDone {
+                    core: ci as u8,
+                    gen,
+                },
+            );
+        }
+    }
+
+    fn start_work(&mut self, now: SimTime, ci: usize, work: Work, fx: &mut Effects) {
+        // §7 per-core boost: a core receiving work during a burst joins
+        // the boosted frequency only now, instead of chip-wide at IT_HIGH.
+        if self.cfg.per_core_boost
+            && self.menu_disabled
+            && self.cores[ci].goal_pstate() > self.desired_pstate
+        {
+            let _ = self.cores[ci].set_pstate(now, self.desired_pstate);
+        }
+        let freq = self.cores[ci].freq_hz() as f64;
+        let total = work.cycles as f64 + work.fixed.as_secs_f64() * freq;
+        let eta = self.cores[ci]
+            .begin_job(now, total)
+            .expect("dispatch target must be idle and awake");
+        let gen = self.job_slots[ci].arm(eta);
+        fx.at(
+            eta,
+            NodeEvent::JobDone {
+                core: ci as u8,
+                gen,
+            },
+        );
+        self.current[ci] = Some(work);
+    }
+
+    fn try_dispatch(&mut self, now: SimTime, fx: &mut Effects) {
+        // Assign queue entries to idle cores, respecting affinity,
+        // skipping over blocked entries so affinity cannot head-of-line
+        // block unrelated work.
+        loop {
+            let mut pick: Option<(usize, usize)> = None;
+            for qi in 0..self.run_queue.len() {
+                let target = match self.run_queue[qi].affinity {
+                    Some(c) => {
+                        let c = c as usize;
+                        self.cores[c].is_idle().then_some(c)
+                    }
+                    // Non-affine (application) work prefers the highest
+                    // idle core: core 0 carries the IRQ/SoftIRQ load of
+                    // the single-queue NIC, and a Linux scheduler keeps
+                    // application threads off it while others are free.
+                    None => self.cores.iter().rposition(Core::is_idle),
+                };
+                if let Some(ci) = target {
+                    pick = Some((qi, ci));
+                    break;
+                }
+            }
+            match pick {
+                Some((qi, ci)) => {
+                    let work = self.run_queue.remove(qi).expect("index in range");
+                    self.start_work(now, ci, work, fx);
+                }
+                None => break,
+            }
+        }
+        // Wake sleeping cores for whatever remains queued.
+        let mut wake: Vec<usize> = Vec::new();
+        let mut nonaffine = 0usize;
+        for w in &self.run_queue {
+            match w.affinity {
+                Some(c) => {
+                    let c = c as usize;
+                    if matches!(self.cores[c].state_kind(), CoreStateKind::Asleep(_))
+                        && !wake.contains(&c)
+                    {
+                        wake.push(c);
+                    }
+                }
+                None => nonaffine += 1,
+            }
+        }
+        if nonaffine > 0 {
+            for ci in 0..self.cores.len() {
+                if nonaffine == 0 {
+                    break;
+                }
+                if matches!(self.cores[ci].state_kind(), CoreStateKind::Asleep(_))
+                    && !wake.contains(&ci)
+                {
+                    wake.push(ci);
+                    nonaffine -= 1;
+                }
+            }
+        }
+        for ci in wake {
+            self.wake_core(now, ci, fx);
+        }
+    }
+
+    fn on_job_done(&mut self, now: SimTime, ci: usize, gen: u64, fx: &mut Effects) {
+        if !self.job_slots[ci].fires(gen) {
+            return; // superseded by a frequency-change reschedule
+        }
+        self.cores[ci]
+            .complete_job(now)
+            .expect("job slot fired without a job");
+        let work = self.current[ci].take().expect("current work recorded");
+        self.complete_work(now, work, fx);
+        self.try_dispatch(now, fx);
+        if self.cores[ci].is_idle() {
+            self.idle_enter(now, ci);
+        }
+    }
+
+    fn on_wake_done(&mut self, now: SimTime, ci: usize, gen: u64, fx: &mut Effects) {
+        if !self.wake_slots[ci].fires(gen) {
+            return;
+        }
+        self.cores[ci].sync(now);
+        let slept = now.saturating_since(self.sleep_since[ci]);
+        self.cpuidle.note_idle_end(ci, now, slept);
+        // Chip-wide frequency: the core rejoins at the current goal.
+        let _ = self.cores[ci].set_pstate(now, self.desired_pstate);
+        self.try_dispatch(now, fx);
+        if self.cores[ci].is_idle() {
+            self.idle_enter(now, ci);
+        }
+    }
+
+    fn idle_enter(&mut self, now: SimTime, ci: usize) {
+        // NCAP burst guard: stay in C0. Under the §7 per-core extension
+        // the guard covers only the known packet-processing target
+        // (core 0); other cores keep their cpuidle autonomy.
+        if self.menu_disabled && (!self.cfg.per_core_boost || ci == 0) {
+            return;
+        }
+        if let Some(c) = self.cpuidle.select(ci, now) {
+            if self.cores[ci].enter_sleep(now, c).is_ok() {
+                self.sleep_since[ci] = now;
+            }
+        }
+    }
+
+    // ----- work completion actions ---------------------------------------
+
+    fn complete_work(&mut self, now: SimTime, work: Work, fx: &mut Effects) {
+        match work.kind {
+            WorkKind::Isr { queue } => {
+                self.stats.isrs += 1;
+                self.complete_isr(now, queue as usize, fx);
+            }
+            WorkKind::SoftIrqRx { frame } => {
+                self.stats.softirq_rx += 1;
+                self.complete_rx(now, &frame, fx);
+            }
+            WorkKind::App { token } => {
+                self.stats.app_jobs += 1;
+                self.advance_request(now, token, fx);
+            }
+            WorkKind::SoftIrqTx { frame } => {
+                self.stats.softirq_tx += 1;
+                self.complete_tx(now, frame, fx);
+            }
+            WorkKind::Overhead => {}
+        }
+    }
+
+    fn complete_isr(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
+        self.isr_pending[queue] = false;
+        let icr = self.nic.read_icr(queue);
+        if icr.contains(IcrFlags::IT_HIGH) {
+            self.wake_marker_times.push(now);
+        }
+        if let Some(driver) = self.ncap_driver.as_mut() {
+            if icr.contains(IcrFlags::IT_HIGH) || icr.contains(IcrFlags::IT_LOW) {
+                let action = driver.handle_interrupt(icr, self.desired_pstate, &self.table);
+                self.apply_driver_action(now, action, fx);
+            }
+        }
+        // NAPI-style drain: one SoftIRQ work item per DMA-completed frame,
+        // pinned to the vector's core (RSS keeps a flow's processing
+        // local). A TOE-capable NIC absorbs part of the protocol work (§7).
+        let sw_cost = self
+            .ncap_sw
+            .as_ref()
+            .map_or(0, |_| ncap::SW_PER_PACKET_CYCLES);
+        let stack = (self.cfg.rx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
+        let core = self.irq_core(queue) as u8;
+        while let Some(frame) = self.nic.fetch_rx(queue) {
+            self.run_queue.push_back(
+                Work::cycles(stack + sw_cost, WorkKind::SoftIrqRx { frame }).on_core(core),
+            );
+        }
+        self.try_dispatch(now, fx);
+    }
+
+    fn complete_rx(&mut self, now: SimTime, frame: &Packet, fx: &mut Effects) {
+        if let Some(sw) = self.ncap_sw.as_mut() {
+            sw.on_rx_packet(frame);
+        }
+        let Some(rid) = frame.meta().request_id else {
+            return;
+        };
+        let info = RequestInfo {
+            id: rid,
+            src: frame.src(),
+            sent_at: frame.meta().sent_at,
+            payload: frame.payload_bytes(),
+        };
+        let Some(plan) = self.app.plan(now, &info) else {
+            self.req_traces.remove(&rid);
+            return;
+        };
+        if let Some(tr) = self.req_traces.get_mut(&rid) {
+            tr.stack_done = now;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.requests.insert(
+            token,
+            ReqState {
+                info,
+                phases: plan.phases.into(),
+                response_bytes: plan.response_bytes,
+            },
+        );
+        self.advance_request(now, token, fx);
+    }
+
+    fn advance_request(&mut self, now: SimTime, token: u64, fx: &mut Effects) {
+        let Some(state) = self.requests.get_mut(&token) else {
+            return;
+        };
+        match state.phases.pop_front() {
+            Some(AppPhase::Cpu { cycles }) => {
+                self.run_queue
+                    .push_back(Work::cycles(cycles, WorkKind::App { token }));
+                self.try_dispatch(now, fx);
+            }
+            Some(AppPhase::Io { wait }) => {
+                if let Some(tr) = self.req_traces.get_mut(&state.info.id) {
+                    tr.io_wait += wait;
+                }
+                fx.at(now + wait, NodeEvent::IoDone { token });
+            }
+            None => {
+                let state = self.requests.remove(&token).expect("present above");
+                self.completed_responses += 1;
+                if let Some(tr) = self.req_traces.get_mut(&state.info.id) {
+                    tr.app_done = now;
+                }
+                let body = Bytes::from(vec![0u8; state.response_bytes]);
+                let frames = segment_response(
+                    self.node,
+                    state.info.src,
+                    state.info.id,
+                    body,
+                    state.info.sent_at,
+                );
+                let sw_cost = self
+                    .ncap_sw
+                    .as_ref()
+                    .map_or(0, |_| ncap::SW_PER_TX_CYCLES);
+                let stack =
+                    (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
+                for frame in frames {
+                    self.run_queue.push_back(
+                        Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame }).on_core(0),
+                    );
+                }
+                self.try_dispatch(now, fx);
+            }
+        }
+    }
+
+    fn complete_tx(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
+        if let Some(sw) = self.ncap_sw.as_mut() {
+            sw.on_tx_packet(frame.wire_len());
+        }
+        match self.nic.enqueue_tx(now, &frame) {
+            Some(out) => fx.at(out.ready_at, NodeEvent::TxWire { frame }),
+            None => self.tx_backlog.push_back(frame),
+        }
+    }
+
+    fn on_tx_wire(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
+        self.nic.tx_done(now, frame.wire_len());
+        if frame.meta().is_final {
+            if let Some(id) = frame.meta().request_id {
+                if let Some(mut tr) = self.req_traces.remove(&id) {
+                    tr.last_tx = now;
+                    self.finished_traces.push(tr);
+                }
+            }
+        }
+        fx.transmit.push(frame);
+        while let Some(front) = self.tx_backlog.front() {
+            match self.nic.enqueue_tx(now, front) {
+                Some(out) => {
+                    let frame = self.tx_backlog.pop_front().expect("front exists");
+                    fx.at(out.ready_at, NodeEvent::TxWire { frame });
+                }
+                None => break,
+            }
+        }
+    }
+
+    // ----- power management ----------------------------------------------
+
+    fn on_governor_tick(&mut self, now: SimTime, fx: &mut Effects) {
+        let Some(period) = self.cpufreq.period() else {
+            return;
+        };
+        fx.at(now + period, NodeEvent::GovernorTick);
+        if now < self.ondemand_suspended_until {
+            return; // NCAP suspended the governor for one period
+        }
+        let elapsed = now.saturating_since(self.last_gov_sample);
+        if elapsed.is_zero() {
+            return;
+        }
+        self.last_gov_sample = now;
+        let mut util: f64 = 0.0;
+        for ci in 0..self.cores.len() {
+            self.cores[ci].sync(now);
+            let busy = self.cores[ci].busy_time();
+            let delta = busy.saturating_sub(self.last_busy[ci]);
+            self.last_busy[ci] = busy;
+            util = util.max(delta.as_secs_f64() / elapsed.as_secs_f64());
+        }
+        self.stats.governor_ticks += 1;
+        let target = self
+            .cpufreq
+            .target(now, util.min(1.0), self.desired_pstate, &self.table);
+        if target != self.desired_pstate {
+            self.desired_pstate = target;
+            self.apply_pstates(now, fx);
+        }
+        self.run_queue.push_back(
+            Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead).on_core(0),
+        );
+        self.try_dispatch(now, fx);
+    }
+
+    fn on_sw_timer(&mut self, now: SimTime, fx: &mut Effects) {
+        let Some(sw) = self.ncap_sw.as_mut() else {
+            return;
+        };
+        fx.at(now + sw.timer_period(), NodeEvent::NcapSwTimer);
+        let (cycles, action) = sw.on_timer(now, self.desired_pstate, &self.table);
+        if action.set_pstate == Some(self.table.fastest()) {
+            self.wake_marker_times.push(now);
+        }
+        self.run_queue
+            .push_back(Work::cycles(cycles, WorkKind::Overhead).on_core(0));
+        if !action.is_noop() {
+            self.apply_driver_action(now, action, fx);
+        }
+        self.try_dispatch(now, fx);
+    }
+
+    fn apply_driver_action(&mut self, now: SimTime, action: DriverAction, fx: &mut Effects) {
+        // The burst guard must be in place before the boost is applied so
+        // the per-core filter in apply_pstates sees it.
+        if action.disable_menu {
+            self.menu_disabled = true;
+        }
+        if let Some(p) = action.set_pstate {
+            self.desired_pstate = p;
+            self.apply_pstates(now, fx);
+        }
+        if action.disable_menu {
+            // Proactively wake the packet-processing core — the paper's
+            // "necessary processor cores" (§4): core 0 is on the critical
+            // RX path; the scheduler wakes further cores on demand as the
+            // burst's work fans out.
+            if matches!(self.cores[0].state_kind(), CoreStateKind::Asleep(_)) {
+                self.wake_core(now, 0, fx);
+            }
+        }
+        if action.enable_menu {
+            self.menu_disabled = false;
+            for ci in 0..self.cores.len() {
+                if self.cores[ci].is_idle() {
+                    self.idle_enter(now, ci);
+                }
+            }
+        }
+        if let Some(d) = action.suspend_ondemand {
+            let until = now + d;
+            if until > self.ondemand_suspended_until {
+                self.ondemand_suspended_until = until;
+            }
+        }
+    }
+
+    fn apply_pstates(&mut self, now: SimTime, fx: &mut Effects) {
+        for ci in 0..self.cores.len() {
+            if !matches!(self.cores[ci].state_kind(), CoreStateKind::Active) {
+                continue; // sleeping cores pick up the goal on wake
+            }
+            if self.cores[ci].goal_pstate() == self.desired_pstate {
+                continue;
+            }
+            // §7 per-core boost: during a burst, raising applies only to
+            // the packet-processing core here; other cores are raised on
+            // their first dispatch. Descents still apply chip-wide.
+            if self.cfg.per_core_boost
+                && self.menu_disabled
+                && ci != 0
+                && self.cores[ci].goal_pstate() > self.desired_pstate
+                && !self.cores[ci].has_job()
+            {
+                continue;
+            }
+            if self.cores[ci].set_pstate(now, self.desired_pstate).is_ok()
+                && self.cores[ci].has_job()
+            {
+                let eta = self.cores[ci]
+                    .job_eta(now)
+                    .expect("core has a job in flight");
+                let gen = self.job_slots[ci].arm(eta);
+                fx.at(
+                    eta,
+                    NodeEvent::JobDone {
+                        core: ci as u8,
+                        gen,
+                    },
+                );
+            }
+        }
+        self.writeback_freq_status();
+    }
+
+    fn writeback_freq_status(&mut self) {
+        let (at_max, at_min) = EnhancedDriver::freq_status(self.desired_pstate, &self.table);
+        self.nic.note_freq_status(at_max, at_min);
+        if let Some(sw) = self.ncap_sw.as_mut() {
+            sw.note_freq_status(at_max, at_min);
+        }
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Flushes energy accounting up to `now` on all cores and the uncore.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.sync_uncore(now);
+        for c in &mut self.cores {
+            c.sync(now);
+        }
+    }
+
+    /// The package/uncore energy meter (mode [`PowerMode::Uncore`]).
+    #[must_use]
+    pub fn uncore_energy(&self) -> &EnergyMeter {
+        &self.uncore
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The cores (energy meters, busy time, states).
+    #[must_use]
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// The NIC (counters, NCAP block).
+    #[must_use]
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// The P-state table.
+    #[must_use]
+    pub fn table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    /// The chip-wide P-state goal.
+    #[must_use]
+    pub fn desired_pstate(&self) -> cpusim::PStateId {
+        self.desired_pstate
+    }
+
+    /// Responses fully generated so far.
+    #[must_use]
+    pub fn completed_responses(&self) -> u64 {
+        self.completed_responses
+    }
+
+    /// Requests currently in flight inside the application.
+    #[must_use]
+    pub fn inflight_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Pending run-queue depth (diagnostics).
+    #[must_use]
+    pub fn run_queue_depth(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// Instants at which NCAP posted proactive wake/boost interrupts —
+    /// the `INT (wake)` markers of Figures 8/9.
+    #[must_use]
+    pub fn wake_marker_times(&self) -> &[SimTime] {
+        &self.wake_marker_times
+    }
+
+    /// Whether the menu governor is currently disabled by NCAP.
+    #[must_use]
+    pub fn menu_disabled(&self) -> bool {
+        self.menu_disabled
+    }
+
+    /// Completed stage-level request traces (sampled per
+    /// [`KernelConfig::trace_requests_every`]).
+    #[must_use]
+    pub fn request_traces(&self) -> &[RequestTrace] {
+        &self.finished_traces
+    }
+
+    /// Operational counters (ISRs, SoftIRQs, wakes, governor ticks).
+    #[must_use]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppPhase, AppPlan};
+    use crate::config::KernelConfig;
+    use bytes::Bytes;
+    use desim::SimDuration;
+    use governors::{Menu, Ondemand, Performance, PollIdle};
+    use netsim::http::HttpRequest;
+    use nicsim::NicConfig;
+
+    /// A scripted application: fixed CPU cost, fixed response size.
+    struct StubApp {
+        cycles: u64,
+        response: usize,
+        io: Option<SimDuration>,
+    }
+
+    impl ServerApp for StubApp {
+        fn plan(&mut self, _now: SimTime, req: &RequestInfo) -> Option<AppPlan> {
+            if !req.payload.starts_with(b"GET ") {
+                return None;
+            }
+            let mut phases = vec![AppPhase::Cpu { cycles: self.cycles }];
+            if let Some(wait) = self.io {
+                phases.push(AppPhase::Io { wait });
+                phases.push(AppPhase::Cpu { cycles: self.cycles });
+            }
+            Some(AppPlan {
+                phases,
+                response_bytes: self.response,
+            })
+        }
+
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    fn stub_kernel(io: Option<SimDuration>) -> Kernel {
+        Kernel::new(
+            KernelConfig::server_defaults().with_initial_pstate(cpusim::PStateId(0)),
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            Box::new(PollIdle),
+            Box::new(StubApp {
+                cycles: 50_000,
+                response: 4_000,
+                io,
+            }),
+        )
+    }
+
+    /// Drives a kernel to quiescence, collecting transmitted frames.
+    fn drain(kernel: &mut Kernel, mut fx: Effects, horizon: SimTime) -> Vec<Packet> {
+        let mut queue: desim::EventQueue<NodeEvent> = desim::EventQueue::new();
+        let mut out = Vec::new();
+        for (t, e) in fx.schedule.drain(..) {
+            queue.push(t, e);
+        }
+        out.extend(fx.transmit);
+        while let Some(t) = queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, e) = queue.pop().expect("peeked");
+            let mut fx = kernel.handle(t, e);
+            for (te, e) in fx.schedule.drain(..) {
+                queue.push(te, e);
+            }
+            out.extend(fx.transmit);
+        }
+        out
+    }
+
+    fn get_frame(id: u64) -> Packet {
+        Packet::request(NodeId(1), NodeId(0), id, HttpRequest::get("/x").to_payload())
+            .sent_at(SimTime::from_us(1))
+    }
+
+    #[test]
+    fn request_produces_segmented_response() {
+        let mut k = stub_kernel(None);
+        let fx = k.init(SimTime::ZERO);
+        let mut queue_fx = fx;
+        queue_fx
+            .schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(7))));
+        let frames = drain(&mut k, queue_fx, SimTime::from_ms(5));
+        // 4000 B response = 3 MSS frames, same request id, final marked.
+        assert_eq!(frames.len(), 3, "got {} frames", frames.len());
+        assert!(frames.iter().all(|f| f.meta().request_id == Some(7)));
+        assert_eq!(frames.iter().filter(|f| f.meta().is_final).count(), 1);
+        assert_eq!(k.completed_responses(), 1);
+        assert_eq!(k.inflight_requests(), 0);
+    }
+
+    #[test]
+    fn io_phase_releases_the_core() {
+        let mut k = stub_kernel(Some(SimDuration::from_us(500)));
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(1))));
+        let frames = drain(&mut k, fx, SimTime::from_ms(5));
+        assert_eq!(frames.len(), 3);
+        // Busy time must be far below elapsed: the disk wait ran with the
+        // core released (2 × 50 K cycles at 3.1 GHz ≈ 32 us of CPU).
+        k.finalize(SimTime::from_ms(5));
+        let busy: SimDuration = k.cores().iter().map(cpusim::Core::busy_time).sum();
+        assert!(
+            busy < SimDuration::from_us(200),
+            "busy {busy} should exclude the IO wait"
+        );
+    }
+
+    #[test]
+    fn non_request_payloads_are_dropped_by_the_app() {
+        let mut k = stub_kernel(None);
+        let mut fx = k.init(SimTime::ZERO);
+        let bulk = Packet::new(
+            NodeId(1),
+            NodeId(0),
+            0,
+            Bytes::from(vec![0xEE; 800]),
+            netsim::PacketMeta {
+                request_id: Some(9),
+                sent_at: SimTime::ZERO,
+                is_final: true,
+            },
+        );
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(bulk)));
+        let frames = drain(&mut k, fx, SimTime::from_ms(2));
+        assert!(frames.is_empty());
+        assert_eq!(k.completed_responses(), 0);
+    }
+
+    #[test]
+    fn menu_kernel_sleeps_idle_cores_and_wakes_for_work() {
+        let mut k = Kernel::new(
+            KernelConfig::server_defaults().with_initial_pstate(cpusim::PStateId(0)),
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            Box::new(Menu::new(4)),
+            Box::new(StubApp {
+                cycles: 50_000,
+                response: 1_000,
+                io: None,
+            }),
+        );
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_ms(2), NodeEvent::FrameFromWire(get_frame(1))));
+        let frames = drain(&mut k, fx, SimTime::from_ms(4));
+        assert_eq!(frames.len(), 1);
+        // Cores slept at boot (fresh menu predicts a long idle).
+        let entries: u32 = k.cores().iter().map(|c| {
+            c.sleep_entries(cpusim::CState::C1)
+                + c.sleep_entries(cpusim::CState::C3)
+                + c.sleep_entries(cpusim::CState::C6)
+        }).sum();
+        assert!(entries > 0, "idle cores must have entered sleep states");
+    }
+
+    #[test]
+    fn ondemand_kernel_raises_frequency_under_load() {
+        let table = PStateTable::i7_like();
+        let mut k = Kernel::new(
+            KernelConfig::server_defaults(), // boots at the deepest state
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Ondemand::new()),
+            Box::new(PollIdle),
+            Box::new(StubApp {
+                cycles: 3_000_000, // heavy requests keep cores busy
+                response: 1_000,
+                io: None,
+            }),
+        );
+        assert_eq!(k.desired_pstate(), table.deepest());
+        let mut fx = k.init(SimTime::ZERO);
+        // A stream of heavy requests across the first 50 ms.
+        for i in 0..200u64 {
+            fx.schedule.push((
+                SimTime::from_us(100 + i * 200),
+                NodeEvent::FrameFromWire(get_frame(i)),
+            ));
+        }
+        let _ = drain(&mut k, fx, SimTime::from_ms(50));
+        assert!(
+            k.desired_pstate() < table.deepest(),
+            "ondemand must have raised the frequency, still at {}",
+            k.desired_pstate()
+        );
+    }
+
+    #[test]
+    fn stats_count_kernel_activity() {
+        let mut k = stub_kernel(None);
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(1))));
+        let _ = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert!(s.isrs >= 1, "{s:?}");
+        assert_eq!(s.softirq_rx, 1, "{s:?}");
+        assert_eq!(s.softirq_tx, 3, "one per response frame: {s:?}");
+        assert_eq!(s.app_jobs, 1, "{s:?}");
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let k = stub_kernel(None);
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("performance"));
+        assert!(dbg.contains("stub"));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::app::{AppPhase, AppPlan};
+    use crate::config::KernelConfig;
+    use desim::SimDuration;
+    use governors::{Performance, PollIdle};
+    use netsim::http::HttpRequest;
+    use nicsim::NicConfig;
+
+    struct OneShotApp;
+    impl ServerApp for OneShotApp {
+        fn plan(&mut self, _now: SimTime, _req: &RequestInfo) -> Option<AppPlan> {
+            Some(AppPlan {
+                phases: vec![
+                    AppPhase::Cpu { cycles: 30_000 },
+                    AppPhase::Io {
+                        wait: SimDuration::from_us(150),
+                    },
+                    AppPhase::Cpu { cycles: 30_000 },
+                ],
+                response_bytes: 3_000,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "oneshot"
+        }
+    }
+
+    #[test]
+    fn request_trace_stages_are_monotone_and_complete() {
+        let mut k = Kernel::new(
+            KernelConfig::server_defaults()
+                .with_initial_pstate(cpusim::PStateId(0))
+                .with_request_tracing(1),
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            Box::new(PollIdle),
+            Box::new(OneShotApp),
+        );
+        let mut queue: desim::EventQueue<NodeEvent> = desim::EventQueue::new();
+        let fx = k.init(SimTime::ZERO);
+        for (t, e) in fx.schedule {
+            queue.push(t, e);
+        }
+        let frame = Packet::request(NodeId(1), NodeId(0), 42, HttpRequest::get("/").to_payload());
+        queue.push(SimTime::from_us(10), NodeEvent::FrameFromWire(frame));
+        while let Some((t, e)) = queue.pop() {
+            if t > SimTime::from_ms(10) {
+                break;
+            }
+            let fx = k.handle(t, e);
+            for (te, ev) in fx.schedule {
+                queue.push(te, ev);
+            }
+        }
+        let traces = k.request_traces();
+        assert_eq!(traces.len(), 1, "the request must finish tracing");
+        let tr = traces[0];
+        assert_eq!(tr.id, 42);
+        assert_eq!(tr.nic_arrival, SimTime::from_us(10));
+        assert!(tr.stack_done > tr.nic_arrival);
+        assert!(tr.app_done > tr.stack_done);
+        assert!(tr.last_tx > tr.app_done);
+        assert_eq!(tr.io_wait, SimDuration::from_us(150));
+        assert!(tr.residence() > SimDuration::from_us(150));
+    }
+}

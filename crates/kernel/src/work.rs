@@ -1,0 +1,117 @@
+//! Schedulable units of kernel/application work.
+
+use desim::SimDuration;
+use netsim::Packet;
+
+/// What a [`Work`] item does when it completes.
+#[derive(Debug, Clone)]
+pub enum WorkKind {
+    /// The NIC interrupt service routine for one MSI-X vector: reads the
+    /// cause register, applies NCAP driver actions, schedules the receive
+    /// SoftIRQ.
+    Isr {
+        /// The RX queue / vector being serviced.
+        queue: u8,
+    },
+    /// Receive-side network stack processing for one frame.
+    SoftIrqRx {
+        /// The frame being processed.
+        frame: Packet,
+    },
+    /// One CPU phase of an in-flight application request.
+    App {
+        /// The kernel-internal request token.
+        token: u64,
+    },
+    /// Transmit-side network stack processing for one frame.
+    SoftIrqTx {
+        /// The frame to hand to the NIC.
+        frame: Packet,
+    },
+    /// Pure overhead (governor tick, `ncap.sw` timer) with no completion
+    /// action.
+    Overhead,
+}
+
+impl WorkKind {
+    /// Short label for traces.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkKind::Isr { .. } => "isr",
+            WorkKind::SoftIrqRx { .. } => "softirq-rx",
+            WorkKind::App { .. } => "app",
+            WorkKind::SoftIrqTx { .. } => "softirq-tx",
+            WorkKind::Overhead => "overhead",
+        }
+    }
+}
+
+/// A run-queue entry.
+#[derive(Debug, Clone)]
+pub struct Work {
+    /// Frequency-dependent cost in core cycles.
+    pub cycles: u64,
+    /// Frequency-independent cost (bus stalls like the PCIe ICR read);
+    /// converted to cycles at dispatch frequency.
+    pub fixed: SimDuration,
+    /// Completion action.
+    pub kind: WorkKind,
+    /// Core affinity (`Some(0)` for interrupt/stack work on a
+    /// single-queue NIC), or any core.
+    pub affinity: Option<u8>,
+}
+
+impl Work {
+    /// A work item with cycle cost only.
+    #[must_use]
+    pub fn cycles(cycles: u64, kind: WorkKind) -> Self {
+        Work {
+            cycles,
+            fixed: SimDuration::ZERO,
+            kind,
+            affinity: None,
+        }
+    }
+
+    /// Pins the work to a core (builder style).
+    #[must_use]
+    pub fn on_core(mut self, core: u8) -> Self {
+        self.affinity = Some(core);
+        self
+    }
+
+    /// Adds a frequency-independent stall (builder style).
+    #[must_use]
+    pub fn with_fixed(mut self, fixed: SimDuration) -> Self {
+        self.fixed = fixed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let w = Work::cycles(100, WorkKind::Overhead)
+            .on_core(2)
+            .with_fixed(SimDuration::from_us(2));
+        assert_eq!(w.cycles, 100);
+        assert_eq!(w.affinity, Some(2));
+        assert_eq!(w.fixed, SimDuration::from_us(2));
+        assert_eq!(w.kind.label(), "overhead");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            WorkKind::Isr { queue: 0 }.label(),
+            WorkKind::Overhead.label(),
+            WorkKind::App { token: 0 }.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

@@ -1,0 +1,187 @@
+//! Point-to-point link model: serialization + propagation + FIFO egress.
+//!
+//! Table 1 of the paper specifies 10 Gbps links with 1 µs latency. A
+//! [`Link`] computes, for a frame handed to it at time `t`, when the frame
+//! finishes serializing onto the wire (departure) and when it fully
+//! arrives at the far end. The egress is a FIFO: a frame cannot begin
+//! serializing before the previous frame finished (`busy_until`), which is
+//! what creates the transmit-side queuing visible in BW(Tx) surges.
+
+use desim::{SimDuration, SimTime};
+
+/// A unidirectional link with finite bandwidth and fixed propagation delay.
+///
+/// # Example
+///
+/// ```
+/// use netsim::Link;
+/// use desim::SimTime;
+///
+/// let mut link = Link::ten_gbe();
+/// let (depart, arrive) = link.transmit(SimTime::ZERO, 1250);
+/// // 1250 bytes at 10 Gbps = 1 us serialization, + 1 us propagation.
+/// assert_eq!(depart, SimTime::from_us(1));
+/// assert_eq!(arrive, SimTime::from_us(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth_bps: u64,
+    propagation: SimDuration,
+    busy_until: SimTime,
+    bytes_carried: u64,
+    frames_carried: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    #[must_use]
+    pub fn new(bandwidth_bps: u64, propagation: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
+        Link {
+            bandwidth_bps,
+            propagation,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+            frames_carried: 0,
+        }
+    }
+
+    /// The paper's link: 10 Gbps, 1 µs latency (Table 1).
+    #[must_use]
+    pub fn ten_gbe() -> Self {
+        Link::new(10_000_000_000, SimDuration::from_us(1))
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's rate.
+    #[must_use]
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Enqueues a frame of `wire_bytes` at time `now`.
+    ///
+    /// Returns `(departure, arrival)`: when the last bit leaves this end
+    /// and when it reaches the far end. Serialization starts at
+    /// `max(now, busy_until)` — the FIFO discipline.
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: usize) -> (SimTime, SimTime) {
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
+        let depart = start + self.serialization_delay(wire_bytes);
+        self.busy_until = depart;
+        self.bytes_carried += wire_bytes as u64;
+        self.frames_carried += 1;
+        (depart, depart + self.propagation)
+    }
+
+    /// Instant until which the egress is occupied.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queueing delay a frame enqueued at `now` would experience before
+    /// its first bit serializes.
+    #[must_use]
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Total payload-carrying traffic so far, in bytes.
+    #[must_use]
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total frames carried so far.
+    #[must_use]
+    pub fn frames_carried(&self) -> u64 {
+        self.frames_carried
+    }
+
+    /// Link bandwidth in bits per second.
+    #[must_use]
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+
+    /// One-way propagation delay.
+    #[must_use]
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serialization_math() {
+        let link = Link::new(1_000_000_000, SimDuration::ZERO); // 1 Gbps
+        assert_eq!(link.serialization_delay(125), SimDuration::from_us(1));
+        assert_eq!(link.serialization_delay(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fifo_back_to_back() {
+        let mut link = Link::ten_gbe();
+        let (d1, _) = link.transmit(SimTime::ZERO, 1250); // 1 us
+        let (d2, a2) = link.transmit(SimTime::ZERO, 1250); // queued behind
+        assert_eq!(d1, SimTime::from_us(1));
+        assert_eq!(d2, SimTime::from_us(2));
+        assert_eq!(a2, SimTime::from_us(3));
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = Link::ten_gbe();
+        link.transmit(SimTime::ZERO, 1250);
+        // After the link idles, a later frame is not delayed.
+        let (d, _) = link.transmit(SimTime::from_ms(1), 1250);
+        assert_eq!(d, SimTime::from_ms(1) + SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn queue_delay_reports_backlog() {
+        let mut link = Link::ten_gbe();
+        link.transmit(SimTime::ZERO, 12_500); // 10 us
+        assert_eq!(link.queue_delay(SimTime::from_us(4)), SimDuration::from_us(6));
+        assert_eq!(link.queue_delay(SimTime::from_us(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut link = Link::ten_gbe();
+        link.transmit(SimTime::ZERO, 100);
+        link.transmit(SimTime::ZERO, 200);
+        assert_eq!(link.bytes_carried(), 300);
+        assert_eq!(link.frames_carried(), 2);
+    }
+
+    proptest! {
+        /// Departures are strictly ordered and never precede enqueue time.
+        #[test]
+        fn prop_fifo_order(frames in prop::collection::vec((0u64..10_000, 64usize..2_000), 1..50)) {
+            let mut link = Link::ten_gbe();
+            let mut last_depart = SimTime::ZERO;
+            let mut clock = SimTime::ZERO;
+            for (gap_ns, bytes) in frames {
+                clock += SimDuration::from_nanos(gap_ns);
+                let (depart, arrive) = link.transmit(clock, bytes);
+                prop_assert!(depart >= clock);
+                prop_assert!(depart >= last_depart);
+                prop_assert_eq!(arrive, depart + link.propagation());
+                last_depart = depart;
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! TCP/IP-lite packet model.
+//!
+//! A [`Packet`] models one Ethernet frame carrying a TCP segment. Header
+//! layout follows the paper's description of the receive path: the TCP
+//! payload (where an OLDI request's method token lives) starts at byte 66
+//! of the frame — 14 bytes Ethernet + 20 IPv4 + 20 TCP + 12 TCP options
+//! (timestamps). NCAP's ReqMonitor inspects exactly the first two payload
+//! bytes (paper §4.1), so the model keeps real payload bytes.
+//!
+//! Out-of-band [`PacketMeta`] carries measurement bookkeeping (request id,
+//! client send time). It is *never* consulted by power-management logic —
+//! NCAP sees only bytes, counters and times, as hardware would.
+
+use bytes::Bytes;
+use core::fmt;
+use desim::SimTime;
+
+/// Ethernet header bytes (dst MAC, src MAC, ethertype).
+pub const ETH_HEADER: usize = 14;
+/// IPv4 header bytes (no options).
+pub const IPV4_HEADER: usize = 20;
+/// TCP header bytes (no options).
+pub const TCP_HEADER: usize = 20;
+/// TCP option bytes (timestamp + NOPs), as in typical Linux flows.
+pub const TCP_OPTIONS: usize = 12;
+/// Offset of the first TCP payload byte within the frame. The paper's
+/// ReqMonitor compares the two bytes at this offset against its templates.
+pub const PAYLOAD_OFFSET: usize = ETH_HEADER + IPV4_HEADER + TCP_HEADER + TCP_OPTIONS;
+/// Ethernet MTU: maximum IP datagram size per frame.
+pub const MTU: usize = 1500;
+/// Maximum TCP payload per segment under this header model.
+pub const MSS: usize = MTU - IPV4_HEADER - TCP_HEADER - TCP_OPTIONS;
+/// Per-frame wire overhead beyond the frame bytes: preamble + SFD (8),
+/// FCS (4) and inter-frame gap (12).
+pub const WIRE_OVERHEAD: usize = 24;
+
+/// Identifies a simulated machine in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Measurement-only sideband attached to packets.
+///
+/// Fields here exist so the harness can attribute completed responses to
+/// the request that caused them without perturbing the simulated system —
+/// the same role as the gem5 pseudo-instruction annotations in the paper's
+/// methodology (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketMeta {
+    /// Id of the application-level request this frame belongs to, if any.
+    pub request_id: Option<u64>,
+    /// When the originating client issued the request.
+    pub sent_at: SimTime,
+    /// `true` on the last frame of a message (single-frame messages are
+    /// final); clients use this to timestamp response completion.
+    pub is_final: bool,
+}
+
+/// One Ethernet frame carrying a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    src: NodeId,
+    dst: NodeId,
+    flow: u32,
+    payload: Bytes,
+    meta: PacketMeta,
+}
+
+impl Packet {
+    /// Builds a frame from raw parts.
+    #[must_use]
+    pub fn new(src: NodeId, dst: NodeId, flow: u32, payload: Bytes, meta: PacketMeta) -> Self {
+        Packet {
+            src,
+            dst,
+            flow,
+            payload,
+            meta,
+        }
+    }
+
+    /// Convenience constructor for a request frame (client → server).
+    #[must_use]
+    pub fn request(src: NodeId, dst: NodeId, request_id: u64, payload: Bytes) -> Self {
+        Packet::new(
+            src,
+            dst,
+            request_id as u32,
+            payload,
+            PacketMeta {
+                request_id: Some(request_id),
+                sent_at: SimTime::ZERO,
+                is_final: true,
+            },
+        )
+    }
+
+    /// Sets the client send timestamp (builder-style).
+    #[must_use]
+    pub fn sent_at(mut self, t: SimTime) -> Self {
+        self.meta.sent_at = t;
+        self
+    }
+
+    /// Source node.
+    #[must_use]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination node.
+    #[must_use]
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Flow identifier (connection surrogate).
+    #[must_use]
+    pub fn flow(&self) -> u32 {
+        self.flow
+    }
+
+    /// TCP payload bytes (starting at frame offset [`PAYLOAD_OFFSET`]).
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// A zero-copy handle to the payload storage.
+    #[must_use]
+    pub fn payload_bytes(&self) -> Bytes {
+        self.payload.clone()
+    }
+
+    /// Measurement sideband.
+    #[must_use]
+    pub fn meta(&self) -> PacketMeta {
+        self.meta
+    }
+
+    /// The first two payload bytes — what ReqMonitor's template comparison
+    /// reads — or `None` for payloads shorter than two bytes (pure ACKs).
+    #[must_use]
+    pub fn leading_bytes(&self) -> Option<[u8; 2]> {
+        if self.payload.len() >= 2 {
+            Some([self.payload[0], self.payload[1]])
+        } else {
+            None
+        }
+    }
+
+    /// Frame length in bytes: headers + payload.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the payload fits in one segment ([`MSS`]).
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        debug_assert!(
+            self.payload.len() <= MSS,
+            "payload exceeds MSS; segment first"
+        );
+        PAYLOAD_OFFSET + self.payload.len()
+    }
+
+    /// Bytes occupying the wire, including preamble/FCS/IFG — what the
+    /// serialization-delay computation uses. Frames shorter than the
+    /// 64-byte Ethernet minimum are padded.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.frame_len().max(64) + WIRE_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_offset_is_66() {
+        // Paper §4.1: "The payload field ... starts from the 66th byte of a
+        // received TCP packet."
+        assert_eq!(PAYLOAD_OFFSET, 66);
+    }
+
+    #[test]
+    fn mss_fits_mtu() {
+        assert_eq!(MSS + IPV4_HEADER + TCP_HEADER + TCP_OPTIONS, MTU);
+    }
+
+    #[test]
+    fn leading_bytes_of_get() {
+        let p = Packet::request(NodeId(1), NodeId(0), 1, Bytes::from_static(b"GET /x"));
+        assert_eq!(p.leading_bytes(), Some(*b"GE"));
+    }
+
+    #[test]
+    fn leading_bytes_of_short_payload() {
+        let ack = Packet::new(
+            NodeId(1),
+            NodeId(0),
+            0,
+            Bytes::new(),
+            PacketMeta::default(),
+        );
+        assert_eq!(ack.leading_bytes(), None);
+    }
+
+    #[test]
+    fn frame_and_wire_lengths() {
+        let p = Packet::request(NodeId(1), NodeId(0), 1, Bytes::from(vec![0u8; 100]));
+        assert_eq!(p.frame_len(), 166);
+        assert_eq!(p.wire_len(), 166 + WIRE_OVERHEAD);
+        // A header-only frame (66 B) already exceeds the 64 B minimum.
+        let ack = Packet::new(NodeId(1), NodeId(0), 0, Bytes::new(), PacketMeta::default());
+        assert_eq!(ack.wire_len(), PAYLOAD_OFFSET + WIRE_OVERHEAD);
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let p = Packet::request(NodeId(2), NodeId(0), 9, Bytes::from_static(b"GET /"))
+            .sent_at(SimTime::from_us(3));
+        assert_eq!(p.meta().request_id, Some(9));
+        assert_eq!(p.meta().sent_at, SimTime::from_us(3));
+        assert_eq!(p.src(), NodeId(2));
+        assert_eq!(p.dst(), NodeId(0));
+        assert_eq!(p.flow(), 9);
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+    }
+}

@@ -1,0 +1,215 @@
+//! A store-and-forward Ethernet switch connecting cluster nodes.
+//!
+//! The evaluation cluster is a star: every node has a full-duplex link to
+//! one switch (paper §5 models a four-node cluster on a switched Ethernet).
+//! The switch receives a frame completely (store) and then forwards it on
+//! the egress port toward its destination (forward), adding a small fixed
+//! switching latency. Each direction of each port is an independent
+//! [`Link`], so a response burst from the server contends only with other
+//! traffic to the same destination.
+
+use crate::link::Link;
+use crate::packet::NodeId;
+use desim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A star-topology switch with per-port full-duplex links.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{Switch, Link, packet::NodeId};
+/// use desim::{SimTime, SimDuration};
+///
+/// let mut sw = Switch::new(SimDuration::from_nanos(500));
+/// sw.attach(NodeId(0), Link::ten_gbe(), Link::ten_gbe());
+/// sw.attach(NodeId(1), Link::ten_gbe(), Link::ten_gbe());
+/// let arrival = sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1250).unwrap();
+/// assert!(arrival > SimTime::from_us(2));
+/// ```
+#[derive(Debug)]
+pub struct Switch {
+    switching_latency: SimDuration,
+    /// Per node: (node→switch uplink, switch→node downlink).
+    ports: BTreeMap<NodeId, Port>,
+    frames_forwarded: u64,
+}
+
+#[derive(Debug)]
+struct Port {
+    uplink: Link,
+    downlink: Link,
+}
+
+/// Error returned when forwarding to/from an unattached node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownNode(pub NodeId);
+
+impl core::fmt::Display for UnknownNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "node {} is not attached to the switch", self.0)
+    }
+}
+
+impl std::error::Error for UnknownNode {}
+
+impl Switch {
+    /// Creates a switch with the given store-and-forward latency.
+    #[must_use]
+    pub fn new(switching_latency: SimDuration) -> Self {
+        Switch {
+            switching_latency,
+            ports: BTreeMap::new(),
+            frames_forwarded: 0,
+        }
+    }
+
+    /// Attaches `node` with its uplink (node→switch) and downlink
+    /// (switch→node). Re-attaching replaces the port.
+    pub fn attach(&mut self, node: NodeId, uplink: Link, downlink: Link) {
+        self.ports.insert(node, Port { uplink, downlink });
+    }
+
+    /// Number of attached nodes.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Total frames forwarded.
+    #[must_use]
+    pub fn frames_forwarded(&self) -> u64 {
+        self.frames_forwarded
+    }
+
+    /// Carries a frame of `wire_bytes` from `src` to `dst`, starting at
+    /// `now` on the source NIC's egress. Returns the instant the frame is
+    /// fully received by the destination NIC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNode`] if either endpoint is not attached.
+    pub fn forward(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    ) -> Result<SimTime, UnknownNode> {
+        if !self.ports.contains_key(&dst) {
+            return Err(UnknownNode(dst));
+        }
+        let src_port = self.ports.get_mut(&src).ok_or(UnknownNode(src))?;
+        // Node → switch.
+        let (_, at_switch) = src_port.uplink.transmit(now, wire_bytes);
+        let ready = at_switch + self.switching_latency;
+        // Switch → node.
+        let dst_port = self.ports.get_mut(&dst).expect("checked above");
+        let (_, at_dst) = dst_port.downlink.transmit(ready, wire_bytes);
+        self.frames_forwarded += 1;
+        Ok(at_dst)
+    }
+
+    /// Bytes carried toward `node` so far (downlink utilization).
+    #[must_use]
+    pub fn bytes_to(&self, node: NodeId) -> Option<u64> {
+        self.ports.get(&node).map(|p| p.downlink.bytes_carried())
+    }
+
+    /// Bytes carried from `node` so far (uplink utilization).
+    #[must_use]
+    pub fn bytes_from(&self, node: NodeId) -> Option<u64> {
+        self.ports.get(&node).map(|p| p.uplink.bytes_carried())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_switch() -> Switch {
+        let mut sw = Switch::new(SimDuration::from_nanos(500));
+        sw.attach(NodeId(0), Link::ten_gbe(), Link::ten_gbe());
+        sw.attach(NodeId(1), Link::ten_gbe(), Link::ten_gbe());
+        sw
+    }
+
+    #[test]
+    fn end_to_end_latency_components() {
+        let mut sw = two_node_switch();
+        // 1250 B at 10 Gbps = 1 us serialization per hop; 1 us propagation
+        // per hop; 0.5 us switching.
+        let arrival = sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1250).unwrap();
+        assert_eq!(arrival, SimTime::from_nanos(4_500));
+    }
+
+    #[test]
+    fn unknown_nodes_are_errors() {
+        let mut sw = two_node_switch();
+        assert_eq!(
+            sw.forward(SimTime::ZERO, NodeId(0), NodeId(9), 100),
+            Err(UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            sw.forward(SimTime::ZERO, NodeId(9), NodeId(0), 100),
+            Err(UnknownNode(NodeId(9)))
+        );
+        assert!(UnknownNode(NodeId(9)).to_string().contains("node9"));
+    }
+
+    #[test]
+    fn contention_only_on_shared_downlink() {
+        let mut sw = Switch::new(SimDuration::ZERO);
+        for n in 0..3 {
+            sw.attach(NodeId(n), Link::ten_gbe(), Link::ten_gbe());
+        }
+        // Two sources, one destination: second frame queues on the downlink.
+        let a1 = sw.forward(SimTime::ZERO, NodeId(0), NodeId(2), 12_500).unwrap();
+        let a2 = sw.forward(SimTime::ZERO, NodeId(1), NodeId(2), 12_500).unwrap();
+        assert!(a2 > a1);
+        // Distinct destinations do not contend.
+        let mut sw2 = Switch::new(SimDuration::ZERO);
+        for n in 0..3 {
+            sw2.attach(NodeId(n), Link::ten_gbe(), Link::ten_gbe());
+        }
+        let b1 = sw2.forward(SimTime::ZERO, NodeId(0), NodeId(1), 12_500).unwrap();
+        let b2 = sw2.forward(SimTime::ZERO, NodeId(2), NodeId(1), 12_500).unwrap();
+        let c1 = sw2.forward(SimTime::from_ms(1), NodeId(0), NodeId(2), 12_500).unwrap();
+        assert!(b2 > b1);
+        assert!(c1 < SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn per_pair_fifo_order_is_preserved() {
+        // Frames between one (src, dst) pair arrive in the order sent —
+        // TCP's in-order assumption holds on this fabric.
+        use proptest::prelude::*;
+        proptest!(|(sizes in prop::collection::vec(64usize..1_600, 1..60),
+                    gaps in prop::collection::vec(0u64..5_000, 1..60))| {
+            let mut sw = Switch::new(SimDuration::from_nanos(500));
+            sw.attach(NodeId(0), Link::ten_gbe(), Link::ten_gbe());
+            sw.attach(NodeId(1), Link::ten_gbe(), Link::ten_gbe());
+            let mut now = SimTime::ZERO;
+            let mut last_arrival = SimTime::ZERO;
+            for (sz, gap) in sizes.iter().zip(gaps.iter()) {
+                now += SimDuration::from_nanos(*gap);
+                let arrival = sw.forward(now, NodeId(0), NodeId(1), *sz).unwrap();
+                prop_assert!(arrival > now, "arrival after send");
+                prop_assert!(arrival >= last_arrival, "in-order delivery");
+                last_arrival = arrival;
+            }
+        });
+    }
+
+    #[test]
+    fn byte_accounting_per_port() {
+        let mut sw = two_node_switch();
+        sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1_000).unwrap();
+        assert_eq!(sw.bytes_from(NodeId(0)), Some(1_000));
+        assert_eq!(sw.bytes_to(NodeId(1)), Some(1_000));
+        assert_eq!(sw.bytes_to(NodeId(0)), Some(0));
+        assert_eq!(sw.bytes_to(NodeId(7)), None);
+        assert_eq!(sw.frames_forwarded(), 1);
+        assert_eq!(sw.ports(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! TCP-lite: MSS segmentation of large responses.
+//!
+//! The network is modelled as lossless (switched datacenter fabric, no
+//! congestion drops at the simulated loads), so no retransmission or
+//! congestion control is needed. What *is* needed — because the paper's
+//! TxBytesCounter rationale rests on it — is that "most responses are
+//! larger than the Ethernet maximum transmission unit, and thus several
+//! TCP packets constituting a single response are transmitted" (§4.1).
+//! [`segment_response`] performs that split.
+
+use crate::packet::{NodeId, Packet, PacketMeta, MSS};
+use bytes::Bytes;
+use desim::SimTime;
+
+/// Splits a response body into MSS-sized frames from `src` to `dst`.
+///
+/// Every produced packet shares the response body's storage (`Bytes`
+/// slicing is zero-copy) and carries the same `request_id` so the harness
+/// can detect response completion. A zero-length body still produces one
+/// (header-only) packet so empty responses remain observable on the wire.
+///
+/// # Example
+///
+/// ```
+/// use netsim::tcp::segment_response;
+/// use netsim::packet::{NodeId, MSS};
+/// use bytes::Bytes;
+/// use desim::SimTime;
+///
+/// let body = Bytes::from(vec![0u8; MSS * 2 + 100]);
+/// let frames = segment_response(NodeId(0), NodeId(1), 7, body, SimTime::ZERO);
+/// assert_eq!(frames.len(), 3);
+/// assert_eq!(frames[0].payload().len(), MSS);
+/// assert_eq!(frames[2].payload().len(), 100);
+/// ```
+#[must_use]
+pub fn segment_response(
+    src: NodeId,
+    dst: NodeId,
+    request_id: u64,
+    body: Bytes,
+    sent_at: SimTime,
+) -> Vec<Packet> {
+    let meta = PacketMeta {
+        request_id: Some(request_id),
+        sent_at,
+        is_final: false,
+    };
+    if body.is_empty() {
+        return vec![Packet::new(
+            src,
+            dst,
+            request_id as u32,
+            body,
+            PacketMeta {
+                is_final: true,
+                ..meta
+            },
+        )];
+    }
+    let mut frames = Vec::with_capacity(body.len().div_ceil(MSS));
+    let mut offset = 0;
+    while offset < body.len() {
+        let end = (offset + MSS).min(body.len());
+        let last = end == body.len();
+        frames.push(Packet::new(
+            src,
+            dst,
+            request_id as u32,
+            body.slice(offset..end),
+            PacketMeta {
+                is_final: last,
+                ..meta
+            },
+        ));
+        offset = end;
+    }
+    frames
+}
+
+/// Total bytes a response occupies on the wire once segmented (including
+/// all per-frame header and wire overhead). Used by bandwidth traces.
+#[must_use]
+pub fn response_wire_bytes(body_len: usize) -> usize {
+    let frames = if body_len == 0 {
+        1
+    } else {
+        body_len.div_ceil(MSS)
+    };
+    let mut total = 0;
+    let mut remaining = body_len;
+    for _ in 0..frames {
+        let chunk = remaining.min(MSS);
+        remaining -= chunk;
+        total += (crate::packet::PAYLOAD_OFFSET + chunk).max(64) + crate::packet::WIRE_OVERHEAD;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_body_single_frame() {
+        let frames = segment_response(
+            NodeId(0),
+            NodeId(1),
+            1,
+            Bytes::from_static(b"hello"),
+            SimTime::ZERO,
+        );
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload(), b"hello");
+    }
+
+    #[test]
+    fn empty_body_still_produces_frame() {
+        let frames = segment_response(NodeId(0), NodeId(1), 1, Bytes::new(), SimTime::ZERO);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].payload().is_empty());
+    }
+
+    #[test]
+    fn exact_mss_boundary() {
+        let frames = segment_response(
+            NodeId(0),
+            NodeId(1),
+            1,
+            Bytes::from(vec![1u8; MSS]),
+            SimTime::ZERO,
+        );
+        assert_eq!(frames.len(), 1);
+        let frames = segment_response(
+            NodeId(0),
+            NodeId(1),
+            1,
+            Bytes::from(vec![1u8; MSS + 1]),
+            SimTime::ZERO,
+        );
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].payload().len(), 1);
+    }
+
+    #[test]
+    fn all_frames_tagged_with_request() {
+        let frames = segment_response(
+            NodeId(0),
+            NodeId(1),
+            42,
+            Bytes::from(vec![0u8; MSS * 3]),
+            SimTime::from_us(5),
+        );
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.meta().request_id, Some(42));
+            assert_eq!(f.meta().sent_at, SimTime::from_us(5));
+            assert_eq!(f.meta().is_final, i == frames.len() - 1);
+        }
+    }
+
+    proptest! {
+        /// Reassembling segmented payloads recovers the body exactly.
+        #[test]
+        fn prop_segmentation_roundtrip(len in 0usize..(MSS * 5)) {
+            let body: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let frames = segment_response(NodeId(0), NodeId(1), 1, Bytes::from(body.clone()), SimTime::ZERO);
+            let mut rebuilt = Vec::new();
+            for f in &frames {
+                prop_assert!(f.payload().len() <= MSS);
+                rebuilt.extend_from_slice(f.payload());
+            }
+            prop_assert_eq!(rebuilt, body);
+        }
+
+        /// Wire-byte accounting matches the per-frame sum.
+        #[test]
+        fn prop_wire_bytes_match_frames(len in 0usize..(MSS * 5)) {
+            let frames = segment_response(NodeId(0), NodeId(1), 1, Bytes::from(vec![0u8; len]), SimTime::ZERO);
+            let total: usize = frames.iter().map(Packet::wire_len).sum();
+            prop_assert_eq!(total, response_wire_bytes(len));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Interrupt moderation timers.
+//!
+//! GbE controllers carry five throttling timers (paper §4.2): two
+//! absolute (AITT) and two per-packet (PITT) timers bound to RX/TX
+//! events, and one master timer (MITT) that runs free of any event and
+//! caps the NIC's total interrupt rate — an interrupt is posted to the
+//! processor when the MITT expires and causes are pending. NCAP's
+//! DecisionEngine is evaluated on every MITT expiry.
+//!
+//! The model keeps the MITT as the authoritative posting gate (the
+//! 82574's throttling registers ultimately bound the same thing) and
+//! exposes AITT/PITT as configurable floors on how soon after a first
+//! event an interrupt may fire, which is how drivers use them.
+
+use desim::{SimDuration, SimTime};
+
+/// A free-running expiry timer with a fixed period.
+///
+/// # Example
+///
+/// ```
+/// use nicsim::ModerationTimer;
+/// use desim::{SimTime, SimDuration};
+///
+/// let mut mitt = ModerationTimer::new(SimDuration::from_us(50));
+/// let first = mitt.start(SimTime::ZERO);
+/// assert_eq!(first, SimTime::from_us(50));
+/// let next = mitt.advance(first);
+/// assert_eq!(next, SimTime::from_us(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModerationTimer {
+    period: SimDuration,
+    next_expiry: SimTime,
+    expirations: u64,
+}
+
+impl ModerationTimer {
+    /// Creates a timer with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "timer period must be positive");
+        ModerationTimer {
+            period,
+            next_expiry: SimTime::MAX,
+            expirations: 0,
+        }
+    }
+
+    /// Arms the timer at `now`; returns the first expiry instant.
+    pub fn start(&mut self, now: SimTime) -> SimTime {
+        self.next_expiry = now + self.period;
+        self.next_expiry
+    }
+
+    /// Acknowledges the expiry at `now` and schedules the next one.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `now` matches the armed expiry (catching lost
+    /// or duplicated timer events in the event loop).
+    pub fn advance(&mut self, now: SimTime) -> SimTime {
+        debug_assert_eq!(now, self.next_expiry, "unexpected timer event");
+        self.expirations += 1;
+        self.next_expiry = now + self.period;
+        self.next_expiry
+    }
+
+    /// The armed expiry instant ([`SimTime::MAX`] when never started).
+    #[must_use]
+    pub fn next_expiry(&self) -> SimTime {
+        self.next_expiry
+    }
+
+    /// The timer period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Number of acknowledged expirations.
+    #[must_use]
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_expiry_chain() {
+        let mut t = ModerationTimer::new(SimDuration::from_us(40));
+        let mut at = t.start(SimTime::ZERO);
+        for i in 1..=5 {
+            assert_eq!(at, SimTime::from_us(40 * i));
+            at = t.advance(at);
+        }
+        assert_eq!(t.expirations(), 5);
+    }
+
+    #[test]
+    fn unstarted_timer_never_fires() {
+        let t = ModerationTimer::new(SimDuration::from_us(40));
+        assert_eq!(t.next_expiry(), SimTime::MAX);
+    }
+
+    #[test]
+    fn restart_rebases_the_phase() {
+        let mut t = ModerationTimer::new(SimDuration::from_us(40));
+        t.start(SimTime::ZERO);
+        let e = t.start(SimTime::from_us(100));
+        assert_eq!(e, SimTime::from_us(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = ModerationTimer::new(SimDuration::ZERO);
+    }
+}
+
+/// The receive/transmit delay timers (AITT + PITT).
+///
+/// Paper §4.2: the AITT limits the *absolute* delay from the first
+/// pending event to the interrupt; the PITT restarts on every packet and
+/// fires after a packet-silence gap, batching back-to-back traffic. The
+/// earlier of the two is the interrupt candidate; the MITT still bounds
+/// the overall rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayTimers {
+    absolute: SimDuration,
+    packet: SimDuration,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl DelayTimers {
+    /// Creates the pair with the given AITT/PITT delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either delay is zero.
+    #[must_use]
+    pub fn new(absolute: SimDuration, packet: SimDuration) -> Self {
+        assert!(
+            !absolute.is_zero() && !packet.is_zero(),
+            "delay timers must be positive"
+        );
+        DelayTimers {
+            absolute,
+            packet,
+            first: None,
+            last: None,
+        }
+    }
+
+    /// Notes an event (a DMA-completed frame) at `now`; returns the new
+    /// candidate interrupt deadline.
+    pub fn on_event(&mut self, now: SimTime) -> SimTime {
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+        self.deadline().expect("events are pending")
+    }
+
+    /// The current candidate deadline: `min(first + AITT, last + PITT)`,
+    /// or `None` with no pending events.
+    #[must_use]
+    pub fn deadline(&self) -> Option<SimTime> {
+        let first = self.first?;
+        let last = self.last?;
+        Some((first + self.absolute).min(last + self.packet))
+    }
+
+    /// `true` when events are pending.
+    #[must_use]
+    pub fn is_pending(&self) -> bool {
+        self.first.is_some()
+    }
+
+    /// Clears pending state (an interrupt was posted).
+    pub fn clear(&mut self) {
+        self.first = None;
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+
+    fn timers() -> DelayTimers {
+        DelayTimers::new(SimDuration::from_us(100), SimDuration::from_us(20))
+    }
+
+    #[test]
+    fn single_event_fires_after_pitt() {
+        let mut t = timers();
+        let d = t.on_event(SimTime::from_us(10));
+        assert_eq!(d, SimTime::from_us(30)); // 10 + PITT
+    }
+
+    #[test]
+    fn streaming_traffic_is_capped_by_aitt() {
+        let mut t = timers();
+        let mut d = SimTime::ZERO;
+        // Packets every 10 us keep pushing the PITT; the AITT caps it.
+        for i in 0..20 {
+            d = t.on_event(SimTime::from_us(i * 10));
+        }
+        assert_eq!(d, SimTime::from_us(100)); // first(0) + AITT
+    }
+
+    #[test]
+    fn clear_resets_both_anchors() {
+        let mut t = timers();
+        t.on_event(SimTime::from_us(5));
+        assert!(t.is_pending());
+        t.clear();
+        assert!(!t.is_pending());
+        assert_eq!(t.deadline(), None);
+        let d = t.on_event(SimTime::from_us(500));
+        assert_eq!(d, SimTime::from_us(520));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_delay_rejected() {
+        let _ = DelayTimers::new(SimDuration::ZERO, SimDuration::from_us(1));
+    }
+}

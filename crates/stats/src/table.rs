@@ -1,0 +1,161 @@
+//! Fixed-width plain-text tables for bench output.
+//!
+//! The benchmark harness prints the same rows the paper's tables/figures
+//! report; this module keeps that output aligned and diff-friendly.
+
+use core::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use simstats::Table;
+/// let mut t = Table::new(vec!["policy", "energy"]);
+/// t.row(vec!["perf".into(), "1.00".into()]);
+/// t.row(vec!["ncap.aggr".into(), "0.42".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("ncap.aggr"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells; long
+    /// rows extend the table width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of `Display`-able cells.
+    pub fn row_display<D: fmt::Display>(&mut self, cells: Vec<D>) -> &mut Self {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a fixed-precision percentage string, e.g. `0.372`
+/// → `"37.2%"`. Handy for the energy-saving headline tables.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats nanoseconds as a human-friendly latency string (µs or ms).
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "y".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["only".into()]);
+        let out = t.to_string();
+        assert!(out.contains('3'));
+        assert!(out.contains("only"));
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new(vec!["n"]);
+        t.row_display(vec![42]);
+        assert!(t.to_string().contains("42"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_and_fmt_ns() {
+        assert_eq!(pct(0.372), "37.2%");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(41_000_000), "41.00ms");
+    }
+}

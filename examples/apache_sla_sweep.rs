@@ -1,0 +1,69 @@
+//! Apache SLA sweep: which policies can hold the SLA, and at what cost?
+//!
+//! Reproduces the paper's §6 decision procedure end to end: establish the
+//! SLA from the `perf` latency–load curve's inflection, then sweep all
+//! seven policies over the three paper load levels and report, per load,
+//! which policies satisfy the SLA and the energy of the cheapest
+//! satisfying policy.
+//!
+//! Run with: `cargo run --release --example apache_sla_sweep`
+
+use cluster::{run_experiments_parallel, AppKind, ExperimentConfig, Policy};
+use desim::SimDuration;
+
+fn cfg(policy: Policy, load: f64) -> ExperimentConfig {
+    ExperimentConfig::new(AppKind::Apache, policy, load)
+        .with_durations(SimDuration::from_ms(100), SimDuration::from_ms(300))
+}
+
+fn main() {
+    // 1. Latency-load curve under perf -> SLA at the knee.
+    let loads = [24_000.0, 36_000.0, 45_000.0, 54_000.0, 66_000.0, 75_000.0];
+    let curve = run_experiments_parallel(
+        &loads.iter().map(|&l| cfg(Policy::Perf, l)).collect::<Vec<_>>(),
+    );
+    println!("perf latency-load curve:");
+    for r in &curve {
+        println!("  {:>6.0} rps -> p95 {:6.2} ms", r.load_rps, r.latency.p95 as f64 / 1e6);
+    }
+    let base = curve[0].latency.p95;
+    let knee = curve
+        .iter()
+        .take_while(|r| r.latency.p95 <= base * 2)
+        .last()
+        .expect("at least the first point qualifies");
+    let sla = knee.latency.p95;
+    println!(
+        "SLA = p95 at the {:.0} rps inflection = {:.2} ms\n",
+        knee.load_rps,
+        sla as f64 / 1e6
+    );
+
+    // 2. All policies at the paper's three Apache loads.
+    for load in AppKind::Apache.paper_loads() {
+        let results = run_experiments_parallel(
+            &Policy::ALL.iter().map(|&p| cfg(p, load)).collect::<Vec<_>>(),
+        );
+        let perf_e = results[0].energy_j;
+        println!("load {load:.0} rps:");
+        for r in &results {
+            println!(
+                "  {:10} p95 {:6.2} ms  [{}]  energy {:5.2} J ({:.2}x perf)",
+                r.policy.name(),
+                r.latency.p95 as f64 / 1e6,
+                if r.latency.meets_sla(sla) { "SLA ok " } else { "VIOLATE" },
+                r.energy_j,
+                r.energy_j / perf_e,
+            );
+        }
+        let winner = results
+            .iter()
+            .filter(|r| r.latency.meets_sla(sla))
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
+        if let Some(w) = winner {
+            println!("  -> cheapest SLA-satisfying policy: {}\n", w.policy.name());
+        } else {
+            println!("  -> no policy satisfies the SLA at this load\n");
+        }
+    }
+}

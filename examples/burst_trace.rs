@@ -1,0 +1,57 @@
+//! Trace a bursty Memcached run and print the BW(Rx)/frequency timeline.
+//!
+//! A textual rendition of the paper's Figure 9 (right): watch the chip
+//! frequency chase (ond.idle) or anticipate (ncap.cons) the arrival
+//! bursts, with NCAP's proactive `INT (wake)` interrupts marked.
+//!
+//! Run with: `cargo run --release --example burst_trace`
+
+use cluster::{run_experiment, AppKind, ExperimentConfig, Policy, TraceConfig};
+use desim::SimDuration;
+
+fn main() {
+    for policy in [Policy::OndIdle, Policy::NcapCons] {
+        let cfg = ExperimentConfig::new(AppKind::Memcached, policy, 35_000.0)
+            .with_durations(SimDuration::from_ms(100), SimDuration::from_ms(120))
+            .with_trace(TraceConfig::per_ms());
+        let r = run_experiment(&cfg);
+        let traces = r.traces.as_ref().expect("tracing enabled");
+
+        let start = 100usize;
+        let window = 100usize;
+        let end_ns = ((start + window) as u64) * 1_000_000;
+        let rx = traces.rx.finish_normalized(end_ns);
+        let freq = traces
+            .freq
+            .rebin((start as u64) * 1_000_000, end_ns, window);
+
+        println!("--- {policy}: 100 ms of BW(Rx) vs F (1 ms bins) ---");
+        println!("      p95 = {:.2} ms, energy = {:.2} J", r.latency.p95 as f64 / 1e6, r.energy_j);
+        for (i, &f) in freq.iter().enumerate().take(window) {
+            let bw = rx.get(start + i).copied().unwrap_or(0.0);
+            let bin_lo = ((start + i) as u64) * 1_000_000;
+            let bin_hi = bin_lo + 1_000_000;
+            let wake = traces
+                .wake_markers
+                .iter()
+                .any(|m| (bin_lo..bin_hi).contains(&m.as_nanos()));
+            // Two bar charts side by side: BW and frequency.
+            let bw_bar = "#".repeat((bw * 20.0).round() as usize);
+            let f_bar = "=".repeat(((f - 0.8) / 2.3 * 20.0).max(0.0).round() as usize);
+            println!(
+                "{:>4} ms |{:<20}| {:4.2} GHz |{:<20}|{}",
+                start + i,
+                bw_bar,
+                f,
+                f_bar,
+                if wake { "  <- INT(wake)" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!(
+        "ond.idle's frequency lags the bursts (it reacts at 10 ms sampling\n\
+         boundaries); ncap.cons spikes to maximum at the burst head (INT\n\
+         markers) and steps back down after the 1 ms low-activity window."
+    );
+}

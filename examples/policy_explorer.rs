@@ -1,0 +1,66 @@
+//! Explore NCAP's tuning space from the command line.
+//!
+//! Usage:
+//!   cargo run --release --example policy_explorer -- [app] [load_rps] [fcons] [cit_us]
+//!
+//! Defaults: memcached 35000 5 500. Runs the chosen NCAP configuration
+//! next to `perf` and `ond.idle` anchors and prints the trade-off.
+
+use cluster::{run_experiments_parallel, AppKind, ExperimentConfig, Policy};
+use desim::SimDuration;
+use ncap::NcapConfig;
+
+fn parse_args() -> (AppKind, f64, u8, u64) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = match args.first().map(String::as_str) {
+        Some("apache") => AppKind::Apache,
+        _ => AppKind::Memcached,
+    };
+    let load = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(35_000.0);
+    let fcons = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let cit_us = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+    (app, load, fcons, cit_us)
+}
+
+fn main() {
+    let (app, load, fcons, cit_us) = parse_args();
+    println!("exploring: {app} @ {load:.0} rps, FCONS={fcons}, CIT={cit_us}us\n");
+
+    let custom = NcapConfig::paper_defaults()
+        .with_fcons(fcons)
+        .with_cit(SimDuration::from_us(cit_us));
+    let mk = |policy: Policy| {
+        ExperimentConfig::new(app, policy, load)
+            .with_durations(SimDuration::from_ms(100), SimDuration::from_ms(300))
+    };
+    let configs = vec![
+        mk(Policy::Perf),
+        mk(Policy::OndIdle),
+        mk(Policy::NcapCons).with_ncap_override(custom),
+    ];
+    let results = run_experiments_parallel(&configs);
+    let perf = &results[0];
+
+    for (label, r) in ["perf (anchor)", "ond.idle (anchor)", "ncap (yours)"]
+        .iter()
+        .zip(results.iter())
+    {
+        println!(
+            "{label:18} p95 {:7.2} ms  p99 {:7.2} ms  energy {:6.2} J  ({:.2}x perf)  wakes {}",
+            r.latency.p95 as f64 / 1e6,
+            r.latency.p99 as f64 / 1e6,
+            r.energy_j,
+            r.energy_j / perf.energy_j,
+            r.wake_markers,
+        );
+    }
+    let yours = &results[2];
+    println!(
+        "\nyour configuration: {} of perf's tail latency at {} of its energy",
+        format_args!("{:.0}%", yours.latency.p95 as f64 / perf.latency.p95 as f64 * 100.0),
+        format_args!("{:.0}%", yours.energy_j / perf.energy_j * 100.0),
+    );
+}

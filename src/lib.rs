@@ -1,0 +1,17 @@
+//! # ncap-suite — umbrella package for the NCAP reproduction
+//!
+//! This package only hosts the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). All functionality lives in the
+//! member crates; the most useful entry points are re-exported here for
+//! convenience.
+
+pub use cluster;
+pub use cpusim;
+pub use desim;
+pub use governors;
+pub use ncap;
+pub use netsim;
+pub use nicsim;
+pub use oldi_apps;
+pub use oskernel;
+pub use simstats;
