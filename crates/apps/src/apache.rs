@@ -16,10 +16,8 @@
 //! path (they are real work but not latency-critical — paper §4.1's
 //! example); anything else is ignored.
 
-use desim::{SimDuration, SimTime};
+use desim::{SimDuration, SimTime, SplitMix64};
 use oskernel::{AppPhase, AppPlan, RequestInfo, ServerApp};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Mean disk access time for the content fetch.
 const DISK_MEAN: SimDuration = SimDuration::from_us(300);
@@ -31,7 +29,7 @@ const ASSEMBLE_CYCLES: u64 = 110_000;
 /// The Apache-like application.
 #[derive(Debug)]
 pub struct ApacheApp {
-    rng: StdRng,
+    rng: SplitMix64,
     served: u64,
     updates: u64,
 }
@@ -41,7 +39,7 @@ impl ApacheApp {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         ApacheApp {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             served: 0,
             updates: 0,
         }
@@ -61,27 +59,23 @@ impl ApacheApp {
 
     fn jitter(&mut self, cycles: u64) -> u64 {
         // ±20 % uniform service-demand jitter.
-        let f: f64 = self.rng.random_range(0.8..1.2);
+        let f = self.rng.next_f64_in(0.8, 1.2);
         (cycles as f64 * f) as u64
     }
 
     fn disk_wait(&mut self) -> SimDuration {
         // Exponential with mean DISK_MEAN, clamped to a realistic band.
-        let u: f64 = self.rng.random_range(1e-9..1.0);
-        let wait = DISK_MEAN.mul_f64(-u.ln());
+        let wait = DISK_MEAN.mul_f64(self.rng.next_exp(1.0));
         wait.max(SimDuration::from_us(50))
             .min(SimDuration::from_ms(3))
     }
 
     fn response_size(&mut self) -> usize {
         // Mix averaging ≈ 11.6 KB: mostly page-sized documents.
-        let roll: f64 = self.rng.random_range(0.0..1.0);
-        if roll < 0.5 {
-            8 * 1024
-        } else if roll < 0.8 {
-            12 * 1024
-        } else {
-            20 * 1024
+        match self.rng.choose_weighted(&[0.5, 0.3, 0.2]) {
+            0 => 8 * 1024,
+            1 => 12 * 1024,
+            _ => 20 * 1024,
         }
     }
 }
@@ -125,7 +119,7 @@ impl ServerApp for ApacheApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use netsim::Bytes;
     use netsim::NodeId;
 
     fn request(payload: &'static [u8]) -> RequestInfo {
@@ -140,7 +134,9 @@ mod tests {
     #[test]
     fn get_has_disk_phase_and_large_response() {
         let mut app = ApacheApp::new(1);
-        let plan = app.plan(SimTime::ZERO, &request(b"GET /index.html HTTP/1.1")).unwrap();
+        let plan = app
+            .plan(SimTime::ZERO, &request(b"GET /index.html HTTP/1.1"))
+            .unwrap();
         assert_eq!(plan.phases.len(), 3);
         assert!(plan.total_io() >= SimDuration::from_us(50));
         assert!(plan.response_bytes >= 8 * 1024);
@@ -150,7 +146,9 @@ mod tests {
     #[test]
     fn put_is_cheap_and_small() {
         let mut app = ApacheApp::new(1);
-        let plan = app.plan(SimTime::ZERO, &request(b"PUT /doc HTTP/1.1")).unwrap();
+        let plan = app
+            .plan(SimTime::ZERO, &request(b"PUT /doc HTTP/1.1"))
+            .unwrap();
         assert!(plan.total_io().is_zero());
         assert!(plan.response_bytes < 1024);
         assert_eq!(app.updates(), 1);
@@ -195,7 +193,9 @@ mod tests {
     fn response_sizes_span_multiple_frames() {
         let mut app = ApacheApp::new(5);
         for _ in 0..50 {
-            let plan = app.plan(SimTime::ZERO, &request(b"GET / HTTP/1.1")).unwrap();
+            let plan = app
+                .plan(SimTime::ZERO, &request(b"GET / HTTP/1.1"))
+                .unwrap();
             assert!(plan.response_bytes > netsim::packet::MSS);
         }
     }

@@ -6,12 +6,9 @@
 //! To model bursty datacenter traffic, each client "periodically sends a
 //! burst of requests" with the period set by the target load level.
 
-use bytes::Bytes;
-use desim::{SimDuration, SimTime};
+use desim::{SimDuration, SimTime, SplitMix64};
 use netsim::http::{HttpRequest, MemcachedRequest};
-use netsim::{NodeId, Packet};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use netsim::{Bytes, NodeId, Packet};
 use simstats::LogHistogram;
 use std::collections::HashMap;
 
@@ -137,7 +134,7 @@ impl ClientConfig {
 #[derive(Debug)]
 pub struct OpenLoopClient {
     config: ClientConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     next_id: u64,
     bursts_sent: u64,
 }
@@ -146,7 +143,7 @@ impl OpenLoopClient {
     /// Creates the client.
     #[must_use]
     pub fn new(config: ClientConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = SplitMix64::new(config.seed);
         let next_id = config.id_base;
         OpenLoopClient {
             config,
@@ -165,11 +162,11 @@ impl OpenLoopClient {
     fn payload(&mut self, seq: u64) -> Bytes {
         match self.config.workload {
             Workload::ApacheGet => {
-                let doc = self.rng.random_range(0..10_000u32);
+                let doc = self.rng.next_below(10_000);
                 HttpRequest::get(format!("/doc/{doc}.html")).to_payload()
             }
             Workload::MemcachedGet => {
-                let key = self.rng.random_range(0..1_000_000u32);
+                let key = self.rng.next_below(1_000_000);
                 MemcachedRequest::get(format!("user:{key}")).to_payload()
             }
             Workload::ApachePut => {
@@ -200,8 +197,7 @@ impl OpenLoopClient {
                     payload,
                     netsim::PacketMeta::default(),
                 ),
-                _ => Packet::request(self.config.me, self.config.server, id, payload)
-                    .sent_at(now),
+                _ => Packet::request(self.config.me, self.config.server, id, payload).sent_at(now),
             };
             frames.push(frame);
         }
@@ -214,14 +210,13 @@ impl OpenLoopClient {
             Arrival::Bursty => {
                 // ±5 % period jitter decorrelates the three clients'
                 // bursts a little, as independent load generators would be.
-                let jitter: f64 = self.rng.random_range(0.95..1.05);
+                let jitter = self.rng.next_f64_in(0.95, 1.05);
                 period.mul_f64(jitter)
             }
             Arrival::Poisson => {
                 // Exponential inter-arrival with the same mean rate.
                 let mean = period.as_secs_f64() / f64::from(self.config.burst_size);
-                let u: f64 = self.rng.random_range(1e-12..1.0);
-                desim::SimDuration::from_secs_f64(-u.ln() * mean)
+                desim::SimDuration::from_secs_f64(self.rng.next_exp(mean))
             }
         };
         (frames, now + gap)
@@ -437,7 +432,10 @@ mod tests {
         assert!(next1.saturating_since(SimTime::from_ms(10)) >= SimDuration::from_ms(19));
         let (_, next2) = c.next_burst(SimTime::from_ms(60));
         let gap = next2.saturating_since(SimTime::from_ms(60));
-        assert!(gap <= SimDuration::from_nanos(2_200_000), "stepped gap {gap}");
+        assert!(
+            gap <= SimDuration::from_nanos(2_200_000),
+            "stepped gap {gap}"
+        );
     }
 
     #[test]

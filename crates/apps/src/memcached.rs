@@ -6,10 +6,8 @@
 //! much higher maximum sustained load (~2.1× Apache), and response time
 //! more sensitive to frequency than to C-states.
 
-use desim::SimTime;
+use desim::{SimTime, SplitMix64};
 use oskernel::{AppPhase, AppPlan, RequestInfo, ServerApp};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// CPU cycles for one `get`: hash, lookup, serialize from DRAM.
 const GET_CYCLES: u64 = 75_000;
@@ -19,7 +17,7 @@ const SET_CYCLES: u64 = 40_000;
 /// The Memcached-like application.
 #[derive(Debug)]
 pub struct MemcachedApp {
-    rng: StdRng,
+    rng: SplitMix64,
     hits: u64,
     sets: u64,
 }
@@ -29,7 +27,7 @@ impl MemcachedApp {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         MemcachedApp {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             hits: 0,
             sets: 0,
         }
@@ -48,20 +46,17 @@ impl MemcachedApp {
     }
 
     fn jitter(&mut self, cycles: u64) -> u64 {
-        let f: f64 = self.rng.random_range(0.8..1.2);
+        let f = self.rng.next_f64_in(0.8, 1.2);
         (cycles as f64 * f) as u64
     }
 
     fn value_size(&mut self) -> usize {
         // Mix averaging ≈ 2.1 KB; most values span more than one MTU
         // (the TxBytesCounter rationale), a minority fit one frame.
-        let roll: f64 = self.rng.random_range(0.0..1.0);
-        if roll < 0.3 {
-            1024
-        } else if roll < 0.8 {
-            2048
-        } else {
-            4096
+        match self.rng.choose_weighted(&[0.3, 0.5, 0.2]) {
+            0 => 1024,
+            1 => 2048,
+            _ => 4096,
         }
     }
 }
@@ -97,8 +92,8 @@ impl ServerApp for MemcachedApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use desim::SimDuration;
+    use netsim::Bytes;
     use netsim::NodeId;
 
     fn request(payload: &'static [u8]) -> RequestInfo {
@@ -113,7 +108,9 @@ mod tests {
     #[test]
     fn get_is_pure_cpu() {
         let mut app = MemcachedApp::new(1);
-        let plan = app.plan(SimTime::ZERO, &request(b"get user:42\r\n")).unwrap();
+        let plan = app
+            .plan(SimTime::ZERO, &request(b"get user:42\r\n"))
+            .unwrap();
         assert_eq!(plan.total_io(), SimDuration::ZERO);
         assert_eq!(plan.phases.len(), 1);
         assert!(plan.response_bytes >= 1024);
@@ -123,7 +120,9 @@ mod tests {
     #[test]
     fn set_is_cheap_tiny_reply() {
         let mut app = MemcachedApp::new(1);
-        let plan = app.plan(SimTime::ZERO, &request(b"set k 0 0 4\r\nvvvv\r\n")).unwrap();
+        let plan = app
+            .plan(SimTime::ZERO, &request(b"set k 0 0 4\r\nvvvv\r\n"))
+            .unwrap();
         assert_eq!(plan.response_bytes, 8);
         assert_eq!(app.sets(), 1);
     }

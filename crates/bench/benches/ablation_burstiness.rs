@@ -12,9 +12,17 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("ablation_burstiness", "bursty vs Poisson arrivals (§3 premise)");
+    header(
+        "ablation_burstiness",
+        "bursty vs Poisson arrivals (§3 premise)",
+    );
     let load = 39_600.0; // the fig9 low load
-    let policies = [Policy::Perf, Policy::OndIdle, Policy::NcapCons, Policy::NcapAggr];
+    let policies = [
+        Policy::Perf,
+        Policy::OndIdle,
+        Policy::NcapCons,
+        Policy::NcapAggr,
+    ];
     let mut configs = Vec::new();
     for &p in &policies {
         configs.push(standard(AppKind::Memcached, p, load));

@@ -13,7 +13,10 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("ablation_cit", "CIT sweep (immediate-wake speculation, §4.3)");
+    header(
+        "ablation_cit",
+        "CIT sweep (immediate-wake speculation, §4.3)",
+    );
     let load = AppKind::Memcached.paper_loads()[0];
     let cits = [
         ("50us", SimDuration::from_us(50)),

@@ -12,7 +12,10 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("ablation_fcons", "FCONS sweep (generalizing ncap.cons vs ncap.aggr)");
+    header(
+        "ablation_fcons",
+        "FCONS sweep (generalizing ncap.cons vs ncap.aggr)",
+    );
     for &load in &AppKind::Apache.paper_loads()[..2] {
         let fcons: Vec<u8> = vec![1, 2, 3, 5, 8];
         let configs: Vec<_> = fcons

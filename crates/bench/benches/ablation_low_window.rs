@@ -12,7 +12,10 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("ablation_low_window", "low-activity window sweep (design choice, 1 ms)");
+    header(
+        "ablation_low_window",
+        "low-activity window sweep (design choice, 1 ms)",
+    );
     let load = AppKind::Memcached.paper_loads()[0];
     let windows = [250u64, 500, 1_000, 2_000, 4_000];
     let configs: Vec<_> = windows

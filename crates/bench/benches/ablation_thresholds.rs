@@ -11,7 +11,10 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("ablation_thresholds", "RHT/RLT/TLT sensitivity (§6 choices)");
+    header(
+        "ablation_thresholds",
+        "RHT/RLT/TLT sensitivity (§6 choices)",
+    );
     let load = AppKind::Apache.paper_loads()[0];
     // A 200-request burst concentrates ~60 requests into one 50 us MITT
     // window (~1.2 M rps instantaneous), while inter-burst windows are
@@ -20,10 +23,22 @@ fn main() {
     // band (identical to paper, demonstrating the design's robustness).
     let variants: Vec<(&str, NcapConfig)> = vec![
         ("paper (35K/5K/5M)", NcapConfig::paper_defaults()),
-        ("hair trigger (RHT=100)", NcapConfig::paper_defaults().with_thresholds(100.0, 50.0, 5e6)),
-        ("RHT x4 (140K, dead band)", NcapConfig::paper_defaults().with_thresholds(140_000.0, 5_000.0, 5e6)),
-        ("RHT above bursts (10M)", NcapConfig::paper_defaults().with_thresholds(10_000_000.0, 5_000.0, 5e6)),
-        ("RLT just under RHT (34K)", NcapConfig::paper_defaults().with_thresholds(35_000.0, 34_000.0, 5e6)),
+        (
+            "hair trigger (RHT=100)",
+            NcapConfig::paper_defaults().with_thresholds(100.0, 50.0, 5e6),
+        ),
+        (
+            "RHT x4 (140K, dead band)",
+            NcapConfig::paper_defaults().with_thresholds(140_000.0, 5_000.0, 5e6),
+        ),
+        (
+            "RHT above bursts (10M)",
+            NcapConfig::paper_defaults().with_thresholds(10_000_000.0, 5_000.0, 5e6),
+        ),
+        (
+            "RLT just under RHT (34K)",
+            NcapConfig::paper_defaults().with_thresholds(35_000.0, 34_000.0, 5e6),
+        ),
     ];
     let configs: Vec<_> = variants
         .iter()

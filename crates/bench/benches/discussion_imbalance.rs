@@ -12,17 +12,31 @@ use ncap_bench::{durations, header};
 use simstats::Table;
 
 fn main() {
-    header("discussion_imbalance", "§7 (underutilized servers in a datacenter)");
+    header(
+        "discussion_imbalance",
+        "§7 (underutilized servers in a datacenter)",
+    );
     let knee = 110_000.0; // the Memcached inflection from fig7
     let loads: Vec<f64> = [0.2, 0.4, 0.6, 0.9].iter().map(|f| f * knee).collect();
     let (warmup, measure) = durations();
     let _ = SimDuration::ZERO;
 
     let mut t = Table::new(vec![
-        "policy", "p95 (ms)", "srv0 (20%)", "srv1 (40%)", "srv2 (60%)", "srv3 (90%)", "total (J)",
+        "policy",
+        "p95 (ms)",
+        "srv0 (20%)",
+        "srv1 (40%)",
+        "srv2 (60%)",
+        "srv3 (90%)",
+        "total (J)",
     ]);
     let mut perf_total = 0.0;
-    for policy in [Policy::Perf, Policy::PerfIdle, Policy::NcapCons, Policy::NcapAggr] {
+    for policy in [
+        Policy::Perf,
+        Policy::PerfIdle,
+        Policy::NcapCons,
+        Policy::NcapAggr,
+    ] {
         let r = run_imbalanced(AppKind::Memcached, policy, &loads, warmup, measure, 42);
         if policy == Policy::Perf {
             perf_total = r.total_energy_j;

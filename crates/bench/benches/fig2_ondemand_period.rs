@@ -12,7 +12,10 @@ use ncap_bench::{header, standard};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("fig2_ondemand_period", "Figure 2 (ondemand invocation period sweep)");
+    header(
+        "fig2_ondemand_period",
+        "Figure 2 (ondemand invocation period sweep)",
+    );
     let periods_ms = [1u64, 2, 5, 10, 20];
     let loads = AppKind::Apache.paper_loads();
 
@@ -28,7 +31,13 @@ fn main() {
     let results = run_experiments_parallel(&configs);
 
     let mut t = Table::new(vec![
-        "load (rps)", "1ms", "2ms", "5ms", "10ms", "20ms", "best",
+        "load (rps)",
+        "1ms",
+        "2ms",
+        "5ms",
+        "10ms",
+        "20ms",
+        "best",
     ]);
     for (li, &load) in loads.iter().enumerate() {
         let row: Vec<&cluster::ExperimentResult> = (0..periods_ms.len())

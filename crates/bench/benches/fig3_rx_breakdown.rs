@@ -7,10 +7,10 @@
 //! a time-ordered event loop (bursty arrivals, DMA completions, MITT
 //! expiries) and reports the same per-step decomposition.
 
-use bytes::Bytes;
 use desim::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 use ncap_bench::header;
 use netsim::packet::{NodeId, Packet};
+use netsim::Bytes;
 use nicsim::{Nic, NicConfig};
 use simstats::{LogHistogram, Table};
 
@@ -124,7 +124,10 @@ impl RxProbe {
 }
 
 fn main() {
-    header("fig3_rx_breakdown", "Figure 3 / §2.2 (RX path latency, steps 1-3)");
+    header(
+        "fig3_rx_breakdown",
+        "Figure 3 / §2.2 (RX path latency, steps 1-3)",
+    );
     let (probe, first_mitt) = RxProbe::new();
     let icr_read = probe.icr_read;
     let mut sim = Simulation::new(probe);
@@ -142,7 +145,11 @@ fn main() {
             note.to_owned(),
         ]
     };
-    table.row(row(&probe.dma_h, "1. DMA to main memory", "descriptor fetch + PCIe writes"));
+    table.row(row(
+        &probe.dma_h,
+        "1. DMA to main memory",
+        "descriptor fetch + PCIe writes",
+    ));
     table.row(row(
         &probe.irq_wait_h,
         "2. interrupt moderation wait",

@@ -11,8 +11,12 @@ use ncap_bench::{header, standard};
 use simstats::Table;
 
 fn main() {
-    header("fig4_correlation", "Figure 4 (BW/U/F correlation + C-state residency)");
-    let cfg = standard(AppKind::Apache, Policy::OndIdle, 24_000.0).with_trace(TraceConfig::per_ms());
+    header(
+        "fig4_correlation",
+        "Figure 4 (BW/U/F correlation + C-state residency)",
+    );
+    let cfg =
+        standard(AppKind::Apache, Policy::OndIdle, 24_000.0).with_trace(TraceConfig::per_ms());
     let result = run_experiment(&cfg);
     let traces = result.traces.as_ref().expect("tracing was enabled");
 
@@ -21,8 +25,12 @@ fn main() {
     let end_ns = (start_ms + window_ms) * 1_000_000;
     let rx = traces.rx.finish_normalized(end_ns);
     let tx = traces.tx.finish_normalized(end_ns);
-    let util = traces.util.rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
-    let freq = traces.freq.rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    let util = traces
+        .util
+        .rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
+    let freq = traces
+        .freq
+        .rebin(start_ms * 1_000_000, end_ns, window_ms as usize);
 
     println!("(a) 200 ms snapshot, 1 ms bins printed as 4 ms maxima — BW normalized:");
     let maxw = |v: &[f64], from: usize, n: usize| -> f64 {

@@ -6,11 +6,11 @@
 //! at the next MITT expiry), then a quiet stretch (`IT_LOW` descent over
 //! FCONS steps).
 
-use bytes::Bytes;
 use desim::{SimDuration, SimTime};
 use ncap::{IcrFlags, NcapConfig};
 use ncap_bench::header;
 use netsim::packet::{NodeId, Packet};
+use netsim::Bytes;
 use nicsim::{Nic, NicConfig};
 use simstats::Table;
 
@@ -69,8 +69,12 @@ impl Scenario {
         } else {
             "ordinary moderated RX/TX service"
         };
-        self.timeline
-            .row(vec![t.to_string(), event.to_owned(), icr.to_string(), reaction.to_owned()]);
+        self.timeline.row(vec![
+            t.to_string(),
+            event.to_owned(),
+            icr.to_string(),
+            reaction.to_owned(),
+        ]);
     }
 
     /// Advances MITT expiries (in time order) up to `until`.
@@ -89,8 +93,12 @@ impl Scenario {
         self.run_until(t);
         let out = self.nic.frame_arrived(t, frame);
         if let Some(l) = label {
-            self.timeline
-                .row(vec![t.to_string(), l.to_owned(), "-".to_owned(), String::new()]);
+            self.timeline.row(vec![
+                t.to_string(),
+                l.to_owned(),
+                "-".to_owned(),
+                String::new(),
+            ]);
         }
         if out.immediate_irq {
             self.service_irq(t, "request after CIT silence");
@@ -103,11 +111,18 @@ impl Scenario {
 }
 
 fn main() {
-    header("fig6_interrupt_timeline", "Figure 6 (NCAP interrupt scenario)");
+    header(
+        "fig6_interrupt_timeline",
+        "Figure 6 (NCAP interrupt scenario)",
+    );
     let mut s = Scenario::new();
 
     // Phase 1: req1 arrives after > CIT (500 us) of silence.
-    s.inject(SimTime::from_ms(2), get_frame(1), Some("req1 after long idle"));
+    s.inject(
+        SimTime::from_ms(2),
+        get_frame(1),
+        Some("req1 after long idle"),
+    );
 
     // Phase 2: a burst of 10 requests inside one MITT window (~200 K rps).
     let burst_start = SimTime::from_nanos(2_410_000);
@@ -119,7 +134,11 @@ fn main() {
         String::new(),
     ]);
     for i in 0..10u64 {
-        s.inject(burst_start + SimDuration::from_nanos(i * 1_500), get_frame(10 + i), None);
+        s.inject(
+            burst_start + SimDuration::from_nanos(i * 1_500),
+            get_frame(10 + i),
+            None,
+        );
     }
 
     // Phase 3: quiet stretch — the staged IT_LOW descent.
@@ -133,6 +152,10 @@ fn main() {
     );
     assert_eq!(wake, 1, "exactly one CIT wake in the scenario");
     assert_eq!(high, 1, "the burst must trigger IT_HIGH exactly once");
-    assert_eq!(low, u64::from(s.fcons), "descent must take FCONS IT_LOW steps");
+    assert_eq!(
+        low,
+        u64::from(s.fcons),
+        "descent must take FCONS IT_LOW steps"
+    );
     println!("scenario reproduces Figure 6: wake -> boost -> staged descent.");
 }

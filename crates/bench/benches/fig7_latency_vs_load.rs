@@ -12,7 +12,10 @@ use ncap_bench::{dump_tsv, find_sla, header};
 use simstats::{fmt_ns, Table};
 
 fn main() {
-    header("fig7_latency_vs_load", "latency-load curves / SLA inflection (§6)");
+    header(
+        "fig7_latency_vs_load",
+        "latency-load curves / SLA inflection (§6)",
+    );
     let mut knees = Vec::new();
     for app in [AppKind::Apache, AppKind::Memcached] {
         let sla = find_sla(app);

@@ -5,6 +5,9 @@ use cluster::AppKind;
 use ncap_bench::{header, run_fig89};
 
 fn main() {
-    header("fig8_apache", "Figure 8 (Apache: latency dist, energy, snapshots)");
+    header(
+        "fig8_apache",
+        "Figure 8 (Apache: latency dist, energy, snapshots)",
+    );
     run_fig89(AppKind::Apache);
 }

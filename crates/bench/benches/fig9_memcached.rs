@@ -5,6 +5,9 @@ use cluster::AppKind;
 use ncap_bench::{header, run_fig89};
 
 fn main() {
-    header("fig9_memcached", "Figure 9 (Memcached: latency dist, energy, snapshots)");
+    header(
+        "fig9_memcached",
+        "Figure 9 (Memcached: latency dist, energy, snapshots)",
+    );
     run_fig89(AppKind::Memcached);
 }

@@ -57,7 +57,11 @@ fn main() {
                 Some(n) => (
                     pct(1.0 - n.energy_j / perf.energy_j),
                     conv.map_or("-".to_owned(), |c| {
-                        format!("{} ({})", pct(1.0 - n.energy_j / c.energy_j), c.policy.name())
+                        format!(
+                            "{} ({})",
+                            pct(1.0 - n.energy_j / c.energy_j),
+                            c.policy.name()
+                        )
                     }),
                     format!(
                         "{:+.1}%",
@@ -65,7 +69,12 @@ fn main() {
                     ),
                     pct(1.0 - n.energy_j / sw.energy_j),
                 ),
-                None => ("SLA violated".to_owned(), "-".to_owned(), "-".to_owned(), "-".to_owned()),
+                None => (
+                    "SLA violated".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                ),
             };
             t.row(vec![
                 app.name().to_owned(),

@@ -1,35 +1,80 @@
-//! Criterion microbenchmarks: the simulator's own performance.
+//! Self-timed microbenchmarks: the simulator's own performance.
 //!
 //! Not a paper artifact — these guard the harness's throughput so the
 //! figure-regeneration benches stay fast: event-queue ops, packet
-//! construction + ReqMonitor inspection, P-state arithmetic, and
-//! end-to-end simulated-seconds-per-wall-second for a small cluster.
+//! construction + ReqMonitor inspection, DecisionEngine window handling,
+//! and end-to-end simulated-seconds-per-wall-second for a small cluster.
+//!
+//! `harness = false`, no external framework: each case is calibrated to
+//! a per-round wall-clock budget, run for several rounds, and the best
+//! per-iteration time is reported (the minimum is the usual noise-robust
+//! estimator for microbenchmarks). `NCAP_BENCH_FAST` shrinks the budget;
+//! `NCAP_BENCH_SMOKE` reduces everything to a single tiny sanity round.
 
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion};
 use desim::{EventQueue, SimDuration, SimTime};
 use ncap::{NcapConfig, ReqMonitor};
 use netsim::http::HttpRequest;
 use netsim::packet::{NodeId, Packet};
+use netsim::Bytes;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1_000u64 {
-                q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        });
-    });
+/// Wall-clock budget for one measured round.
+fn round_budget() -> Duration {
+    if ncap_bench::smoke_mode() {
+        Duration::from_millis(2)
+    } else if ncap_bench::fast_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(100)
+    }
 }
 
-fn bench_packet_inspect(c: &mut Criterion) {
+/// Calibrates an iteration count to the round budget, then reports the
+/// best per-iteration time over several rounds.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let budget = round_budget();
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t.elapsed() >= budget || iters >= (1 << 30) {
+            break;
+        }
+        iters *= 2;
+    }
+    let rounds = if ncap_bench::smoke_mode() { 1 } else { 5 };
+    let mut best = u64::MAX;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_nanos() as u64 / iters);
+    }
+    println!(
+        "{name:<36} {per:>10}/iter   ({iters} iters/round, {rounds} rounds)",
+        per = simstats::fmt_ns(best)
+    );
+}
+
+fn main() {
+    ncap_bench::header("micro", "no paper section — simulator self-timing");
+
+    bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1_000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    });
+
     let mut monitor = ReqMonitor::new();
     monitor.program([*b"GE", *b"HE", *b"PO", *b"ge"]);
     let get = Packet::request(NodeId(1), NodeId(0), 1, HttpRequest::get("/x").to_payload());
@@ -40,47 +85,32 @@ fn bench_packet_inspect(c: &mut Criterion) {
         Bytes::from(vec![0xA5; 1448]),
         netsim::PacketMeta::default(),
     );
-    c.bench_function("reqmonitor_inspect_match", |b| {
-        b.iter(|| black_box(monitor.inspect(black_box(&get))));
+    bench("reqmonitor_inspect_match", || {
+        black_box(monitor.inspect(black_box(&get)))
     });
-    c.bench_function("reqmonitor_inspect_miss", |b| {
-        b.iter(|| black_box(monitor.inspect(black_box(&bulk))));
+    bench("reqmonitor_inspect_miss", || {
+        black_box(monitor.inspect(black_box(&bulk)))
     });
-    c.bench_function("http_request_build", |b| {
-        b.iter(|| black_box(HttpRequest::get("/doc/123.html").to_payload()));
+    bench("http_request_build", || {
+        HttpRequest::get("/doc/123.html").to_payload()
+    });
+
+    let mut e = ncap::DecisionEngine::new(NcapConfig::paper_defaults());
+    let mut now = SimTime::ZERO;
+    let mut req = 0u64;
+    bench("decision_engine_mitt_expiry", || {
+        now += SimDuration::from_us(50);
+        req += 3;
+        e.on_mitt_expiry(now, req, req * 1_500)
+    });
+
+    bench("cluster_sim_50ms_memcached_ncap", || {
+        let cfg = cluster::ExperimentConfig::new(
+            cluster::AppKind::Memcached,
+            cluster::Policy::NcapCons,
+            35_000.0,
+        )
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(40));
+        cluster::run_experiment(&cfg).completed
     });
 }
-
-fn bench_decision_engine(c: &mut Criterion) {
-    c.bench_function("decision_engine_mitt_expiry", |b| {
-        let mut e = ncap::DecisionEngine::new(NcapConfig::paper_defaults());
-        let mut now = SimTime::ZERO;
-        let mut req = 0u64;
-        b.iter(|| {
-            now += SimDuration::from_us(50);
-            req += 3;
-            black_box(e.on_mitt_expiry(now, req, req * 1_500))
-        });
-    });
-}
-
-fn bench_cluster_sim(c: &mut Criterion) {
-    c.bench_function("cluster_sim_50ms_memcached_ncap", |b| {
-        b.iter(|| {
-            let cfg = cluster::ExperimentConfig::new(
-                cluster::AppKind::Memcached,
-                cluster::Policy::NcapCons,
-                35_000.0,
-            )
-            .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(40));
-            black_box(cluster::run_experiment(&cfg).completed)
-        });
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_event_queue, bench_packet_inspect, bench_decision_engine, bench_cluster_sim
-);
-criterion_main!(benches);

@@ -55,7 +55,11 @@ impl Ctx {
 
 fn verdict(paper: f64, measured: f64) -> &'static str {
     if paper == 0.0 {
-        return if measured.abs() < 5.0 { "direction ok" } else { "DIFFERS" };
+        return if measured.abs() < 5.0 {
+            "direction ok"
+        } else {
+            "DIFFERS"
+        };
     }
     if paper.signum() == measured.signum() {
         "direction ok"
@@ -65,7 +69,10 @@ fn verdict(paper: f64, measured: f64) -> &'static str {
 }
 
 fn main() {
-    header("section6_claims", "§6's quantitative statements, one by one");
+    header(
+        "section6_claims",
+        "§6's quantitative statements, one by one",
+    );
     let apache = collect(AppKind::Apache);
     let memcached = collect(AppKind::Memcached);
     let (low, med, high) = (0usize, 1usize, 2usize);
@@ -194,10 +201,26 @@ fn main() {
         "fail at medium".into(),
         format!(
             "perf.idle {}, ond.idle {} (low) / {} , {} (med)",
-            if apache.meets(low, Policy::PerfIdle) { "ok" } else { "FAIL" },
-            if apache.meets(low, Policy::OndIdle) { "ok" } else { "FAIL" },
-            if apache.meets(med, Policy::PerfIdle) { "ok" } else { "FAIL" },
-            if apache.meets(med, Policy::OndIdle) { "ok" } else { "FAIL" },
+            if apache.meets(low, Policy::PerfIdle) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if apache.meets(low, Policy::OndIdle) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if apache.meets(med, Policy::PerfIdle) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if apache.meets(med, Policy::OndIdle) {
+                "ok"
+            } else {
+                "FAIL"
+            },
         ),
     ]);
     sla.row(vec![
@@ -205,10 +228,26 @@ fn main() {
         "always".into(),
         format!(
             "ncap.cons {}/{}; ncap.aggr {}/{}",
-            if apache.meets(low, Policy::NcapCons) { "ok" } else { "FAIL" },
-            if apache.meets(med, Policy::NcapCons) { "ok" } else { "FAIL" },
-            if memcached.meets(low, Policy::NcapAggr) { "ok" } else { "FAIL" },
-            if memcached.meets(med, Policy::NcapAggr) { "ok" } else { "FAIL" },
+            if apache.meets(low, Policy::NcapCons) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if apache.meets(med, Policy::NcapCons) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if memcached.meets(low, Policy::NcapAggr) {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if memcached.meets(med, Policy::NcapAggr) {
+                "ok"
+            } else {
+                "FAIL"
+            },
         ),
     ]);
     let apache_mean = apache.get(low, Policy::Perf).latency.mean / 1e6;
@@ -216,7 +255,10 @@ fn main() {
     sla.row(vec![
         "apache mean response >> memcached mean (1.7 vs 0.6 ms)".into(),
         "2.8x".into(),
-        format!("{apache_mean:.2} vs {memcached_mean:.2} ms ({:.1}x)", apache_mean / memcached_mean),
+        format!(
+            "{apache_mean:.2} vs {memcached_mean:.2} ms ({:.1}x)",
+            apache_mean / memcached_mean
+        ),
     ]);
     println!("{sla}");
     println!("see EXPERIMENTS.md \"Deviations\" for the claims that do not reproduce.");

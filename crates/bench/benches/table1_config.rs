@@ -59,7 +59,10 @@ fn main() {
     t.row(vec![
         "C3 static power".into(),
         "1.64 W".into(),
-        format!("{:.2} W", power.sleep_power(&table, table.fastest(), CState::C3)),
+        format!(
+            "{:.2} W",
+            power.sleep_power(&table, table.fastest(), CState::C3)
+        ),
     ]);
     t.row(vec![
         "NIC".into(),
@@ -74,7 +77,13 @@ fn main() {
     println!("{t}");
 
     println!("Full P-state ladder:");
-    let mut ladder = Table::new(vec!["state", "freq (GHz)", "V", "core busy (W)", "core C0-poll (W)"]);
+    let mut ladder = Table::new(vec![
+        "state",
+        "freq (GHz)",
+        "V",
+        "core busy (W)",
+        "core C0-poll (W)",
+    ]);
     for (id, p) in table.iter() {
         ladder.row(vec![
             id.to_string(),

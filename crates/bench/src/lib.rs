@@ -10,25 +10,38 @@
 //! rendering.
 //!
 //! Set `NCAP_BENCH_FAST=1` to shrink simulated durations (~4× faster,
-//! noisier percentiles) — used by CI-style smoke runs.
+//! noisier percentiles). Set `NCAP_BENCH_SMOKE=1` to shrink them much
+//! further still: every target becomes a seconds-long compile-and-run
+//! sanity check (see `scripts/bench_smoke.sh`), not a measurement.
 
-use cluster::{run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy};
 use cluster::ExperimentResult;
+use cluster::{run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy};
 use desim::SimDuration;
 use simstats::{fmt_ns, Table};
 
 pub use simstats::pct;
 
-/// `true` when fast (smoke) mode is requested via `NCAP_BENCH_FAST`.
+/// `true` when fast mode is requested via `NCAP_BENCH_FAST` (or implied
+/// by smoke mode).
 #[must_use]
 pub fn fast_mode() -> bool {
-    std::env::var_os("NCAP_BENCH_FAST").is_some_and(|v| v != "0")
+    smoke_mode() || std::env::var_os("NCAP_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// `true` when tiny smoke mode is requested via `NCAP_BENCH_SMOKE`:
+/// every target shrinks to a seconds-long compile-and-run sanity check,
+/// not a measurement. Numbers printed under smoke mode are meaningless.
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var_os("NCAP_BENCH_SMOKE").is_some_and(|v| v != "0")
 }
 
 /// The standard measurement window pair (warmup, measure).
 #[must_use]
 pub fn durations() -> (SimDuration, SimDuration) {
-    if fast_mode() {
+    if smoke_mode() {
+        (SimDuration::from_ms(5), SimDuration::from_ms(20))
+    } else if fast_mode() {
         (SimDuration::from_ms(50), SimDuration::from_ms(150))
     } else {
         (SimDuration::from_ms(100), SimDuration::from_ms(400))
@@ -145,7 +158,12 @@ pub fn policy_table(results: &[ExperimentResult], sla_ns: u64) -> Table {
             format!("{n90:.3}"),
             format!("{n95:.3}"),
             format!("{n99:.3}"),
-            if r.latency.meets_sla(sla_ns) { "ok" } else { "VIOLATED" }.to_owned(),
+            if r.latency.meets_sla(sla_ns) {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_owned(),
             format!("{:.3}", r.energy_j / perf_energy),
             format!("{:.2}", r.energy_j),
             format!("{:.1}W", r.avg_power_w()),
@@ -194,8 +212,8 @@ pub fn run_fig89(app: AppKind) {
 
     println!("--- 200 ms BW(Rx) vs F snapshots at the low load ---");
     for policy in [Policy::OndIdle, Policy::NcapCons] {
-        let cfg = standard(app, policy, app.paper_loads()[0])
-            .with_trace(cluster::TraceConfig::per_ms());
+        let cfg =
+            standard(app, policy, app.paper_loads()[0]).with_trace(cluster::TraceConfig::per_ms());
         let r = run_experiment(&cfg);
         let traces = r.traces.as_ref().expect("tracing enabled");
         let start_ms = 100u64;
@@ -203,7 +221,10 @@ pub fn run_fig89(app: AppKind) {
         let end_ns = (start_ms + window as u64) * 1_000_000;
         let rx = traces.rx.finish_normalized(end_ns);
         let freq = traces.freq.rebin(start_ms * 1_000_000, end_ns, window);
-        println!("{policy} (INT(wake) markers: {} in run):", traces.wake_markers.len());
+        println!(
+            "{policy} (INT(wake) markers: {} in run):",
+            traces.wake_markers.len()
+        );
         let mut t = Table::new(vec!["t (ms)", "BW(Rx)", "F (GHz)", "INT(wake)"]);
         for i in (0..window).step_by(5) {
             let bin_start = (start_ms + i as u64) * 1_000_000;
@@ -215,9 +236,16 @@ pub fn run_fig89(app: AppKind) {
                 .count();
             t.row(vec![
                 format!("{}", start_ms + i as u64),
-                format!("{:.2}", rx.get(start_ms as usize + i).copied().unwrap_or(0.0)),
+                format!(
+                    "{:.2}",
+                    rx.get(start_ms as usize + i).copied().unwrap_or(0.0)
+                ),
                 format!("{:.2}", freq[i]),
-                if marks > 0 { "*".repeat(marks.min(8)) } else { String::new() },
+                if marks > 0 {
+                    "*".repeat(marks.min(8))
+                } else {
+                    String::new()
+                },
             ]);
         }
         println!("{t}");
@@ -255,7 +283,9 @@ pub fn header(id: &str, paper_ref: &str) {
     println!("================================================================");
     println!("{id} — reproduces {paper_ref}");
     println!("================================================================");
-    if fast_mode() {
+    if smoke_mode() {
+        println!("(NCAP_BENCH_SMOKE: tiny sanity run, numbers are meaningless)");
+    } else if fast_mode() {
         println!("(NCAP_BENCH_FAST: shortened measurement window)");
     }
 }

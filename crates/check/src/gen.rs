@@ -1,0 +1,138 @@
+//! Size-aware generator helpers.
+//!
+//! These wrap [`Rng`](crate::Rng)'s raw draws with the `size`-budget
+//! convention the shrinker relies on: collection lengths and integer
+//! magnitudes scale with `size`, so bisecting `size` shrinks the
+//! counterexample. Use them inside `Check::run` generator closures; for
+//! anything unusual, draw from the `Rng` directly.
+
+use crate::Rng;
+
+/// A length in `[lo, hi]`, additionally capped by the size budget: the
+/// effective upper bound is `min(hi, lo + size)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn len_in(rng: &mut Rng, size: usize, lo: usize, hi: usize) -> usize {
+    assert!(lo <= hi, "invalid length range");
+    let capped_hi = hi.min(lo.saturating_add(size));
+    rng.next_range(lo as u64, capped_hi as u64) as usize
+}
+
+/// A `Vec` whose length obeys [`len_in`] and whose elements come from
+/// `element`.
+pub fn vec_with<T>(
+    rng: &mut Rng,
+    size: usize,
+    lo: usize,
+    hi: usize,
+    mut element: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = len_in(rng, size, lo, hi);
+    (0..n).map(|_| element(rng)).collect()
+}
+
+/// A `u64` in `[lo, hi)` whose magnitude above `lo` scales with `size`
+/// (full range at `size >=` [`crate::DEFAULT_MAX_SIZE`]).
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn u64_scaled(rng: &mut Rng, size: usize, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "invalid range");
+    let span = hi - lo;
+    let frac = (size as f64 / crate::DEFAULT_MAX_SIZE as f64).min(1.0);
+    // Keep at least one choice so size 0 still generates `lo`.
+    let scaled = ((span as f64 * frac) as u64).clamp(1, span);
+    lo + rng.next_below(scaled)
+}
+
+/// A uniform `u64` in `[lo, hi)`, size-independent.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn u64_in(rng: &mut Rng, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "invalid range");
+    lo + rng.next_below(hi - lo)
+}
+
+/// A uniform `usize` in `[lo, hi)`, size-independent.
+pub fn usize_in(rng: &mut Rng, lo: usize, hi: usize) -> usize {
+    u64_in(rng, lo as u64, hi as u64) as usize
+}
+
+/// A uniform `f64` in `[lo, hi)`.
+pub fn f64_in(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    rng.next_f64_in(lo, hi)
+}
+
+/// A fair coin.
+pub fn bool(rng: &mut Rng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+/// A uniform byte.
+pub fn byte(rng: &mut Rng) -> u8 {
+    rng.next_below(256) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_respects_range_and_size_cap() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1_000 {
+            let n = len_in(&mut rng, 10, 1, 200);
+            assert!((1..=11).contains(&n), "len {n}");
+        }
+        for _ in 0..1_000 {
+            let n = len_in(&mut rng, 10_000, 1, 200);
+            assert!((1..=200).contains(&n));
+        }
+    }
+
+    #[test]
+    fn scaled_magnitude_grows_with_size() {
+        let mut rng = Rng::new(2);
+        for _ in 0..1_000 {
+            assert_eq!(u64_scaled(&mut rng, 0, 5, 1_000), 5);
+            assert!(u64_scaled(&mut rng, 10, 5, 1_005) < 5 + 101);
+            assert!(u64_scaled(&mut rng, 100, 0, 1_000) < 1_000);
+        }
+    }
+
+    #[test]
+    fn vec_with_generates_elements_in_order() {
+        let mut rng = Rng::new(3);
+        let v = vec_with(&mut rng, 50, 5, 5, |r| r.next_below(7));
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| x < 7));
+    }
+
+    #[test]
+    fn uniform_helpers_hit_bounds() {
+        let mut rng = Rng::new(4);
+        let mut lo_seen = false;
+        for _ in 0..10_000 {
+            let x = usize_in(&mut rng, 3, 6);
+            assert!((3..6).contains(&x));
+            lo_seen |= x == 3;
+        }
+        assert!(lo_seen);
+        for _ in 0..100 {
+            let f = f64_in(&mut rng, -1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn coin_is_not_constant() {
+        let mut rng = Rng::new(5);
+        let heads = (0..1_000).filter(|_| bool(&mut rng)).count();
+        assert!((300..700).contains(&heads));
+    }
+}

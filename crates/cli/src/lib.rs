@@ -11,9 +11,7 @@
 //! ncap sla   --app memcached
 //! ```
 
-use cluster::{
-    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy,
-};
+use cluster::{run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy};
 use desim::SimDuration;
 use simstats::{fmt_ns, Table};
 
@@ -210,9 +208,11 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     }
                     "--loads" => {
                         for l in take_value(&mut it, flag)?.split(',') {
-                            loads.push(l.parse().map_err(|_| {
-                                ParseError(format!("bad load '{l}' in --loads"))
-                            })?);
+                            loads.push(
+                                l.parse().map_err(|_| {
+                                    ParseError(format!("bad load '{l}' in --loads"))
+                                })?,
+                            );
                         }
                     }
                     "--measure-ms" => {
@@ -272,8 +272,18 @@ pub fn execute(cmd: Command) -> i32 {
             for p in Policy::ALL {
                 t.row(vec![
                     p.name().to_owned(),
-                    if p.uses_ondemand() { "ondemand" } else { "performance" }.to_owned(),
-                    if p.uses_cstates() { "menu" } else { "poll (disabled)" }.to_owned(),
+                    if p.uses_ondemand() {
+                        "ondemand"
+                    } else {
+                        "performance"
+                    }
+                    .to_owned(),
+                    if p.uses_cstates() {
+                        "menu"
+                    } else {
+                        "poll (disabled)"
+                    }
+                    .to_owned(),
                     match p {
                         Policy::NcapSw => "software",
                         Policy::NcapCons => "hardware, FCONS=5",
@@ -308,10 +318,7 @@ pub fn execute(cmd: Command) -> i32 {
             let r = run_experiment(&cfg);
             println!(
                 "{} / {} @ {:.0} rps over {} ms:",
-                a.app,
-                a.policy,
-                a.load,
-                a.measure_ms
+                a.app, a.policy, a.load, a.measure_ms
             );
             println!(
                 "  latency  p50 {}  p90 {}  p95 {}  p99 {}  mean {:.1}us",
@@ -350,7 +357,14 @@ pub fn execute(cmd: Command) -> i32 {
                 })
                 .collect();
             let results = run_experiments_parallel(&configs);
-            let mut t = Table::new(vec!["load (rps)", "policy", "p95", "p99", "energy (J)", "goodput"]);
+            let mut t = Table::new(vec![
+                "load (rps)",
+                "policy",
+                "p95",
+                "p99",
+                "energy (J)",
+                "goodput",
+            ]);
             for r in &results {
                 t.row(vec![
                     format!("{:.0}", r.load_rps),
@@ -372,10 +386,8 @@ pub fn execute(cmd: Command) -> i32 {
             let configs: Vec<ExperimentConfig> = loads
                 .iter()
                 .map(|&l| {
-                    ExperimentConfig::new(app, Policy::Perf, l).with_durations(
-                        SimDuration::from_ms(100),
-                        SimDuration::from_ms(300),
-                    )
+                    ExperimentConfig::new(app, Policy::Perf, l)
+                        .with_durations(SimDuration::from_ms(100), SimDuration::from_ms(300))
                 })
                 .collect();
             let results = run_experiments_parallel(&configs);
@@ -394,7 +406,11 @@ pub fn execute(cmd: Command) -> i32 {
                 ]);
             }
             println!("{t}");
-            println!("SLA for {app}: {} (p95 at the {:.0} rps inflection)", fmt_ns(knee.1), knee.0);
+            println!(
+                "SLA for {app}: {} (p95 at the {:.0} rps inflection)",
+                fmt_ns(knee.1),
+                knee.0
+            );
             0
         }
     }
@@ -414,8 +430,20 @@ mod tests {
     #[test]
     fn parses_run_with_flags() {
         let cmd = parse([
-            "run", "--app", "apache", "--policy", "ncap.aggr", "--load", "24000", "--poisson",
-            "--queues", "4", "--per-core", "--toe", "--seed", "7",
+            "run",
+            "--app",
+            "apache",
+            "--policy",
+            "ncap.aggr",
+            "--load",
+            "24000",
+            "--poisson",
+            "--queues",
+            "4",
+            "--per-core",
+            "--toe",
+            "--seed",
+            "7",
         ])
         .unwrap();
         let Command::Run(a) = cmd else {
@@ -432,7 +460,12 @@ mod tests {
     #[test]
     fn parses_sweep_lists() {
         let cmd = parse([
-            "sweep", "--app", "memcached", "--policies", "perf,ncap.cons", "--loads",
+            "sweep",
+            "--app",
+            "memcached",
+            "--policies",
+            "perf,ncap.cons",
+            "--loads",
             "10000,20000",
         ])
         .unwrap();
@@ -471,7 +504,13 @@ mod tests {
     #[test]
     fn tiny_run_executes() {
         let Command::Run(mut a) = parse([
-            "run", "--app", "memcached", "--policy", "perf", "--load", "20000",
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "20000",
         ])
         .unwrap() else {
             panic!("expected run");

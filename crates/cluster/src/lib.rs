@@ -42,6 +42,9 @@ pub mod trace;
 
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
 pub use policy::Policy;
-pub use runner::{run_experiment, run_experiments_parallel, run_imbalanced, ExperimentResult, MultiServerResult};
+pub use runner::{
+    run_experiment, run_experiments_on, run_experiments_parallel, run_imbalanced, ExperimentResult,
+    MultiServerResult,
+};
 pub use sim::{ClusterEvent, ClusterSim};
 pub use trace::{TraceConfig, Traces};

@@ -88,10 +88,7 @@ impl Policy {
 
     /// Builds the cpufreq governor (with the given ondemand period).
     #[must_use]
-    pub fn cpufreq(
-        self,
-        ondemand_period: SimDuration,
-    ) -> Box<dyn CpufreqGovernor + Send> {
+    pub fn cpufreq(self, ondemand_period: SimDuration) -> Box<dyn CpufreqGovernor + Send> {
         if self.uses_ondemand() {
             Box::new(Ondemand::with_period(ondemand_period))
         } else {
@@ -160,14 +157,28 @@ mod tests {
         let names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            ["perf", "ond", "perf.idle", "ond.idle", "ncap.sw", "ncap.cons", "ncap.aggr"]
+            [
+                "perf",
+                "ond",
+                "perf.idle",
+                "ond.idle",
+                "ncap.sw",
+                "ncap.cons",
+                "ncap.aggr"
+            ]
         );
     }
 
     #[test]
     fn governor_composition() {
-        assert_eq!(Policy::Perf.cpufreq(SimDuration::from_ms(10)).name(), "performance");
-        assert_eq!(Policy::OndIdle.cpufreq(SimDuration::from_ms(10)).name(), "ondemand");
+        assert_eq!(
+            Policy::Perf.cpufreq(SimDuration::from_ms(10)).name(),
+            "performance"
+        );
+        assert_eq!(
+            Policy::OndIdle.cpufreq(SimDuration::from_ms(10)).name(),
+            "ondemand"
+        );
         assert_eq!(Policy::Perf.cpuidle(4).name(), "poll");
         assert_eq!(Policy::NcapCons.cpuidle(4).name(), "menu");
     }

@@ -68,8 +68,7 @@ impl ExperimentResult {
 
 fn build_app(cfg: &ExperimentConfig) -> Box<dyn ServerApp + Send> {
     match cfg.app {
-        AppKind::Apache => Box::new(ApacheApp::new(cfg.seed ^ 0xA9AC)
-            ),
+        AppKind::Apache => Box::new(ApacheApp::new(cfg.seed ^ 0xA9AC)),
         AppKind::Memcached => Box::new(MemcachedApp::new(cfg.seed ^ 0x3E3C)),
     }
 }
@@ -78,11 +77,7 @@ fn build_app(cfg: &ExperimentConfig) -> Box<dyn ServerApp + Send> {
 #[must_use]
 pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
     let table = cpusim::PStateTable::i7_like();
-    let ncap_cfg = |policy: Policy| {
-        cfg.ncap_override
-            .clone()
-            .or_else(|| policy.ncap_config())
-    };
+    let ncap_cfg = |policy: Policy| cfg.ncap_override.clone().or_else(|| policy.ncap_config());
     let mut nic_config = if cfg.policy.uses_ncap_hardware() {
         NicConfig::i82574_like()
             .with_ncap(ncap_cfg(cfg.policy).expect("hardware NCAP policy has a config"))
@@ -95,8 +90,8 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
     if cfg.nic_queues > 1 {
         nic_config = nic_config.with_queues(cfg.nic_queues);
     }
-    let mut kernel_cfg = KernelConfig::server_defaults()
-        .with_initial_pstate(cfg.policy.initial_pstate(&table));
+    let mut kernel_cfg =
+        KernelConfig::server_defaults().with_initial_pstate(cfg.policy.initial_pstate(&table));
     if cfg.per_core_boost {
         kernel_cfg = kernel_cfg.with_per_core_boost();
     }
@@ -226,6 +221,19 @@ pub fn run_experiments_parallel(configs: &[ExperimentConfig]) -> Vec<ExperimentR
     let threads = std::thread::available_parallelism()
         .map_or(4, std::num::NonZero::get)
         .min(configs.len().max(1));
+    run_experiments_on(configs, threads)
+}
+
+/// [`run_experiments_parallel`] with an explicit worker-thread count.
+/// Results are identical whatever `threads` is — each experiment is a
+/// pure function of its config, and results return in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+#[must_use]
+pub fn run_experiments_on(configs: &[ExperimentConfig], threads: usize) -> Vec<ExperimentResult> {
+    assert!(threads > 0, "at least one worker thread");
     let mut results: Vec<Option<ExperimentResult>> = Vec::new();
     results.resize_with(configs.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);

@@ -189,12 +189,7 @@ impl ClusterSim {
         }
     }
 
-    fn on_client_burst(
-        &mut self,
-        now: SimTime,
-        idx: usize,
-        queue: &mut EventQueue<ClusterEvent>,
-    ) {
+    fn on_client_burst(&mut self, now: SimTime, idx: usize, queue: &mut EventQueue<ClusterEvent>) {
         let (frames, next) = self.clients[idx].next_burst(now);
         let is_bg = self.background[idx];
         for frame in frames {
@@ -239,10 +234,7 @@ impl ClusterSim {
         let modes = Traces::cstate_modes();
         let mut cstate = [SimDuration::ZERO; 3];
         for (i, m) in modes.iter().enumerate() {
-            cstate[i] = cores
-                .iter()
-                .map(|c| c.energy().time_in(*m))
-                .sum();
+            cstate[i] = cores.iter().map(|c| c.energy().time_in(*m)).sum();
         }
         let ncores = cores.len();
         if let Some(tr) = self.traces.as_mut() {
@@ -404,7 +396,11 @@ mod tests {
     #[test]
     fn direct_cluster_roundtrip() {
         let c = run(Policy::Perf);
-        assert!(c.tracker().completed() > 100, "completed {}", c.tracker().completed());
+        assert!(
+            c.tracker().completed() > 100,
+            "completed {}",
+            c.tracker().completed()
+        );
         assert!(c.measured_energy_j() > 0.0);
         assert!(c.offered_measured() > 0);
         assert!(c.measured_busy_fraction() > 0.0);
@@ -415,7 +411,11 @@ mod tests {
         let c = run(Policy::Perf);
         // Offered during the measured window only: 20 ms at 10 K rps ≈ 200,
         // far less than the 25 ms total would imply if warmup leaked in.
-        assert!(c.offered_measured() <= 260, "offered {}", c.offered_measured());
+        assert!(
+            c.offered_measured() <= 260,
+            "offered {}",
+            c.offered_measured()
+        );
     }
 
     #[test]

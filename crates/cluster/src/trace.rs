@@ -83,7 +83,8 @@ impl Traces {
         if !elapsed.is_zero() {
             let denom = elapsed.as_secs_f64() * cores as f64;
             let busy_delta = total_busy.saturating_sub(self.last_busy);
-            self.util.push(now.as_nanos(), busy_delta.as_secs_f64() / denom);
+            self.util
+                .push(now.as_nanos(), busy_delta.as_secs_f64() / denom);
             for (i, &t) in cstate_time.iter().enumerate() {
                 let d = t.saturating_sub(self.last_cstate[i]);
                 self.cstate_share[i].push(now.as_nanos(), d.as_secs_f64() / denom);
@@ -109,12 +110,22 @@ mod tests {
     #[test]
     fn sampling_computes_deltas() {
         let mut t = Traces::new(TraceConfig::per_ms());
-        t.sample(SimTime::ZERO, 0.8, SimDuration::ZERO, [SimDuration::ZERO; 3], 4);
+        t.sample(
+            SimTime::ZERO,
+            0.8,
+            SimDuration::ZERO,
+            [SimDuration::ZERO; 3],
+            4,
+        );
         t.sample(
             SimTime::from_ms(1),
             3.1,
             SimDuration::from_ms(2), // 2 ms busy over 4 core-ms = 50 %
-            [SimDuration::from_ms(1), SimDuration::ZERO, SimDuration::from_ms(1)],
+            [
+                SimDuration::from_ms(1),
+                SimDuration::ZERO,
+                SimDuration::from_ms(1),
+            ],
             4,
         );
         assert_eq!(t.util.len(), 1);

@@ -153,8 +153,7 @@ impl DecisionEngine {
         if sample.req_rate_rps < self.config.rlt_rps && sample.tx_rate_bps < self.config.tlt_bps {
             let since = *self.low_since.get_or_insert(now);
             let anchor = self.last_low_emit.unwrap_or(since);
-            if now.saturating_since(anchor) >= self.config.low_activity_window
-                && !self.freq_at_min
+            if now.saturating_since(anchor) >= self.config.low_activity_window && !self.freq_at_min
             {
                 self.last_low_emit = Some(now);
                 self.low_posted += 1;
@@ -273,8 +272,8 @@ impl NcapHardware {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use check::{ensure, gen, Check};
     use desim::SimDuration;
-    use proptest::prelude::*;
     use netsim::http::HttpRequest;
     use netsim::packet::NodeId;
 
@@ -283,7 +282,12 @@ mod tests {
     }
 
     fn get_frame(id: u64) -> Packet {
-        Packet::request(NodeId(1), NodeId(0), id, HttpRequest::get("/x").to_payload())
+        Packet::request(
+            NodeId(1),
+            NodeId(0),
+            id,
+            HttpRequest::get("/x").to_payload(),
+        )
     }
 
     #[test]
@@ -409,63 +413,61 @@ mod tests {
         let icr = hw.on_rx_frame(SimTime::from_ms(2), &get_frame(1));
         assert_eq!(icr, Some(IcrFlags::IT_RX));
         // A PUT after silence does not wake anything: context-awareness.
-        let put = Packet::request(
-            NodeId(1),
-            NodeId(0),
-            2,
-            HttpRequest::put("/x").to_payload(),
-        );
+        let put = Packet::request(NodeId(1), NodeId(0), 2, HttpRequest::put("/x").to_payload());
         let mut hw2 = NcapHardware::new(cfg());
         hw2.note_interrupt_posted(SimTime::ZERO);
         assert_eq!(hw2.on_rx_frame(SimTime::from_ms(2), &put), None);
     }
 
-    proptest! {
-        /// Threshold discipline under arbitrary traffic: IT_HIGH only
-        /// fires when the window's request rate exceeds RHT (and F is not
-        /// at max); IT_LOW never fires within the low-activity window of
-        /// the last activity or the last IT_LOW.
-        #[test]
-        fn prop_threshold_discipline(
-            reqs_per_window in prop::collection::vec(0u64..20, 10..120)
-        ) {
-            let cfg = NcapConfig::paper_defaults();
-            let window_us = 50u64;
-            let mut e = DecisionEngine::new(cfg.clone());
-            let mut t = SimTime::ZERO;
-            let mut req_cnt = 0u64;
-            let mut last_active = SimTime::ZERO;
-            let mut last_low: Option<SimTime> = None;
-            // First expiry baselines.
-            e.on_mitt_expiry(t, req_cnt, 0);
-            for &n in &reqs_per_window {
-                t += SimDuration::from_us(window_us);
-                req_cnt += n;
-                let rate = n as f64 / (window_us as f64 * 1e-6);
-                let out = e.on_mitt_expiry(t, req_cnt, 0);
-                if rate >= cfg.rlt_rps {
-                    last_active = t;
-                    last_low = None;
-                }
-                if let Some(icr) = out {
-                    if icr.contains(IcrFlags::IT_HIGH) {
-                        prop_assert!(rate > cfg.rht_rps,
-                            "IT_HIGH at rate {rate}");
-                        e.note_freq_status(true, false);
+    /// Invariant `DecisionEngine hysteresis`: threshold discipline under
+    /// arbitrary traffic. IT_HIGH only fires when the window's request
+    /// rate exceeds RHT (and F is not at max); IT_LOW never fires within
+    /// the low-activity window of the last activity or the last IT_LOW.
+    #[test]
+    fn prop_threshold_discipline() {
+        Check::new("decision_threshold_discipline").run(
+            |rng, size| gen::vec_with(rng, size, 10, 120, |r| r.next_below(20)),
+            |reqs_per_window| {
+                let cfg = NcapConfig::paper_defaults();
+                let window_us = 50u64;
+                let mut e = DecisionEngine::new(cfg.clone());
+                let mut t = SimTime::ZERO;
+                let mut req_cnt = 0u64;
+                let mut last_active = SimTime::ZERO;
+                let mut last_low: Option<SimTime> = None;
+                // First expiry baselines.
+                e.on_mitt_expiry(t, req_cnt, 0);
+                for &n in reqs_per_window {
+                    t += SimDuration::from_us(window_us);
+                    req_cnt += n;
+                    let rate = n as f64 / (window_us as f64 * 1e-6);
+                    let out = e.on_mitt_expiry(t, req_cnt, 0);
+                    if rate >= cfg.rlt_rps {
+                        last_active = t;
                         last_low = None;
                     }
-                    if icr.contains(IcrFlags::IT_LOW) {
-                        let anchor = last_low.unwrap_or(last_active).max(last_active);
-                        prop_assert!(t.saturating_since(anchor) >= cfg.low_activity_window,
-                            "early IT_LOW at {t}");
-                        e.note_freq_status(false, false);
-                        last_low = Some(t);
+                    if let Some(icr) = out {
+                        if icr.contains(IcrFlags::IT_HIGH) {
+                            ensure!(rate > cfg.rht_rps, "IT_HIGH at rate {rate}");
+                            e.note_freq_status(true, false);
+                            last_low = None;
+                        }
+                        if icr.contains(IcrFlags::IT_LOW) {
+                            let anchor = last_low.unwrap_or(last_active).max(last_active);
+                            ensure!(
+                                t.saturating_since(anchor) >= cfg.low_activity_window,
+                                "early IT_LOW at {t}"
+                            );
+                            e.note_freq_status(false, false);
+                            last_low = Some(t);
+                        }
+                    } else if rate > cfg.rht_rps {
+                        // No IT_HIGH above RHT is only legal when already at max.
                     }
-                } else if rate > cfg.rht_rps {
-                    // No IT_HIGH above RHT is only legal when already at max.
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 
     #[test]

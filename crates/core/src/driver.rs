@@ -130,10 +130,7 @@ mod tests {
 
     fn setup(fcons: u8) -> (EnhancedDriver, PStateTable) {
         let table = PStateTable::i7_like();
-        let drv = EnhancedDriver::new(
-            NcapConfig::paper_defaults().with_fcons(fcons),
-            &table,
-        );
+        let drv = EnhancedDriver::new(NcapConfig::paper_defaults().with_fcons(fcons), &table);
         (drv, table)
     }
 

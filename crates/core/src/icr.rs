@@ -144,6 +144,9 @@ mod tests {
     #[test]
     fn display_lists_causes() {
         assert_eq!(IcrFlags::EMPTY.to_string(), "(none)");
-        assert_eq!((IcrFlags::IT_RX | IcrFlags::IT_HIGH).to_string(), "IT_RX|IT_HIGH");
+        assert_eq!(
+            (IcrFlags::IT_RX | IcrFlags::IT_HIGH).to_string(),
+            "IT_RX|IT_HIGH"
+        );
     }
 }

@@ -126,9 +126,9 @@ impl ReqMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use netsim::http::{HttpRequest, MemcachedRequest};
     use netsim::packet::{NodeId, PacketMeta};
+    use netsim::Bytes;
 
     fn frame(payload: Bytes) -> Packet {
         Packet::new(NodeId(1), NodeId(0), 0, payload, PacketMeta::default())

@@ -121,7 +121,10 @@ impl Core {
     /// Creates an awake, idle core at `initial` P-state.
     #[must_use]
     pub fn new(id: CoreId, table: PStateTable, power: PowerModel, initial: PStateId) -> Self {
-        assert!((initial.0 as usize) < table.len(), "initial P-state out of range");
+        assert!(
+            (initial.0 as usize) < table.len(),
+            "initial P-state out of range"
+        );
         Core {
             id,
             table,
@@ -260,9 +263,8 @@ impl Core {
     }
 
     fn in_halt(&self) -> bool {
-        self.pending.is_some_and(|p| {
-            self.last_sync >= p.halt_start && self.last_sync < p.effective_at
-        })
+        self.pending
+            .is_some_and(|p| self.last_sync >= p.halt_start && self.last_sync < p.effective_at)
     }
 
     fn bill_segment(&mut self, dt: SimDuration) {
@@ -313,7 +315,11 @@ impl Core {
     ///
     /// [`CoreError::Sleeping`] if the core is not awake;
     /// [`CoreError::InTransition`] if a change is already in flight.
-    pub fn set_pstate(&mut self, now: SimTime, target: PStateId) -> Result<TransitionPlan, CoreError> {
+    pub fn set_pstate(
+        &mut self,
+        now: SimTime,
+        target: PStateId,
+    ) -> Result<TransitionPlan, CoreError> {
         self.sync(now);
         if !matches!(self.state, State::Active) {
             return Err(CoreError::Sleeping);
@@ -480,7 +486,7 @@ mod tests {
     #[test]
     fn pstate_raise_mid_job_shortens_eta() {
         let mut c = core_at(PStateId(14)); // 0.8 GHz
-        // 8 ms of work at 0.8 GHz.
+                                           // 8 ms of work at 0.8 GHz.
         let slow_eta = c.begin_job(SimTime::ZERO, 6_400_000.0).unwrap();
         assert_eq!(slow_eta, SimTime::from_ms(8));
         // Raise to P0 at t=1ms: ramp 88 us (running), halt 5 us, then 3.1 GHz.
@@ -543,7 +549,10 @@ mod tests {
     fn sleep_requires_idle_awake_untransitioning() {
         let mut c = core_at(PStateId(0));
         c.begin_job(SimTime::ZERO, 1e9).unwrap();
-        assert_eq!(c.enter_sleep(SimTime::ZERO, CState::C1), Err(CoreError::NotIdle));
+        assert_eq!(
+            c.enter_sleep(SimTime::ZERO, CState::C1),
+            Err(CoreError::NotIdle)
+        );
         let mut c = core_at(PStateId(0));
         c.set_pstate(SimTime::ZERO, PStateId(5)).unwrap();
         assert_eq!(
@@ -552,14 +561,20 @@ mod tests {
         );
         let mut c = core_at(PStateId(0));
         c.enter_sleep(SimTime::ZERO, CState::C1).unwrap();
-        assert_eq!(c.enter_sleep(SimTime::from_us(1), CState::C3), Err(CoreError::Sleeping));
+        assert_eq!(
+            c.enter_sleep(SimTime::from_us(1), CState::C3),
+            Err(CoreError::Sleeping)
+        );
     }
 
     #[test]
     fn operations_on_sleeping_core_fail() {
         let mut c = core_at(PStateId(0));
         c.enter_sleep(SimTime::ZERO, CState::C3).unwrap();
-        assert_eq!(c.begin_job(SimTime::from_us(1), 100.0), Err(CoreError::Sleeping));
+        assert_eq!(
+            c.begin_job(SimTime::from_us(1), 100.0),
+            Err(CoreError::Sleeping)
+        );
         assert_eq!(
             c.set_pstate(SimTime::from_us(1), PStateId(1)),
             Err(CoreError::Sleeping)
@@ -573,7 +588,10 @@ mod tests {
         let r1 = c.begin_wake(SimTime::from_us(5)).unwrap();
         let r2 = c.begin_wake(SimTime::from_us(6)).unwrap();
         assert_eq!(r1, r2);
-        assert_eq!(c.begin_wake(SimTime::from_us(50)).unwrap_err(), CoreError::NotIdle);
+        assert_eq!(
+            c.begin_wake(SimTime::from_us(50)).unwrap_err(),
+            CoreError::NotIdle
+        );
     }
 
     #[test]
@@ -632,68 +650,78 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, ensure_eq, gen, Check};
 
     /// Under arbitrary interleavings of dispatch, DVFS, sleep and wake,
     /// every nanosecond of the core's life is billed to exactly one
     /// power mode: accounted time equals elapsed time, always.
     #[test]
     fn prop_time_conservation() {
-        proptest!(|(
-            ops in prop::collection::vec((0u8..5, 1u64..400, 0u8..15), 1..80)
-        )| {
-            let table = PStateTable::i7_like();
-            let mut core = Core::new(
-                CoreId(0),
-                table.clone(),
-                PowerModel::i7_like(),
-                table.deepest(),
-            );
-            let mut now = SimTime::ZERO;
-            let mut eta: Option<SimTime> = None;
-            for (op, dt_us, p) in ops {
-                now += SimDuration::from_us(dt_us);
-                // Retire a finished job exactly at its completion instant.
+        Check::new("core_time_conservation").run(
+            |rng, size| {
+                gen::vec_with(rng, size, 1, 80, |r| {
+                    (
+                        r.next_below(5) as u8,
+                        gen::u64_in(r, 1, 400),
+                        r.next_below(15) as u8,
+                    )
+                })
+            },
+            |ops| {
+                let table = PStateTable::i7_like();
+                let mut core = Core::new(
+                    CoreId(0),
+                    table.clone(),
+                    PowerModel::i7_like(),
+                    table.deepest(),
+                );
+                let mut now = SimTime::ZERO;
+                let mut eta: Option<SimTime> = None;
+                for &(op, dt_us, p) in ops {
+                    now += SimDuration::from_us(dt_us);
+                    // Retire a finished job exactly at its completion instant.
+                    if let Some(t) = eta {
+                        if now >= t {
+                            core.complete_job(t).expect("job was in flight");
+                            eta = None;
+                        }
+                    }
+                    match op {
+                        0 => {
+                            if let Ok(t) = core.begin_job(now, 1_000.0 + f64::from(p) * 50_000.0) {
+                                eta = Some(t);
+                            }
+                        }
+                        1 => {
+                            if core.set_pstate(now, PStateId(p)).is_ok() && core.has_job() {
+                                eta = core.job_eta(now);
+                            }
+                        }
+                        2 => {
+                            let _ = core.enter_sleep(now, CState::C6);
+                        }
+                        3 => {
+                            let _ = core.enter_sleep(now, CState::C1);
+                        }
+                        _ => {
+                            let _ = core.begin_wake(now);
+                        }
+                    }
+                }
+                // Let any outstanding job finish, then close the books.
                 if let Some(t) = eta {
-                    if now >= t {
-                        core.complete_job(t).expect("job was in flight");
-                        eta = None;
-                    }
+                    core.complete_job(t.max(now)).expect("job still in flight");
+                    now = now.max(t);
                 }
-                match op {
-                    0 => {
-                        if let Ok(t) = core.begin_job(now, 1_000.0 + f64::from(p) * 50_000.0) {
-                            eta = Some(t);
-                        }
-                    }
-                    1 => {
-                        if core.set_pstate(now, PStateId(p)).is_ok() && core.has_job() {
-                            eta = core.job_eta(now);
-                        }
-                    }
-                    2 => {
-                        let _ = core.enter_sleep(now, CState::C6);
-                    }
-                    3 => {
-                        let _ = core.enter_sleep(now, CState::C1);
-                    }
-                    _ => {
-                        let _ = core.begin_wake(now);
-                    }
-                }
-            }
-            // Let any outstanding job finish, then close the books.
-            if let Some(t) = eta {
-                core.complete_job(t.max(now)).expect("job still in flight");
-                now = now.max(t);
-            }
-            core.sync(now);
-            prop_assert_eq!(
-                core.energy().total_time(),
-                now - SimTime::ZERO,
-                "accounted time must equal elapsed time"
-            );
-            prop_assert!(core.energy().total_joules() >= 0.0);
-        });
+                core.sync(now);
+                ensure_eq!(
+                    core.energy().total_time(),
+                    now - SimTime::ZERO,
+                    "accounted time must equal elapsed time"
+                );
+                ensure!(core.energy().total_joules() >= 0.0, "negative energy");
+                Ok(())
+            },
+        );
     }
 }

@@ -187,8 +187,7 @@ mod tests {
 
     #[test]
     fn all_modes_have_unique_names() {
-        let names: std::collections::HashSet<_> =
-            PowerMode::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = PowerMode::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), PowerMode::ALL.len());
     }
 }

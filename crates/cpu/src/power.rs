@@ -151,13 +151,9 @@ impl PowerModel {
     /// power saved over that interval:
     /// `E = residency × (P_C0idle − P_sleep)`.
     #[must_use]
-    pub fn transition_energy(
-        &self,
-        table: &PStateTable,
-        entry_pstate: PStateId,
-        c: CState,
-    ) -> f64 {
-        let saved = self.c0_idle_power(table, entry_pstate) - self.sleep_power(table, entry_pstate, c);
+    pub fn transition_energy(&self, table: &PStateTable, entry_pstate: PStateId, c: CState) -> f64 {
+        let saved =
+            self.c0_idle_power(table, entry_pstate) - self.sleep_power(table, entry_pstate, c);
         c.target_residency().as_secs_f64() * saved.max(0.0)
     }
 }
@@ -178,7 +174,10 @@ mod tests {
         // The deepest-P busy power lands near (not exactly at) Table 1's
         // inconsistent 12 W bound; see module docs.
         let chip_pmin = 4.0 * m.busy_power(&t, t.deepest()) + m.uncore_active();
-        assert!((12.0..20.0).contains(&chip_pmin), "chip at Pmin {chip_pmin}");
+        assert!(
+            (12.0..20.0).contains(&chip_pmin),
+            "chip at Pmin {chip_pmin}"
+        );
     }
 
     #[test]
@@ -270,8 +269,8 @@ mod tests {
         assert!((1.5e-3..3.5e-3).contains(&e6), "C6 transition {e6}");
         // Breakeven property: sleeping exactly the residency saves what
         // the transition cost.
-        let saved = (m.c0_idle_power(&t, t.fastest()) - 0.0)
-            * CState::C6.target_residency().as_secs_f64();
+        let saved =
+            (m.c0_idle_power(&t, t.fastest()) - 0.0) * CState::C6.target_residency().as_secs_f64();
         assert!((saved - e6).abs() < 1e-12);
     }
 

@@ -122,11 +122,7 @@ impl PStateTable {
     /// Steps `levels` states deeper (toward min frequency), saturating.
     #[must_use]
     pub fn step_down(&self, from: PStateId, levels: u8) -> PStateId {
-        PStateId(
-            from.0
-                .saturating_add(levels)
-                .min(self.deepest().0),
-        )
+        PStateId(from.0.saturating_add(levels).min(self.deepest().0))
     }
 
     /// Steps `levels` states shallower (toward max frequency), saturating.
@@ -174,7 +170,7 @@ impl PStateTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, Check};
 
     #[test]
     fn i7_table_matches_paper_endpoints() {
@@ -199,8 +195,14 @@ mod tests {
     #[should_panic(expected = "monotone")]
     fn rejects_nonmonotone() {
         let _ = PStateTable::new(vec![
-            PState { freq_hz: 1, voltage: 1.0 },
-            PState { freq_hz: 2, voltage: 1.0 },
+            PState {
+                freq_hz: 1,
+                voltage: 1.0,
+            },
+            PState {
+                freq_hz: 2,
+                voltage: 1.0,
+            },
         ]);
     }
 
@@ -237,17 +239,24 @@ mod tests {
         assert!(u32::from(s) * 4 < 14 + u32::from(s));
     }
 
-    proptest! {
-        /// for_freq_fraction always returns the deepest satisfying state.
-        #[test]
-        fn prop_freq_fraction_tight(frac in 0.0f64..1.0) {
-            let t = PStateTable::i7_like();
-            let id = t.for_freq_fraction(frac);
-            let target = 3.1e9 * frac;
-            prop_assert!(t.freq_hz(id) as f64 >= target - 1.0);
-            if id != t.deepest() {
-                prop_assert!(t.freq_hz(PStateId(id.0 + 1)) as f64 <= target + 1.0);
-            }
-        }
+    /// for_freq_fraction always returns the deepest satisfying state.
+    #[test]
+    fn prop_freq_fraction_tight() {
+        Check::new("pstate_freq_fraction_tight").run(
+            |rng, _size| rng.next_f64_in(0.0, 1.0),
+            |&frac| {
+                let t = PStateTable::i7_like();
+                let id = t.for_freq_fraction(frac);
+                let target = 3.1e9 * frac;
+                ensure!(t.freq_hz(id) as f64 >= target - 1.0, "state too slow");
+                if id != t.deepest() {
+                    ensure!(
+                        t.freq_hz(PStateId(id.0 + 1)) as f64 <= target + 1.0,
+                        "a deeper state would also satisfy the target"
+                    );
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -122,19 +122,43 @@ pub fn vf_trace(table: &PStateTable, from: PStateId, to: PStateId) -> Vec<VfTrac
     let effective = plan.effective_at - SimTime::ZERO;
     if v1 > v0 {
         vec![
-            VfTracePoint { at: SimDuration::ZERO, voltage: v0, freq_hz: f0 },
+            VfTracePoint {
+                at: SimDuration::ZERO,
+                voltage: v0,
+                freq_hz: f0,
+            },
             // End of V ramp / start of halt.
-            VfTracePoint { at: halt_start, voltage: v1, freq_hz: 0 },
+            VfTracePoint {
+                at: halt_start,
+                voltage: v1,
+                freq_hz: 0,
+            },
             // PLL relocked: new frequency live.
-            VfTracePoint { at: effective, voltage: v1, freq_hz: f1 },
+            VfTracePoint {
+                at: effective,
+                voltage: v1,
+                freq_hz: f1,
+            },
         ]
     } else {
         let ramp_us = (v0 - v1) / V_RAMP_VOLTS_PER_US;
         let ramp_end = effective + SimDuration::from_secs_f64(ramp_us * 1e-6);
         vec![
-            VfTracePoint { at: SimDuration::ZERO, voltage: v0, freq_hz: 0 },
-            VfTracePoint { at: effective, voltage: v0, freq_hz: f1 },
-            VfTracePoint { at: ramp_end, voltage: v1, freq_hz: f1 },
+            VfTracePoint {
+                at: SimDuration::ZERO,
+                voltage: v0,
+                freq_hz: 0,
+            },
+            VfTracePoint {
+                at: effective,
+                voltage: v0,
+                freq_hz: f1,
+            },
+            VfTracePoint {
+                at: ramp_end,
+                voltage: v1,
+                freq_hz: f1,
+            },
         ]
     }
 }
@@ -142,7 +166,7 @@ pub fn vf_trace(table: &PStateTable, from: PStateId, to: PStateId) -> Vec<VfTrac
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, ensure_eq, Check};
 
     fn table() -> PStateTable {
         PStateTable::i7_like()
@@ -207,42 +231,62 @@ mod tests {
         assert!(tr[2].at > tr[1].at);
     }
 
-    proptest! {
-        /// V/F traces are time-monotone, start at the source operating
-        /// point and end at the target one.
-        #[test]
-        fn prop_trace_endpoints(a in 0u8..15, b in 0u8..15) {
-            prop_assume!(a != b);
+    /// Generates an (a, b) pair of P-state indices.
+    fn pstate_pair(rng: &mut check::Rng, _size: usize) -> (u8, u8) {
+        (rng.next_below(15) as u8, rng.next_below(15) as u8)
+    }
+
+    /// V/F traces are time-monotone, start at the source operating
+    /// point and end at the target one.
+    #[test]
+    fn prop_trace_endpoints() {
+        Check::new("transition_trace_endpoints").run(pstate_pair, |&(a, b)| {
+            if a == b {
+                return Ok(()); // degenerate transitions have no trace contract
+            }
             let t = table();
             let trace = vf_trace(&t, PStateId(a), PStateId(b));
-            prop_assert!(trace.len() >= 3);
+            ensure!(trace.len() >= 3, "trace too short");
             for w in trace.windows(2) {
-                prop_assert!(w[1].at >= w[0].at, "trace must be time-ordered");
+                ensure!(w[1].at >= w[0].at, "trace must be time-ordered");
             }
             let first = trace.first().unwrap();
             let last = trace.last().unwrap();
-            prop_assert!((first.voltage - t.voltage(PStateId(a))).abs() < 1e-9);
-            prop_assert!((last.voltage - t.voltage(PStateId(b))).abs() < 1e-9);
-            prop_assert_eq!(last.freq_hz, t.freq_hz(PStateId(b)));
-        }
+            ensure!(
+                (first.voltage - t.voltage(PStateId(a))).abs() < 1e-9,
+                "wrong start V"
+            );
+            ensure!(
+                (last.voltage - t.voltage(PStateId(b))).abs() < 1e-9,
+                "wrong end V"
+            );
+            ensure_eq!(last.freq_hz, t.freq_hz(PStateId(b)));
+            Ok(())
+        });
+    }
 
-        /// Every plan halts for exactly the PLL relock time (unless
-        /// degenerate), and up-transitions are never faster than down.
-        #[test]
-        fn prop_plan_invariants(a in 0u8..15, b in 0u8..15) {
+    /// Every plan halts for exactly the PLL relock time (unless
+    /// degenerate), and up-transitions are never faster than down.
+    #[test]
+    fn prop_plan_invariants() {
+        Check::new("transition_plan_invariants").run(pstate_pair, |&(a, b)| {
             let t = table();
             let plan = transition_plan(&t, PStateId(a), PStateId(b), SimTime::ZERO);
             if a == b {
-                prop_assert_eq!(plan.total_latency(), SimDuration::ZERO);
+                ensure_eq!(plan.total_latency(), SimDuration::ZERO);
             } else {
-                prop_assert_eq!(plan.halt_duration(), PLL_RELOCK);
-                prop_assert!(plan.halt_start >= plan.requested_at);
+                ensure_eq!(plan.halt_duration(), PLL_RELOCK);
+                ensure!(plan.halt_start >= plan.requested_at, "halt before request");
                 let reverse = transition_plan(&t, PStateId(b), PStateId(a), SimTime::ZERO);
                 if a > b {
                     // a deeper than b: a→b raises performance.
-                    prop_assert!(plan.total_latency() >= reverse.total_latency());
+                    ensure!(
+                        plan.total_latency() >= reverse.total_latency(),
+                        "up-transition faster than down"
+                    );
                 }
             }
-        }
+            Ok(())
+        });
     }
 }

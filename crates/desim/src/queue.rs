@@ -151,7 +151,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
-    use proptest::prelude::*;
+    use check::{ensure, gen, Check};
 
     #[test]
     fn pops_in_time_order() {
@@ -204,43 +204,63 @@ mod tests {
         assert!(!format!("{q:?}").is_empty());
     }
 
-    proptest! {
-        /// Delivery order is non-decreasing in time, and FIFO within a time.
-        #[test]
-        fn prop_delivery_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
-            let mut q = EventQueue::new();
-            for (idx, &t) in times.iter().enumerate() {
-                q.push(SimTime::ZERO + SimDuration::from_nanos(t), idx);
-            }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some((t, idx)) = q.pop() {
-                if let Some((lt, lidx)) = last {
-                    prop_assert!(t >= lt);
-                    if t == lt {
-                        prop_assert!(idx > lidx, "FIFO violated at equal times");
-                    }
+    /// Invariant `event-queue FIFO-tie ordering`: delivery is
+    /// non-decreasing in time, and FIFO among events at equal times.
+    #[test]
+    fn prop_delivery_order() {
+        Check::new("event_queue_fifo_tie_ordering").run(
+            |rng, size| gen::vec_with(rng, size, 1, 200, |r| r.next_below(1_000)),
+            |times| {
+                let mut q = EventQueue::new();
+                for (idx, &t) in times.iter().enumerate() {
+                    q.push(SimTime::ZERO + SimDuration::from_nanos(t), idx);
                 }
-                last = Some((t, idx));
-            }
-        }
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some((t, idx)) = q.pop() {
+                    if let Some((lt, lidx)) = last {
+                        ensure!(t >= lt, "time went backwards");
+                        if t == lt {
+                            ensure!(idx > lidx, "FIFO violated at equal times");
+                        }
+                    }
+                    last = Some((t, idx));
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Interleaved push/pop still respects ordering for pops.
-        #[test]
-        fn prop_interleaved(ops in prop::collection::vec((0u64..1_000, any::<bool>()), 1..300)) {
-            let mut q = EventQueue::new();
-            let mut clock = SimTime::ZERO;
-            for (t, do_pop) in ops {
-                if do_pop {
-                    if let Some((popped_at, _)) = q.pop() {
-                        prop_assert!(popped_at >= clock || q.is_empty() || popped_at <= clock + SimDuration::from_nanos(1_000));
-                        clock = popped_at.max(clock);
+    /// Interleaved push/pop still respects ordering for pops.
+    #[test]
+    fn prop_interleaved() {
+        Check::new("event_queue_interleaved_ordering")
+            .max_size(300)
+            .run(
+                |rng, size| {
+                    gen::vec_with(rng, size, 1, 300, |r| (r.next_below(1_000), gen::bool(r)))
+                },
+                |ops| {
+                    let mut q = EventQueue::new();
+                    let mut clock = SimTime::ZERO;
+                    for &(t, do_pop) in ops {
+                        if do_pop {
+                            if let Some((popped_at, ())) = q.pop() {
+                                ensure!(
+                                    popped_at >= clock
+                                        || q.is_empty()
+                                        || popped_at <= clock + SimDuration::from_nanos(1_000),
+                                    "pop at {popped_at} after clock {clock}"
+                                );
+                                clock = popped_at.max(clock);
+                            }
+                        } else {
+                            // Schedule only in the present or future of the
+                            // popped clock, as a real simulation does.
+                            q.push(clock + SimDuration::from_nanos(t), ());
+                        }
                     }
-                } else {
-                    // Schedule only in the present or future of the popped clock,
-                    // as a real simulation does.
-                    q.push(clock + SimDuration::from_nanos(t), ());
-                }
-            }
-        }
+                    Ok(())
+                },
+            );
     }
 }

@@ -1,10 +1,17 @@
-//! A tiny deterministic RNG for simulator-internal jitter.
+//! A tiny deterministic RNG for the whole simulator.
 //!
-//! [`SplitMix64`] keeps `desim` dependency-free; workload generation in
-//! higher layers uses seeded `rand` RNGs instead. SplitMix64 is the
-//! standard seeding generator from Steele et al., "Fast Splittable
-//! Pseudorandom Number Generators" (OOPSLA 2014): full 2^64 period,
-//! excellent avalanche behaviour, trivially reproducible.
+//! [`SplitMix64`] keeps `desim` — and every layer above it — dependency
+//! free: workload generation (burst jitter, key/document choice, service
+//! demand, arrival processes) draws from this generator too, so the
+//! repository builds with no registry access. SplitMix64 is the standard
+//! seeding generator from Steele et al., "Fast Splittable Pseudorandom
+//! Number Generators" (OOPSLA 2014): full 2^64 period, excellent
+//! avalanche behaviour, trivially reproducible.
+//!
+//! Beyond uniform integers, the type carries the small set of
+//! distribution helpers workload models need: uniform floats over a
+//! range, exponential and normal/log-normal variates, Fisher–Yates
+//! shuffling and weighted choice.
 
 /// A SplitMix64 pseudorandom generator.
 ///
@@ -67,6 +74,98 @@ impl SplitMix64 {
     /// Derives an independent child generator (for per-component streams).
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn next_f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "invalid range"
+        );
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Exponentially distributed variate with the given mean (`1/λ`).
+    ///
+    /// Inter-arrival gaps of a Poisson process with rate `1/mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        // 1 - next_f64() is in (0, 1]: ln never sees zero.
+        -(1.0 - self.next_f64()).ln() * mean
+    }
+
+    /// Normally distributed variate (Box–Muller; one variate per call so
+    /// the stream stays a pure function of the state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn next_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        let u1 = 1.0 - self.next_f64(); // (0, 1]
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normally distributed variate: `exp(N(mu, sigma))` — heavy-tailed
+    /// service demands and flow sizes.
+    pub fn next_log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.next_normal(mu, sigma).exp()
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.next_below(items.len() as u64) as usize])
+        }
+    }
+
+    /// The index of a weight drawn proportionally to its value.
+    ///
+    /// Zero-weight entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .inspect(|w| assert!(w.is_finite() && **w >= 0.0, "invalid weight"))
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // Floating-point tail: fall back to the last nonzero weight.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("total > 0 implies a nonzero weight")
     }
 }
 
@@ -133,5 +232,90 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn zero_bound_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let x = r.next_f64_in(0.95, 1.05);
+            assert!((0.95..1.05).contains(&x));
+        }
+        assert_eq!(r.next_f64_in(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn exponential_has_the_requested_mean() {
+        let mut r = SplitMix64::new(12);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(300.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((285.0..315.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SplitMix64::new(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((9.95..10.05).contains(&mean), "mean {mean}");
+        assert!((3.8..4.2).contains(&var), "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut r = SplitMix64::new(14);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.next_log_normal(0.0, 1.0)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let median_ref = 1.0; // e^0
+        assert!(mean > median_ref, "log-normal mean exceeds median");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b = a.clone();
+        SplitMix64::new(15).shuffle(&mut a);
+        SplitMix64::new(15).shuffle(&mut b);
+        assert_eq!(a, b, "equal seeds shuffle equally");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "a 100-element shuffle virtually never sorts");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = SplitMix64::new(16);
+        assert_eq!(r.choose::<u8>(&[]), None);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[*r.choose(&items).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_choice_tracks_weights() {
+        let mut r = SplitMix64::new(17);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0u32; 3];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[r.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero weight must never win");
+        let frac2 = f64::from(counts[2]) / f64::from(n);
+        assert!((0.72..0.78).contains(&frac2), "weight-3 fraction {frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn all_zero_weights_panic() {
+        SplitMix64::new(0).choose_weighted(&[0.0, 0.0]);
     }
 }

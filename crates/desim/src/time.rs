@@ -349,10 +349,7 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(0.5),
-            SimDuration::from_ms(500)
-        );
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_ms(500));
     }
 
     #[test]

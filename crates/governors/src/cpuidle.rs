@@ -195,7 +195,7 @@ impl CpuidleGovernor for Menu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, gen, Check};
 
     #[test]
     fn poll_never_sleeps() {
@@ -303,41 +303,50 @@ mod tests {
         assert!(p >= SimDuration::from_us(10));
     }
 
-    proptest! {
-        /// Whatever the history, menu never selects a state whose target
-        /// residency exceeds its own prediction (except the C1 floor).
-        #[test]
-        fn prop_menu_selection_fits_prediction(
-            idles in prop::collection::vec(1u64..20_000_000, 1..30)
-        ) {
-            let mut g = Menu::new(1);
-            for &ns in &idles {
-                g.select(0, SimTime::ZERO);
-                g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
-            }
-            let predicted = g.predict(0);
-            let chosen = g.select(0, SimTime::ZERO).expect("menu always sleeps");
-            if chosen != CState::C1 {
-                prop_assert!(chosen.target_residency() <= predicted,
-                    "{chosen} residency exceeds prediction {predicted}");
-            }
-        }
+    /// Invariant `menu governor residency guard`: whatever the history,
+    /// menu never selects a state whose target residency exceeds its own
+    /// prediction (except the C1 floor).
+    #[test]
+    fn prop_menu_selection_fits_prediction() {
+        Check::new("menu_selection_fits_prediction").run(
+            |rng, size| gen::vec_with(rng, size, 1, 30, |r| gen::u64_in(r, 1, 20_000_000)),
+            |idles| {
+                let mut g = Menu::new(1);
+                for &ns in idles {
+                    g.select(0, SimTime::ZERO);
+                    g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
+                }
+                let predicted = g.predict(0);
+                let chosen = g.select(0, SimTime::ZERO).expect("menu always sleeps");
+                if chosen != CState::C1 {
+                    ensure!(
+                        chosen.target_residency() <= predicted,
+                        "{chosen} residency exceeds prediction {predicted}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// The ladder moves at most one rung per observation and stays in
-        /// bounds.
-        #[test]
-        fn prop_ladder_moves_one_rung(
-            idles in prop::collection::vec(1u64..10_000_000, 1..50)
-        ) {
-            let mut g = Ladder::new(1);
-            let mut last = g.select(0, SimTime::ZERO).unwrap().index();
-            for &ns in &idles {
-                g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
-                let cur = g.select(0, SimTime::ZERO).unwrap().index();
-                prop_assert!(cur.abs_diff(last) <= 1, "jumped {last} -> {cur}");
-                last = cur;
-            }
-        }
+    /// The ladder moves at most one rung per observation and stays in
+    /// bounds.
+    #[test]
+    fn prop_ladder_moves_one_rung() {
+        Check::new("ladder_moves_one_rung").run(
+            |rng, size| gen::vec_with(rng, size, 1, 50, |r| gen::u64_in(r, 1, 10_000_000)),
+            |idles| {
+                let mut g = Ladder::new(1);
+                let mut last = g.select(0, SimTime::ZERO).unwrap().index();
+                for &ns in idles {
+                    g.note_idle_end(0, SimTime::ZERO, SimDuration::from_nanos(ns));
+                    let cur = g.select(0, SimTime::ZERO).unwrap().index();
+                    ensure!(cur.abs_diff(last) <= 1, "jumped {last} -> {cur}");
+                    last = cur;
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

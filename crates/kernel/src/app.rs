@@ -6,8 +6,8 @@
 //! Apache-like workload), then a response of a given size. The concrete
 //! Apache-like and Memcached-like models live in the `oldi-apps` crate.
 
-use bytes::Bytes;
 use desim::{SimDuration, SimTime};
+use netsim::Bytes;
 use netsim::NodeId;
 
 /// One step of a request's execution.

@@ -8,12 +8,14 @@
 use crate::app::{AppPhase, RequestInfo, ServerApp};
 use crate::config::KernelConfig;
 use crate::work::{Work, WorkKind};
-use bytes::Bytes;
-use cpusim::{CState, Core, CoreId, CoreStateKind, EnergyMeter, PStateTable, PowerMode, PowerModel};
+use cpusim::{
+    CState, Core, CoreId, CoreStateKind, EnergyMeter, PStateTable, PowerMode, PowerModel,
+};
 use desim::{SimTime, TimerSlot};
 use governors::{CpufreqGovernor, CpuidleGovernor};
 use ncap::{DriverAction, EnhancedDriver, IcrFlags, SoftwareNcap};
 use netsim::tcp::segment_response;
+use netsim::Bytes;
 use netsim::{NodeId, Packet};
 use nicsim::Nic;
 use std::collections::{HashMap, VecDeque};
@@ -692,10 +694,7 @@ impl Kernel {
                     body,
                     state.info.sent_at,
                 );
-                let sw_cost = self
-                    .ncap_sw
-                    .as_ref()
-                    .map_or(0, |_| ncap::SW_PER_TX_CYCLES);
+                let sw_cost = self.ncap_sw.as_ref().map_or(0, |_| ncap::SW_PER_TX_CYCLES);
                 let stack =
                     (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
                 for frame in frames {
@@ -771,9 +770,8 @@ impl Kernel {
             self.desired_pstate = target;
             self.apply_pstates(now, fx);
         }
-        self.run_queue.push_back(
-            Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead).on_core(0),
-        );
+        self.run_queue
+            .push_back(Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead).on_core(0));
         self.try_dispatch(now, fx);
     }
 
@@ -971,10 +969,10 @@ mod tests {
     use super::*;
     use crate::app::{AppPhase, AppPlan};
     use crate::config::KernelConfig;
-    use bytes::Bytes;
     use desim::SimDuration;
     use governors::{Menu, Ondemand, Performance, PollIdle};
     use netsim::http::HttpRequest;
+    use netsim::Bytes;
     use nicsim::NicConfig;
 
     /// A scripted application: fixed CPU cost, fixed response size.
@@ -989,10 +987,14 @@ mod tests {
             if !req.payload.starts_with(b"GET ") {
                 return None;
             }
-            let mut phases = vec![AppPhase::Cpu { cycles: self.cycles }];
+            let mut phases = vec![AppPhase::Cpu {
+                cycles: self.cycles,
+            }];
             if let Some(wait) = self.io {
                 phases.push(AppPhase::Io { wait });
-                phases.push(AppPhase::Cpu { cycles: self.cycles });
+                phases.push(AppPhase::Cpu {
+                    cycles: self.cycles,
+                });
             }
             Some(AppPlan {
                 phases,
@@ -1043,8 +1045,13 @@ mod tests {
     }
 
     fn get_frame(id: u64) -> Packet {
-        Packet::request(NodeId(1), NodeId(0), id, HttpRequest::get("/x").to_payload())
-            .sent_at(SimTime::from_us(1))
+        Packet::request(
+            NodeId(1),
+            NodeId(0),
+            id,
+            HttpRequest::get("/x").to_payload(),
+        )
+        .sent_at(SimTime::from_us(1))
     }
 
     #[test]
@@ -1124,11 +1131,15 @@ mod tests {
         let frames = drain(&mut k, fx, SimTime::from_ms(4));
         assert_eq!(frames.len(), 1);
         // Cores slept at boot (fresh menu predicts a long idle).
-        let entries: u32 = k.cores().iter().map(|c| {
-            c.sleep_entries(cpusim::CState::C1)
-                + c.sleep_entries(cpusim::CState::C3)
-                + c.sleep_entries(cpusim::CState::C6)
-        }).sum();
+        let entries: u32 = k
+            .cores()
+            .iter()
+            .map(|c| {
+                c.sleep_entries(cpusim::CState::C1)
+                    + c.sleep_entries(cpusim::CState::C3)
+                    + c.sleep_entries(cpusim::CState::C6)
+            })
+            .sum();
         assert!(entries > 0, "idle cores must have entered sleep states");
     }
 

@@ -10,7 +10,7 @@
 //! * the Memcached text protocol (`get`, `set`) for the Memcached-like
 //!   workload.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// HTTP request methods the model understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -14,6 +14,8 @@
 //!   the context-free TxBytesCounter).
 //! * [`link`] — serialization + propagation delay with a FIFO egress queue.
 //! * [`switch`] — a store-and-forward switch connecting cluster nodes.
+//! * [`bytes`] — the in-tree zero-copy [`Bytes`] buffer the payload types
+//!   are built on (no external `bytes` crate: the build is hermetic).
 //!
 //! All types here are *passive*: they compute sizes and times but schedule
 //! nothing. The `cluster` crate turns their outputs into simulation events.
@@ -29,6 +31,7 @@
 //! assert_eq!(&pkt.payload()[..4], b"GET ");
 //! ```
 
+pub mod bytes;
 pub mod http;
 pub mod link;
 pub mod packet;
@@ -36,6 +39,7 @@ pub mod switch;
 pub mod tcp;
 pub mod wire;
 
+pub use bytes::Bytes;
 pub use http::{HttpRequest, MemcachedRequest};
 pub use link::Link;
 pub use packet::{NodeId, Packet, PacketMeta};

@@ -122,7 +122,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, ensure_eq, gen, Check};
 
     #[test]
     fn serialization_math() {
@@ -154,7 +154,10 @@ mod tests {
     fn queue_delay_reports_backlog() {
         let mut link = Link::ten_gbe();
         link.transmit(SimTime::ZERO, 12_500); // 10 us
-        assert_eq!(link.queue_delay(SimTime::from_us(4)), SimDuration::from_us(6));
+        assert_eq!(
+            link.queue_delay(SimTime::from_us(4)),
+            SimDuration::from_us(6)
+        );
         assert_eq!(link.queue_delay(SimTime::from_us(20)), SimDuration::ZERO);
     }
 
@@ -167,21 +170,29 @@ mod tests {
         assert_eq!(link.frames_carried(), 2);
     }
 
-    proptest! {
-        /// Departures are strictly ordered and never precede enqueue time.
-        #[test]
-        fn prop_fifo_order(frames in prop::collection::vec((0u64..10_000, 64usize..2_000), 1..50)) {
-            let mut link = Link::ten_gbe();
-            let mut last_depart = SimTime::ZERO;
-            let mut clock = SimTime::ZERO;
-            for (gap_ns, bytes) in frames {
-                clock += SimDuration::from_nanos(gap_ns);
-                let (depart, arrive) = link.transmit(clock, bytes);
-                prop_assert!(depart >= clock);
-                prop_assert!(depart >= last_depart);
-                prop_assert_eq!(arrive, depart + link.propagation());
-                last_depart = depart;
-            }
-        }
+    /// Departures are strictly ordered and never precede enqueue time.
+    #[test]
+    fn prop_fifo_order() {
+        Check::new("link_fifo_order").run(
+            |rng, size| {
+                gen::vec_with(rng, size, 1, 50, |r| {
+                    (r.next_below(10_000), gen::usize_in(r, 64, 2_000))
+                })
+            },
+            |frames| {
+                let mut link = Link::ten_gbe();
+                let mut last_depart = SimTime::ZERO;
+                let mut clock = SimTime::ZERO;
+                for &(gap_ns, bytes) in frames {
+                    clock += SimDuration::from_nanos(gap_ns);
+                    let (depart, arrive) = link.transmit(clock, bytes);
+                    ensure!(depart >= clock, "departed before enqueue");
+                    ensure!(depart >= last_depart, "departures out of order");
+                    ensure_eq!(arrive, depart + link.propagation());
+                    last_depart = depart;
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! client send time). It is *never* consulted by power-management logic —
 //! NCAP sees only bytes, counters and times, as hardware would.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use core::fmt;
 use desim::SimTime;
 
@@ -201,13 +201,7 @@ mod tests {
 
     #[test]
     fn leading_bytes_of_short_payload() {
-        let ack = Packet::new(
-            NodeId(1),
-            NodeId(0),
-            0,
-            Bytes::new(),
-            PacketMeta::default(),
-        );
+        let ack = Packet::new(NodeId(1), NodeId(0), 0, Bytes::new(), PacketMeta::default());
         assert_eq!(ack.leading_bytes(), None);
     }
 

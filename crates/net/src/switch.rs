@@ -139,7 +139,9 @@ mod tests {
         let mut sw = two_node_switch();
         // 1250 B at 10 Gbps = 1 us serialization per hop; 1 us propagation
         // per hop; 0.5 us switching.
-        let arrival = sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1250).unwrap();
+        let arrival = sw
+            .forward(SimTime::ZERO, NodeId(0), NodeId(1), 1250)
+            .unwrap();
         assert_eq!(arrival, SimTime::from_nanos(4_500));
     }
 
@@ -164,17 +166,27 @@ mod tests {
             sw.attach(NodeId(n), Link::ten_gbe(), Link::ten_gbe());
         }
         // Two sources, one destination: second frame queues on the downlink.
-        let a1 = sw.forward(SimTime::ZERO, NodeId(0), NodeId(2), 12_500).unwrap();
-        let a2 = sw.forward(SimTime::ZERO, NodeId(1), NodeId(2), 12_500).unwrap();
+        let a1 = sw
+            .forward(SimTime::ZERO, NodeId(0), NodeId(2), 12_500)
+            .unwrap();
+        let a2 = sw
+            .forward(SimTime::ZERO, NodeId(1), NodeId(2), 12_500)
+            .unwrap();
         assert!(a2 > a1);
         // Distinct destinations do not contend.
         let mut sw2 = Switch::new(SimDuration::ZERO);
         for n in 0..3 {
             sw2.attach(NodeId(n), Link::ten_gbe(), Link::ten_gbe());
         }
-        let b1 = sw2.forward(SimTime::ZERO, NodeId(0), NodeId(1), 12_500).unwrap();
-        let b2 = sw2.forward(SimTime::ZERO, NodeId(2), NodeId(1), 12_500).unwrap();
-        let c1 = sw2.forward(SimTime::from_ms(1), NodeId(0), NodeId(2), 12_500).unwrap();
+        let b1 = sw2
+            .forward(SimTime::ZERO, NodeId(0), NodeId(1), 12_500)
+            .unwrap();
+        let b2 = sw2
+            .forward(SimTime::ZERO, NodeId(2), NodeId(1), 12_500)
+            .unwrap();
+        let c1 = sw2
+            .forward(SimTime::from_ms(1), NodeId(0), NodeId(2), 12_500)
+            .unwrap();
         assert!(b2 > b1);
         assert!(c1 < SimTime::from_ms(2));
     }
@@ -183,28 +195,36 @@ mod tests {
     fn per_pair_fifo_order_is_preserved() {
         // Frames between one (src, dst) pair arrive in the order sent —
         // TCP's in-order assumption holds on this fabric.
-        use proptest::prelude::*;
-        proptest!(|(sizes in prop::collection::vec(64usize..1_600, 1..60),
-                    gaps in prop::collection::vec(0u64..5_000, 1..60))| {
-            let mut sw = Switch::new(SimDuration::from_nanos(500));
-            sw.attach(NodeId(0), Link::ten_gbe(), Link::ten_gbe());
-            sw.attach(NodeId(1), Link::ten_gbe(), Link::ten_gbe());
-            let mut now = SimTime::ZERO;
-            let mut last_arrival = SimTime::ZERO;
-            for (sz, gap) in sizes.iter().zip(gaps.iter()) {
-                now += SimDuration::from_nanos(*gap);
-                let arrival = sw.forward(now, NodeId(0), NodeId(1), *sz).unwrap();
-                prop_assert!(arrival > now, "arrival after send");
-                prop_assert!(arrival >= last_arrival, "in-order delivery");
-                last_arrival = arrival;
-            }
-        });
+        use check::{ensure, gen, Check};
+        Check::new("switch_per_pair_fifo").run(
+            |rng, size| {
+                gen::vec_with(rng, size, 1, 60, |r| {
+                    (gen::usize_in(r, 64, 1_600), r.next_below(5_000))
+                })
+            },
+            |frames| {
+                let mut sw = Switch::new(SimDuration::from_nanos(500));
+                sw.attach(NodeId(0), Link::ten_gbe(), Link::ten_gbe());
+                sw.attach(NodeId(1), Link::ten_gbe(), Link::ten_gbe());
+                let mut now = SimTime::ZERO;
+                let mut last_arrival = SimTime::ZERO;
+                for &(sz, gap) in frames {
+                    now += SimDuration::from_nanos(gap);
+                    let arrival = sw.forward(now, NodeId(0), NodeId(1), sz).unwrap();
+                    ensure!(arrival > now, "arrival after send");
+                    ensure!(arrival >= last_arrival, "in-order delivery");
+                    last_arrival = arrival;
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]
     fn byte_accounting_per_port() {
         let mut sw = two_node_switch();
-        sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1_000).unwrap();
+        sw.forward(SimTime::ZERO, NodeId(0), NodeId(1), 1_000)
+            .unwrap();
         assert_eq!(sw.bytes_from(NodeId(0)), Some(1_000));
         assert_eq!(sw.bytes_to(NodeId(1)), Some(1_000));
         assert_eq!(sw.bytes_to(NodeId(0)), Some(0));

@@ -8,8 +8,8 @@
 //! TCP packets constituting a single response are transmitted" (§4.1).
 //! [`segment_response`] performs that split.
 
+use crate::bytes::Bytes;
 use crate::packet::{NodeId, Packet, PacketMeta, MSS};
-use bytes::Bytes;
 use desim::SimTime;
 
 /// Splits a response body into MSS-sized frames from `src` to `dst`.
@@ -24,7 +24,7 @@ use desim::SimTime;
 /// ```
 /// use netsim::tcp::segment_response;
 /// use netsim::packet::{NodeId, MSS};
-/// use bytes::Bytes;
+/// use netsim::Bytes;
 /// use desim::SimTime;
 ///
 /// let body = Bytes::from(vec![0u8; MSS * 2 + 100]);
@@ -100,7 +100,7 @@ pub fn response_wire_bytes(body_len: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, ensure_eq, Check};
 
     #[test]
     fn small_body_single_frame() {
@@ -159,26 +159,48 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Reassembling segmented payloads recovers the body exactly.
-        #[test]
-        fn prop_segmentation_roundtrip(len in 0usize..(MSS * 5)) {
-            let body: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-            let frames = segment_response(NodeId(0), NodeId(1), 1, Bytes::from(body.clone()), SimTime::ZERO);
-            let mut rebuilt = Vec::new();
-            for f in &frames {
-                prop_assert!(f.payload().len() <= MSS);
-                rebuilt.extend_from_slice(f.payload());
-            }
-            prop_assert_eq!(rebuilt, body);
-        }
+    /// Reassembling segmented payloads recovers the body exactly.
+    #[test]
+    fn prop_segmentation_roundtrip() {
+        Check::new("tcp_segmentation_roundtrip").run(
+            |rng, size| check::gen::u64_scaled(rng, size, 0, (MSS * 5) as u64) as usize,
+            |&len| {
+                let body: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let frames = segment_response(
+                    NodeId(0),
+                    NodeId(1),
+                    1,
+                    Bytes::from(body.clone()),
+                    SimTime::ZERO,
+                );
+                let mut rebuilt = Vec::new();
+                for f in &frames {
+                    ensure!(f.payload().len() <= MSS, "segment above MSS");
+                    rebuilt.extend_from_slice(f.payload());
+                }
+                ensure_eq!(rebuilt, body);
+                Ok(())
+            },
+        );
+    }
 
-        /// Wire-byte accounting matches the per-frame sum.
-        #[test]
-        fn prop_wire_bytes_match_frames(len in 0usize..(MSS * 5)) {
-            let frames = segment_response(NodeId(0), NodeId(1), 1, Bytes::from(vec![0u8; len]), SimTime::ZERO);
-            let total: usize = frames.iter().map(Packet::wire_len).sum();
-            prop_assert_eq!(total, response_wire_bytes(len));
-        }
+    /// Wire-byte accounting matches the per-frame sum.
+    #[test]
+    fn prop_wire_bytes_match_frames() {
+        Check::new("tcp_wire_bytes_match_frames").run(
+            |rng, size| check::gen::u64_scaled(rng, size, 0, (MSS * 5) as u64) as usize,
+            |&len| {
+                let frames = segment_response(
+                    NodeId(0),
+                    NodeId(1),
+                    1,
+                    Bytes::from(vec![0u8; len]),
+                    SimTime::ZERO,
+                );
+                let total: usize = frames.iter().map(Packet::wire_len).sum();
+                ensure_eq!(total, response_wire_bytes(len));
+                Ok(())
+            },
+        );
     }
 }

@@ -45,7 +45,10 @@ impl core::fmt::Display for WireError {
             WireError::Truncated { len } => write!(f, "frame truncated at {len} bytes"),
             WireError::NotIpv4(et) => write!(f, "unexpected ethertype {et:#06x}"),
             WireError::BadChecksum { found, expected } => {
-                write!(f, "bad IPv4 checksum {found:#06x}, expected {expected:#06x}")
+                write!(
+                    f,
+                    "bad IPv4 checksum {found:#06x}, expected {expected:#06x}"
+                )
             }
             WireError::LengthMismatch { claimed, actual } => {
                 write!(f, "IPv4 length {claimed} but {actual} bytes present")
@@ -204,9 +207,8 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedFrame, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::http::HttpRequest;
-    use bytes::Bytes;
-    use proptest::prelude::*;
 
     fn sample(payload: &'static [u8]) -> Packet {
         Packet::request(NodeId(3), NodeId(0), 42, Bytes::from_static(payload))
@@ -221,7 +223,12 @@ mod tests {
 
     #[test]
     fn roundtrip_recovers_addressing() {
-        let p = Packet::request(NodeId(7), NodeId(2), 99, HttpRequest::get("/x").to_payload());
+        let p = Packet::request(
+            NodeId(7),
+            NodeId(2),
+            99,
+            HttpRequest::get("/x").to_payload(),
+        );
         let d = decode(&encode(&p)).unwrap();
         assert_eq!(d.src, NodeId(7));
         assert_eq!(d.dst, NodeId(2));
@@ -257,7 +264,10 @@ mod tests {
     fn length_mismatch_detected() {
         let mut bytes = encode(&sample(b"GET /"));
         bytes.push(0); // trailing garbage
-        assert!(matches!(decode(&bytes), Err(WireError::LengthMismatch { .. })));
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -276,35 +286,53 @@ mod tests {
         assert_ne!(ip_of(NodeId(1)), ip_of(NodeId(258)));
     }
 
-    proptest! {
-        /// Any encodable packet decodes back to itself.
-        #[test]
-        fn prop_roundtrip(src in 0u16..100, dst in 0u16..100, flow in any::<u32>(),
-                          payload in prop::collection::vec(any::<u8>(), 0..1400)) {
-            let p = Packet::new(
-                NodeId(src),
-                NodeId(dst),
-                flow,
-                Bytes::from(payload.clone()),
-                crate::packet::PacketMeta::default(),
-            );
-            let d = decode(&encode(&p)).unwrap();
-            prop_assert_eq!(d.src, NodeId(src));
-            prop_assert_eq!(d.dst, NodeId(dst));
-            prop_assert_eq!(d.seq, flow);
-            prop_assert_eq!(d.payload, payload);
-        }
+    /// Invariant `wire encode/decode round-trip`: any encodable packet
+    /// decodes back to itself.
+    #[test]
+    fn prop_roundtrip() {
+        use check::{ensure_eq, gen, Check};
+        Check::new("wire_roundtrip").run(
+            |rng, size| {
+                let src = gen::u64_in(rng, 0, 100) as u16;
+                let dst = gen::u64_in(rng, 0, 100) as u16;
+                let flow = rng.next_u64() as u32;
+                let payload = gen::vec_with(rng, size * 14, 0, 1_400, gen::byte);
+                (src, dst, flow, payload)
+            },
+            |(src, dst, flow, payload)| {
+                let p = Packet::new(
+                    NodeId(*src),
+                    NodeId(*dst),
+                    *flow,
+                    Bytes::from(payload.clone()),
+                    crate::packet::PacketMeta::default(),
+                );
+                let d = decode(&encode(&p)).unwrap();
+                ensure_eq!(d.src, NodeId(*src));
+                ensure_eq!(d.dst, NodeId(*dst));
+                ensure_eq!(d.seq, *flow);
+                ensure_eq!(&d.payload, payload);
+                Ok(())
+            },
+        );
+    }
 
-        /// Single-byte corruption of the IP header never decodes cleanly.
-        #[test]
-        fn prop_ip_corruption_detected(pos in 0usize..20, bit in 0u8..8) {
-            let p = sample(b"GET /corrupt");
-            let mut bytes = encode(&p);
-            let idx = ETH_HEADER + pos;
-            bytes[idx] ^= 1 << bit;
-            if bytes != encode(&p) {
-                prop_assert!(decode(&bytes).is_err(), "corruption at {idx} undetected");
-            }
-        }
+    /// Single-byte corruption of the IP header never decodes cleanly.
+    #[test]
+    fn prop_ip_corruption_detected() {
+        use check::{ensure, gen, Check};
+        Check::new("wire_ip_corruption_detected").run(
+            |rng, _size| (gen::usize_in(rng, 0, 20), gen::u64_in(rng, 0, 8) as u8),
+            |&(pos, bit)| {
+                let p = sample(b"GET /corrupt");
+                let mut bytes = encode(&p);
+                let idx = ETH_HEADER + pos;
+                bytes[idx] ^= 1 << bit;
+                if bytes != encode(&p) {
+                    ensure!(decode(&bytes).is_err(), "corruption at {idx} undetected");
+                }
+                Ok(())
+            },
+        );
     }
 }

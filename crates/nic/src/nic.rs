@@ -273,10 +273,7 @@ impl Nic {
         // A TOE processes the frame on the NIC before the host DMA
         // starts — it holds packets longer inside the NIC, which is
         // exactly the extra slack §7 says NCAP gains for hiding wake-ups.
-        let start = self
-            .config
-            .toe
-            .map_or(now, |t| now + t.hold);
+        let start = self.config.toe.map_or(now, |t| now + t.hold);
         let done = self.rx_dma.transfer(start, frame.frame_len());
         // Frames complete DMA in FIFO order per queue (one engine feeds
         // all queues), so each queue's in-flight list pops head-first.
@@ -534,7 +531,10 @@ mod tests {
         let out = nic.frame_arrived(SimTime::from_ms(2), get_frame(1));
         assert!(out.immediate_irq, "CIT wake must assert the IRQ now");
         let dma_done = out.dma_complete_at.unwrap();
-        assert!(dma_done > SimTime::from_ms(2), "interrupt preceded DMA completion");
+        assert!(
+            dma_done > SimTime::from_ms(2),
+            "interrupt preceded DMA completion"
+        );
         assert!(nic.read_icr(out.queue).contains(IcrFlags::IT_RX));
     }
 
@@ -548,7 +548,10 @@ mod tests {
         mitt_at = next;
         // Burst of 10 GETs inside one MITT window (200 K rps).
         for i in 0..10 {
-            nic.frame_arrived(mitt_at - SimDuration::from_us(20) + SimDuration::from_nanos(i), get_frame(i));
+            nic.frame_arrived(
+                mitt_at - SimDuration::from_us(20) + SimDuration::from_nanos(i),
+                get_frame(i),
+            );
         }
         let (_, raised) = nic.mitt_expired(mitt_at);
         assert!(raised.contains(&0));
@@ -561,7 +564,10 @@ mod tests {
         let mut nic = plain_nic();
         let mut at = nic.start_mitt(SimTime::ZERO);
         for i in 0..50 {
-            nic.frame_arrived(at - SimDuration::from_us(10) + SimDuration::from_nanos(i), get_frame(i));
+            nic.frame_arrived(
+                at - SimDuration::from_us(10) + SimDuration::from_nanos(i),
+                get_frame(i),
+            );
         }
         let (next, raised) = nic.mitt_expired(at);
         at = next;
@@ -642,7 +648,11 @@ mod tests {
         }
         assert_eq!(seen.len(), 4, "flows must spread across queues");
         let (_, raised) = nic.mitt_expired(at);
-        assert_eq!(raised.len(), 4, "every queue with causes asserts its vector");
+        assert_eq!(
+            raised.len(),
+            4,
+            "every queue with causes asserts its vector"
+        );
         // Reading one vector leaves the others asserted.
         assert!(nic.read_icr(1).contains(IcrFlags::IT_RX));
         assert!(!nic.irq_asserted(1));

@@ -102,7 +102,7 @@ impl DescriptorRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, gen, Check};
 
     #[test]
     fn fills_and_drops() {
@@ -137,19 +137,23 @@ mod tests {
         let _ = DescriptorRing::new(0);
     }
 
-    proptest! {
-        /// Occupancy never exceeds capacity and never goes negative.
-        #[test]
-        fn prop_occupancy_bounds(ops in prop::collection::vec(any::<bool>(), 1..200)) {
-            let mut r = DescriptorRing::new(8);
-            for take in ops {
-                if take {
-                    r.try_take();
-                } else if r.in_use() > 0 {
-                    r.release();
+    /// Occupancy never exceeds capacity and never goes negative.
+    #[test]
+    fn prop_occupancy_bounds() {
+        Check::new("ring_occupancy_bounds").run(
+            |rng, size| gen::vec_with(rng, size, 1, 200, gen::bool),
+            |ops| {
+                let mut r = DescriptorRing::new(8);
+                for &take in ops {
+                    if take {
+                        r.try_take();
+                    } else if r.in_use() > 0 {
+                        r.release();
+                    }
+                    ensure!(r.in_use() <= r.capacity(), "ring over capacity");
                 }
-                prop_assert!(r.in_use() <= r.capacity());
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -191,7 +191,7 @@ impl LogHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, ensure_eq, gen, Check};
 
     #[test]
     fn empty_histogram_is_calm() {
@@ -259,59 +259,111 @@ mod tests {
         assert_eq!(h.min(), 42);
     }
 
-    proptest! {
-        /// Any recorded value lands in a bucket whose representative is
-        /// within the scheme's relative error.
-        #[test]
-        fn prop_bucket_error_bound(v in 1u64..u64::MAX / 2) {
-            let idx = LogHistogram::index(v);
-            let high = LogHistogram::bucket_high(idx);
-            prop_assert!(high >= v);
-            let err = (high - v) as f64 / v as f64;
-            prop_assert!(err <= 1.0 / 32.0, "value {v} high {high} err {err}");
-        }
+    /// Checks one value against the bucket relative-error contract.
+    fn bucket_error_within_bound(v: u64) -> check::PropResult {
+        let idx = LogHistogram::index(v);
+        let high = LogHistogram::bucket_high(idx);
+        ensure!(high >= v, "bucket high {high} below value {v}");
+        let err = (high - v) as f64 / v as f64;
+        ensure!(err <= 1.0 / 32.0, "value {v} high {high} err {err}");
+        Ok(())
+    }
 
-        /// Percentiles are monotone in q.
-        #[test]
-        fn prop_percentile_monotone(values in prop::collection::vec(1u64..10_000_000, 1..200)) {
-            let mut h = LogHistogram::new();
-            for &v in &values {
-                h.record(v);
-            }
-            let mut last = 0;
-            for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
-                let p = h.percentile(q);
-                prop_assert!(p >= last);
-                last = p;
-            }
-        }
+    /// Any recorded value lands in a bucket whose representative is
+    /// within the scheme's relative error.
+    #[test]
+    fn prop_bucket_error_bound() {
+        Check::new("histogram_bucket_error_bound").run(
+            |rng, size| gen::u64_scaled(rng, size, 1, u64::MAX / 2),
+            |&v| bucket_error_within_bound(v),
+        );
+    }
 
-        /// Percentiles never leave the observed [min, max] range.
-        #[test]
-        fn prop_percentile_bounded(values in prop::collection::vec(1u64..10_000_000, 1..200), q in 0.0f64..100.0) {
-            let mut h = LogHistogram::new();
-            for &v in &values {
-                h.record(v);
-            }
-            let p = h.percentile(q);
-            prop_assert!(p >= h.min() && p <= h.max());
-        }
+    /// Regression pinned from the pre-port proptest corpus
+    /// (`proptest-regressions/histogram.txt` shrank to `v = 64`, the
+    /// first value of a fresh power-of-two bucket).
+    #[test]
+    fn regression_bucket_error_bound_at_64() {
+        bucket_error_within_bound(64).unwrap();
+    }
 
-        /// merge(a, b) has the same percentiles as recording everything
-        /// into one histogram.
-        #[test]
-        fn prop_merge_equivalence(xs in prop::collection::vec(1u64..1_000_000, 1..100),
-                                  ys in prop::collection::vec(1u64..1_000_000, 1..100)) {
-            let mut merged = LogHistogram::new();
-            let mut single = LogHistogram::new();
-            let mut other = LogHistogram::new();
-            for &x in &xs { merged.record(x); single.record(x); }
-            for &y in &ys { other.record(y); single.record(y); }
-            merged.merge(&other);
-            prop_assert_eq!(merged.count(), single.count());
-            for q in [50.0, 95.0, 99.0] {
-                prop_assert_eq!(merged.percentile(q), single.percentile(q));
-            }
-        }
+    /// Invariant `histogram percentile bounds`: percentiles are monotone
+    /// in q and never leave the observed [min, max] range.
+    #[test]
+    fn prop_percentile_monotone() {
+        Check::new("histogram_percentile_monotone").run(
+            |rng, size| gen::vec_with(rng, size, 1, 200, |r| gen::u64_in(r, 1, 10_000_000)),
+            |values| {
+                let mut h = LogHistogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                let mut last = 0;
+                for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+                    let p = h.percentile(q);
+                    ensure!(p >= last, "p{q} = {p} below previous {last}");
+                    last = p;
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Percentiles never leave the observed [min, max] range.
+    #[test]
+    fn prop_percentile_bounded() {
+        Check::new("histogram_percentile_bounded").run(
+            |rng, size| {
+                let values = gen::vec_with(rng, size, 1, 200, |r| gen::u64_in(r, 1, 10_000_000));
+                let q = rng.next_f64_in(0.0, 100.0);
+                (values, q)
+            },
+            |(values, q)| {
+                let mut h = LogHistogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                let p = h.percentile(*q);
+                ensure!(
+                    p >= h.min() && p <= h.max(),
+                    "p{q} = {p} outside [{}, {}]",
+                    h.min(),
+                    h.max()
+                );
+                Ok(())
+            },
+        );
+    }
+
+    /// merge(a, b) has the same percentiles as recording everything
+    /// into one histogram.
+    #[test]
+    fn prop_merge_equivalence() {
+        Check::new("histogram_merge_equivalence").run(
+            |rng, size| {
+                let xs = gen::vec_with(rng, size, 1, 100, |r| gen::u64_in(r, 1, 1_000_000));
+                let ys = gen::vec_with(rng, size, 1, 100, |r| gen::u64_in(r, 1, 1_000_000));
+                (xs, ys)
+            },
+            |(xs, ys)| {
+                let mut merged = LogHistogram::new();
+                let mut single = LogHistogram::new();
+                let mut other = LogHistogram::new();
+                for &x in xs {
+                    merged.record(x);
+                    single.record(x);
+                }
+                for &y in ys {
+                    other.record(y);
+                    single.record(y);
+                }
+                merged.merge(&other);
+                ensure_eq!(merged.count(), single.count());
+                for q in [50.0, 95.0, 99.0] {
+                    ensure_eq!(merged.percentile(q), single.percentile(q));
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -191,7 +191,7 @@ impl RateTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::{ensure, gen, Check};
 
     #[test]
     fn timeseries_basics() {
@@ -245,30 +245,41 @@ mod tests {
         assert_eq!(rt.finish_normalized(200), vec![0.0, 0.0]);
     }
 
-    proptest! {
-        /// Total mass is conserved by windowing.
-        #[test]
-        fn prop_rate_mass_conserved(events in prop::collection::vec((0u64..10_000, 1u64..100), 1..100)) {
+    /// Generates `(timestamp, amount)` event pairs for the rate traces.
+    fn events(rng: &mut check::Rng, size: usize) -> Vec<(u64, u64)> {
+        gen::vec_with(rng, size, 1, 100, |r| {
+            (r.next_below(10_000), gen::u64_in(r, 1, 100))
+        })
+    }
+
+    /// Total mass is conserved by windowing.
+    #[test]
+    fn prop_rate_mass_conserved() {
+        Check::new("rate_trace_mass_conserved").run(events, |evs| {
             let mut rt = RateTrace::new("x", 137);
             let mut total = 0.0;
-            for &(t, a) in &events {
+            for &(t, a) in evs {
                 rt.add(t, a as f64);
                 total += a as f64;
             }
             let sum: f64 = rt.finish(10_200).iter().sum();
-            prop_assert!((sum - total).abs() < 1e-6);
-        }
+            ensure!((sum - total).abs() < 1e-6, "sum {sum} != total {total}");
+            Ok(())
+        });
+    }
 
-        /// Normalized bins are within [0, 1].
-        #[test]
-        fn prop_normalized_bounded(events in prop::collection::vec((0u64..10_000, 1u64..100), 1..100)) {
+    /// Normalized bins are within [0, 1].
+    #[test]
+    fn prop_normalized_bounded() {
+        Check::new("rate_trace_normalized_bounded").run(events, |evs| {
             let mut rt = RateTrace::new("x", 251);
-            for &(t, a) in &events {
+            for &(t, a) in evs {
                 rt.add(t, a as f64);
             }
             for v in rt.finish_normalized(10_200) {
-                prop_assert!((0.0..=1.0).contains(&v));
+                ensure!((0.0..=1.0).contains(&v), "bin {v} outside [0, 1]");
             }
-        }
+            Ok(())
+        });
     }
 }

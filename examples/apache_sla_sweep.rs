@@ -20,11 +20,18 @@ fn main() {
     // 1. Latency-load curve under perf -> SLA at the knee.
     let loads = [24_000.0, 36_000.0, 45_000.0, 54_000.0, 66_000.0, 75_000.0];
     let curve = run_experiments_parallel(
-        &loads.iter().map(|&l| cfg(Policy::Perf, l)).collect::<Vec<_>>(),
+        &loads
+            .iter()
+            .map(|&l| cfg(Policy::Perf, l))
+            .collect::<Vec<_>>(),
     );
     println!("perf latency-load curve:");
     for r in &curve {
-        println!("  {:>6.0} rps -> p95 {:6.2} ms", r.load_rps, r.latency.p95 as f64 / 1e6);
+        println!(
+            "  {:>6.0} rps -> p95 {:6.2} ms",
+            r.load_rps,
+            r.latency.p95 as f64 / 1e6
+        );
     }
     let base = curve[0].latency.p95;
     let knee = curve
@@ -42,7 +49,10 @@ fn main() {
     // 2. All policies at the paper's three Apache loads.
     for load in AppKind::Apache.paper_loads() {
         let results = run_experiments_parallel(
-            &Policy::ALL.iter().map(|&p| cfg(p, load)).collect::<Vec<_>>(),
+            &Policy::ALL
+                .iter()
+                .map(|&p| cfg(p, load))
+                .collect::<Vec<_>>(),
         );
         let perf_e = results[0].energy_j;
         println!("load {load:.0} rps:");
@@ -51,7 +61,11 @@ fn main() {
                 "  {:10} p95 {:6.2} ms  [{}]  energy {:5.2} J ({:.2}x perf)",
                 r.policy.name(),
                 r.latency.p95 as f64 / 1e6,
-                if r.latency.meets_sla(sla) { "SLA ok " } else { "VIOLATE" },
+                if r.latency.meets_sla(sla) {
+                    "SLA ok "
+                } else {
+                    "VIOLATE"
+                },
                 r.energy_j,
                 r.energy_j / perf_e,
             );

@@ -26,7 +26,11 @@ fn main() {
             .rebin((start as u64) * 1_000_000, end_ns, window);
 
         println!("--- {policy}: 100 ms of BW(Rx) vs F (1 ms bins) ---");
-        println!("      p95 = {:.2} ms, energy = {:.2} J", r.latency.p95 as f64 / 1e6, r.energy_j);
+        println!(
+            "      p95 = {:.2} ms, energy = {:.2} J",
+            r.latency.p95 as f64 / 1e6,
+            r.energy_j
+        );
         for (i, &f) in freq.iter().enumerate().take(window) {
             let bw = rx.get(start + i).copied().unwrap_or(0.0);
             let bin_lo = ((start + i) as u64) * 1_000_000;

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --example packet_inspection`
 
-use bytes::Bytes;
 use desim::{SimDuration, SimTime};
 use ncap::{IcrFlags, NcapConfig, NcapHardware, Sysfs};
 use netsim::http::{HttpRequest, MemcachedRequest};
 use netsim::packet::{NodeId, Packet, PAYLOAD_OFFSET};
+use netsim::Bytes;
 
 fn main() {
     // --- sysfs control plane ----------------------------------------------
@@ -40,7 +40,12 @@ fn main() {
         ),
         (
             "memcached get (latency-critical)",
-            Packet::request(NodeId(1), NodeId(0), 3, MemcachedRequest::get("k").to_payload()),
+            Packet::request(
+                NodeId(1),
+                NodeId(0),
+                3,
+                MemcachedRequest::get("k").to_payload(),
+            ),
         ),
         (
             "bulk analytics frame (ignored)",
@@ -60,7 +65,9 @@ fn main() {
         let icr = hw.on_rx_frame(t, frame);
         println!(
             "{label:35} leading bytes {:?} -> counted: {}, immediate IRQ: {}",
-            frame.leading_bytes().map(|b| String::from_utf8_lossy(&b).into_owned()),
+            frame
+                .leading_bytes()
+                .map(|b| String::from_utf8_lossy(&b).into_owned()),
             hw.monitor().req_cnt() > before,
             icr.is_some(),
         );
@@ -76,7 +83,12 @@ fn main() {
     hw.on_mitt_expiry(now); // baseline
     for i in 0..20u64 {
         now += SimDuration::from_nanos(2_000);
-        let frame = Packet::request(NodeId(1), NodeId(0), 100 + i, HttpRequest::get("/b").to_payload());
+        let frame = Packet::request(
+            NodeId(1),
+            NodeId(0),
+            100 + i,
+            HttpRequest::get("/b").to_payload(),
+        );
         hw.on_rx_frame(now, &frame);
     }
     now += SimDuration::from_us(50);

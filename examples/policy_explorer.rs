@@ -16,10 +16,7 @@ fn parse_args() -> (AppKind, f64, u8, u64) {
         Some("apache") => AppKind::Apache,
         _ => AppKind::Memcached,
     };
-    let load = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(35_000.0);
+    let load = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(35_000.0);
     let fcons = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
     let cit_us = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
     (app, load, fcons, cit_us)
@@ -60,7 +57,10 @@ fn main() {
     let yours = &results[2];
     println!(
         "\nyour configuration: {} of perf's tail latency at {} of its energy",
-        format_args!("{:.0}%", yours.latency.p95 as f64 / perf.latency.p95 as f64 * 100.0),
+        format_args!(
+            "{:.0}%",
+            yours.latency.p95 as f64 / perf.latency.p95 as f64 * 100.0
+        ),
         format_args!("{:.0}%", yours.energy_j / perf.energy_j * 100.0),
     );
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The full local verification gate. Offline-safe: the workspace has zero
+# external dependencies, so nothing here touches a registry or network.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (debug build + tests + lints only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+if [ "$quick" = 0 ]; then
+    run cargo build --release --workspace
+fi
+run cargo test --workspace -q
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# Hermeticity: no external crates may creep back into any manifest.
+if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "verify: external dependency found in a manifest" >&2
+    exit 1
+fi
+
+echo "verify: all gates passed"

@@ -63,8 +63,14 @@ fn energy_ordering_matches_paper_at_low_load() {
     let ncap = e(Policy::NcapAggr);
     assert!(perf > ond, "perf {perf} > ond {ond}");
     assert!(ond > perf_idle, "ond {ond} > perf.idle {perf_idle}");
-    assert!(perf_idle > ond_idle * 0.95, "perf.idle {perf_idle} vs ond.idle {ond_idle}");
-    assert!(ncap < perf * 0.75, "ncap.aggr {ncap} must save ≥25% vs perf {perf}");
+    assert!(
+        perf_idle > ond_idle * 0.95,
+        "perf.idle {perf_idle} vs ond.idle {ond_idle}"
+    );
+    assert!(
+        ncap < perf * 0.75,
+        "ncap.aggr {ncap} must save ≥25% vs perf {perf}"
+    );
 }
 
 #[test]
@@ -79,7 +85,12 @@ fn ncap_hardware_beats_software_variant() {
         hw.latency.p95,
         sw.latency.p95
     );
-    assert!(hw.energy_j <= sw.energy_j * 1.02, "hw {} vs sw {}", hw.energy_j, sw.energy_j);
+    assert!(
+        hw.energy_j <= sw.energy_j * 1.02,
+        "hw {} vs sw {}",
+        hw.energy_j,
+        sw.energy_j
+    );
 }
 
 #[test]
@@ -117,7 +128,8 @@ fn context_awareness_ignores_background_traffic() {
         rate: 80_000.0,
         burst_size: 400,
     };
-    let aware = run_experiment(&quick(AppKind::Apache, Policy::NcapCons, 24_000.0).with_background(bg));
+    let aware =
+        run_experiment(&quick(AppKind::Apache, Policy::NcapCons, 24_000.0).with_background(bg));
     let naive = run_experiment(
         &quick(AppKind::Apache, Policy::NcapCons, 24_000.0)
             .with_background(bg)
@@ -147,13 +159,54 @@ fn deterministic_across_serial_and_parallel_runs() {
 }
 
 #[test]
+fn same_config_and_seed_is_byte_identical() {
+    // The repo's reproducibility contract: a run is a pure function of
+    // (config, seed). The Debug rendering covers every public field of
+    // ExperimentResult (floats print with exact round-trip precision),
+    // so equal strings mean byte-identical results — across two
+    // sequential runs AND across worker-thread counts of the parallel
+    // runner (1 thread vs N threads, N > number of jobs included).
+    let cfgs = vec![
+        quick(AppKind::Memcached, Policy::NcapCons, 35_000.0).with_seed(7),
+        quick(AppKind::Apache, Policy::OndIdle, 24_000.0).with_seed(7),
+        quick(AppKind::Memcached, Policy::Perf, 90_000.0),
+    ];
+    let render = |rs: &[cluster::ExperimentResult]| -> Vec<String> {
+        rs.iter().map(|r| format!("{r:?}")).collect()
+    };
+
+    let first = render(&cfgs.iter().map(run_experiment).collect::<Vec<_>>());
+    let second = render(&cfgs.iter().map(run_experiment).collect::<Vec<_>>());
+    assert_eq!(first, second, "two sequential runs must be identical");
+
+    let one_thread = render(&cluster::run_experiments_on(&cfgs, 1));
+    assert_eq!(
+        first, one_thread,
+        "1-thread parallel runner must match serial"
+    );
+    for threads in [2, 8] {
+        let n_threads = render(&cluster::run_experiments_on(&cfgs, threads));
+        assert_eq!(
+            one_thread, n_threads,
+            "{threads}-thread parallel runner must match 1-thread"
+        );
+    }
+}
+
+#[test]
 fn seeds_change_results_but_not_shape() {
     let a = run_experiment(&quick(AppKind::Memcached, Policy::NcapCons, 35_000.0).with_seed(1));
     let b = run_experiment(&quick(AppKind::Memcached, Policy::NcapCons, 35_000.0).with_seed(2));
     // p95 may collide inside one histogram bucket; the exact mean differs.
-    assert_ne!(a.latency.mean, b.latency.mean, "different seeds should differ");
+    assert_ne!(
+        a.latency.mean, b.latency.mean,
+        "different seeds should differ"
+    );
     let rel = (a.energy_j - b.energy_j).abs() / a.energy_j;
-    assert!(rel < 0.15, "energy should be seed-stable to ~15%, got {rel}");
+    assert!(
+        rel < 0.15,
+        "energy should be seed-stable to ~15%, got {rel}"
+    );
 }
 
 #[test]
@@ -236,7 +289,8 @@ fn overload_sheds_via_rx_ring_drops() {
 #[test]
 fn ladder_governor_is_a_drop_in_replacement() {
     let menu = run_experiment(&quick(AppKind::Memcached, Policy::PerfIdle, 35_000.0));
-    let ladder = run_experiment(&quick(AppKind::Memcached, Policy::PerfIdle, 35_000.0).with_ladder());
+    let ladder =
+        run_experiment(&quick(AppKind::Memcached, Policy::PerfIdle, 35_000.0).with_ladder());
     assert!(ladder.goodput() > 0.9);
     // Ladder climbs to deep states one sleep at a time, so it spends more
     // energy than menu's direct-to-C6 jumps on long inter-burst idles.
@@ -293,10 +347,13 @@ fn multi_queue_nic_preserves_correctness() {
     // The §7 RSS extension: four vectors pinned to four cores must serve
     // the same workload with the same goodput as the single-queue NIC.
     let single = run_experiment(&quick(AppKind::Memcached, Policy::NcapCons, 60_000.0));
-    let multi = run_experiment(
-        &quick(AppKind::Memcached, Policy::NcapCons, 60_000.0).with_nic_queues(4),
+    let multi =
+        run_experiment(&quick(AppKind::Memcached, Policy::NcapCons, 60_000.0).with_nic_queues(4));
+    assert!(
+        multi.goodput() > 0.9,
+        "multi-queue goodput {}",
+        multi.goodput()
     );
-    assert!(multi.goodput() > 0.9, "multi-queue goodput {}", multi.goodput());
     assert_eq!(multi.rx_drops, 0);
     // Spreading the stack across cores cannot be slower at the tail than
     // funnelling everything through core 0 (allow noise).

@@ -1,13 +1,13 @@
 //! Integration tests at the substrate seams: kernel + NIC + NCAP without
 //! the full cluster, and conservation properties of the accounting.
 
-use bytes::Bytes;
 use cluster::{run_experiment, AppKind, ExperimentConfig, Policy};
 use cpusim::{CState, Core, CoreId, PStateTable, PowerModel};
 use desim::{SimDuration, SimTime};
 use ncap::{IcrFlags, NcapConfig};
 use netsim::http::HttpRequest;
 use netsim::packet::{NodeId, Packet};
+use netsim::Bytes;
 use nicsim::{Nic, NicConfig};
 
 /// The headline mechanism, at NIC level: a request arriving at a quiet,
@@ -76,18 +76,28 @@ fn core_time_accounting_is_conserved() {
     let per_core_expected = cfg.measure;
     let total = r.energy.total_time();
     // 4 cores + 1 uncore track, each covering the measured window.
-    assert_eq!(total, per_core_expected * 5, "accounted {total} vs horizon {horizon}");
+    assert_eq!(
+        total,
+        per_core_expected * 5,
+        "accounted {total} vs horizon {horizon}"
+    );
 }
 
 /// A core driven through a realistic sequence bills every nanosecond.
 #[test]
 fn core_full_lifecycle_accounting() {
     let table = PStateTable::i7_like();
-    let mut core = Core::new(CoreId(0), table.clone(), PowerModel::i7_like(), table.deepest());
+    let mut core = Core::new(
+        CoreId(0),
+        table.clone(),
+        PowerModel::i7_like(),
+        table.deepest(),
+    );
     // idle → work → DVFS up mid-job → complete → sleep → wake.
     core.sync(SimTime::from_us(100));
     core.begin_job(SimTime::from_us(100), 1_000_000.0).unwrap();
-    core.set_pstate(SimTime::from_us(200), table.fastest()).unwrap();
+    core.set_pstate(SimTime::from_us(200), table.fastest())
+        .unwrap();
     let eta = core.job_eta(SimTime::from_us(200)).unwrap();
     core.complete_job(eta).unwrap();
     core.enter_sleep(eta, CState::C6).unwrap();
@@ -120,7 +130,10 @@ fn icr_accumulation_across_subsystems() {
     assert_eq!(raised, vec![0]);
     let icr = nic.read_icr(0);
     assert!(icr.contains(IcrFlags::IT_RX), "RX cause present: {icr}");
-    assert!(icr.contains(IcrFlags::IT_HIGH), "boost cause present: {icr}");
+    assert!(
+        icr.contains(IcrFlags::IT_HIGH),
+        "boost cause present: {icr}"
+    );
     assert!(nic.read_icr(0).is_empty(), "read clears");
 }
 
