@@ -9,9 +9,12 @@
 //! ncap run   --app memcached --policy ncap.cons --load 35000 [flags]
 //! ncap sweep --app apache --policies perf,ncap.cons --loads 20000,40000,60000
 //! ncap sla   --app memcached
+//! ncap trace --app memcached --policy ncap.cons --load 35000 --out traces/
 //! ```
 
-use cluster::{run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy};
+use cluster::{
+    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy, TraceConfig,
+};
 use desim::SimDuration;
 use simstats::{fmt_ns, Table};
 
@@ -29,6 +32,8 @@ pub enum Command {
         /// The application to sweep.
         app: AppKind,
     },
+    /// Run one experiment with event tracing and export Perfetto/CSV.
+    Trace(TraceArgs),
     /// Print usage.
     Help,
 }
@@ -56,6 +61,17 @@ pub struct RunArgs {
     pub per_core: bool,
     /// TOE on the server NIC.
     pub toe: bool,
+}
+
+/// Arguments of `ncap trace`: an ordinary run plus an output directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// The experiment to run (same knobs as `ncap run`).
+    pub run: RunArgs,
+    /// Directory receiving `trace.json` and `trace.csv`.
+    pub out: String,
+    /// Metrics bin width for the CSV export, microseconds.
+    pub window_us: u64,
 }
 
 /// Arguments of `ncap sweep`.
@@ -115,6 +131,64 @@ fn take_value<'a>(
         .ok_or_else(|| ParseError(format!("{flag} requires a value")))
 }
 
+fn default_run_args() -> RunArgs {
+    RunArgs {
+        app: AppKind::Memcached,
+        policy: Policy::NcapCons,
+        load: 35_000.0,
+        measure_ms: 400,
+        warmup_ms: 100,
+        seed: 0x4E43_4150,
+        poisson: false,
+        queues: 1,
+        per_core: false,
+        toe: false,
+    }
+}
+
+/// Applies one `run`-style flag; returns `Ok(false)` if the flag is not
+/// one of the shared run/trace flags.
+fn apply_run_flag<'a>(
+    a: &mut RunArgs,
+    flag: &'a str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<bool, ParseError> {
+    match flag {
+        "--app" => a.app = parse_app(take_value(it, flag)?)?,
+        "--policy" => a.policy = parse_policy(take_value(it, flag)?)?,
+        "--load" => {
+            a.load = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--load expects a number".into()))?;
+        }
+        "--measure-ms" => {
+            a.measure_ms = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--measure-ms expects an integer".into()))?;
+        }
+        "--warmup-ms" => {
+            a.warmup_ms = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--warmup-ms expects an integer".into()))?;
+        }
+        "--seed" => {
+            a.seed = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--seed expects an integer".into()))?;
+        }
+        "--queues" => {
+            a.queues = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--queues expects an integer".into()))?;
+        }
+        "--poisson" => a.poisson = true,
+        "--per-core" => a.per_core = true,
+        "--toe" => a.toe = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -141,57 +215,51 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
             })
         }
         "run" => {
-            let mut a = RunArgs {
-                app: AppKind::Memcached,
-                policy: Policy::NcapCons,
-                load: 35_000.0,
-                measure_ms: 400,
-                warmup_ms: 100,
-                seed: 0x4E43_4150,
-                poisson: false,
-                queues: 1,
-                per_core: false,
-                toe: false,
-            };
+            let mut a = default_run_args();
             while let Some(flag) = it.next() {
-                match flag {
-                    "--app" => a.app = parse_app(take_value(&mut it, flag)?)?,
-                    "--policy" => a.policy = parse_policy(take_value(&mut it, flag)?)?,
-                    "--load" => {
-                        a.load = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ParseError("--load expects a number".into()))?;
-                    }
-                    "--measure-ms" => {
-                        a.measure_ms = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ParseError("--measure-ms expects an integer".into()))?;
-                    }
-                    "--warmup-ms" => {
-                        a.warmup_ms = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ParseError("--warmup-ms expects an integer".into()))?;
-                    }
-                    "--seed" => {
-                        a.seed = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ParseError("--seed expects an integer".into()))?;
-                    }
-                    "--queues" => {
-                        a.queues = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ParseError("--queues expects an integer".into()))?;
-                    }
-                    "--poisson" => a.poisson = true,
-                    "--per-core" => a.per_core = true,
-                    "--toe" => a.toe = true,
-                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                if !apply_run_flag(&mut a, flag, &mut it)? {
+                    return Err(ParseError(format!("unknown flag '{flag}'")));
                 }
             }
             if a.load <= 0.0 {
                 return Err(ParseError("--load must be positive".into()));
             }
             Ok(Command::Run(a))
+        }
+        "trace" => {
+            // Traced runs default to a short window: the event ring holds
+            // the full stream for tens of simulated milliseconds.
+            let mut a = default_run_args();
+            a.warmup_ms = 10;
+            a.measure_ms = 40;
+            let mut out = None;
+            let mut window_us = 1_000;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => out = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--window-us" => {
+                        window_us = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--window-us expects an integer".into()))?;
+                        if window_us == 0 {
+                            return Err(ParseError("--window-us must be positive".into()));
+                        }
+                    }
+                    other => {
+                        if !apply_run_flag(&mut a, other, &mut it)? {
+                            return Err(ParseError(format!("unknown flag '{other}'")));
+                        }
+                    }
+                }
+            }
+            if a.load <= 0.0 {
+                return Err(ParseError("--load must be positive".into()));
+            }
+            Ok(Command::Trace(TraceArgs {
+                run: a,
+                out: out.ok_or_else(|| ParseError("trace requires --out".into()))?,
+                window_us,
+            }))
         }
         "sweep" => {
             let mut app = None;
@@ -256,7 +324,34 @@ USAGE:
   ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
              [--measure-ms N]
   ncap sla   --app apache|memcached
+  ncap trace --out <dir> [run flags] [--window-us N]
+             runs one experiment with structured event tracing and writes
+             <dir>/trace.json (Perfetto/chrome://tracing) and
+             <dir>/trace.csv (windowed metrics)
 ";
+
+/// Builds the [`ExperimentConfig`] for a set of `run`-style arguments.
+fn run_config(a: &RunArgs) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(a.app, a.policy, a.load)
+        .with_durations(
+            SimDuration::from_ms(a.warmup_ms),
+            SimDuration::from_ms(a.measure_ms),
+        )
+        .with_seed(a.seed);
+    if a.poisson {
+        cfg = cfg.with_poisson();
+    }
+    if a.queues > 1 {
+        cfg = cfg.with_nic_queues(a.queues);
+    }
+    if a.per_core {
+        cfg = cfg.with_per_core_boost();
+    }
+    if a.toe {
+        cfg = cfg.with_toe(nicsim::ToeConfig::typical());
+    }
+    cfg
+}
 
 /// Executes a parsed command, printing to stdout. Returns the process
 /// exit code.
@@ -297,25 +392,7 @@ pub fn execute(cmd: Command) -> i32 {
             0
         }
         Command::Run(a) => {
-            let mut cfg = ExperimentConfig::new(a.app, a.policy, a.load)
-                .with_durations(
-                    SimDuration::from_ms(a.warmup_ms),
-                    SimDuration::from_ms(a.measure_ms),
-                )
-                .with_seed(a.seed);
-            if a.poisson {
-                cfg = cfg.with_poisson();
-            }
-            if a.queues > 1 {
-                cfg = cfg.with_nic_queues(a.queues);
-            }
-            if a.per_core {
-                cfg = cfg.with_per_core_boost();
-            }
-            if a.toe {
-                cfg = cfg.with_toe(nicsim::ToeConfig::typical());
-            }
-            let r = run_experiment(&cfg);
+            let r = run_experiment(&run_config(&a));
             println!(
                 "{} / {} @ {:.0} rps over {} ms:",
                 a.app, a.policy, a.load, a.measure_ms
@@ -376,6 +453,54 @@ pub fn execute(cmd: Command) -> i32 {
                 ]);
             }
             println!("{t}");
+            0
+        }
+        Command::Trace(t) => {
+            let a = &t.run;
+            let cfg = run_config(a)
+                .with_trace(TraceConfig::per_ms())
+                .with_event_trace(
+                    simtrace::TracerConfig::default().with_window_ns(t.window_us * 1_000),
+                );
+            let r = run_experiment(&cfg);
+            let Some(data) = r.sim_trace else {
+                eprintln!("internal error: traced run returned no trace data");
+                return 1;
+            };
+            let horizon_ns = (a.warmup_ms + a.measure_ms) * 1_000_000;
+            let dir = std::path::Path::new(&t.out);
+            let json_path = dir.join("trace.json");
+            let csv_path = dir.join("trace.csv");
+            let written = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&json_path, data.to_chrome_json()))
+                .and_then(|()| std::fs::write(&csv_path, data.to_csv(horizon_ns)));
+            if let Err(e) = written {
+                eprintln!("cannot write traces under {}: {e}", t.out);
+                return 1;
+            }
+            let comps = data.components_with_spans();
+            println!(
+                "traced {} / {} @ {:.0} rps over {} ms (+{} ms warmup):",
+                a.app, a.policy, a.load, a.measure_ms, a.warmup_ms
+            );
+            println!(
+                "  events   {} recorded, {} dropped (ring capacity {})",
+                data.events.len(),
+                data.dropped,
+                data.config.capacity
+            );
+            println!(
+                "  spans    from {} components: {}",
+                comps.len(),
+                comps.join(", ")
+            );
+            println!(
+                "  latency  p95 {}  p99 {}",
+                fmt_ns(r.latency.p95),
+                fmt_ns(r.latency.p99)
+            );
+            println!("  wrote    {}", json_path.display());
+            println!("  wrote    {}", csv_path.display());
             0
         }
         Command::Sla { app } => {
@@ -493,6 +618,68 @@ mod tests {
         assert!(parse(["run", "--load"]).is_err());
         assert!(parse(["run", "--load", "-5"]).is_err());
         assert!(parse(["sla"]).is_err());
+        assert!(parse(["trace"]).is_err(), "trace requires --out");
+        assert!(parse(["trace", "--out", "x", "--window-us", "0"]).is_err());
+        assert!(parse(["trace", "--out", "x", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_with_run_flags() {
+        let cmd = parse([
+            "trace",
+            "--out",
+            "traces/demo",
+            "--app",
+            "memcached",
+            "--policy",
+            "ncap.cons",
+            "--load",
+            "35000",
+            "--seed",
+            "3",
+            "--window-us",
+            "500",
+        ])
+        .unwrap();
+        let Command::Trace(t) = cmd else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.out, "traces/demo");
+        assert_eq!(t.window_us, 500);
+        assert_eq!(t.run.app, AppKind::Memcached);
+        assert_eq!(t.run.policy, Policy::NcapCons);
+        assert_eq!(t.run.seed, 3);
+        // trace defaults to a short window, overridable with run flags.
+        assert_eq!(t.run.warmup_ms, 10);
+        assert_eq!(t.run.measure_ms, 40);
+    }
+
+    #[test]
+    fn tiny_trace_executes_and_writes_exports() {
+        let dir = std::env::temp_dir().join(format!("ncap-trace-test-{}", std::process::id()));
+        let Command::Trace(mut t) = parse([
+            "trace",
+            "--out",
+            dir.to_str().unwrap(),
+            "--app",
+            "memcached",
+            "--policy",
+            "ncap.cons",
+            "--load",
+            "30000",
+        ])
+        .unwrap() else {
+            panic!("expected trace");
+        };
+        t.run.warmup_ms = 5;
+        t.run.measure_ms = 15;
+        assert_eq!(execute(Command::Trace(t)), 0);
+        let json = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(json.starts_with('{') && json.contains("\"traceEvents\""));
+        let csv = std::fs::read_to_string(dir.join("trace.csv")).unwrap();
+        assert!(csv.starts_with("time_ns,"));
+        assert!(csv.lines().next().unwrap().contains("cluster.bw_rx"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

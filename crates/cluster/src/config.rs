@@ -81,6 +81,10 @@ pub struct ExperimentConfig {
     pub ncap_override: Option<ncap::NcapConfig>,
     /// Optional bandwidth/frequency tracing.
     pub trace: Option<TraceConfig>,
+    /// Optional structured event tracing: install a `simtrace` tracer
+    /// for the run and attach the collected [`simtrace::TraceData`] to
+    /// the result (Perfetto/CSV export).
+    pub event_trace: Option<simtrace::TracerConfig>,
     /// Optional background traffic from an extra client.
     pub background: Option<BackgroundTraffic>,
     /// Enable the paper's §7 per-core boost extension (multi-queue NICs).
@@ -121,6 +125,7 @@ impl ExperimentConfig {
             ondemand_period: SimDuration::from_ms(10),
             ncap_override: None,
             trace: None,
+            event_trace: None,
             background: None,
             per_core_boost: false,
             use_ladder: false,
@@ -165,6 +170,13 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Enables structured event tracing (builder style).
+    #[must_use]
+    pub fn with_event_trace(mut self, config: simtrace::TracerConfig) -> Self {
+        self.event_trace = Some(config);
         self
     }
 

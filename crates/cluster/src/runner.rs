@@ -40,6 +40,9 @@ pub struct ExperimentResult {
     pub measure: desim::SimDuration,
     /// Optional traces.
     pub traces: Option<Traces>,
+    /// Structured event trace (when [`ExperimentConfig::with_event_trace`]
+    /// was set, or the `NCAP_TRACE` environment variable enabled tracing).
+    pub sim_trace: Option<simtrace::TraceData>,
     /// Sampled server-side request waterfalls (when
     /// [`ExperimentConfig::with_request_tracing`] was set).
     pub server_request_traces: Option<Vec<oskernel::RequestTrace>>,
@@ -170,12 +173,29 @@ fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClie
     (clients, background)
 }
 
+/// `true` when the `NCAP_TRACE` environment variable requests event
+/// tracing for every experiment (used by the bench/CI smoke harness).
+fn env_trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("NCAP_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 /// Runs one experiment to its horizon and collects the results.
 ///
 /// Deterministic: equal configurations (including seed) produce equal
 /// results.
 #[must_use]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    // Event tracing wraps the run: the tracer is thread-local and each
+    // experiment runs wholly on one thread, so parallel batches trace
+    // independently. Tracing never feeds back into the simulation, so
+    // results are identical with it on or off.
+    let event_trace = cfg
+        .event_trace
+        .or_else(|| env_trace_enabled().then(simtrace::TracerConfig::default));
+    if let Some(tc) = event_trace {
+        simtrace::install(tc);
+    }
     let server_id = NodeId(0);
     let server = build_server(cfg, server_id);
     let (clients, background) = build_clients(cfg, server_id);
@@ -187,6 +207,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         sim.queue_mut().push(t, e);
     }
     sim.run_until(horizon);
+    let sim_trace = simtrace::uninstall();
     let now = sim.now();
     let cluster = sim.handler_mut();
     cluster.finalize(now);
@@ -205,6 +226,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         rx_drops: cluster.server().nic().rx_drops(),
         measure: cfg.measure,
         traces: None,
+        sim_trace,
         server_request_traces: cfg
             .request_trace_every
             .map(|_| cluster.server().request_traces().to_vec()),

@@ -7,7 +7,7 @@
 //! response tracker (per the paper's methodology, client-side processing
 //! is not modelled — latency is measured at the final response frame).
 
-use crate::trace::{TraceConfig, Traces};
+use crate::trace::{TraceCollector, TraceConfig, Traces};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{EventHandler, EventQueue, SimDuration, SimTime};
 use netsim::{NodeId, Packet, Switch};
@@ -43,7 +43,8 @@ pub struct ClusterSim {
     background: Vec<bool>,
     tracker: ResponseTracker,
     switch: Switch,
-    traces: Option<Traces>,
+    collector: Option<TraceCollector>,
+    finished_traces: Option<Traces>,
     sample_period: SimDuration,
     load_end: SimTime,
     measure_start: SimTime,
@@ -115,7 +116,8 @@ impl ClusterSim {
             background,
             tracker: ResponseTracker::new(),
             switch,
-            traces: trace.map(Traces::new),
+            collector: trace.map(TraceCollector::new),
+            finished_traces: None,
             sample_period,
             load_end: SimTime::MAX,
             measure_start: SimTime::ZERO,
@@ -157,7 +159,7 @@ impl ClusterSim {
         if !warmup.is_zero() {
             events.push((SimTime::ZERO + warmup, ClusterEvent::StartMeasure));
         }
-        if self.traces.is_some() {
+        if self.collector.is_some() {
             events.push((SimTime::ZERO + self.sample_period, ClusterEvent::Sample));
         }
         events
@@ -182,9 +184,11 @@ impl ClusterSim {
             queue.push(t, ClusterEvent::Server(node, e));
         }
         for frame in fx.transmit {
-            if let Some(tr) = self.traces.as_mut() {
-                tr.tx.add(now.as_nanos(), frame.wire_len() as f64);
+            let bytes = frame.wire_len() as f64;
+            if let Some(tr) = self.collector.as_mut() {
+                tr.on_tx(now, bytes);
             }
+            simtrace::metric_add("cluster", "bw_tx", now.as_nanos(), bytes);
             self.route(now, frame, queue);
         }
     }
@@ -214,9 +218,11 @@ impl ClusterSim {
 
     fn on_deliver(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
         if let Some(si) = self.server_index(frame.dst()) {
-            if let Some(tr) = self.traces.as_mut() {
-                tr.rx.add(now.as_nanos(), frame.wire_len() as f64);
+            let bytes = frame.wire_len() as f64;
+            if let Some(tr) = self.collector.as_mut() {
+                tr.on_rx(now, bytes);
             }
+            simtrace::metric_add("cluster", "bw_rx", now.as_nanos(), bytes);
             let node = self.servers[si].node();
             let fx = self.servers[si].handle(now, NodeEvent::FrameFromWire(frame));
             self.apply_effects(now, node, fx, queue);
@@ -237,7 +243,7 @@ impl ClusterSim {
             cstate[i] = cores.iter().map(|c| c.energy().time_in(*m)).sum();
         }
         let ncores = cores.len();
-        if let Some(tr) = self.traces.as_mut() {
+        if let Some(tr) = self.collector.as_mut() {
             tr.sample(now, freq_ghz, total_busy, cstate, ncores);
         }
         queue.push(now + self.sample_period, ClusterEvent::Sample);
@@ -272,8 +278,9 @@ impl ClusterSim {
         for s in &mut self.servers {
             s.finalize(now);
         }
-        if let Some(tr) = self.traces.as_mut() {
-            tr.wake_markers = self.servers[0].wake_marker_times().to_vec();
+        if let Some(tr) = self.collector.take() {
+            let markers = self.servers[0].wake_marker_times().to_vec();
+            self.finished_traces = Some(tr.finish(markers));
         }
     }
 
@@ -324,16 +331,18 @@ impl ClusterSim {
         &self.servers
     }
 
-    /// The collected traces, if tracing was enabled.
+    /// The collected traces, if tracing was enabled. Available after
+    /// [`finalize`](Self::finalize).
     #[must_use]
     pub fn traces(&self) -> Option<&Traces> {
-        self.traces.as_ref()
+        self.finished_traces.as_ref()
     }
 
-    /// Consumes the simulation, returning the traces.
+    /// Consumes the simulation, returning the traces (reconstructed at
+    /// [`finalize`](Self::finalize)).
     #[must_use]
     pub fn into_traces(self) -> Option<Traces> {
-        self.traces
+        self.finished_traces
     }
 }
 
@@ -341,6 +350,17 @@ impl EventHandler for ClusterSim {
     type Event = ClusterEvent;
 
     fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
+        // Scope trace events to the node whose state this event mutates,
+        // so exports get one Perfetto process per node.
+        if simtrace::is_enabled() {
+            let node = match &event {
+                ClusterEvent::Server(node, _) => node.0,
+                ClusterEvent::Deliver { frame } => frame.dst().0,
+                ClusterEvent::ClientBurst { idx } => self.clients[*idx].config().me.0,
+                ClusterEvent::Sample | ClusterEvent::StartMeasure => self.servers[0].node().0,
+            };
+            simtrace::set_node(node);
+        }
         match event {
             ClusterEvent::Server(node, e) => {
                 let si = self.server_index(node).expect("event for a known server");

@@ -105,6 +105,11 @@ impl DecisionEngine {
     pub fn on_request_detected(&mut self, now: SimTime) -> Option<IcrFlags> {
         if now.saturating_since(self.last_interrupt) > self.config.cit {
             self.wake_posted += 1;
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::instant("core", "cit_wake", t);
+                simtrace::metric_add("core", "cit_wakes", t, 1.0);
+            }
             Some(IcrFlags::IT_RX)
         } else {
             None
@@ -138,6 +143,18 @@ impl DecisionEngine {
             tx_rate_bps: d_tx as f64 * 8.0 / secs,
         };
         self.last_sample = Some(sample);
+        if simtrace::is_enabled() {
+            simtrace::complete(
+                "core",
+                "rate_eval",
+                now.as_nanos(),
+                0,
+                &[
+                    simtrace::arg("req_rps", sample.req_rate_rps),
+                    simtrace::arg("tx_bps", sample.tx_rate_bps),
+                ],
+            );
+        }
 
         if sample.req_rate_rps > self.config.rht_rps {
             // Burst of latency-critical requests.
@@ -145,6 +162,7 @@ impl DecisionEngine {
             self.last_low_emit = None;
             if !self.freq_at_max {
                 self.high_posted += 1;
+                simtrace::metric_add("core", "verdict_high", now.as_nanos(), 1.0);
                 return Some(IcrFlags::IT_HIGH | IcrFlags::IT_RX);
             }
             return None;
@@ -157,6 +175,7 @@ impl DecisionEngine {
             {
                 self.last_low_emit = Some(now);
                 self.low_posted += 1;
+                simtrace::metric_add("core", "verdict_low", now.as_nanos(), 1.0);
                 return Some(IcrFlags::IT_LOW);
             }
         } else {

@@ -76,6 +76,7 @@ impl ReqMonitor {
         self.frames_seen += 1;
         if self.match_all {
             self.req_cnt += 1;
+            simtrace::metric_add_cum("core", "req_matches", 1.0);
             return true;
         }
         let Some(lead) = frame.leading_bytes() else {
@@ -83,6 +84,7 @@ impl ReqMonitor {
         };
         if self.templates.contains(&lead) {
             self.req_cnt += 1;
+            simtrace::metric_add_cum("core", "req_matches", 1.0);
             true
         } else {
             false

@@ -34,6 +34,7 @@ impl TxBytesCounter {
     pub fn on_transmit(&mut self, wire_bytes: usize) {
         self.tx_bytes += wire_bytes as u64;
         self.tx_frames += 1;
+        simtrace::metric_add_cum("core", "tx_bytes", wire_bytes as f64);
     }
 
     /// Cumulative transmitted bytes (`TxCnt`).

@@ -334,6 +334,21 @@ impl Core {
                 halt_start: plan.halt_start,
                 effective_at: plan.effective_at,
             });
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::instant_args(
+                    "cpu",
+                    "pstate_transition",
+                    t,
+                    &[
+                        simtrace::arg("core", self.id.0),
+                        simtrace::arg("from", self.pstate.0),
+                        simtrace::arg("to", target.0),
+                        simtrace::arg("effective_ns", plan.effective_at.as_nanos()),
+                    ],
+                );
+                simtrace::metric_add("cpu", "pstate_transitions", t, 1.0);
+            }
         }
         Ok(plan)
     }
@@ -430,6 +445,13 @@ impl Core {
         }
         self.state = State::Asleep { c };
         self.sleep_entries[c.index()] += 1;
+        simtrace::span_begin_args(
+            "cpu",
+            "sleep",
+            now.as_nanos(),
+            u32::from(self.id.0),
+            &[simtrace::arg("cstate", c.index() as u64 + 1)],
+        );
         // One-off transition overhead (context save/restore, cache flush
         // and refill, voltage ramps), billed as wake-path energy.
         let overhead = self.power.transition_energy(&self.table, self.pstate, c);
@@ -449,6 +471,21 @@ impl Core {
             State::Asleep { c } => {
                 let ready = now + c.exit_latency();
                 self.state = State::Waking { c, ready };
+                if simtrace::is_enabled() {
+                    let t = now.as_nanos();
+                    let lane = u32::from(self.id.0);
+                    simtrace::span_end("cpu", "sleep", t, lane);
+                    simtrace::instant_args(
+                        "cpu",
+                        "wake",
+                        t,
+                        &[
+                            simtrace::arg("core", self.id.0),
+                            simtrace::arg("exit_latency_ns", c.exit_latency().as_nanos()),
+                        ],
+                    );
+                    simtrace::metric_add("cpu", "wakes", t, 1.0);
+                }
                 Ok(ready)
             }
             State::Waking { ready, .. } => Ok(ready),

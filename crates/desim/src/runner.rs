@@ -143,6 +143,7 @@ impl<H: EventHandler> Simulation<H> {
                     self.now = time;
                     self.processed += 1;
                     self.handler.handle(time, event, &mut self.queue);
+                    Self::trace_dispatch(time);
                 }
             }
         }
@@ -160,7 +161,20 @@ impl<H: EventHandler> Simulation<H> {
         self.now = time;
         self.processed += 1;
         self.handler.handle(time, event, &mut self.queue);
+        Self::trace_dispatch(time);
         Some(time)
+    }
+
+    /// Records one event dispatch on the installed tracer (no-op when
+    /// tracing is disabled). The handler runs in zero simulated time, so
+    /// the dispatch is a zero-duration complete-span at `time`.
+    #[inline]
+    fn trace_dispatch(time: SimTime) {
+        if simtrace::is_enabled() {
+            let t = time.as_nanos();
+            simtrace::complete("desim", "dispatch", t, 0, &[]);
+            simtrace::metric_add("desim", "events_dispatched", t, 1.0);
+        }
     }
 }
 

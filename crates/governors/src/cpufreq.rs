@@ -162,18 +162,30 @@ impl Default for Ondemand {
 impl CpufreqGovernor for Ondemand {
     fn target(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         utilization: f64,
         _current: PStateId,
         table: &PStateTable,
     ) -> PStateId {
         self.invocations += 1;
         let u = utilization.clamp(0.0, 1.0);
-        if u > self.up_threshold {
+        let target = if u > self.up_threshold {
             table.fastest()
         } else {
             table.for_freq_fraction(u / self.up_threshold)
+        };
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::complete(
+                "governors",
+                "ondemand_decision",
+                t,
+                0,
+                &[simtrace::arg("util", u), simtrace::arg("pstate", target.0)],
+            );
+            simtrace::metric_add("governors", "ondemand_decisions", t, 1.0);
         }
+        target
     }
 
     fn period(&self) -> Option<SimDuration> {
@@ -243,20 +255,30 @@ impl Default for Conservative {
 impl CpufreqGovernor for Conservative {
     fn target(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         utilization: f64,
         current: PStateId,
         table: &PStateTable,
     ) -> PStateId {
         self.invocations += 1;
         let u = utilization.clamp(0.0, 1.0);
-        if u > self.up_threshold {
+        let target = if u > self.up_threshold {
             table.step_up(current, self.step)
         } else if u < self.down_threshold {
             table.step_down(current, self.step)
         } else {
             current
+        };
+        if simtrace::is_enabled() {
+            simtrace::complete(
+                "governors",
+                "conservative_decision",
+                now.as_nanos(),
+                0,
+                &[simtrace::arg("util", u), simtrace::arg("pstate", target.0)],
+            );
         }
+        target
     }
 
     fn period(&self) -> Option<SimDuration> {

@@ -163,19 +163,44 @@ impl Menu {
 }
 
 impl CpuidleGovernor for Menu {
-    fn select(&mut self, core: usize, _: SimTime) -> Option<CState> {
+    fn select(&mut self, core: usize, now: SimTime) -> Option<CState> {
         let predicted = self.predict(core);
         self.last_prediction_ns[core] = predicted.as_nanos();
         // Deepest state whose residency fits the predicted idle period.
-        CState::SLEEP_STATES
+        let chosen = CState::SLEEP_STATES
             .iter()
             .rev()
             .copied()
             .find(|s| s.target_residency() <= predicted)
-            .or(Some(CState::C1))
+            .or(Some(CState::C1));
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::complete(
+                "governors",
+                "menu_select",
+                t,
+                0,
+                &[
+                    simtrace::arg("core", core),
+                    simtrace::arg("predicted_ns", predicted.as_nanos()),
+                    simtrace::arg("cstate", chosen.map_or(0, |c| c.index() as u64 + 1)),
+                ],
+            );
+            simtrace::metric_add("governors", "menu_selects", t, 1.0);
+        }
+        chosen
     }
 
-    fn note_idle_end(&mut self, core: usize, _: SimTime, slept: SimDuration) {
+    fn note_idle_end(&mut self, core: usize, now: SimTime, slept: SimDuration) {
+        simtrace::instant_args(
+            "governors",
+            "menu_idle_end",
+            now.as_nanos(),
+            &[
+                simtrace::arg("core", core),
+                simtrace::arg("slept_ns", slept.as_nanos()),
+            ],
+        );
         let cur = self.cursor[core];
         self.history[core][cur] = slept.as_nanos();
         self.cursor[core] = (cur + 1) % MENU_INTERVALS;

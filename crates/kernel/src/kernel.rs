@@ -413,6 +413,11 @@ impl Kernel {
             return; // level-triggered: causes accumulate in the vector
         }
         self.isr_pending[queue] = true;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args("kernel", "hardirq", t, &[simtrace::arg("queue", queue)]);
+            simtrace::metric_add("kernel", "hardirqs", t, 1.0);
+        }
         let core = self.irq_core(queue);
         let isr = Work::cycles(self.cfg.isr_cycles, WorkKind::Isr { queue: queue as u8 })
             .on_core(core as u8)
@@ -432,6 +437,11 @@ impl Kernel {
         }
         if let Ok(ready) = self.cores[ci].begin_wake(now) {
             self.stats.core_wakes += 1;
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::instant_args("kernel", "core_wake", t, &[simtrace::arg("core", ci)]);
+                simtrace::metric_add("kernel", "core_wakes", t, 1.0);
+            }
             let done = ready + self.cfg.mwait_wake_overhead;
             let gen = self.wake_slots[ci].arm(done);
             fx.at(
@@ -465,6 +475,13 @@ impl Kernel {
                 core: ci as u8,
                 gen,
             },
+        );
+        simtrace::span_begin_args(
+            "kernel",
+            "work",
+            now.as_nanos(),
+            ci as u32,
+            &[simtrace::arg("kind", work.kind.label())],
         );
         self.current[ci] = Some(work);
     }
@@ -542,6 +559,7 @@ impl Kernel {
             .complete_job(now)
             .expect("job slot fired without a job");
         let work = self.current[ci].take().expect("current work recorded");
+        simtrace::span_end("kernel", "work", now.as_nanos(), ci as u32);
         self.complete_work(now, work, fx);
         self.try_dispatch(now, fx);
         if self.cores[ci].is_idle() {
@@ -623,10 +641,25 @@ impl Kernel {
             .map_or(0, |_| ncap::SW_PER_PACKET_CYCLES);
         let stack = (self.cfg.rx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
         let core = self.irq_core(queue) as u8;
+        let mut drained = 0u64;
         while let Some(frame) = self.nic.fetch_rx(queue) {
             self.run_queue.push_back(
                 Work::cycles(stack + sw_cost, WorkKind::SoftIrqRx { frame }).on_core(core),
             );
+            drained += 1;
+        }
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args(
+                "kernel",
+                "ring_drain",
+                t,
+                &[
+                    simtrace::arg("queue", queue),
+                    simtrace::arg("frames", drained),
+                ],
+            );
+            simtrace::metric_add("kernel", "rx_ring_drained", t, drained as f64);
         }
         self.try_dispatch(now, fx);
     }

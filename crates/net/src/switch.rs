@@ -107,6 +107,13 @@ impl Switch {
         let dst_port = self.ports.get_mut(&dst).expect("checked above");
         let (_, at_dst) = dst_port.downlink.transmit(ready, wire_bytes);
         self.frames_forwarded += 1;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            let id =
+                simtrace::async_begin("net", "transit", t, &[simtrace::arg("bytes", wire_bytes)]);
+            simtrace::async_end("net", "transit", at_dst.as_nanos(), id);
+            simtrace::metric_add("net", "frames_forwarded", t, 1.0);
+        }
         Ok(at_dst)
     }
 

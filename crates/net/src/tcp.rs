@@ -47,6 +47,7 @@ pub fn segment_response(
         is_final: false,
     };
     if body.is_empty() {
+        simtrace::metric_add_cum("net", "tcp_segments", 1.0);
         return vec![Packet::new(
             src,
             dst,
@@ -75,6 +76,7 @@ pub fn segment_response(
         ));
         offset = end;
     }
+    simtrace::metric_add_cum("net", "tcp_segments", frames.len() as f64);
     frames
 }
 

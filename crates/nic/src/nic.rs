@@ -246,6 +246,11 @@ impl Nic {
         if let Some(ncap) = self.ncap.as_mut() {
             ncap.note_interrupt_posted(now);
         }
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args("nic", "irq_posted", t, &[simtrace::arg("queue", queue)]);
+            simtrace::metric_add("nic", "irqs_posted", t, 1.0);
+        }
         true
     }
 
@@ -253,6 +258,11 @@ impl Nic {
     pub fn frame_arrived(&mut self, now: SimTime, frame: Packet) -> RxOutcome {
         let queue = self.queue_of(&frame);
         if !self.queues[queue].ring.try_take() {
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::instant_args("nic", "rx_drop", t, &[simtrace::arg("queue", queue)]);
+                simtrace::metric_add("nic", "rx_drops", t, 1.0);
+            }
             return RxOutcome {
                 queue,
                 dma_complete_at: None,
@@ -260,6 +270,11 @@ impl Nic {
             };
         }
         self.rx_frames += 1;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::metric_add("nic", "rx_frames", t, 1.0);
+            simtrace::metric_add("nic", "rx_wire_bytes", t, frame.wire_len() as f64);
+        }
         // NCAP inspects the frame as it is received, before DMA completes.
         // On a multi-queue NIC the immediate wake targets the frame's own
         // vector — §7: "the target core for packet processing is known".
@@ -275,6 +290,15 @@ impl Nic {
         // exactly the extra slack §7 says NCAP gains for hiding wake-ups.
         let start = self.config.toe.map_or(now, |t| now + t.hold);
         let done = self.rx_dma.transfer(start, frame.frame_len());
+        if simtrace::is_enabled() {
+            let id = simtrace::async_begin(
+                "nic",
+                "rx_dma",
+                start.as_nanos(),
+                &[simtrace::arg("bytes", frame.frame_len())],
+            );
+            simtrace::async_end("nic", "rx_dma", done.as_nanos(), id);
+        }
         // Frames complete DMA in FIFO order per queue (one engine feeds
         // all queues), so each queue's in-flight list pops head-first.
         self.queues[queue].in_flight.push_back(frame);
@@ -352,6 +376,12 @@ impl Nic {
                 raised.push(qi);
             }
         }
+        simtrace::instant_args(
+            "nic",
+            "mitt_expired",
+            now.as_nanos(),
+            &[simtrace::arg("raised", raised.len())],
+        );
         (next, raised)
     }
 
@@ -386,14 +416,28 @@ impl Nic {
             return None;
         }
         let ready = self.tx_dma.transfer(now, frame.frame_len());
+        if simtrace::is_enabled() {
+            let id = simtrace::async_begin(
+                "nic",
+                "tx_dma",
+                now.as_nanos(),
+                &[simtrace::arg("bytes", frame.frame_len())],
+            );
+            simtrace::async_end("nic", "tx_dma", ready.as_nanos(), id);
+        }
         Some(TxOutcome { ready_at: ready })
     }
 
     /// The frame hit the wire: release the descriptor, count TX bytes for
     /// NCAP, raise the TX cause.
-    pub fn tx_done(&mut self, _now: SimTime, wire_bytes: usize) {
+    pub fn tx_done(&mut self, now: SimTime, wire_bytes: usize) {
         self.tx_ring.release();
         self.tx_frames += 1;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::metric_add("nic", "tx_frames", t, 1.0);
+            simtrace::metric_add("nic", "tx_wire_bytes", t, wire_bytes as f64);
+        }
         // TX causes share vector 0 (the 82574 layout; multi-queue NICs
         // typically keep a combined or separate TX vector — core 0 here).
         self.queues[0].cause.insert(IcrFlags::IT_TX);

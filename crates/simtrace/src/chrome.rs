@@ -1,0 +1,284 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Layout: one process per simulated node (`pid = node + 1`, named
+//! `node<N>`), one thread per `(component, lane)` within a node, assigned
+//! in order of first appearance so same-seed runs serialize identically.
+//! Timestamps are microseconds with three decimals — exact for integer
+//! nanosecond inputs, so the export is deterministic.
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::tracer::TraceData;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Formats `ns` as microseconds with exactly three decimals, without
+/// going through floating point.
+fn fmt_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_value(out: &mut String, v: ArgValue) {
+    match v {
+        ArgValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ArgValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        // `{:?}` renders the shortest round-tripping form ("0.5", "1e300"),
+        // which is valid JSON for every finite f64.
+        ArgValue::F64(x) => {
+            let _ = write!(out, "{x:?}");
+        }
+        ArgValue::Str(x) => push_json_str(out, x),
+    }
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let EventKind::Counter { value } = ev.kind {
+        push_json_str(out, ev.name);
+        out.push(':');
+        push_value(out, ArgValue::F64(value));
+        first = false;
+    }
+    for &(name, value) in &ev.args {
+        if !first {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        out.push(':');
+        push_value(out, value);
+        first = false;
+    }
+    out.push('}');
+}
+
+/// One `{"ph":"M"}` metadata record.
+fn push_meta(out: &mut String, name: &str, pid: u32, tid: Option<u32>, value: &str) {
+    out.push_str("{\"name\":");
+    push_json_str(out, name);
+    out.push_str(",\"ph\":\"M\",\"pid\":");
+    let _ = write!(out, "{pid}");
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    out.push_str(",\"args\":{\"name\":");
+    push_json_str(out, value);
+    out.push_str("}}");
+}
+
+pub(crate) fn export(data: &TraceData) -> String {
+    // Track assignment: order of first appearance, deterministic because
+    // the event ring is.
+    let mut tids: BTreeMap<(u16, &'static str, u32), u32> = BTreeMap::new();
+    let mut track_order: Vec<(u16, &'static str, u32)> = Vec::new();
+    let mut nodes: Vec<u16> = Vec::new();
+    for ev in &data.events {
+        let key = (ev.node, ev.component, ev.lane);
+        if let std::collections::btree_map::Entry::Vacant(slot) = tids.entry(key) {
+            if !nodes.contains(&ev.node) {
+                nodes.push(ev.node);
+            }
+            let tid = track_order
+                .iter()
+                .filter(|(node, _, _)| *node == ev.node)
+                .count() as u32
+                + 1;
+            slot.insert(tid);
+            track_order.push(key);
+        }
+    }
+
+    let mut out = String::with_capacity(128 + data.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push('\n');
+        *first = false;
+    };
+    for &node in &nodes {
+        sep(&mut out, &mut first);
+        push_meta(
+            &mut out,
+            "process_name",
+            u32::from(node) + 1,
+            None,
+            &format!("node{node}"),
+        );
+    }
+    for &(node, component, lane) in &track_order {
+        sep(&mut out, &mut first);
+        let label = if lane == 0 {
+            component.to_string()
+        } else {
+            format!("{component}/lane{lane}")
+        };
+        push_meta(
+            &mut out,
+            "thread_name",
+            u32::from(node) + 1,
+            Some(tids[&(node, component, lane)]),
+            &label,
+        );
+    }
+
+    for ev in &data.events {
+        sep(&mut out, &mut first);
+        let pid = u32::from(ev.node) + 1;
+        let tid = tids[&(ev.node, ev.component, ev.lane)];
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, ev.name);
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, ev.component);
+        let ph = match ev.kind {
+            EventKind::Instant => "i",
+            EventKind::Counter { .. } => "C",
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Complete { .. } => "X",
+            EventKind::AsyncBegin { .. } => "b",
+            EventKind::AsyncEnd { .. } => "e",
+        };
+        let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":");
+        fmt_us(&mut out, ev.ts_ns);
+        let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid}");
+        match ev.kind {
+            EventKind::Instant => out.push_str(",\"s\":\"t\""),
+            EventKind::Complete { dur_ns } => {
+                out.push_str(",\"dur\":");
+                fmt_us(&mut out, dur_ns);
+            }
+            EventKind::AsyncBegin { id } | EventKind::AsyncEnd { id } => {
+                let _ = write!(out, ",\"id\":{id}");
+            }
+            _ => {}
+        }
+        push_args(&mut out, ev);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::arg;
+    use crate::tracer::{Tracer, TracerConfig};
+
+    /// Golden-file test: a three-event trace pins the exact serialization.
+    #[test]
+    fn golden_three_event_trace() {
+        let mut t = Tracer::new(TracerConfig::default().with_capacity(8));
+        t.record(TraceEvent {
+            ts_ns: 1_000,
+            node: 0,
+            lane: 0,
+            component: "kernel",
+            name: "work",
+            kind: EventKind::Begin,
+            args: vec![arg("kind", "isr")],
+        });
+        t.record(TraceEvent {
+            ts_ns: 2_500,
+            node: 0,
+            lane: 0,
+            component: "kernel",
+            name: "work",
+            kind: EventKind::End,
+            args: Vec::new(),
+        });
+        t.record(TraceEvent {
+            ts_ns: 3_141,
+            node: 1,
+            lane: 2,
+            component: "cpu",
+            name: "rate",
+            kind: EventKind::Counter { value: 0.5 },
+            args: vec![arg("n", 7u64)],
+        });
+        // record() stamps the tracer's node scope; emulate node 1 for the
+        // third event.
+        let mut data = t.into_data();
+        data.events[2].node = 1;
+        let expected = concat!(
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"node0\"}},\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"node1\"}},\n",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"kernel\"}},\n",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,\"args\":{\"name\":\"cpu/lane2\"}},\n",
+            "{\"name\":\"work\",\"cat\":\"kernel\",\"ph\":\"B\",\"ts\":1.000,\"pid\":1,\"tid\":1,\"args\":{\"kind\":\"isr\"}},\n",
+            "{\"name\":\"work\",\"cat\":\"kernel\",\"ph\":\"E\",\"ts\":2.500,\"pid\":1,\"tid\":1,\"args\":{}},\n",
+            "{\"name\":\"rate\",\"cat\":\"cpu\",\"ph\":\"C\",\"ts\":3.141,\"pid\":2,\"tid\":1,\"args\":{\"rate\":0.5,\"n\":7}}\n",
+            "]}\n",
+        );
+        assert_eq!(data.to_chrome_json(), expected);
+    }
+
+    #[test]
+    fn span_kinds_serialize_their_extras() {
+        let mut t = Tracer::new(TracerConfig::default().with_capacity(8));
+        t.record(TraceEvent {
+            ts_ns: 10,
+            node: 0,
+            lane: 0,
+            component: "c",
+            name: "x",
+            kind: EventKind::Complete { dur_ns: 1_500 },
+            args: Vec::new(),
+        });
+        t.record(TraceEvent {
+            ts_ns: 20,
+            node: 0,
+            lane: 0,
+            component: "c",
+            name: "a",
+            kind: EventKind::AsyncBegin { id: 42 },
+            args: Vec::new(),
+        });
+        t.record(TraceEvent {
+            ts_ns: 30,
+            node: 0,
+            lane: 0,
+            component: "c",
+            name: "i",
+            kind: EventKind::Instant,
+            args: vec![arg("v", -1i64), arg("r", 2.25f64)],
+        });
+        let json = t.into_data().to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\",\"ts\":0.010,\"pid\":1,\"tid\":1,\"dur\":1.500"));
+        assert!(json.contains("\"ph\":\"b\",\"ts\":0.020,\"pid\":1,\"tid\":1,\"id\":42"));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":0.030,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"v\":-1,\"r\":2.25}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,82 @@
+//! Windowed CSV export of the metrics registry.
+//!
+//! One row per counter window (`time_ns` is the window start), one column
+//! per metric with windowed data, sorted by `component.name` — the same
+//! shape the `stats::TimeSeries`/`RateTrace` plotting path consumes.
+//! Counter columns carry per-window sums (identical to
+//! `RateTrace::finish`); gauge columns carry the last sampled value at or
+//! before the window's end, forward-filled from 0.
+//!
+//! Cumulative-only counters (no timestamped adds) have no windowed data
+//! and are omitted; they appear in the metrics snapshot summary instead.
+
+use crate::metrics::{MetricKind, MetricsSnapshot};
+use std::fmt::Write;
+
+pub(crate) fn export(metrics: &MetricsSnapshot, end_ns: u64) -> String {
+    let window = metrics.window_ns;
+    let rows = (end_ns / window) as usize;
+    let cols: Vec<_> = metrics
+        .iter()
+        .filter(|m| !m.bins.is_empty() || !m.points.is_empty())
+        .collect();
+    let mut out = String::new();
+    out.push_str("time_ns");
+    for m in &cols {
+        let _ = write!(out, ",{}.{}", m.component, m.name);
+    }
+    out.push('\n');
+    // Per-gauge cursor into its sample list (points are in set order,
+    // which is chronological for a simulation-driven collector).
+    let mut cursors = vec![0usize; cols.len()];
+    let mut held = vec![0.0f64; cols.len()];
+    for row in 0..rows {
+        let start = row as u64 * window;
+        let _ = write!(out, "{start}");
+        for (ci, m) in cols.iter().enumerate() {
+            let v = match m.kind {
+                MetricKind::Counter => m.bins.get(row).copied().unwrap_or(0.0),
+                MetricKind::Gauge => {
+                    let end = start + window;
+                    while cursors[ci] < m.points.len() && m.points[cursors[ci]].0 < end {
+                        held[ci] = m.points[cursors[ci]].1;
+                        cursors[ci] += 1;
+                    }
+                    held[ci]
+                }
+            };
+            let _ = write!(out, ",{v:?}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn counters_and_gauges_render_by_window() {
+        let mut m = Metrics::new(100);
+        m.add("nic", "rx", 10, 1000.0);
+        m.add("nic", "rx", 110, 500.0);
+        m.set("cpu", "freq", 150, 3.1);
+        m.add_cum("core", "matches", 7.0); // cum-only: not a column
+        let csv = m.snapshot().export_csv(300);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ns,cpu.freq,nic.rx");
+        assert_eq!(lines[1], "0,0.0,1000.0");
+        assert_eq!(lines[2], "100,3.1,500.0");
+        assert_eq!(lines[3], "200,3.1,0.0");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn truncates_to_end() {
+        let mut m = Metrics::new(100);
+        m.add("a", "x", 950, 2.0);
+        let csv = m.snapshot().export_csv(500);
+        assert_eq!(csv.lines().count(), 6); // header + 5 windows
+    }
+}

@@ -1,0 +1,152 @@
+//! The trace-event vocabulary: typed arguments, event kinds, and the
+//! event record itself.
+//!
+//! Events are keyed by a `(component, name)` pair of static strings so
+//! instrumentation sites pay no allocation for identity. Timestamps are
+//! raw simulated nanoseconds (`desim::SimTime::as_nanos()`), keeping this
+//! crate dependency-free so every layer — including `desim` itself — can
+//! link against it.
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer payload (counts, byte sizes, ids).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating-point payload (rates, utilizations).
+    F64(f64),
+    /// Static string payload (verdicts, state names).
+    Str(&'static str),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<u8> for ArgValue {
+    fn from(v: u8) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// A named argument; build with [`arg`].
+pub type Arg = (&'static str, ArgValue);
+
+/// Builds a named argument for the `*_args` recording helpers.
+///
+/// # Example
+///
+/// ```
+/// use simtrace::{arg, ArgValue};
+/// assert_eq!(arg("bytes", 1500u64), ("bytes", ArgValue::U64(1500)));
+/// ```
+pub fn arg(name: &'static str, value: impl Into<ArgValue>) -> Arg {
+    (name, value.into())
+}
+
+/// What an event records.
+///
+/// Synchronous [`Begin`](EventKind::Begin)/[`End`](EventKind::End) pairs
+/// form a stack per `(node, component, lane)` track and must nest (the
+/// per-core work and sleep spans satisfy this by construction).
+/// [`AsyncBegin`](EventKind::AsyncBegin)/[`AsyncEnd`](EventKind::AsyncEnd)
+/// pairs are matched by id instead and may overlap freely (DMA transfers,
+/// link transits). [`Complete`](EventKind::Complete) is a self-contained
+/// span with an explicit duration (zero for point-like decisions that are
+/// still conceptually "work", like a governor evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A point event.
+    Instant,
+    /// A sampled counter value (rendered as a counter track).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+    /// Opens a synchronous span on the event's lane.
+    Begin,
+    /// Closes the innermost synchronous span on the event's lane.
+    End,
+    /// A self-contained span of `dur_ns` nanoseconds.
+    Complete {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// Opens an async span; closed by the `AsyncEnd` with the same id.
+    AsyncBegin {
+        /// Tracer-assigned correlation id.
+        id: u64,
+    },
+    /// Closes the async span opened with the same id.
+    AsyncEnd {
+        /// Tracer-assigned correlation id.
+        id: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated nanoseconds since time zero.
+    pub ts_ns: u64,
+    /// The node (server/client index) the event belongs to.
+    pub node: u16,
+    /// Sub-track within the component (e.g. the core index).
+    pub lane: u32,
+    /// Emitting subsystem (`"nic"`, `"kernel"`, …).
+    pub component: &'static str,
+    /// Event name within the component.
+    pub name: &'static str,
+    /// Event kind and kind-specific payload.
+    pub kind: EventKind,
+    /// Optional named arguments.
+    pub args: Vec<Arg>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_conversions() {
+        assert_eq!(arg("a", 3u8).1, ArgValue::U64(3));
+        assert_eq!(arg("a", 3u32).1, ArgValue::U64(3));
+        assert_eq!(arg("a", 3usize).1, ArgValue::U64(3));
+        assert_eq!(arg("a", -3i64).1, ArgValue::I64(-3));
+        assert_eq!(arg("a", 0.5f64).1, ArgValue::F64(0.5));
+        assert_eq!(arg("a", "x").1, ArgValue::Str("x"));
+    }
+}

@@ -34,4 +34,4 @@ pub mod timeseries;
 pub use histogram::LogHistogram;
 pub use summary::LatencySummary;
 pub use table::{fmt_ns, pct, Table};
-pub use timeseries::{RateTrace, TimeSeries};
+pub use timeseries::{BinningError, RateTrace, TimeSeries};

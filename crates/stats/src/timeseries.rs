@@ -5,6 +5,30 @@
 //! samples and can re-bin them; [`RateTrace`] accumulates discrete events
 //! (bytes, requests) and reports per-window rates.
 
+/// A rejected binning request: the window is empty (`start_ns >= end_ns`)
+/// or `bins` is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinningError {
+    /// Requested window start (nanoseconds).
+    pub start_ns: u64,
+    /// Requested window end (nanoseconds).
+    pub end_ns: u64,
+    /// Requested bin count.
+    pub bins: usize,
+}
+
+impl std::fmt::Display for BinningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid binning request: [{}, {}) ns into {} bins",
+            self.start_ns, self.end_ns, self.bins
+        )
+    }
+}
+
+impl std::error::Error for BinningError {}
+
 /// A sequence of `(time_ns, value)` samples.
 ///
 /// # Example
@@ -81,9 +105,38 @@ impl TimeSeries {
     /// `bins` equal-width bins. Empty bins carry forward the previous bin's
     /// value (a zero-order hold, matching how a sampled frequency trace
     /// behaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window (`start_ns >= end_ns`) or zero bin count;
+    /// use [`try_rebin`](Self::try_rebin) to handle those as errors.
     #[must_use]
     pub fn rebin(&self, start_ns: u64, end_ns: u64, bins: usize) -> Vec<f64> {
-        assert!(end_ns > start_ns && bins > 0, "invalid binning request");
+        match self.try_rebin(start_ns, end_ns, bins) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`rebin`](Self::rebin): rejects empty windows
+    /// (`start_ns >= end_ns`) and zero bin counts instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`BinningError`] when `start_ns >= end_ns` or `bins == 0`.
+    pub fn try_rebin(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        bins: usize,
+    ) -> Result<Vec<f64>, BinningError> {
+        if end_ns <= start_ns || bins == 0 {
+            return Err(BinningError {
+                start_ns,
+                end_ns,
+                bins,
+            });
+        }
         let width = (end_ns - start_ns) as f64 / bins as f64;
         let mut sums = vec![0.0; bins];
         let mut counts = vec![0u64; bins];
@@ -103,7 +156,7 @@ impl TimeSeries {
             }
             out[i] = hold;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -141,6 +194,23 @@ impl RateTrace {
             name: name.into(),
             window_ns,
             bins: Vec::new(),
+        }
+    }
+
+    /// Reconstructs a trace from already-windowed bins (e.g. a counter
+    /// snapshot from the metrics registry whose bin arithmetic matches
+    /// [`add`](Self::add)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    #[must_use]
+    pub fn from_bins(name: impl Into<String>, window_ns: u64, bins: Vec<f64>) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        RateTrace {
+            name: name.into(),
+            window_ns,
+            bins,
         }
     }
 
@@ -220,6 +290,41 @@ mod tests {
     #[should_panic(expected = "invalid binning request")]
     fn rebin_rejects_empty_range() {
         let _ = TimeSeries::new("x").rebin(10, 10, 3);
+    }
+
+    #[test]
+    fn try_rebin_reports_bad_requests() {
+        let ts = TimeSeries::new("x");
+        // Empty window: start == end and start > end.
+        assert_eq!(
+            ts.try_rebin(10, 10, 3),
+            Err(BinningError {
+                start_ns: 10,
+                end_ns: 10,
+                bins: 3
+            })
+        );
+        assert!(ts.try_rebin(20, 10, 3).is_err());
+        // Zero bins.
+        assert!(ts.try_rebin(0, 100, 0).is_err());
+        let err = ts.try_rebin(0, 100, 0).unwrap_err();
+        assert!(err.to_string().contains("invalid binning request"));
+        // A valid request still works and matches rebin().
+        let mut ts = TimeSeries::new("y");
+        ts.push(5, 1.0);
+        ts.push(15, 3.0);
+        assert_eq!(ts.try_rebin(0, 20, 2).unwrap(), ts.rebin(0, 20, 2));
+    }
+
+    #[test]
+    fn rate_trace_from_bins_round_trips() {
+        let mut rt = RateTrace::new("rx", 100);
+        rt.add(0, 1.0);
+        rt.add(150, 4.0);
+        let rebuilt = RateTrace::from_bins("rx", 100, vec![1.0, 4.0]);
+        assert_eq!(rebuilt.name(), "rx");
+        assert_eq!(rebuilt.window_ns(), 100);
+        assert_eq!(rebuilt.finish(300), rt.finish(300));
     }
 
     #[test]

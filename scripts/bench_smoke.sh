@@ -10,6 +10,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Run every target with event tracing enabled so the smoke pass also
+# exercises the simtrace instrumentation in every subsystem (tracing is
+# observer-effect-free; see tests/observability.rs).
+export NCAP_TRACE=1
+
 quiet=0
 [ "${1:-}" = "--quiet" ] && quiet=1
 

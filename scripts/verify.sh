@@ -22,6 +22,24 @@ run cargo test --workspace -q
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Observability smoke: a traced experiment must export loadable
+# Perfetto JSON and a well-formed metrics CSV.
+trace_dir=target/trace-smoke
+rm -rf "$trace_dir"
+run cargo run --release -p ncap-cli -- trace \
+    --app memcached --policy ncap.cons --load 30000 \
+    --warmup-ms 5 --measure-ms 15 --out "$trace_dir"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$trace_dir/trace.json" >/dev/null ||
+        { echo "verify: trace.json is not valid JSON" >&2; exit 1; }
+else
+    grep -q '"traceEvents"' "$trace_dir/trace.json" ||
+        { echo "verify: trace.json missing traceEvents" >&2; exit 1; }
+fi
+head -1 "$trace_dir/trace.csv" | grep -q '^time_ns,.*cluster\.bw_rx' ||
+    { echo "verify: trace.csv missing expected columns" >&2; exit 1; }
+echo "==> trace smoke ok ($trace_dir)"
+
 # Hermeticity: no external crates may creep back into any manifest.
 if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
     Cargo.toml crates/*/Cargo.toml; then

@@ -1,0 +1,139 @@
+//! Cross-crate observability tests: the structured event tracer and the
+//! metrics registry must be deterministic, observer-effect-free, and
+//! consistent with the legacy figure traces.
+//!
+//! These are the PR's acceptance properties:
+//!
+//! * same seed → byte-identical Perfetto JSON and CSV exports,
+//! * tracing on vs. off → bit-identical `ExperimentResult`s,
+//! * both also hold under the parallel runner,
+//! * the CSV's `cluster.bw_rx` column equals the legacy `Traces` rx bins,
+//! * spans cover the simulator's major components.
+
+use cluster::{
+    run_experiment, run_experiments_on, AppKind, ExperimentConfig, ExperimentResult, Policy,
+    TraceConfig,
+};
+use desim::SimDuration;
+
+const HORIZON_NS: u64 = 40_000_000; // 10 ms warmup + 30 ms measure
+
+fn traced(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, 30_000.0)
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(30))
+        .with_seed(seed)
+        .with_trace(TraceConfig::per_ms())
+        .with_event_trace(simtrace::TracerConfig::default())
+}
+
+/// The result fields that must not move when tracing toggles; floats are
+/// compared bit-for-bit.
+fn fingerprint(r: &ExperimentResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, usize, u64) {
+    (
+        r.latency.p50,
+        r.latency.p90,
+        r.latency.p95,
+        r.latency.p99,
+        r.latency.mean.to_bits(),
+        r.energy_j.to_bits(),
+        r.offered,
+        r.completed,
+        r.wake_markers,
+        r.rx_drops,
+    )
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    let a = run_experiment(&traced(7)).sim_trace.expect("trace data");
+    let b = run_experiment(&traced(7)).sim_trace.expect("trace data");
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+    assert_eq!(a.to_csv(HORIZON_NS), b.to_csv(HORIZON_NS));
+    assert_eq!(a.dropped, b.dropped);
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    let mut off_cfg = traced(11);
+    off_cfg.event_trace = None;
+    let on = run_experiment(&traced(11));
+    let off = run_experiment(&off_cfg);
+    assert!(on.sim_trace.is_some() && off.sim_trace.is_none());
+    assert_eq!(fingerprint(&on), fingerprint(&off));
+    // The legacy figure traces must also be bit-identical.
+    let (ton, toff) = (on.traces.expect("traces"), off.traces.expect("traces"));
+    assert_eq!(ton.rx.finish(HORIZON_NS), toff.rx.finish(HORIZON_NS));
+    assert_eq!(ton.tx.finish(HORIZON_NS), toff.tx.finish(HORIZON_NS));
+    let bits = |ts: &simstats::TimeSeries| -> Vec<(u64, u64)> {
+        ts.iter().map(|(t, v)| (t, v.to_bits())).collect()
+    };
+    assert_eq!(bits(&ton.freq), bits(&toff.freq));
+    assert_eq!(bits(&ton.util), bits(&toff.util));
+    for (a, b) in ton.cstate_share.iter().zip(toff.cstate_share.iter()) {
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+#[test]
+fn parallel_runner_traces_match_serial() {
+    let cfgs: Vec<ExperimentConfig> = (0..8).map(|i| traced(100 + i)).collect();
+    let parallel = run_experiments_on(&cfgs, 8);
+    assert_eq!(parallel.len(), cfgs.len());
+    for (cfg, p) in cfgs.iter().zip(&parallel) {
+        let s = run_experiment(cfg);
+        assert_eq!(fingerprint(&s), fingerprint(p), "seed {}", cfg.seed);
+        let (pt, st) = (
+            p.sim_trace.as_ref().expect("parallel trace"),
+            s.sim_trace.as_ref().expect("serial trace"),
+        );
+        assert_eq!(
+            pt.to_chrome_json(),
+            st.to_chrome_json(),
+            "seed {}",
+            cfg.seed
+        );
+        assert_eq!(
+            pt.to_csv(HORIZON_NS),
+            st.to_csv(HORIZON_NS),
+            "seed {}",
+            cfg.seed
+        );
+    }
+}
+
+#[test]
+fn csv_rx_bandwidth_matches_legacy_traces() {
+    let r = run_experiment(&traced(5));
+    let legacy = r.traces.expect("traces").rx.finish(HORIZON_NS);
+    let csv = r.sim_trace.expect("trace data").to_csv(HORIZON_NS);
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let col = header
+        .iter()
+        .position(|h| *h == "cluster.bw_rx")
+        .expect("bw_rx column");
+    let from_csv: Vec<f64> = lines
+        .map(|l| l.split(',').nth(col).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(from_csv.len(), legacy.len());
+    for (i, (c, l)) in from_csv.iter().zip(&legacy).enumerate() {
+        assert_eq!(
+            c.to_bits(),
+            l.to_bits(),
+            "window {i}: csv {c} vs traces {l}"
+        );
+    }
+}
+
+#[test]
+fn spans_cover_the_major_components() {
+    let data = run_experiment(&traced(1)).sim_trace.expect("trace data");
+    let comps = data.components_with_spans();
+    for required in ["nic", "kernel", "net", "governors", "cpu", "core"] {
+        assert!(
+            comps.contains(&required),
+            "missing spans from {required}: {comps:?}"
+        );
+    }
+    assert!(data.dropped == 0 || data.events.len() == data.config.capacity);
+}
