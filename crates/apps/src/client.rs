@@ -268,6 +268,19 @@ impl ResponseTracker {
         Some(latency)
     }
 
+    /// Records an explicitly-detected completion (used by the reliability
+    /// layer, which declares a request done only once its reassembler has
+    /// every response segment — possibly after retransmissions). Latency
+    /// runs from the *original* send instant, so it includes every
+    /// retransmission round-trip.
+    pub fn complete(&mut self, now: SimTime, request_id: u64, sent_at: SimTime) -> SimDuration {
+        self.outstanding.remove(&request_id);
+        let latency = now.saturating_since(sent_at);
+        self.latencies.record(latency.as_nanos().max(1));
+        self.completed += 1;
+        latency
+    }
+
     /// The latency histogram (nanoseconds).
     #[must_use]
     pub fn latencies(&self) -> &LogHistogram {
@@ -400,6 +413,16 @@ mod tests {
         assert_eq!(t.completed(), 1);
         assert_eq!(t.outstanding(), 0);
         assert_eq!(t.latencies().count(), 1);
+    }
+
+    #[test]
+    fn explicit_completion_matches_frame_completion() {
+        let mut t = ResponseTracker::new();
+        t.note_sent(9);
+        let lat = t.complete(SimTime::from_us(700), 9, SimTime::from_us(100));
+        assert_eq!(lat, SimDuration::from_us(600));
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.outstanding(), 0);
     }
 
     #[test]

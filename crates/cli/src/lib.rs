@@ -13,7 +13,8 @@
 //! ```
 
 use cluster::{
-    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, Policy, TraceConfig,
+    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, FaultConfig, Policy,
+    RetxConfig, TraceConfig, DEFAULT_FAULT_SEED,
 };
 use desim::SimDuration;
 use simstats::{fmt_ns, Table};
@@ -61,6 +62,16 @@ pub struct RunArgs {
     pub per_core: bool,
     /// TOE on the server NIC.
     pub toe: bool,
+    /// Per-frame loss probability on every link (0 disables).
+    pub loss: f64,
+    /// Per-frame corruption probability on every link (0 disables).
+    pub corrupt: f64,
+    /// Per-frame reorder probability on every link (0 disables).
+    pub reorder: f64,
+    /// Uniform per-frame latency jitter bound, microseconds (0 disables).
+    pub jitter_us: u64,
+    /// Seed for the fault-injection RNG streams.
+    pub fault_seed: u64,
 }
 
 /// Arguments of `ncap trace`: an ordinary run plus an output directory.
@@ -143,7 +154,22 @@ fn default_run_args() -> RunArgs {
         queues: 1,
         per_core: false,
         toe: false,
+        loss: 0.0,
+        corrupt: 0.0,
+        reorder: 0.0,
+        jitter_us: 0,
+        fault_seed: DEFAULT_FAULT_SEED,
     }
+}
+
+fn parse_probability(flag: &str, value: &str) -> Result<f64, ParseError> {
+    let p: f64 = value
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} expects a probability")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ParseError(format!("{flag} must be in [0, 1]")));
+    }
+    Ok(p)
 }
 
 /// Applies one `run`-style flag; returns `Ok(false)` if the flag is not
@@ -184,6 +210,19 @@ fn apply_run_flag<'a>(
         "--poisson" => a.poisson = true,
         "--per-core" => a.per_core = true,
         "--toe" => a.toe = true,
+        "--loss" => a.loss = parse_probability(flag, take_value(it, flag)?)?,
+        "--corrupt" => a.corrupt = parse_probability(flag, take_value(it, flag)?)?,
+        "--reorder" => a.reorder = parse_probability(flag, take_value(it, flag)?)?,
+        "--jitter-us" => {
+            a.jitter_us = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--jitter-us expects an integer".into()))?;
+        }
+        "--fault-seed" => {
+            a.fault_seed = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--fault-seed expects an integer".into()))?;
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -321,6 +360,10 @@ USAGE:
   ncap run   --app apache|memcached --policy <name> --load <rps>
              [--measure-ms N] [--warmup-ms N] [--seed N]
              [--poisson] [--queues N] [--per-core] [--toe]
+             [--loss P] [--corrupt P] [--reorder P] [--jitter-us N]
+             [--fault-seed N]
+             fault flags inject seeded per-link impairments; any nonzero
+             impairment also arms the client retransmission layer
   ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
              [--measure-ms N]
   ncap sla   --app apache|memcached
@@ -349,6 +392,19 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
     }
     if a.toe {
         cfg = cfg.with_toe(nicsim::ToeConfig::typical());
+    }
+    let mut faults = FaultConfig::none();
+    faults.loss = a.loss;
+    faults.corrupt = a.corrupt;
+    faults.reorder = a.reorder;
+    faults.jitter = SimDuration::from_us(a.jitter_us);
+    faults.seed = a.fault_seed;
+    if faults.impairs() {
+        // Reordered frames are held back by a few switch transits so they
+        // actually land behind later traffic.
+        faults.reorder_delay = SimDuration::from_us(50);
+        faults.retx = RetxConfig::standard();
+        cfg = cfg.with_faults(faults);
     }
     cfg
 }
@@ -418,6 +474,20 @@ pub fn execute(cmd: Command) -> i32 {
                 r.wake_markers,
                 r.rx_drops
             );
+            if r.faults.issued_total > 0 {
+                let f = &r.faults;
+                println!(
+                    "  faults   {} frames dropped in fabric ({} loss, {} corrupt), \
+                     {} retransmits, {} requests lost, {} dups suppressed, {} replays",
+                    f.injected_losses + f.injected_corruptions,
+                    f.injected_losses,
+                    f.injected_corruptions,
+                    f.retransmits,
+                    f.lost_requests,
+                    f.dup_suppressed,
+                    f.resp_replays
+                );
+            }
             0
         }
         Command::Sweep(a) => {
@@ -611,12 +681,50 @@ mod tests {
     }
 
     #[test]
+    fn parses_fault_flags() {
+        let Command::Run(a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "30000",
+            "--loss",
+            "0.01",
+            "--corrupt",
+            "0.002",
+            "--reorder",
+            "0.005",
+            "--jitter-us",
+            "20",
+            "--fault-seed",
+            "99",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.loss, 0.01);
+        assert_eq!(a.corrupt, 0.002);
+        assert_eq!(a.reorder, 0.005);
+        assert_eq!(a.jitter_us, 20);
+        assert_eq!(a.fault_seed, 99);
+        // Defaults keep the fault subsystem fully off.
+        let d = default_run_args();
+        assert_eq!(d.loss, 0.0);
+        assert_eq!(d.fault_seed, DEFAULT_FAULT_SEED);
+    }
+
+    #[test]
     fn rejects_unknown_inputs() {
         assert!(parse(["frobnicate"]).is_err());
         assert!(parse(["run", "--app", "nginx"]).is_err());
         assert!(parse(["run", "--policy", "turbo"]).is_err());
         assert!(parse(["run", "--load"]).is_err());
         assert!(parse(["run", "--load", "-5"]).is_err());
+        assert!(parse(["run", "--loss", "1.5"]).is_err());
+        assert!(parse(["run", "--loss", "-0.1"]).is_err());
+        assert!(parse(["run", "--corrupt", "nan"]).is_err());
         assert!(parse(["sla"]).is_err());
         assert!(parse(["trace"]).is_err(), "trace requires --out");
         assert!(parse(["trace", "--out", "x", "--window-us", "0"]).is_err());
@@ -704,6 +812,29 @@ mod tests {
         };
         a.measure_ms = 30;
         a.warmup_ms = 10;
+        assert_eq!(execute(Command::Run(a)), 0);
+    }
+
+    #[test]
+    fn tiny_lossy_run_executes() {
+        let Command::Run(mut a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "20000",
+            "--loss",
+            "0.01",
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        a.measure_ms = 20;
+        a.warmup_ms = 5;
         assert_eq!(execute(Command::Run(a)), 0);
     }
 }

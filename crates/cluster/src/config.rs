@@ -2,7 +2,8 @@
 
 use crate::policy::Policy;
 use crate::trace::TraceConfig;
-use desim::SimDuration;
+use desim::{ConfigError, SimDuration};
+use netsim::FaultConfig;
 
 /// Which OLDI application the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +106,15 @@ pub struct ExperimentConfig {
     /// Smooth Poisson arrivals instead of periodic bursts (burstiness
     /// ablation; same offered rate).
     pub poisson: bool,
+    /// Network fault injection (lossy/jittery links) and the end-to-end
+    /// retransmission layer. [`FaultConfig::none`] (the default) is inert:
+    /// the fabric stays lossless and results are bit-identical to builds
+    /// without the fault subsystem.
+    pub faults: FaultConfig,
+    /// Overrides the server NIC RX-ring depth (descriptor count). `None`
+    /// keeps the 82574-like default; small values force RX-overrun drops
+    /// under bursts (the overflow-recovery scenario).
+    pub rx_ring_override: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -134,6 +144,8 @@ impl ExperimentConfig {
             nic_queues: 1,
             request_trace_every: None,
             poisson: false,
+            faults: FaultConfig::none(),
+            rx_ring_override: None,
         }
     }
 
@@ -216,28 +228,37 @@ impl ExperimentConfig {
         self
     }
 
-    /// Gives the server NIC `queues` RSS queues (builder style, §7).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `queues` is zero.
+    /// Gives the server NIC `queues` RSS queues (builder style, §7;
+    /// [`validate`](Self::validate) rejects zero).
     #[must_use]
     pub fn with_nic_queues(mut self, queues: usize) -> Self {
-        assert!(queues > 0, "a NIC needs at least one queue");
         self.nic_queues = queues;
         self
     }
 
     /// Enables server-side request-stage tracing for every `n`th request
-    /// (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// (builder style; [`validate`](Self::validate) rejects zero).
     #[must_use]
     pub fn with_request_tracing(mut self, n: u64) -> Self {
-        assert!(n > 0, "sampling interval must be positive");
         self.request_trace_every = Some(n);
+        self
+    }
+
+    /// Injects network faults (builder style). A config with
+    /// [`RetxConfig`](netsim::RetxConfig) enabled also turns on the
+    /// client retransmission timers and the server's duplicate
+    /// suppression.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the server NIC's RX-ring depth (builder style;
+    /// [`validate`](Self::validate) rejects zero).
+    #[must_use]
+    pub fn with_rx_ring(mut self, descriptors: usize) -> Self {
+        self.rx_ring_override = Some(descriptors);
         self
     }
 
@@ -249,22 +270,64 @@ impl ExperimentConfig {
     }
 
     /// Per-client burst period that realizes `load_rps` across all
-    /// clients.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the load or client count is non-positive.
+    /// clients. Callers should [`validate`](Self::validate) first; with a
+    /// non-positive load the result is meaningless (but does not panic).
     #[must_use]
     pub fn burst_period(&self) -> SimDuration {
-        assert!(self.load_rps > 0.0 && self.clients > 0, "invalid load spec");
-        let per_client = self.load_rps / self.clients as f64;
-        SimDuration::from_secs_f64(f64::from(self.burst_size) / per_client)
+        let per_client = self.load_rps / (self.clients.max(1)) as f64;
+        SimDuration::from_secs_f64(f64::from(self.burst_size) / per_client.max(f64::MIN_POSITIVE))
     }
 
     /// End of the simulated interval (warmup + measurement).
     #[must_use]
     pub fn horizon(&self) -> SimDuration {
         self.warmup + self.measure
+    }
+
+    /// Validates the experiment configuration, including the embedded
+    /// [`FaultConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.load_rps <= 0.0 || !self.load_rps.is_finite() {
+            return Err(ConfigError::new(
+                "load_rps",
+                format!(
+                    "offered load must be positive and finite, got {}",
+                    self.load_rps
+                ),
+            ));
+        }
+        if self.clients == 0 {
+            return Err(ConfigError::new("clients", "at least one client required"));
+        }
+        if self.burst_size == 0 {
+            return Err(ConfigError::new(
+                "burst_size",
+                "bursts must carry at least one request",
+            ));
+        }
+        if self.nic_queues == 0 {
+            return Err(ConfigError::new(
+                "nic_queues",
+                "a NIC needs at least one queue",
+            ));
+        }
+        if self.request_trace_every == Some(0) {
+            return Err(ConfigError::new(
+                "request_trace_every",
+                "sampling interval must be positive",
+            ));
+        }
+        if self.rx_ring_override == Some(0) {
+            return Err(ConfigError::new(
+                "rx_ring_override",
+                "an RX ring needs at least one descriptor",
+            ));
+        }
+        self.faults.validate()
     }
 }
 
@@ -308,8 +371,42 @@ mod tests {
     fn builders_chain() {
         let cfg = ExperimentConfig::new(AppKind::Memcached, Policy::NcapAggr, 35_000.0)
             .with_seed(9)
-            .with_ondemand_period(SimDuration::from_ms(1));
+            .with_ondemand_period(SimDuration::from_ms(1))
+            .with_faults(FaultConfig::lossy(0.01, 7))
+            .with_rx_ring(32);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.ondemand_period, SimDuration::from_ms(1));
+        assert_eq!(cfg.faults.loss, 0.01);
+        assert_eq!(cfg.rx_ring_override, Some(32));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn defaults_are_faultless_and_valid() {
+        let cfg = ExperimentConfig::new(AppKind::Apache, Policy::Perf, 24_000.0);
+        assert!(cfg.faults.is_off());
+        assert_eq!(cfg.rx_ring_override, None);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_names_offending_fields() {
+        let base = ExperimentConfig::new(AppKind::Apache, Policy::Perf, 24_000.0);
+        let mut c = base.clone();
+        c.load_rps = 0.0;
+        assert_eq!(c.validate().unwrap_err().field, "load_rps");
+        let mut c = base.clone();
+        c.clients = 0;
+        assert_eq!(c.validate().unwrap_err().field, "clients");
+        let c = base.clone().with_nic_queues(0);
+        assert_eq!(c.validate().unwrap_err().field, "nic_queues");
+        let c = base.clone().with_request_tracing(0);
+        assert_eq!(c.validate().unwrap_err().field, "request_trace_every");
+        let c = base.clone().with_rx_ring(0);
+        assert_eq!(c.validate().unwrap_err().field, "rx_ring_override");
+        let mut bad_faults = FaultConfig::lossy(0.01, 1);
+        bad_faults.loss = 1.5;
+        let c = base.with_faults(bad_faults);
+        assert_eq!(c.validate().unwrap_err().field, "loss");
     }
 }

@@ -41,10 +41,11 @@ pub mod sim;
 pub mod trace;
 
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
+pub use netsim::{FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
 pub use policy::Policy;
 pub use runner::{
     run_experiment, run_experiments_on, run_experiments_parallel, run_imbalanced, ExperimentResult,
     MultiServerResult,
 };
-pub use sim::{ClusterEvent, ClusterSim};
+pub use sim::{ClusterEvent, ClusterSim, FaultSummary};
 pub use trace::{TraceConfig, Traces};

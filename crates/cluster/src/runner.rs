@@ -2,7 +2,7 @@
 
 use crate::config::{AppKind, ExperimentConfig};
 use crate::policy::Policy;
-use crate::sim::ClusterSim;
+use crate::sim::{ClusterSim, FaultSummary};
 use crate::trace::Traces;
 use cpusim::EnergyMeter;
 use desim::{SimTime, Simulation};
@@ -48,6 +48,9 @@ pub struct ExperimentResult {
     pub server_request_traces: Option<Vec<oskernel::RequestTrace>>,
     /// Server kernel operational counters (whole run).
     pub kernel_stats: oskernel::KernelStats,
+    /// Fault-injection and recovery accounting (all zeros when the fault
+    /// subsystem is off).
+    pub faults: FaultSummary,
 }
 
 impl ExperimentResult {
@@ -93,6 +96,9 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
     if cfg.nic_queues > 1 {
         nic_config = nic_config.with_queues(cfg.nic_queues);
     }
+    if let Some(descriptors) = cfg.rx_ring_override {
+        nic_config.rx_ring = descriptors;
+    }
     let mut kernel_cfg =
         KernelConfig::server_defaults().with_initial_pstate(cfg.policy.initial_pstate(&table));
     if cfg.per_core_boost {
@@ -100,6 +106,11 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
     }
     if let Some(n) = cfg.request_trace_every {
         kernel_cfg = kernel_cfg.with_request_tracing(n);
+    }
+    if cfg.faults.retx.enabled {
+        // Retransmitted requests must not be served twice: turn on the
+        // server's duplicate suppression and response replay.
+        kernel_cfg = kernel_cfg.with_reliability();
     }
     let cores = kernel_cfg.cores as usize;
     let cpuidle: Box<dyn governors::CpuidleGovernor + Send> =
@@ -184,8 +195,12 @@ fn env_trace_enabled() -> bool {
 ///
 /// Deterministic: equal configurations (including seed) produce equal
 /// results.
+/// # Panics
+///
+/// Panics if `cfg` fails [`ExperimentConfig::validate`].
 #[must_use]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    cfg.validate().expect("experiment config must validate");
     // Event tracing wraps the run: the tracer is thread-local and each
     // experiment runs wholly on one thread, so parallel batches trace
     // independently. Tracing never feeds back into the simulation, so
@@ -199,7 +214,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let server_id = NodeId(0);
     let server = build_server(cfg, server_id);
     let (clients, background) = build_clients(cfg, server_id);
-    let mut cluster = ClusterSim::new(server, clients, background, cfg.trace);
+    let mut cluster =
+        ClusterSim::new(server, clients, background, cfg.trace).with_fault_injection(cfg.faults);
     let horizon = SimTime::ZERO + cfg.horizon();
     let initial = cluster.initial_events(cfg.warmup, horizon);
     let mut sim = Simulation::new(cluster);
@@ -231,6 +247,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             .request_trace_every
             .map(|_| cluster.server().request_traces().to_vec()),
         kernel_stats: cluster.server().stats(),
+        faults: cluster.fault_summary(),
     };
     let traces = sim.into_handler().into_traces();
     ExperimentResult { traces, ..result }

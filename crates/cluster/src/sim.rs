@@ -10,9 +10,10 @@
 use crate::trace::{TraceCollector, TraceConfig, Traces};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{EventHandler, EventQueue, SimDuration, SimTime};
-use netsim::{NodeId, Packet, Switch};
+use netsim::{Delivery, FaultConfig, NodeId, Packet, Reassembly, SegmentStatus, Switch};
 use oldi_apps::{OpenLoopClient, ResponseTracker};
 use oskernel::{Effects, Kernel, NodeEvent};
+use std::collections::HashMap;
 
 /// Events of the cluster world.
 #[derive(Debug, Clone)]
@@ -29,10 +30,60 @@ pub enum ClusterEvent {
         /// The arriving frame.
         frame: Packet,
     },
+    /// Retransmission timer for request `id` fires (armed only when the
+    /// fault subsystem's reliability layer is enabled).
+    RetxCheck {
+        /// The request id the timer guards.
+        id: u64,
+        /// Timer generation: a check whose `attempt` no longer matches
+        /// the request's state is stale (a retransmission already
+        /// re-armed a newer timer) and is ignored.
+        attempt: u32,
+    },
     /// Periodic trace sample.
     Sample,
     /// End of warmup: reset measurement baselines.
     StartMeasure,
+}
+
+/// Client-side retransmission state for one in-flight request.
+#[derive(Debug, Clone)]
+struct RetxState {
+    /// The original request frame; retransmissions resend a clone, with
+    /// `sent_at` untouched so latency spans every retransmission.
+    frame: Packet,
+    /// Retransmissions performed so far (also the live timer generation).
+    attempt: u32,
+}
+
+/// Whole-run fault-injection and recovery accounting.
+///
+/// The identity `issued == completed + lost + in_flight` holds at any
+/// instant (and at the horizon): no request vanishes silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Frames the switch's impairment layer dropped as random loss.
+    pub injected_losses: u64,
+    /// Frames dropped as corruption (failed FCS at the receiver).
+    pub injected_corruptions: u64,
+    /// Frames held back for reordering.
+    pub injected_reorders: u64,
+    /// Request frames the clients retransmitted.
+    pub retransmits: u64,
+    /// Requests declared lost after exhausting retransmissions.
+    pub lost_requests: u64,
+    /// Retransmitted duplicates the server suppressed while the original
+    /// was still being served.
+    pub dup_suppressed: u64,
+    /// Responses the server replayed for already-answered requests.
+    pub resp_replays: u64,
+    /// Latency-critical requests issued over the whole run (only counted
+    /// while the reliability layer is armed).
+    pub issued_total: u64,
+    /// Requests whose response fully reassembled at the client.
+    pub completed_total: u64,
+    /// Requests still awaiting a response at the horizon.
+    pub in_flight: u64,
 }
 
 /// The simulated four-node (or N-node) cluster.
@@ -51,6 +102,13 @@ pub struct ClusterSim {
     measuring: bool,
     energy_baseline: EnergyMeter,
     offered_measured: u64,
+    faults: FaultConfig,
+    retx: HashMap<u64, RetxState>,
+    reassembly: HashMap<u64, Reassembly>,
+    retransmits: u64,
+    lost_requests: u64,
+    issued_total: u64,
+    completed_total: u64,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -124,7 +182,25 @@ impl ClusterSim {
             measuring: true,
             energy_baseline: EnergyMeter::new(),
             offered_measured: 0,
+            faults: FaultConfig::none(),
+            retx: HashMap::new(),
+            reassembly: HashMap::new(),
+            retransmits: 0,
+            lost_requests: 0,
+            issued_total: 0,
+            completed_total: 0,
         }
+    }
+
+    /// Installs the fault-injection subsystem (builder style): the
+    /// switch's impairment layer plus, when the retransmission policy is
+    /// enabled, the client-side reliability timers. An inert
+    /// [`FaultConfig::none`] leaves the simulation byte-identical.
+    #[must_use]
+    pub fn with_fault_injection(mut self, faults: FaultConfig) -> Self {
+        self.switch.set_faults(faults);
+        self.faults = faults;
+        self
     }
 
     /// Seeds the initial events: kernel boot, staggered client bursts,
@@ -162,15 +238,34 @@ impl ClusterSim {
         if self.collector.is_some() {
             events.push((SimTime::ZERO + self.sample_period, ClusterEvent::Sample));
         }
+        // Pre-register the drop/recovery counters so trace CSV exports
+        // always carry the columns, even for runs where no fault fires.
+        if simtrace::is_enabled() {
+            for (component, name) in [
+                ("nic", "rx_drops"),
+                ("net", "fault_losses"),
+                ("net", "fault_corruptions"),
+                ("net", "fault_reorders"),
+                ("cluster", "retransmits"),
+                ("cluster", "lost_requests"),
+            ] {
+                simtrace::metric_add(component, name, 0, 0.0);
+            }
+        }
         events
     }
 
     fn route(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
-        let arrival = self
+        let delivery = self
             .switch
-            .forward(now, frame.src(), frame.dst(), frame.wire_len())
+            .route(now, frame.src(), frame.dst(), frame.wire_len())
             .expect("all nodes are attached to the switch");
-        queue.push(arrival, ClusterEvent::Deliver { frame });
+        match delivery {
+            Delivery::Deliver(arrival) => queue.push(arrival, ClusterEvent::Deliver { frame }),
+            // The frame vanishes in the fabric; recovery, if any, comes
+            // from the retransmission timers.
+            Delivery::Dropped(_) => {}
+        }
     }
 
     fn apply_effects(
@@ -203,6 +298,24 @@ impl ClusterSim {
                     if self.measuring {
                         self.offered_measured += 1;
                     }
+                    if self.faults.retx.enabled {
+                        // Arm the reliability layer: a retransmission
+                        // timer plus a response reassembler. Background
+                        // traffic stays best-effort.
+                        self.issued_total += 1;
+                        self.retx.insert(
+                            id,
+                            RetxState {
+                                frame: frame.clone(),
+                                attempt: 0,
+                            },
+                        );
+                        self.reassembly.insert(id, Reassembly::new());
+                        queue.push(
+                            now + self.faults.retx.rto_for(0),
+                            ClusterEvent::RetxCheck { id, attempt: 0 },
+                        );
+                    }
                 }
             }
             self.route(now, frame, queue);
@@ -226,9 +339,102 @@ impl ClusterSim {
             let node = self.servers[si].node();
             let fx = self.servers[si].handle(now, NodeEvent::FrameFromWire(frame));
             self.apply_effects(now, node, fx, queue);
+        } else if self.faults.retx.enabled {
+            self.on_client_response(now, &frame);
         } else if frame.meta().sent_at >= self.measure_start && self.measuring {
             self.tracker.on_response_frame(now, &frame);
         }
+    }
+
+    /// Client-side receive path of the reliability layer: response
+    /// segments feed the request's reassembler; duplicates (from response
+    /// replays or reordering) are absorbed, and the request completes
+    /// exactly once, when every segment has arrived.
+    fn on_client_response(&mut self, now: SimTime, frame: &Packet) {
+        let meta = frame.meta();
+        let Some(rid) = meta.request_id else { return };
+        let Some(reasm) = self.reassembly.get_mut(&rid) else {
+            // Unarmed traffic (background requests) stays best-effort and
+            // keeps the legacy per-frame accounting.
+            if meta.sent_at >= self.measure_start && self.measuring {
+                self.tracker.on_response_frame(now, frame);
+            }
+            return;
+        };
+        match reasm.on_segment(meta.seq, meta.is_final) {
+            SegmentStatus::Completed => {
+                // Cancels the pending timer: the next RetxCheck finds no
+                // state and is a no-op.
+                self.retx.remove(&rid);
+                self.completed_total += 1;
+                if meta.sent_at >= self.measure_start && self.measuring {
+                    self.tracker.complete(now, rid, meta.sent_at);
+                }
+            }
+            SegmentStatus::Fresh | SegmentStatus::Duplicate => {}
+        }
+    }
+
+    /// A retransmission timer fired: resend the request (with backoff) or
+    /// declare it lost after the final attempt.
+    fn on_retx_check(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        attempt: u32,
+        queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        let Some(state) = self.retx.get_mut(&id) else {
+            return; // Completed; the timer outlived the request.
+        };
+        if state.attempt != attempt {
+            return; // Stale generation; a newer timer is armed.
+        }
+        let retx = self.faults.retx;
+        if state.attempt >= retx.max_retries {
+            // Give up: the request is *reported* lost, never silent.
+            self.retx.remove(&id);
+            self.lost_requests += 1;
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::instant_args(
+                    "cluster",
+                    "request_lost",
+                    t,
+                    &[
+                        simtrace::arg("id", id),
+                        simtrace::arg("attempts", u64::from(attempt)),
+                    ],
+                );
+                simtrace::metric_add("cluster", "lost_requests", t, 1.0);
+            }
+            return;
+        }
+        state.attempt += 1;
+        let next_attempt = state.attempt;
+        let frame = state.frame.clone();
+        self.retransmits += 1;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args(
+                "cluster",
+                "retransmit",
+                t,
+                &[
+                    simtrace::arg("id", id),
+                    simtrace::arg("attempt", u64::from(next_attempt)),
+                ],
+            );
+            simtrace::metric_add("cluster", "retransmits", t, 1.0);
+        }
+        queue.push(
+            now + retx.rto_for(next_attempt),
+            ClusterEvent::RetxCheck {
+                id,
+                attempt: next_attempt,
+            },
+        );
+        self.route(now, frame, queue);
     }
 
     fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
@@ -280,7 +486,36 @@ impl ClusterSim {
         }
         if let Some(tr) = self.collector.take() {
             let markers = self.servers[0].wake_marker_times().to_vec();
-            self.finished_traces = Some(tr.finish(markers));
+            let mut traces = tr.finish(markers);
+            traces.rx_drops = self.servers.iter().map(|s| s.nic().rx_drops()).sum();
+            traces.fault_drops = self.switch.fault_stats().dropped();
+            self.finished_traces = Some(traces);
+        }
+    }
+
+    /// Whole-run fault-injection and recovery accounting: injected
+    /// impairments from the switch, recovery work from the clients and
+    /// the server's duplicate-suppression counters.
+    #[must_use]
+    pub fn fault_summary(&self) -> FaultSummary {
+        let fs = self.switch.fault_stats();
+        let (mut dup, mut replays) = (0, 0);
+        for s in &self.servers {
+            let ks = s.stats();
+            dup += ks.dup_suppressed;
+            replays += ks.resp_replays;
+        }
+        FaultSummary {
+            injected_losses: fs.losses,
+            injected_corruptions: fs.corruptions,
+            injected_reorders: fs.reorders,
+            retransmits: self.retransmits,
+            lost_requests: self.lost_requests,
+            dup_suppressed: dup,
+            resp_replays: replays,
+            issued_total: self.issued_total,
+            completed_total: self.completed_total,
+            in_flight: self.retx.len() as u64,
         }
     }
 
@@ -357,6 +592,10 @@ impl EventHandler for ClusterSim {
                 ClusterEvent::Server(node, _) => node.0,
                 ClusterEvent::Deliver { frame } => frame.dst().0,
                 ClusterEvent::ClientBurst { idx } => self.clients[*idx].config().me.0,
+                ClusterEvent::RetxCheck { id, .. } => self
+                    .retx
+                    .get(id)
+                    .map_or(self.servers[0].node().0, |s| s.frame.src().0),
                 ClusterEvent::Sample | ClusterEvent::StartMeasure => self.servers[0].node().0,
             };
             simtrace::set_node(node);
@@ -369,6 +608,7 @@ impl EventHandler for ClusterSim {
             }
             ClusterEvent::ClientBurst { idx } => self.on_client_burst(now, idx, queue),
             ClusterEvent::Deliver { frame } => self.on_deliver(now, frame, queue),
+            ClusterEvent::RetxCheck { id, attempt } => self.on_retx_check(now, id, attempt, queue),
             ClusterEvent::Sample => self.on_sample(now, queue),
             ClusterEvent::StartMeasure => self.on_start_measure(now),
         }

@@ -123,6 +123,12 @@ pub struct Traces {
     pub cstate_share: [TimeSeries; 3],
     /// NCAP proactive-interrupt instants (`INT (wake)` markers).
     pub wake_markers: Vec<SimTime>,
+    /// Server NIC RX-ring overflow drops over the whole run (stamped at
+    /// cluster finalize).
+    pub rx_drops: u64,
+    /// Frames the switch impairment layer dropped (loss + corruption)
+    /// over the whole run (stamped at cluster finalize).
+    pub fault_drops: u64,
     pub(crate) last_busy: SimDuration,
     pub(crate) last_cstate: [SimDuration; 3],
     pub(crate) last_sample: SimTime,
@@ -144,6 +150,8 @@ impl Traces {
                 TimeSeries::new("t_c6"),
             ],
             wake_markers: Vec::new(),
+            rx_drops: 0,
+            fault_drops: 0,
             last_busy: SimDuration::ZERO,
             last_cstate: [SimDuration::ZERO; 3],
             last_sample: SimTime::ZERO,

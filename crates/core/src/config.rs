@@ -7,7 +7,7 @@
 //! how many back-to-back `IT_LOW` interrupts walk the frequency to its
 //! minimum: 1 for `ncap.aggr`, 5 for `ncap.cons`.
 
-use desim::SimDuration;
+use desim::{ConfigError, SimDuration};
 
 /// Tunable parameters of the NCAP hardware and driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,26 +71,18 @@ impl NcapConfig {
         }
     }
 
-    /// Builder-style override of FCONS.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `fcons` is zero.
+    /// Builder-style override of FCONS ([`validate`](Self::validate)
+    /// rejects zero).
     #[must_use]
     pub fn with_fcons(mut self, fcons: u8) -> Self {
-        assert!(fcons > 0, "FCONS must be at least 1");
         self.fcons = fcons;
         self
     }
 
-    /// Builder-style override of the MITT period.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `period` is zero.
+    /// Builder-style override of the MITT period
+    /// ([`validate`](Self::validate) rejects zero).
     #[must_use]
     pub fn with_mitt_period(mut self, period: SimDuration) -> Self {
-        assert!(!period.is_zero(), "MITT period must be positive");
         self.mitt_period = period;
         self
     }
@@ -123,22 +115,31 @@ impl NcapConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.rlt_rps > self.rht_rps {
-            return Err(format!(
-                "RLT ({}) must not exceed RHT ({})",
-                self.rlt_rps, self.rht_rps
+            return Err(ConfigError::new(
+                "rlt_rps",
+                format!(
+                    "RLT ({}) must not exceed RHT ({})",
+                    self.rlt_rps, self.rht_rps
+                ),
             ));
         }
         if self.fcons == 0 {
-            return Err("FCONS must be at least 1".to_owned());
+            return Err(ConfigError::new("fcons", "FCONS must be at least 1"));
         }
         if self.mitt_period.is_zero() {
-            return Err("MITT period must be positive".to_owned());
+            return Err(ConfigError::new(
+                "mitt_period",
+                "MITT period must be positive",
+            ));
         }
         if self.mitt_period > self.low_activity_window {
-            return Err("MITT period must not exceed the low-activity window".to_owned());
+            return Err(ConfigError::new(
+                "mitt_period",
+                "MITT period must not exceed the low-activity window",
+            ));
         }
         Ok(())
     }
@@ -196,13 +197,22 @@ mod tests {
     #[test]
     fn validation_catches_inverted_thresholds() {
         let c = NcapConfig::paper_defaults().with_thresholds(1_000.0, 5_000.0, 1e6);
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().unwrap_err().field, "rlt_rps");
     }
 
     #[test]
     fn validation_catches_oversized_mitt() {
         let mut c = NcapConfig::paper_defaults();
         c.mitt_period = SimDuration::from_ms(2);
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().unwrap_err().field, "mitt_period");
+    }
+
+    #[test]
+    fn validation_catches_zero_fcons_and_mitt() {
+        // Builders no longer panic; validate() reports the field instead.
+        let c = NcapConfig::paper_defaults().with_fcons(0);
+        assert_eq!(c.validate().unwrap_err().field, "fcons");
+        let c = NcapConfig::paper_defaults().with_mitt_period(SimDuration::ZERO);
+        assert_eq!(c.validate().unwrap_err().field, "mitt_period");
     }
 }

@@ -29,6 +29,11 @@ impl IcrFlags {
     pub const IT_RX: IcrFlags = IcrFlags(1 << 0);
     /// Transmit descriptors were written back.
     pub const IT_TX: IcrFlags = IcrFlags(1 << 1);
+    /// Receiver overrun: a frame arrived with no free RX descriptor and
+    /// was dropped (the 82574's RXO cause, bit 6). Posted immediately —
+    /// outside interrupt moderation — so the driver drains the ring
+    /// before more traffic is lost.
+    pub const RXO: IcrFlags = IcrFlags(1 << 6);
     /// NCAP: a burst of latency-critical requests is arriving — transition
     /// to the highest performance state (paper §4.2, new bit).
     pub const IT_HIGH: IcrFlags = IcrFlags(1 << 16);
@@ -94,6 +99,7 @@ impl fmt::Display for IcrFlags {
         for (bit, name) in [
             (IcrFlags::IT_RX, "IT_RX"),
             (IcrFlags::IT_TX, "IT_TX"),
+            (IcrFlags::RXO, "RXO"),
             (IcrFlags::IT_HIGH, "IT_HIGH"),
             (IcrFlags::IT_LOW, "IT_LOW"),
         ] {
@@ -147,6 +153,16 @@ mod tests {
         assert_eq!(
             (IcrFlags::IT_RX | IcrFlags::IT_HIGH).to_string(),
             "IT_RX|IT_HIGH"
+        );
+        assert_eq!((IcrFlags::IT_RX | IcrFlags::RXO).to_string(), "IT_RX|RXO");
+    }
+
+    #[test]
+    fn rxo_is_a_standard_cause() {
+        assert!(IcrFlags::RXO.bits() < u32::from(u16::MAX));
+        assert_eq!(
+            IcrFlags::RXO & (IcrFlags::IT_RX | IcrFlags::IT_TX),
+            IcrFlags::EMPTY
         );
     }
 }

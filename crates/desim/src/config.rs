@@ -1,0 +1,51 @@
+//! Typed configuration-validation errors.
+//!
+//! Every crate in the workspace exposes a `Config` type with builder
+//! methods; validation used to be scattered `assert!`s inside those
+//! builders. [`ConfigError`] is the shared error type for the
+//! `validate() -> Result<(), ConfigError>` pattern instead: builders stay
+//! infallible and ergonomic, and a single validation pass reports *which*
+//! field is wrong and why, without panicking in library code.
+
+use core::fmt;
+
+/// A configuration field failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field (e.g. `"cores"`, `"loss"`).
+    pub field: &'static str,
+    /// Human-readable explanation of the constraint that was violated.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Builds an error for `field` with the given `reason`.
+    #[must_use]
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = ConfigError::new("cores", "a node needs at least one core");
+        let s = e.to_string();
+        assert!(s.contains("cores"));
+        assert!(s.contains("at least one core"));
+    }
+}

@@ -27,12 +27,14 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
 //! ```
 
+pub mod config;
 pub mod queue;
 pub mod rng;
 pub mod runner;
 pub mod time;
 pub mod timer;
 
+pub use config::ConfigError;
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use runner::{EventHandler, RunOutcome, Simulation};

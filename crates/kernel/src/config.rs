@@ -7,7 +7,7 @@
 //! Memcached ceiling the (much lighter) per-request work does the same.
 
 use cpusim::PStateId;
-use desim::SimDuration;
+use desim::{ConfigError, SimDuration};
 
 /// Tunable kernel parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,12 @@ pub struct KernelConfig {
     /// request id (`None` disables; tracing is measurement-only and does
     /// not perturb the simulated system).
     pub trace_requests_every: Option<u64>,
+    /// TCP-lite reliability at the receiver: suppress retransmitted
+    /// duplicates of in-flight requests and replay responses for
+    /// already-answered ones. Enabled by the cluster harness whenever
+    /// fault injection is active; the default (`false`) keeps the
+    /// lossless-fabric behavior bit-identical.
+    pub reliable: bool,
 }
 
 impl KernelConfig {
@@ -58,17 +64,13 @@ impl KernelConfig {
             mwait_wake_overhead: SimDuration::from_us(25),
             per_core_boost: false,
             trace_requests_every: None,
+            reliable: false,
         }
     }
 
     /// Builder-style core count override.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cores` is zero.
     #[must_use]
     pub fn with_cores(mut self, cores: u8) -> Self {
-        assert!(cores > 0, "a node needs at least one core");
         self.cores = cores;
         self
     }
@@ -88,15 +90,36 @@ impl KernelConfig {
     }
 
     /// Builder-style enable of request-stage tracing for every `n`th id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
     #[must_use]
     pub fn with_request_tracing(mut self, n: u64) -> Self {
-        assert!(n > 0, "sampling interval must be positive");
         self.trace_requests_every = Some(n);
         self
+    }
+
+    /// Builder-style enable of receiver-side duplicate suppression and
+    /// response replay (the TCP-lite reliability layer).
+    #[must_use]
+    pub fn with_reliability(mut self) -> Self {
+        self.reliable = true;
+        self
+    }
+
+    /// Validates field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("cores", "a node needs at least one core"));
+        }
+        if self.trace_requests_every == Some(0) {
+            return Err(ConfigError::new(
+                "trace_requests_every",
+                "sampling interval must be positive",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -116,20 +139,38 @@ mod tests {
         assert_eq!(c.cores, 4);
         assert_eq!(c.initial_pstate, PStateId(14));
         assert!(c.mwait_wake_overhead >= SimDuration::from_us(1));
+        assert!(!c.reliable);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn builders() {
         let c = KernelConfig::server_defaults()
             .with_cores(2)
-            .with_initial_pstate(PStateId(0));
+            .with_initial_pstate(PStateId(0))
+            .with_reliability();
         assert_eq!(c.cores, 2);
         assert_eq!(c.initial_pstate, PStateId(0));
+        assert!(c.reliable);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
-        let _ = KernelConfig::server_defaults().with_cores(0);
+        let err = KernelConfig::server_defaults()
+            .with_cores(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "cores");
+        assert!(err.to_string().contains("at least one core"));
+    }
+
+    #[test]
+    fn zero_trace_interval_rejected() {
+        let err = KernelConfig::server_defaults()
+            .with_request_tracing(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "trace_requests_every");
     }
 }

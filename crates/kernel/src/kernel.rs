@@ -90,6 +90,21 @@ struct ReqState {
     response_bytes: usize,
 }
 
+/// Receiver-side duplicate-suppression state for one request id (only
+/// tracked when [`KernelConfig::reliable`] is set).
+#[derive(Debug, Clone, Copy)]
+enum DupState {
+    /// The request is being processed; duplicates are dropped without
+    /// scheduling any application work.
+    InFlight,
+    /// The response (of this size) was already generated; a duplicate
+    /// means the client did not receive it all — replay it.
+    Done {
+        /// Size of the generated response body.
+        response_bytes: usize,
+    },
+}
+
 /// Operational counters of one kernel — the `/proc`-style observability a
 /// production deployment would watch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -107,6 +122,12 @@ pub struct KernelStats {
     pub governor_ticks: u64,
     /// Core wake-ups out of C-states.
     pub core_wakes: u64,
+    /// Retransmitted requests dropped while the original was still in
+    /// flight (no application work scheduled).
+    pub dup_suppressed: u64,
+    /// Responses replayed for retransmitted requests that had already
+    /// completed (the response was lost on the way back).
+    pub resp_replays: u64,
 }
 
 /// A stage-level waterfall of one sampled request's life inside the
@@ -167,6 +188,7 @@ pub struct Kernel {
     uncore_sync: SimTime,
 
     requests: HashMap<u64, ReqState>,
+    seen: HashMap<u64, DupState>,
     req_traces: HashMap<u64, RequestTrace>,
     finished_traces: Vec<RequestTrace>,
     next_token: u64,
@@ -233,6 +255,7 @@ impl Kernel {
             sleep_since: vec![SimTime::ZERO; n],
             isr_pending,
             requests: HashMap::new(),
+            seen: HashMap::new(),
             req_traces: HashMap::new(),
             finished_traces: Vec::new(),
             next_token: 0,
@@ -379,6 +402,11 @@ impl Kernel {
         if out.immediate_irq {
             // NCAP CIT rule: a proactive wake-up interrupt.
             self.wake_marker_times.push(now);
+            self.deliver_irq(now, out.queue, fx);
+        } else if out.overflow_irq {
+            // Receiver overrun (RXO): drain the ring immediately — but do
+            // NOT record an NCAP wake marker; this is congestion
+            // backpressure, not a packet-context decision.
             self.deliver_irq(now, out.queue, fx);
         }
         if let Some(t) = out.dma_complete_at {
@@ -671,6 +699,50 @@ impl Kernel {
         let Some(rid) = frame.meta().request_id else {
             return;
         };
+        if self.cfg.reliable {
+            match self.seen.get(&rid) {
+                // The original is still being processed: drop the
+                // retransmitted duplicate without any application work —
+                // a retransmission must not double-serve a request (or
+                // spuriously re-trigger NCAP's request machinery in
+                // software).
+                Some(DupState::InFlight) => {
+                    self.stats.dup_suppressed += 1;
+                    self.req_traces.remove(&rid);
+                    if simtrace::is_enabled() {
+                        let t = now.as_nanos();
+                        simtrace::instant_args(
+                            "kernel",
+                            "dup_suppressed",
+                            t,
+                            &[simtrace::arg("id", rid)],
+                        );
+                        simtrace::metric_add("kernel", "dup_suppressed", t, 1.0);
+                    }
+                    return;
+                }
+                // Already answered: the response (or its tail) was lost —
+                // replay it without re-running the application.
+                Some(&DupState::Done { response_bytes }) => {
+                    self.stats.resp_replays += 1;
+                    self.req_traces.remove(&rid);
+                    if simtrace::is_enabled() {
+                        let t = now.as_nanos();
+                        simtrace::instant_args(
+                            "kernel",
+                            "resp_replay",
+                            t,
+                            &[simtrace::arg("id", rid)],
+                        );
+                        simtrace::metric_add("kernel", "resp_replays", t, 1.0);
+                    }
+                    let (src, sent_at) = (frame.src(), frame.meta().sent_at);
+                    self.emit_response(now, src, rid, response_bytes, sent_at, fx);
+                    return;
+                }
+                None => {}
+            }
+        }
         let info = RequestInfo {
             id: rid,
             src: frame.src(),
@@ -681,6 +753,9 @@ impl Kernel {
             self.req_traces.remove(&rid);
             return;
         };
+        if self.cfg.reliable {
+            self.seen.insert(rid, DupState::InFlight);
+        }
         if let Some(tr) = self.req_traces.get_mut(&rid) {
             tr.stack_done = now;
         }
@@ -719,25 +794,40 @@ impl Kernel {
                 if let Some(tr) = self.req_traces.get_mut(&state.info.id) {
                     tr.app_done = now;
                 }
-                let body = Bytes::from(vec![0u8; state.response_bytes]);
-                let frames = segment_response(
-                    self.node,
-                    state.info.src,
-                    state.info.id,
-                    body,
-                    state.info.sent_at,
-                );
-                let sw_cost = self.ncap_sw.as_ref().map_or(0, |_| ncap::SW_PER_TX_CYCLES);
-                let stack =
-                    (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
-                for frame in frames {
-                    self.run_queue.push_back(
-                        Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame }).on_core(0),
+                if self.cfg.reliable {
+                    self.seen.insert(
+                        state.info.id,
+                        DupState::Done {
+                            response_bytes: state.response_bytes,
+                        },
                     );
                 }
-                self.try_dispatch(now, fx);
+                let (src, sent_at) = (state.info.src, state.info.sent_at);
+                self.emit_response(now, src, state.info.id, state.response_bytes, sent_at, fx);
             }
         }
+    }
+
+    /// Segments a response body of `response_bytes` into TX stack work.
+    /// Shared by first-time completion and reliability-layer replays.
+    fn emit_response(
+        &mut self,
+        now: SimTime,
+        dst: NodeId,
+        request_id: u64,
+        response_bytes: usize,
+        sent_at: SimTime,
+        fx: &mut Effects,
+    ) {
+        let body = Bytes::from(vec![0u8; response_bytes]);
+        let frames = segment_response(self.node, dst, request_id, body, sent_at);
+        let sw_cost = self.ncap_sw.as_ref().map_or(0, |_| ncap::SW_PER_TX_CYCLES);
+        let stack = (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
+        for frame in frames {
+            self.run_queue
+                .push_back(Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame }).on_core(0));
+        }
+        self.try_dispatch(now, fx);
     }
 
     fn complete_tx(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
@@ -1134,6 +1224,7 @@ mod tests {
             netsim::PacketMeta {
                 request_id: Some(9),
                 sent_at: SimTime::ZERO,
+                seq: 0,
                 is_final: true,
             },
         );
@@ -1220,6 +1311,92 @@ mod tests {
         assert_eq!(s.softirq_rx, 1, "{s:?}");
         assert_eq!(s.softirq_tx, 3, "one per response frame: {s:?}");
         assert_eq!(s.app_jobs, 1, "{s:?}");
+    }
+
+    #[test]
+    fn reliable_kernel_suppresses_inflight_duplicates() {
+        let mut k = Kernel::new(
+            KernelConfig::server_defaults()
+                .with_initial_pstate(cpusim::PStateId(0))
+                .with_reliability(),
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            Box::new(PollIdle),
+            Box::new(StubApp {
+                cycles: 50_000,
+                response: 4_000,
+                io: Some(SimDuration::from_ms(1)),
+            }),
+        );
+        let mut fx = k.init(SimTime::ZERO);
+        // The duplicate lands while the original is still in its IO
+        // phase: it must be dropped without a second app job.
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(7))));
+        fx.schedule.push((
+            SimTime::from_us(600),
+            NodeEvent::FrameFromWire(get_frame(7)),
+        ));
+        let frames = drain(&mut k, fx, SimTime::from_ms(10));
+        assert_eq!(frames.len(), 3, "one 3-frame response, not two");
+        assert_eq!(k.completed_responses(), 1);
+        let s = k.stats();
+        assert_eq!(s.dup_suppressed, 1, "{s:?}");
+        assert_eq!(s.resp_replays, 0, "{s:?}");
+        assert_eq!(s.app_jobs, 2, "two CPU phases of ONE request: {s:?}");
+    }
+
+    #[test]
+    fn reliable_kernel_replays_completed_responses() {
+        let mut k = Kernel::new(
+            KernelConfig::server_defaults()
+                .with_initial_pstate(cpusim::PStateId(0))
+                .with_reliability(),
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            Box::new(PollIdle),
+            Box::new(StubApp {
+                cycles: 50_000,
+                response: 4_000,
+                io: None,
+            }),
+        );
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(7))));
+        // Retransmit long after the response went out (it was "lost").
+        fx.schedule
+            .push((SimTime::from_ms(5), NodeEvent::FrameFromWire(get_frame(7))));
+        let frames = drain(&mut k, fx, SimTime::from_ms(10));
+        assert_eq!(frames.len(), 6, "original + replayed response");
+        assert_eq!(
+            k.completed_responses(),
+            1,
+            "a replay is not a new completion"
+        );
+        let s = k.stats();
+        assert_eq!(s.resp_replays, 1, "{s:?}");
+        assert_eq!(s.app_jobs, 1, "replay must not re-run the app: {s:?}");
+        // Replayed frames carry the same sequence numbers for dedup.
+        let seqs: Vec<u32> = frames.iter().map(|f| f.meta().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreliable_kernel_serves_duplicates_twice() {
+        let mut k = stub_kernel(None);
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(7))));
+        fx.schedule
+            .push((SimTime::from_ms(5), NodeEvent::FrameFromWire(get_frame(7))));
+        let frames = drain(&mut k, fx, SimTime::from_ms(10));
+        // Without the reliability layer the old behavior is preserved.
+        assert_eq!(frames.len(), 6);
+        assert_eq!(k.completed_responses(), 2);
+        assert_eq!(k.stats().dup_suppressed, 0);
     }
 
     #[test]

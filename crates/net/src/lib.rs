@@ -14,6 +14,8 @@
 //!   the context-free TxBytesCounter).
 //! * [`link`] — serialization + propagation delay with a FIFO egress queue.
 //! * [`switch`] — a store-and-forward switch connecting cluster nodes.
+//! * [`faults`] — seeded per-link impairment (loss, corruption, reorder,
+//!   jitter) plus the retransmission policy used to recover from drops.
 //! * [`bytes`] — the in-tree zero-copy [`Bytes`] buffer the payload types
 //!   are built on (no external `bytes` crate: the build is hermetic).
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod bytes;
+pub mod faults;
 pub mod http;
 pub mod link;
 pub mod packet;
@@ -40,8 +43,11 @@ pub mod tcp;
 pub mod wire;
 
 pub use bytes::Bytes;
+pub use faults::{
+    DropKind, FaultConfig, FaultStats, FaultVerdict, LinkFaults, RetxConfig, DEFAULT_FAULT_SEED,
+};
 pub use http::{HttpRequest, MemcachedRequest};
 pub use link::Link;
 pub use packet::{NodeId, Packet, PacketMeta};
-pub use switch::Switch;
-pub use tcp::segment_response;
+pub use switch::{Delivery, Switch};
+pub use tcp::{segment_response, Reassembly, SegmentStatus};

@@ -56,6 +56,10 @@ pub struct PacketMeta {
     pub request_id: Option<u64>,
     /// When the originating client issued the request.
     pub sent_at: SimTime,
+    /// Segment index within the message (0 for single-frame messages).
+    /// The reliability layer deduplicates retransmitted frames by
+    /// `(request_id, seq)`.
+    pub seq: u32,
     /// `true` on the last frame of a message (single-frame messages are
     /// final); clients use this to timestamp response completion.
     pub is_final: bool,
@@ -95,6 +99,7 @@ impl Packet {
             PacketMeta {
                 request_id: Some(request_id),
                 sent_at: SimTime::ZERO,
+                seq: 0,
                 is_final: true,
             },
         )

@@ -8,6 +8,7 @@
 //! [`Link`], so a response burst from the server contends only with other
 //! traffic to the same destination.
 
+use crate::faults::{DropKind, FaultConfig, FaultStats, FaultVerdict, LinkFaults};
 use crate::link::Link;
 use crate::packet::NodeId;
 use desim::{SimDuration, SimTime};
@@ -33,6 +34,28 @@ pub struct Switch {
     /// Per node: (node→switch uplink, switch→node downlink).
     ports: BTreeMap<NodeId, Port>,
     frames_forwarded: u64,
+    /// Impairment layer; `None` keeps the fault-free fast path untouched.
+    faults: Option<FaultLayer>,
+}
+
+/// Per-switch fault-injection state: one RNG stream per directed pair,
+/// created lazily so attach order does not matter.
+#[derive(Debug)]
+struct FaultLayer {
+    config: FaultConfig,
+    per_pair: BTreeMap<(NodeId, NodeId), LinkFaults>,
+    stats: FaultStats,
+}
+
+/// Outcome of [`Switch::route`]: either the frame arrives, or an injected
+/// fault removed it from the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Frame fully received by the destination NIC at this instant.
+    Deliver(SimTime),
+    /// Frame dropped by the impairment layer; the sender's uplink time
+    /// was still consumed (serialization happens before the drop).
+    Dropped(DropKind),
 }
 
 #[derive(Debug)]
@@ -61,7 +84,28 @@ impl Switch {
             switching_latency,
             ports: BTreeMap::new(),
             frames_forwarded: 0,
+            faults: None,
         }
+    }
+
+    /// Installs the impairment layer. A config with no active impairment
+    /// dimensions leaves the switch fault-free (the retransmission policy
+    /// lives in the cluster harness, not here).
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        self.faults = config.impairs().then(|| FaultLayer {
+            config,
+            per_pair: BTreeMap::new(),
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// Injected-fault counters ([`FaultStats::default`] when no
+    /// impairment layer is installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map_or_else(FaultStats::default, |f| f.stats)
     }
 
     /// Attaches `node` with its uplink (node→switch) and downlink
@@ -96,6 +140,19 @@ impl Switch {
         dst: NodeId,
         wire_bytes: usize,
     ) -> Result<SimTime, UnknownNode> {
+        self.carry(now, src, dst, wire_bytes)
+    }
+
+    /// Fault-free carry: uplink serialization, switching latency,
+    /// downlink serialization. Shared by [`forward`](Self::forward) and
+    /// the delivered arm of [`route`](Self::route).
+    fn carry(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    ) -> Result<SimTime, UnknownNode> {
         if !self.ports.contains_key(&dst) {
             return Err(UnknownNode(dst));
         }
@@ -115,6 +172,87 @@ impl Switch {
             simtrace::metric_add("net", "frames_forwarded", t, 1.0);
         }
         Ok(at_dst)
+    }
+
+    /// Carries a frame like [`forward`](Self::forward), but subject to
+    /// the installed impairment layer. Without one (or when the config is
+    /// inert) this is exactly `forward` — same timing, same trace events
+    /// — so routing through here is observer-effect-free when faults are
+    /// off.
+    ///
+    /// A dropped frame still consumes the sender's uplink (serialization
+    /// happens before the drop); a corrupted frame additionally consumes
+    /// the downlink, since it reaches the receiver before the FCS check
+    /// discards it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNode`] if either endpoint is not attached.
+    pub fn route(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    ) -> Result<Delivery, UnknownNode> {
+        let Some(layer) = self.faults.as_mut() else {
+            return self.carry(now, src, dst, wire_bytes).map(Delivery::Deliver);
+        };
+        let seed = layer.config.seed;
+        let before = layer.stats;
+        let verdict = layer
+            .per_pair
+            .entry((src, dst))
+            .or_insert_with(|| LinkFaults::new(seed, src, dst))
+            .judge(&layer.config, &mut layer.stats);
+        let (reordered, jittered) = (
+            layer.stats.reorders > before.reorders,
+            layer.stats.jittered > before.jittered,
+        );
+        match verdict {
+            FaultVerdict::Deliver { extra_delay } => {
+                let at_dst = self.carry(now, src, dst, wire_bytes)? + extra_delay;
+                if simtrace::is_enabled() {
+                    let t = now.as_nanos();
+                    if reordered {
+                        simtrace::metric_add("net", "fault_reorders", t, 1.0);
+                    }
+                    if jittered {
+                        simtrace::metric_add(
+                            "net",
+                            "fault_jitter_ns",
+                            t,
+                            extra_delay.as_nanos() as f64,
+                        );
+                    }
+                }
+                Ok(Delivery::Deliver(at_dst))
+            }
+            FaultVerdict::Drop(kind) => {
+                if !self.ports.contains_key(&dst) {
+                    return Err(UnknownNode(dst));
+                }
+                let src_port = self.ports.get_mut(&src).ok_or(UnknownNode(src))?;
+                let (_, at_switch) = src_port.uplink.transmit(now, wire_bytes);
+                if kind == DropKind::Corrupt {
+                    // The corrupted frame traverses the fabric and is
+                    // discarded at the receiver.
+                    let ready = at_switch + self.switching_latency;
+                    let dst_port = self.ports.get_mut(&dst).expect("checked above");
+                    let _ = dst_port.downlink.transmit(ready, wire_bytes);
+                }
+                if simtrace::is_enabled() {
+                    let t = now.as_nanos();
+                    let (name, metric) = match kind {
+                        DropKind::Loss => ("fault_loss", "fault_losses"),
+                        DropKind::Corrupt => ("fault_corrupt", "fault_corruptions"),
+                    };
+                    simtrace::instant_args("net", name, t, &[simtrace::arg("bytes", wire_bytes)]);
+                    simtrace::metric_add("net", metric, t, 1.0);
+                }
+                Ok(Delivery::Dropped(kind))
+            }
+        }
     }
 
     /// Bytes carried toward `node` so far (downlink utilization).
@@ -225,6 +363,70 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    #[test]
+    fn route_without_faults_matches_forward() {
+        let mut a = two_node_switch();
+        let mut b = two_node_switch();
+        // Inert config: set_faults must not install a layer.
+        b.set_faults(FaultConfig::none());
+        for i in 0..20u64 {
+            let now = SimTime::from_nanos(i * 700);
+            let fwd = a.forward(now, NodeId(0), NodeId(1), 1_000).unwrap();
+            let routed = b.route(now, NodeId(0), NodeId(1), 1_000).unwrap();
+            assert_eq!(routed, Delivery::Deliver(fwd));
+        }
+        assert_eq!(b.fault_stats(), FaultStats::default());
+        assert_eq!(a.frames_forwarded(), b.frames_forwarded());
+    }
+
+    #[test]
+    fn route_injects_deterministic_drops() {
+        let run = || {
+            let mut sw = two_node_switch();
+            sw.set_faults(FaultConfig::lossy(0.3, 99));
+            let mut outcomes = Vec::new();
+            for i in 0..200u64 {
+                let now = SimTime::from_nanos(i * 2_000);
+                outcomes.push(sw.route(now, NodeId(0), NodeId(1), 800).unwrap());
+            }
+            (outcomes, sw.fault_stats())
+        };
+        let (a, stats) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "same seed, same verdicts");
+        let dropped = a
+            .iter()
+            .filter(|d| matches!(d, Delivery::Dropped(_)))
+            .count() as u64;
+        assert_eq!(dropped, stats.dropped());
+        assert!(dropped > 20, "~30% of 200 frames should drop");
+        assert!(dropped < 120);
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers() {
+        let mut plain = two_node_switch();
+        let mut jittery = two_node_switch();
+        jittery.set_faults(FaultConfig::lossy(0.0, 5).with_jitter(SimDuration::from_us(10)));
+        let mut delayed = 0;
+        for i in 0..50u64 {
+            let now = SimTime::from_nanos(i * 20_000);
+            let base = plain.forward(now, NodeId(0), NodeId(1), 500).unwrap();
+            match jittery.route(now, NodeId(0), NodeId(1), 500).unwrap() {
+                Delivery::Deliver(at) => {
+                    assert!(at >= base);
+                    assert!(at <= base + SimDuration::from_us(10));
+                    if at > base {
+                        delayed += 1;
+                    }
+                }
+                Delivery::Dropped(_) => panic!("loss disabled"),
+            }
+        }
+        assert!(delayed > 0, "jitter should delay some frames");
+        assert_eq!(jittery.fault_stats().jittered, delayed);
     }
 
     #[test]

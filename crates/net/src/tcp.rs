@@ -1,16 +1,24 @@
-//! TCP-lite: MSS segmentation of large responses.
+//! TCP-lite: MSS segmentation, sequence tracking and reassembly.
 //!
-//! The network is modelled as lossless (switched datacenter fabric, no
-//! congestion drops at the simulated loads), so no retransmission or
-//! congestion control is needed. What *is* needed — because the paper's
-//! TxBytesCounter rationale rests on it — is that "most responses are
-//! larger than the Ethernet maximum transmission unit, and thus several
-//! TCP packets constituting a single response are transmitted" (§4.1).
-//! [`segment_response`] performs that split.
+//! By default the fabric is lossless (switched datacenter fabric, no
+//! congestion drops at the simulated loads) and nothing here is exercised
+//! beyond segmentation: "most responses are larger than the Ethernet
+//! maximum transmission unit, and thus several TCP packets constituting a
+//! single response are transmitted" (§4.1) — the paper's TxBytesCounter
+//! rationale. [`segment_response`] performs that split and stamps each
+//! frame with a per-message sequence number.
+//!
+//! When fault injection is active (see [`crate::faults`]) the sequence
+//! numbers carry the reliability layer: [`Reassembly`] tracks which
+//! segments of a message have arrived, suppresses retransmitted
+//! duplicates, tolerates reordering, and reports completion only once
+//! *every* segment through the final one has been received — a lost
+//! middle frame can no longer masquerade as a completed response.
 
 use crate::bytes::Bytes;
 use crate::packet::{NodeId, Packet, PacketMeta, MSS};
 use desim::SimTime;
+use std::collections::HashSet;
 
 /// Splits a response body into MSS-sized frames from `src` to `dst`.
 ///
@@ -44,6 +52,7 @@ pub fn segment_response(
     let meta = PacketMeta {
         request_id: Some(request_id),
         sent_at,
+        seq: 0,
         is_final: false,
     };
     if body.is_empty() {
@@ -70,6 +79,7 @@ pub fn segment_response(
             request_id as u32,
             body.slice(offset..end),
             PacketMeta {
+                seq: frames.len() as u32,
                 is_final: last,
                 ..meta
             },
@@ -97,6 +107,70 @@ pub fn response_wire_bytes(body_len: usize) -> usize {
         total += (crate::packet::PAYLOAD_OFFSET + chunk).max(64) + crate::packet::WIRE_OVERHEAD;
     }
     total
+}
+
+/// Outcome of feeding one segment into a [`Reassembly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentStatus {
+    /// A segment not seen before; the message is still incomplete.
+    Fresh,
+    /// A retransmitted duplicate (or any segment after completion) — the
+    /// receiver should suppress it.
+    Duplicate,
+    /// This segment completed the message: every sequence number from 0
+    /// through the final one has now been received exactly once-or-more.
+    Completed,
+}
+
+/// Receiver-side reassembly state for one message.
+///
+/// Tracks received sequence numbers so duplicates are suppressed and
+/// out-of-order arrival is tolerated; the message completes only when all
+/// segments `0..=final_seq` have arrived. Once complete, every further
+/// segment reports [`SegmentStatus::Duplicate`].
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    received: HashSet<u32>,
+    final_seq: Option<u32>,
+    done: bool,
+}
+
+impl Reassembly {
+    /// Empty state: no segments received.
+    #[must_use]
+    pub fn new() -> Self {
+        Reassembly::default()
+    }
+
+    /// Feeds one segment, identified by its sequence number and final
+    /// flag, and reports what the receiver should do with it.
+    pub fn on_segment(&mut self, seq: u32, is_final: bool) -> SegmentStatus {
+        if self.done || !self.received.insert(seq) {
+            return SegmentStatus::Duplicate;
+        }
+        if is_final {
+            self.final_seq = Some(seq);
+        }
+        match self.final_seq {
+            Some(last) if self.received.len() as u64 == u64::from(last) + 1 => {
+                self.done = true;
+                SegmentStatus::Completed
+            }
+            _ => SegmentStatus::Fresh,
+        }
+    }
+
+    /// `true` once the message has fully arrived.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Segments received so far (duplicates not counted).
+    #[must_use]
+    pub fn segments_received(&self) -> usize {
+        self.received.len()
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +233,61 @@ mod tests {
             assert_eq!(f.meta().sent_at, SimTime::from_us(5));
             assert_eq!(f.meta().is_final, i == frames.len() - 1);
         }
+    }
+
+    #[test]
+    fn segments_carry_sequence_numbers() {
+        let frames = segment_response(
+            NodeId(0),
+            NodeId(1),
+            7,
+            Bytes::from(vec![0u8; MSS * 2 + 10]),
+            SimTime::ZERO,
+        );
+        let seqs: Vec<u32> = frames.iter().map(|f| f.meta().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let empty = segment_response(NodeId(0), NodeId(1), 7, Bytes::new(), SimTime::ZERO);
+        assert_eq!(empty[0].meta().seq, 0);
+        assert!(empty[0].meta().is_final);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(1, false), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(2, true), SegmentStatus::Completed);
+        assert!(r.is_complete());
+        assert_eq!(r.segments_received(), 3);
+    }
+
+    #[test]
+    fn reassembly_tolerates_reordering() {
+        // Final frame arrives first; completion waits for the hole.
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(2, true), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Fresh);
+        assert!(!r.is_complete());
+        assert_eq!(r.on_segment(1, false), SegmentStatus::Completed);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn reassembly_suppresses_duplicates() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Duplicate);
+        assert_eq!(r.on_segment(1, true), SegmentStatus::Completed);
+        // Everything after completion is a duplicate, even unseen seqs
+        // (a stale retransmit of an already-answered message).
+        assert_eq!(r.on_segment(1, true), SegmentStatus::Duplicate);
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Duplicate);
+    }
+
+    #[test]
+    fn single_frame_message_completes_immediately() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(0, true), SegmentStatus::Completed);
     }
 
     /// Reassembling segmented payloads recovers the body exactly.

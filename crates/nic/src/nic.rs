@@ -133,6 +133,11 @@ pub struct RxOutcome {
     /// `true` when NCAP posted an immediate wake-up interrupt (CIT rule)
     /// and that queue's IRQ vector was just asserted.
     pub immediate_irq: bool,
+    /// `true` when the frame was dropped on a full ring and the receiver
+    /// overrun cause ([`IcrFlags::RXO`]) asserted the vector immediately
+    /// — overflow backpressure bypasses interrupt moderation so the
+    /// driver drains the ring before more traffic is lost.
+    pub overflow_irq: bool,
 }
 
 /// Result of handing a frame to the TX path.
@@ -263,10 +268,15 @@ impl Nic {
                 simtrace::instant_args("nic", "rx_drop", t, &[simtrace::arg("queue", queue)]);
                 simtrace::metric_add("nic", "rx_drops", t, 1.0);
             }
+            // Receiver overrun: raise RXO and assert the vector right
+            // away (moderation does not delay overrun notifications).
+            self.queues[queue].cause.insert(IcrFlags::RXO);
+            let posted = self.assert_irq(now, queue);
             return RxOutcome {
                 queue,
                 dma_complete_at: None,
                 immediate_irq: false,
+                overflow_irq: posted,
             };
         }
         self.rx_frames += 1;
@@ -306,6 +316,7 @@ impl Nic {
             queue,
             dma_complete_at: Some(done),
             immediate_irq: immediate,
+            overflow_irq: false,
         }
     }
 
@@ -551,12 +562,20 @@ mod tests {
             .frame_arrived(SimTime::ZERO, get_frame(2))
             .dma_complete_at
             .is_some());
-        assert!(nic
-            .frame_arrived(SimTime::ZERO, get_frame(3))
-            .dma_complete_at
-            .is_none());
+        let dropped = nic.frame_arrived(SimTime::ZERO, get_frame(3));
+        assert!(dropped.dma_complete_at.is_none());
+        assert!(
+            dropped.overflow_irq,
+            "ring overflow must assert the vector immediately"
+        );
         assert_eq!(nic.rx_drops(), 1);
         assert_eq!(nic.rx_frames(), 2);
+        // The driver sees the overrun cause on the next ICR read; a
+        // second overflow while asserted does not double-post.
+        let dropped2 = nic.frame_arrived(SimTime::ZERO, get_frame(5));
+        assert!(!dropped2.overflow_irq, "vector already asserted");
+        assert!(nic.read_icr(0).contains(IcrFlags::RXO));
+        assert_eq!(nic.irqs_posted(), 1);
         // Fetching (after its DMA completes) replenishes a descriptor.
         nic.rx_dma_complete(SimTime::from_us(16), 0);
         assert!(nic.fetch_rx(0).is_some());

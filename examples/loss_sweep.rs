@@ -1,0 +1,65 @@
+//! Graceful degradation under lossy links: sweep the per-frame loss rate
+//! and watch latency and energy as the retransmission layer absorbs the
+//! damage.
+//!
+//! Each run injects seeded uniform loss on every link and arms the
+//! client-side reliability layer (5 ms initial RTO, exponential backoff).
+//! A dropped request or response segment costs its victim at least one
+//! RTO, so the p99 tail grows with the loss rate while the median and the
+//! energy envelope stay put — and the accounting identity
+//! `issued == completed + lost + in-flight` guarantees nothing vanishes.
+//!
+//! Run with: `cargo run --release --example loss_sweep`
+
+use cluster::{run_experiments_parallel, AppKind, ExperimentConfig, FaultConfig, Policy};
+use desim::SimDuration;
+
+fn main() {
+    let loss_rates = [0.0, 0.001, 0.005, 0.01, 0.02, 0.05];
+    let load = 35_000.0;
+    println!(
+        "Memcached / ncap.cons @ {load:.0} rps, per-frame loss swept over\n\
+         {loss_rates:?} (seeded; identical runs are byte-identical).\n"
+    );
+    let configs: Vec<ExperimentConfig> = loss_rates
+        .iter()
+        .map(|&loss| {
+            let mut cfg = ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, load)
+                .with_durations(SimDuration::from_ms(50), SimDuration::from_ms(200));
+            if loss > 0.0 {
+                cfg = cfg.with_faults(FaultConfig::lossy(loss, 0x10_55));
+            }
+            cfg
+        })
+        .collect();
+    let results = run_experiments_parallel(&configs);
+    println!(
+        "{:>6}  {:>9} {:>9} {:>9}  {:>7}  {:>6} {:>6} {:>5}  {:>8}",
+        "loss", "p50", "p95", "p99", "energy", "drops", "retx", "lost", "goodput"
+    );
+    for (rate, r) in loss_rates.iter().zip(&results) {
+        let f = &r.faults;
+        println!(
+            "{:5.1}%  {:7.1}us {:7.1}us {:7.1}us  {:5.2} J  {:>6} {:>6} {:>5}  {:7.3}",
+            rate * 100.0,
+            r.latency.p50 as f64 / 1e3,
+            r.latency.p95 as f64 / 1e3,
+            r.latency.p99 as f64 / 1e3,
+            r.energy_j,
+            f.injected_losses + f.injected_corruptions,
+            f.retransmits,
+            f.lost_requests,
+            r.goodput(),
+        );
+        assert_eq!(
+            f.issued_total,
+            f.completed_total + f.lost_requests + f.in_flight,
+            "conservation violated at loss {rate}"
+        );
+    }
+    println!(
+        "\nDegradation is smooth: each recovered drop costs its request one\n\
+         RTO (5 ms), stretching the tail percentiles, while the retransmit\n\
+         volume tracks the injected loss rate and no request is lost."
+    );
+}

@@ -40,6 +40,18 @@ head -1 "$trace_dir/trace.csv" | grep -q '^time_ns,.*cluster\.bw_rx' ||
     { echo "verify: trace.csv missing expected columns" >&2; exit 1; }
 echo "==> trace smoke ok ($trace_dir)"
 
+# Fault-scenario smoke: a short lossy run with tracing enabled must
+# complete, recover every request, and report its fault counters.
+fault_out=$(NCAP_TRACE=1 run cargo run --release -p ncap-cli -- run \
+    --app memcached --policy ncap.cons --load 30000 \
+    --warmup-ms 5 --measure-ms 15 --loss 0.01 --fault-seed 7)
+echo "$fault_out"
+echo "$fault_out" | grep -q 'faults' ||
+    { echo "verify: lossy run reported no fault counters" >&2; exit 1; }
+echo "$fault_out" | grep -q '0 requests lost' ||
+    { echo "verify: lossy run lost requests" >&2; exit 1; }
+echo "==> fault smoke ok"
+
 # Hermeticity: no external crates may creep back into any manifest.
 if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
     Cargo.toml crates/*/Cargo.toml; then
