@@ -60,6 +60,10 @@ pub struct ClientConfig {
     pub step: Option<(SimTime, SimDuration)>,
     /// The arrival process.
     pub arrival: Arrival,
+    /// Optional end-to-end deadline stamped on every request (measured
+    /// from the send instant). Servers running the deadline shed policy
+    /// reject work that can no longer meet it.
+    pub deadline: Option<SimDuration>,
 }
 
 impl ClientConfig {
@@ -82,6 +86,7 @@ impl ClientConfig {
             id_base: u64::from(me.0) << 40,
             step: None,
             arrival: Arrival::Bursty,
+            deadline: None,
         }
     }
 
@@ -120,6 +125,14 @@ impl ClientConfig {
     #[must_use]
     pub fn with_poisson(mut self) -> Self {
         self.arrival = Arrival::Poisson;
+        self
+    }
+
+    /// Stamps every emitted request with an end-to-end deadline (builder
+    /// style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -197,7 +210,14 @@ impl OpenLoopClient {
                     payload,
                     netsim::PacketMeta::default(),
                 ),
-                _ => Packet::request(self.config.me, self.config.server, id, payload).sent_at(now),
+                _ => {
+                    let mut f = Packet::request(self.config.me, self.config.server, id, payload)
+                        .sent_at(now);
+                    if let Some(d) = self.config.deadline {
+                        f = f.with_deadline(d);
+                    }
+                    f
+                }
             };
             frames.push(frame);
         }
@@ -239,6 +259,7 @@ pub struct ResponseTracker {
     latencies: LogHistogram,
     outstanding: HashMap<u64, ()>,
     completed: u64,
+    rejected: u64,
 }
 
 impl ResponseTracker {
@@ -258,6 +279,10 @@ impl ResponseTracker {
     pub fn on_response_frame(&mut self, now: SimTime, frame: &Packet) -> Option<SimDuration> {
         let meta = frame.meta();
         let rid = meta.request_id?;
+        if meta.rejected {
+            self.reject(rid);
+            return None;
+        }
         if !meta.is_final {
             return None;
         }
@@ -281,10 +306,24 @@ impl ResponseTracker {
         latency
     }
 
+    /// Records a server rejection (a 503-style response): the request is
+    /// resolved — the client will not retransmit it — but its latency is
+    /// *not* recorded, so the histogram reflects served requests only.
+    pub fn reject(&mut self, request_id: u64) {
+        self.outstanding.remove(&request_id);
+        self.rejected += 1;
+    }
+
     /// The latency histogram (nanoseconds).
     #[must_use]
     pub fn latencies(&self) -> &LogHistogram {
         &self.latencies
+    }
+
+    /// Requests the server rejected under overload.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Requests completed.
@@ -459,6 +498,30 @@ mod tests {
             gap <= SimDuration::from_nanos(2_200_000),
             "stepped gap {gap}"
         );
+    }
+
+    #[test]
+    fn deadline_is_stamped_on_every_request() {
+        let mut c = OpenLoopClient::new(
+            ClientConfig::apache(NodeId(1), NodeId(0), 4, SimDuration::from_ms(1), 7)
+                .with_deadline(SimDuration::from_us(500)),
+        );
+        let (frames, _) = c.next_burst(SimTime::from_ms(2));
+        for f in &frames {
+            assert_eq!(f.meta().deadline, Some(SimDuration::from_us(500)));
+        }
+    }
+
+    #[test]
+    fn tracker_resolves_rejections_without_recording_latency() {
+        let mut t = ResponseTracker::new();
+        t.note_sent(7);
+        let frame = Packet::reject_response(NodeId(0), NodeId(1), 7, SimTime::from_us(100));
+        assert!(t.on_response_frame(SimTime::from_us(300), &frame).is_none());
+        assert_eq!(t.rejected(), 1);
+        assert_eq!(t.completed(), 0);
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.latencies().count(), 0);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! ```
 
 use cluster::{
-    run_experiment, run_experiments_parallel, AppKind, ExperimentConfig, FaultConfig, Policy,
-    RetxConfig, TraceConfig, DEFAULT_FAULT_SEED,
+    run_experiment, run_experiments_parallel, try_run_experiment, AppKind, ExperimentConfig,
+    FaultConfig, OverloadConfig, Policy, RetxConfig, ShedPolicy, TraceConfig, DEFAULT_FAULT_SEED,
 };
 use desim::SimDuration;
 use simstats::{fmt_ns, Table};
@@ -72,6 +72,13 @@ pub struct RunArgs {
     pub jitter_us: u64,
     /// Seed for the fault-injection RNG streams.
     pub fault_seed: u64,
+    /// Server run-queue admission capacity (None keeps shedding off
+    /// unless another overload flag turns the server defaults on).
+    pub queue_cap: Option<usize>,
+    /// Admission policy shedding work when server queues fill.
+    pub shed_policy: Option<ShedPolicy>,
+    /// End-to-end request deadline stamped by clients, microseconds.
+    pub deadline_us: Option<u64>,
 }
 
 /// Arguments of `ncap trace`: an ordinary run plus an output directory.
@@ -159,6 +166,9 @@ fn default_run_args() -> RunArgs {
         reorder: 0.0,
         jitter_us: 0,
         fault_seed: DEFAULT_FAULT_SEED,
+        queue_cap: None,
+        shed_policy: None,
+        deadline_us: None,
     }
 }
 
@@ -222,6 +232,28 @@ fn apply_run_flag<'a>(
             a.fault_seed = take_value(it, flag)?
                 .parse()
                 .map_err(|_| ParseError("--fault-seed expects an integer".into()))?;
+        }
+        "--queue-cap" => {
+            a.queue_cap = Some(
+                take_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--queue-cap expects an integer".into()))?,
+            );
+        }
+        "--shed-policy" => {
+            let v = take_value(it, flag)?;
+            a.shed_policy = Some(ShedPolicy::parse(v).ok_or_else(|| {
+                ParseError(format!(
+                    "unknown shed policy '{v}' (expected none|drop-tail|deadline|codel)"
+                ))
+            })?);
+        }
+        "--deadline-us" => {
+            a.deadline_us = Some(
+                take_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--deadline-us expects an integer".into()))?,
+            );
         }
         _ => return Ok(false),
     }
@@ -362,8 +394,14 @@ USAGE:
              [--poisson] [--queues N] [--per-core] [--toe]
              [--loss P] [--corrupt P] [--reorder P] [--jitter-us N]
              [--fault-seed N]
+             [--queue-cap N] [--shed-policy none|drop-tail|deadline|codel]
+             [--deadline-us N]
              fault flags inject seeded per-link impairments; any nonzero
              impairment also arms the client retransmission layer
+             overload flags arm server admission control (bounded queues
+             plus the chosen shedding policy; rejected requests receive a
+             503-style response); --deadline-us stamps every request and
+             implies --shed-policy deadline unless one is given
   ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
              [--measure-ms N]
   ncap sla   --app apache|memcached
@@ -405,6 +443,25 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
         faults.reorder_delay = SimDuration::from_us(50);
         faults.retx = RetxConfig::standard();
         cfg = cfg.with_faults(faults);
+    }
+    if a.queue_cap.is_some() || a.shed_policy.is_some() || a.deadline_us.is_some() {
+        let mut ov = OverloadConfig::server_defaults();
+        if let Some(cap) = a.queue_cap {
+            ov = ov.with_run_queue_cap(cap);
+        }
+        // A deadline without an explicit policy implies deadline-aware
+        // shedding — the other policies never look at the stamp.
+        ov = ov.with_policy(match a.shed_policy {
+            Some(p) => p,
+            None if a.deadline_us.is_some() => ShedPolicy::Deadline,
+            None => ov.policy,
+        });
+        if let Some(us) = a.deadline_us {
+            let d = SimDuration::from_us(us);
+            ov = ov.with_default_deadline(d);
+            cfg = cfg.with_deadline(d);
+        }
+        cfg = cfg.with_overload(ov);
     }
     cfg
 }
@@ -448,7 +505,13 @@ pub fn execute(cmd: Command) -> i32 {
             0
         }
         Command::Run(a) => {
-            let r = run_experiment(&run_config(&a));
+            let r = match try_run_experiment(&run_config(&a)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("invalid configuration: {e}");
+                    return 2;
+                }
+            };
             println!(
                 "{} / {} @ {:.0} rps over {} ms:",
                 a.app, a.policy, a.load, a.measure_ms
@@ -487,6 +550,18 @@ pub fn execute(cmd: Command) -> i32 {
                     f.dup_suppressed,
                     f.resp_replays
                 );
+            }
+            println!(
+                "  overload {} requests rejected, max queue depth {}",
+                r.rejected, r.max_queue_depth
+            );
+            println!(
+                "  watchdog {} checks, {} violations",
+                r.watchdog_checks,
+                r.invariant_violations.len()
+            );
+            for v in &r.invariant_violations {
+                println!("    {v}");
             }
             0
         }
@@ -716,6 +791,65 @@ mod tests {
     }
 
     #[test]
+    fn parses_overload_flags() {
+        let Command::Run(a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "30000",
+            "--queue-cap",
+            "64",
+            "--shed-policy",
+            "codel",
+            "--deadline-us",
+            "500",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.queue_cap, Some(64));
+        assert_eq!(a.shed_policy, Some(ShedPolicy::CoDel));
+        assert_eq!(a.deadline_us, Some(500));
+        // Defaults keep admission control fully off.
+        let d = default_run_args();
+        assert_eq!(d.queue_cap, None);
+        assert_eq!(d.shed_policy, None);
+        assert_eq!(d.deadline_us, None);
+    }
+
+    #[test]
+    fn deadline_flag_implies_deadline_policy() {
+        let Command::Run(a) = parse(["run", "--load", "30000", "--deadline-us", "2000"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        let cfg = run_config(&a);
+        assert_eq!(cfg.overload.policy, ShedPolicy::Deadline);
+        assert_eq!(
+            cfg.overload.default_deadline,
+            Some(SimDuration::from_us(2_000))
+        );
+        assert_eq!(cfg.deadline, Some(SimDuration::from_us(2_000)));
+        // An explicit policy wins over the implication.
+        let Command::Run(b) = parse([
+            "run",
+            "--load",
+            "30000",
+            "--deadline-us",
+            "2000",
+            "--shed-policy",
+            "drop-tail",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run_config(&b).overload.policy, ShedPolicy::DropTail);
+    }
+
+    #[test]
     fn rejects_unknown_inputs() {
         assert!(parse(["frobnicate"]).is_err());
         assert!(parse(["run", "--app", "nginx"]).is_err());
@@ -725,6 +859,9 @@ mod tests {
         assert!(parse(["run", "--loss", "1.5"]).is_err());
         assert!(parse(["run", "--loss", "-0.1"]).is_err());
         assert!(parse(["run", "--corrupt", "nan"]).is_err());
+        assert!(parse(["run", "--queue-cap", "lots"]).is_err());
+        assert!(parse(["run", "--shed-policy", "yolo"]).is_err());
+        assert!(parse(["run", "--deadline-us", "-3"]).is_err());
         assert!(parse(["sla"]).is_err());
         assert!(parse(["trace"]).is_err(), "trace requires --out");
         assert!(parse(["trace", "--out", "x", "--window-us", "0"]).is_err());
@@ -812,6 +949,29 @@ mod tests {
         };
         a.measure_ms = 30;
         a.warmup_ms = 10;
+        assert_eq!(execute(Command::Run(a)), 0);
+    }
+
+    #[test]
+    fn tiny_overloaded_run_executes() {
+        let Command::Run(mut a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "150000",
+            "--queue-cap",
+            "4",
+            "--shed-policy",
+            "drop-tail",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        a.measure_ms = 20;
+        a.warmup_ms = 5;
         assert_eq!(execute(Command::Run(a)), 0);
     }
 

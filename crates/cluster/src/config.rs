@@ -2,8 +2,10 @@
 
 use crate::policy::Policy;
 use crate::trace::TraceConfig;
+use crate::watchdog::WatchdogConfig;
 use desim::{ConfigError, SimDuration};
 use netsim::FaultConfig;
+use oskernel::OverloadConfig;
 
 /// Which OLDI application the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +117,17 @@ pub struct ExperimentConfig {
     /// keeps the 82574-like default; small values force RX-overrun drops
     /// under bursts (the overflow-recovery scenario).
     pub rx_ring_override: Option<usize>,
+    /// Server-side overload protection: queue capacities and the
+    /// admission/shedding policy. [`OverloadConfig::off`] (the default)
+    /// is inert and byte-identical to builds without the subsystem.
+    pub overload: OverloadConfig,
+    /// Optional end-to-end deadline clients stamp on every request
+    /// (meaningful under [`oskernel::ShedPolicy::Deadline`]).
+    pub deadline: Option<SimDuration>,
+    /// Runtime invariant watchdog (period and violation handling). The
+    /// runner always installs it; [`WatchdogConfig::default`] fails the
+    /// run on any violation.
+    pub watchdog: WatchdogConfig,
 }
 
 impl ExperimentConfig {
@@ -146,6 +159,9 @@ impl ExperimentConfig {
             poisson: false,
             faults: FaultConfig::none(),
             rx_ring_override: None,
+            overload: OverloadConfig::off(),
+            deadline: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -269,6 +285,28 @@ impl ExperimentConfig {
         self
     }
 
+    /// Configures server-side overload protection (builder style).
+    #[must_use]
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Stamps every client request with an end-to-end deadline (builder
+    /// style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the watchdog configuration (builder style).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Per-client burst period that realizes `load_rps` across all
     /// clients. Callers should [`validate`](Self::validate) first; with a
     /// non-positive load the result is meaningless (but does not panic).
@@ -327,7 +365,8 @@ impl ExperimentConfig {
                 "an RX ring needs at least one descriptor",
             ));
         }
-        self.faults.validate()
+        self.faults.validate()?;
+        self.overload.validate()
     }
 }
 

@@ -34,18 +34,23 @@
 //! assert!(result.energy_j > 0.0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod config;
 pub mod policy;
 pub mod runner;
 pub mod sim;
 pub mod trace;
+pub mod watchdog;
 
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
 pub use netsim::{FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
+pub use oskernel::{OverloadConfig, ShedPolicy};
 pub use policy::Policy;
 pub use runner::{
-    run_experiment, run_experiments_on, run_experiments_parallel, run_imbalanced, ExperimentResult,
-    MultiServerResult,
+    run_experiment, run_experiments_on, run_experiments_parallel, run_imbalanced,
+    try_run_experiment, ExperimentResult, MultiServerResult,
 };
 pub use sim::{ClusterEvent, ClusterSim, FaultSummary};
 pub use trace::{TraceConfig, Traces};
+pub use watchdog::{InvariantKind, InvariantViolation, Watchdog, WatchdogConfig, WatchdogMode};

@@ -4,8 +4,9 @@ use crate::config::{AppKind, ExperimentConfig};
 use crate::policy::Policy;
 use crate::sim::{ClusterSim, FaultSummary};
 use crate::trace::Traces;
+use crate::watchdog::{InvariantViolation, Watchdog, WatchdogMode};
 use cpusim::EnergyMeter;
-use desim::{SimTime, Simulation};
+use desim::{ConfigError, SimTime, Simulation};
 use ncap::{EnhancedDriver, SoftwareNcap};
 use netsim::NodeId;
 use nicsim::{Nic, NicConfig};
@@ -51,6 +52,16 @@ pub struct ExperimentResult {
     /// Fault-injection and recovery accounting (all zeros when the fault
     /// subsystem is off).
     pub faults: FaultSummary,
+    /// Requests the server rejected with a 503 (whole run, all servers).
+    pub rejected: u64,
+    /// High-water mark of the server run queue (memory proxy).
+    pub max_queue_depth: usize,
+    /// Invariant checks the watchdog performed.
+    pub watchdog_checks: u64,
+    /// Invariant violations the watchdog recorded (empty on a healthy
+    /// run; populated instead of panicking when the watchdog runs in
+    /// [`WatchdogMode::Collect`]).
+    pub invariant_violations: Vec<InvariantViolation>,
 }
 
 impl ExperimentResult {
@@ -112,6 +123,7 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
         // server's duplicate suppression and response replay.
         kernel_cfg = kernel_cfg.with_reliability();
     }
+    kernel_cfg = kernel_cfg.with_overload(cfg.overload);
     let cores = kernel_cfg.cores as usize;
     let cpuidle: Box<dyn governors::CpuidleGovernor + Send> =
         if cfg.use_ladder && cfg.policy.uses_cstates() {
@@ -158,6 +170,9 @@ fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClie
         if cfg.poisson {
             cc = cc.with_poisson();
         }
+        if let Some(d) = cfg.deadline {
+            cc = cc.with_deadline(d);
+        }
         if let Some((at, new_load)) = cfg.load_step {
             let per_client = new_load / cfg.clients as f64;
             let new_period =
@@ -195,12 +210,18 @@ fn env_trace_enabled() -> bool {
 ///
 /// Deterministic: equal configurations (including seed) produce equal
 /// results.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] from [`ExperimentConfig::validate`] when
+/// the configuration is statically invalid.
+///
 /// # Panics
 ///
-/// Panics if `cfg` fails [`ExperimentConfig::validate`].
-#[must_use]
-pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    cfg.validate().expect("experiment config must validate");
+/// Panics when the watchdog runs in [`WatchdogMode::Fail`] (the default)
+/// and recorded an invariant violation.
+pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate()?;
     // Event tracing wraps the run: the tracer is thread-local and each
     // experiment runs wholly on one thread, so parallel batches trace
     // independently. Tracing never feeds back into the simulation, so
@@ -214,8 +235,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let server_id = NodeId(0);
     let server = build_server(cfg, server_id);
     let (clients, background) = build_clients(cfg, server_id);
-    let mut cluster =
-        ClusterSim::new(server, clients, background, cfg.trace).with_fault_injection(cfg.faults);
+    let mut cluster = ClusterSim::new(server, clients, background, cfg.trace)
+        .with_fault_injection(cfg.faults)
+        .with_watchdog(Watchdog::new(cfg.watchdog));
     let horizon = SimTime::ZERO + cfg.horizon();
     let initial = cluster.initial_events(cfg.warmup, horizon);
     let mut sim = Simulation::new(cluster);
@@ -229,6 +251,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     cluster.finalize(now);
     let energy = cluster.measured_energy();
     let latency = LatencySummary::from_histogram(cluster.tracker().latencies());
+    let (watchdog_checks, invariant_violations) = cluster
+        .watchdog()
+        .map_or((0, Vec::new()), |w| (w.checks(), w.violations().to_vec()));
+    if cfg.watchdog.mode == WatchdogMode::Fail && !invariant_violations.is_empty() {
+        let report: Vec<String> = invariant_violations
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        panic!(
+            "watchdog recorded {} invariant violation(s):\n{}",
+            report.len(),
+            report.join("\n")
+        );
+    }
     let result = ExperimentResult {
         policy: cfg.policy,
         app: cfg.app,
@@ -248,9 +284,32 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             .map(|_| cluster.server().request_traces().to_vec()),
         kernel_stats: cluster.server().stats(),
         faults: cluster.fault_summary(),
+        rejected: cluster.servers().iter().map(|s| s.stats().rejected).sum(),
+        max_queue_depth: cluster
+            .servers()
+            .iter()
+            .map(oskernel::Kernel::max_run_queue_depth)
+            .max()
+            .unwrap_or(0),
+        watchdog_checks,
+        invariant_violations,
     };
     let traces = sim.into_handler().into_traces();
-    ExperimentResult { traces, ..result }
+    Ok(ExperimentResult { traces, ..result })
+}
+
+/// [`try_run_experiment`] for statically valid configurations.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`ExperimentConfig::validate`], or on an
+/// invariant violation under [`WatchdogMode::Fail`].
+#[must_use]
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    match try_run_experiment(cfg) {
+        Ok(result) => result,
+        Err(e) => panic!("experiment config must validate: {e}"),
+    }
 }
 
 /// Runs a batch of experiments across OS threads (each simulation is
@@ -427,7 +486,8 @@ pub fn run_imbalanced(
         clients.push(OpenLoopClient::new(cc));
         background.push(false);
     }
-    let mut cluster = ClusterSim::with_servers(servers, clients, background, None);
+    let mut cluster = ClusterSim::with_servers(servers, clients, background, None)
+        .with_watchdog(Watchdog::new(template.watchdog));
     let horizon = SimTime::ZERO + warmup + measure;
     let initial = cluster.initial_events(warmup, horizon);
     let mut sim = Simulation::new(cluster);
@@ -438,6 +498,13 @@ pub fn run_imbalanced(
     let now = sim.now();
     let cluster = sim.handler_mut();
     cluster.finalize(now);
+    if let Some(wd) = cluster.watchdog() {
+        assert!(
+            wd.violations().is_empty(),
+            "watchdog recorded invariant violations: {:?}",
+            wd.violations()
+        );
+    }
     let total = cluster.measured_energy();
     // Per-server split: recompute from each kernel's meters (whole-run,
     // not warmup-adjusted — adequate for the imbalance comparison since

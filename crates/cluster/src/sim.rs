@@ -8,6 +8,7 @@
 //! is not modelled — latency is measured at the final response frame).
 
 use crate::trace::{TraceCollector, TraceConfig, Traces};
+use crate::watchdog::{AccountingView, Watchdog};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{EventHandler, EventQueue, SimDuration, SimTime};
 use netsim::{Delivery, FaultConfig, NodeId, Packet, Reassembly, SegmentStatus, Switch};
@@ -44,6 +45,8 @@ pub enum ClusterEvent {
     Sample,
     /// End of warmup: reset measurement baselines.
     StartMeasure,
+    /// Periodic invariant check (armed when a watchdog is installed).
+    Watchdog,
 }
 
 /// Client-side retransmission state for one in-flight request.
@@ -58,8 +61,10 @@ struct RetxState {
 
 /// Whole-run fault-injection and recovery accounting.
 ///
-/// The identity `issued == completed + lost + in_flight` holds at any
-/// instant (and at the horizon): no request vanishes silently.
+/// The identity `issued == completed + lost + rejected + in_flight`
+/// holds at any instant (and at the horizon): no request vanishes
+/// silently — every issued request is served, reported lost, or
+/// explicitly rejected by admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultSummary {
     /// Frames the switch's impairment layer dropped as random loss.
@@ -82,6 +87,8 @@ pub struct FaultSummary {
     pub issued_total: u64,
     /// Requests whose response fully reassembled at the client.
     pub completed_total: u64,
+    /// Requests the server rejected with a 503 under overload.
+    pub rejected_total: u64,
     /// Requests still awaiting a response at the horizon.
     pub in_flight: u64,
 }
@@ -109,6 +116,9 @@ pub struct ClusterSim {
     lost_requests: u64,
     issued_total: u64,
     completed_total: u64,
+    rejected_total: u64,
+    misroutes: u64,
+    watchdog: Option<Watchdog>,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -189,6 +199,9 @@ impl ClusterSim {
             lost_requests: 0,
             issued_total: 0,
             completed_total: 0,
+            rejected_total: 0,
+            misroutes: 0,
+            watchdog: None,
         }
     }
 
@@ -200,6 +213,16 @@ impl ClusterSim {
     pub fn with_fault_injection(mut self, faults: FaultConfig) -> Self {
         self.switch.set_faults(faults);
         self.faults = faults;
+        self
+    }
+
+    /// Installs the runtime invariant watchdog (builder style). The
+    /// watchdog is a pure observer — results are byte-identical with it
+    /// on or off — and records structured
+    /// [`InvariantViolation`](crate::watchdog::InvariantViolation)s.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
         self
     }
 
@@ -238,8 +261,12 @@ impl ClusterSim {
         if self.collector.is_some() {
             events.push((SimTime::ZERO + self.sample_period, ClusterEvent::Sample));
         }
-        // Pre-register the drop/recovery counters so trace CSV exports
-        // always carry the columns, even for runs where no fault fires.
+        if let Some(wd) = &self.watchdog {
+            events.push((SimTime::ZERO + wd.period(), ClusterEvent::Watchdog));
+        }
+        // Pre-register the drop/recovery and overload counters so trace
+        // CSV exports always carry the columns, even for runs where no
+        // fault fires and nothing is shed.
         if simtrace::is_enabled() {
             for (component, name) in [
                 ("nic", "rx_drops"),
@@ -248,9 +275,13 @@ impl ClusterSim {
                 ("net", "fault_reorders"),
                 ("cluster", "retransmits"),
                 ("cluster", "lost_requests"),
+                ("kernel", "rejected"),
+                ("watchdog", "checks"),
             ] {
                 simtrace::metric_add(component, name, 0, 0.0);
             }
+            simtrace::metric_set("kernel", "queue_depth", 0, 0.0);
+            simtrace::metric_set("cluster", "goodput", 0, 0.0);
         }
         events
     }
@@ -258,13 +289,31 @@ impl ClusterSim {
     fn route(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
         let delivery = self
             .switch
-            .route(now, frame.src(), frame.dst(), frame.wire_len())
-            .expect("all nodes are attached to the switch");
+            .route(now, frame.src(), frame.dst(), frame.wire_len());
         match delivery {
-            Delivery::Deliver(arrival) => queue.push(arrival, ClusterEvent::Deliver { frame }),
+            Ok(Delivery::Deliver(arrival)) => {
+                queue.push(arrival, ClusterEvent::Deliver { frame });
+            }
             // The frame vanishes in the fabric; recovery, if any, comes
             // from the retransmission timers.
-            Delivery::Dropped(_) => {}
+            Ok(Delivery::Dropped(_)) => {}
+            // A frame addressed to a node the switch does not know: drop
+            // it and account the misroute — the watchdog surfaces it as a
+            // structured Routing violation instead of a panic.
+            Err(_) => {
+                self.misroutes += 1;
+                if simtrace::is_enabled() {
+                    simtrace::instant_args(
+                        "cluster",
+                        "misroute",
+                        now.as_nanos(),
+                        &[
+                            simtrace::arg("src", u64::from(frame.src().0)),
+                            simtrace::arg("dst", u64::from(frame.dst().0)),
+                        ],
+                    );
+                }
+            }
         }
     }
 
@@ -341,8 +390,16 @@ impl ClusterSim {
             self.apply_effects(now, node, fx, queue);
         } else if self.faults.retx.enabled {
             self.on_client_response(now, &frame);
-        } else if frame.meta().sent_at >= self.measure_start && self.measuring {
-            self.tracker.on_response_frame(now, &frame);
+        } else {
+            // Reliability off: nothing retransmits, so every 503 is
+            // first-and-only — count it here (the tracker handles the
+            // measured-window resolution below).
+            if frame.meta().rejected && frame.meta().request_id.is_some() {
+                self.rejected_total += 1;
+            }
+            if frame.meta().sent_at >= self.measure_start && self.measuring {
+                self.tracker.on_response_frame(now, &frame);
+            }
         }
     }
 
@@ -353,6 +410,19 @@ impl ClusterSim {
     fn on_client_response(&mut self, now: SimTime, frame: &Packet) {
         let meta = frame.meta();
         let Some(rid) = meta.request_id else { return };
+        if meta.rejected {
+            // A 503: the server refused the request under overload. The
+            // request is *resolved* (no retransmission, no latency
+            // sample); a stale replay after resolution is ignored.
+            if self.retx.remove(&rid).is_some() {
+                self.rejected_total += 1;
+                self.reassembly.remove(&rid);
+                if meta.sent_at >= self.measure_start && self.measuring {
+                    self.tracker.reject(rid);
+                }
+            }
+            return;
+        }
         let Some(reasm) = self.reassembly.get_mut(&rid) else {
             // Unarmed traffic (background requests) stays best-effort and
             // keeps the legacy per-frame accounting.
@@ -437,6 +507,29 @@ impl ClusterSim {
         self.route(now, frame, queue);
     }
 
+    /// Runs the periodic invariant check and re-arms its timer.
+    fn on_watchdog(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
+        let Some(mut wd) = self.watchdog.take() else {
+            return;
+        };
+        let acc = self.accounting_view();
+        wd.check(now, &self.servers, &acc);
+        queue.push(now + wd.period(), ClusterEvent::Watchdog);
+        self.watchdog = Some(wd);
+    }
+
+    fn accounting_view(&self) -> AccountingView {
+        AccountingView {
+            armed: self.faults.retx.enabled,
+            issued: self.issued_total,
+            completed: self.completed_total,
+            lost: self.lost_requests,
+            rejected: self.rejected_total,
+            in_flight: self.retx.len() as u64,
+            misroutes: self.misroutes,
+        }
+    }
+
     fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
         // Traces follow the first server (the paper's single-server study).
         self.servers[0].finalize(now);
@@ -449,8 +542,19 @@ impl ClusterSim {
             cstate[i] = cores.iter().map(|c| c.energy().time_in(*m)).sum();
         }
         let ncores = cores.len();
+        // Goodput (served) vs. throughput (served + rejected): under
+        // overload the two series diverge — rejected requests consume
+        // almost no server work but still resolve at clients.
+        let served = self.tracker.completed() as f64;
+        let rejected = self.tracker.rejected() as f64;
         if let Some(tr) = self.collector.as_mut() {
             tr.sample(now, freq_ghz, total_busy, cstate, ncores);
+            tr.throughput_sample(now, served, rejected);
+        }
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::metric_set("cluster", "goodput", t, served);
+            simtrace::metric_set("cluster", "throughput", t, served + rejected);
         }
         queue.push(now + self.sample_period, ClusterEvent::Sample);
     }
@@ -484,6 +588,14 @@ impl ClusterSim {
         for s in &mut self.servers {
             s.finalize(now);
         }
+        // One terminal invariant check so the horizon state (notably the
+        // conservation identity) is always validated, even for runs
+        // shorter than the watchdog period.
+        if let Some(mut wd) = self.watchdog.take() {
+            let acc = self.accounting_view();
+            wd.check(now, &self.servers, &acc);
+            self.watchdog = Some(wd);
+        }
         if let Some(tr) = self.collector.take() {
             let markers = self.servers[0].wake_marker_times().to_vec();
             let mut traces = tr.finish(markers);
@@ -515,8 +627,27 @@ impl ClusterSim {
             resp_replays: replays,
             issued_total: self.issued_total,
             completed_total: self.completed_total,
+            rejected_total: self.rejected_total,
             in_flight: self.retx.len() as u64,
         }
+    }
+
+    /// The installed watchdog (checks performed, recorded violations).
+    #[must_use]
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Reliable requests resolved by server rejection (whole run).
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total
+    }
+
+    /// Frames dropped because the switch did not know their destination.
+    #[must_use]
+    pub fn misroutes(&self) -> u64 {
+        self.misroutes
     }
 
     /// Energy consumed since the warmup boundary, per mode.
@@ -596,7 +727,9 @@ impl EventHandler for ClusterSim {
                     .retx
                     .get(id)
                     .map_or(self.servers[0].node().0, |s| s.frame.src().0),
-                ClusterEvent::Sample | ClusterEvent::StartMeasure => self.servers[0].node().0,
+                ClusterEvent::Sample | ClusterEvent::StartMeasure | ClusterEvent::Watchdog => {
+                    self.servers[0].node().0
+                }
             };
             simtrace::set_node(node);
         }
@@ -611,6 +744,7 @@ impl EventHandler for ClusterSim {
             ClusterEvent::RetxCheck { id, attempt } => self.on_retx_check(now, id, attempt, queue),
             ClusterEvent::Sample => self.on_sample(now, queue),
             ClusterEvent::StartMeasure => self.on_start_measure(now),
+            ClusterEvent::Watchdog => self.on_watchdog(now, queue),
         }
     }
 }

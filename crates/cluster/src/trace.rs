@@ -69,6 +69,17 @@ impl TraceCollector {
             .add("cluster", "bw_tx", now.as_nanos(), wire_bytes);
     }
 
+    /// Records one periodic sample of request-resolution counts:
+    /// `served` requests completed normally, `rejected` were refused by
+    /// admission control. Goodput (served) and throughput (served +
+    /// rejected) become separate figure series.
+    pub fn throughput_sample(&mut self, now: SimTime, served: f64, rejected: f64) {
+        let t = now.as_nanos();
+        self.metrics.set("cluster", "goodput", t, served);
+        self.metrics
+            .set("cluster", "throughput", t, served + rejected);
+    }
+
     /// Records one periodic sample of aggregate core statistics as
     /// registry gauges (raw values; deltas are taken at reconstruction).
     pub fn sample(
@@ -123,6 +134,12 @@ pub struct Traces {
     pub cstate_share: [TimeSeries; 3],
     /// NCAP proactive-interrupt instants (`INT (wake)` markers).
     pub wake_markers: Vec<SimTime>,
+    /// Cumulative served-request samples (goodput: rejected requests
+    /// excluded).
+    pub goodput: TimeSeries,
+    /// Cumulative resolved-request samples (throughput: served +
+    /// rejected) — diverges from goodput under overload.
+    pub throughput: TimeSeries,
     /// Server NIC RX-ring overflow drops over the whole run (stamped at
     /// cluster finalize).
     pub rx_drops: u64,
@@ -150,6 +167,8 @@ impl Traces {
                 TimeSeries::new("t_c6"),
             ],
             wake_markers: Vec::new(),
+            goodput: TimeSeries::new("goodput"),
+            throughput: TimeSeries::new("throughput"),
             rx_drops: 0,
             fault_drops: 0,
             last_busy: SimDuration::ZERO,
@@ -212,6 +231,16 @@ impl Traces {
         if let Some(m) = snapshot.get("cluster", "freq_ghz") {
             for &(t, v) in &m.points {
                 out.freq.push(t, v);
+            }
+        }
+        for (name, series) in [
+            ("goodput", &mut out.goodput),
+            ("throughput", &mut out.throughput),
+        ] {
+            if let Some(m) = snapshot.get("cluster", name) {
+                for &(t, v) in &m.points {
+                    series.push(t, v);
+                }
             }
         }
         let empty: &[(u64, f64)] = &[];

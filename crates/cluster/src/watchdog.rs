@@ -1,0 +1,435 @@
+//! Runtime invariant watchdog.
+//!
+//! Production clusters pair load shedding with a watchdog that detects
+//! the failure modes shedding bugs produce: stalled servers (work queued
+//! but nothing making progress), accounting leaks (requests vanishing
+//! without being completed, lost, or rejected), and unbounded queues
+//! (caps configured but not enforced). [`Watchdog::check`] runs every
+//! [`WatchdogConfig::period`] of simulated time, reads the cluster state
+//! **without mutating it** — the checks are pure observers, so enabling
+//! the watchdog never perturbs a run — and records structured
+//! [`InvariantViolation`]s.
+//!
+//! The deliberately broken configuration (queue capacities set while
+//! shedding is disabled) passes static validation — each field is
+//! individually meaningful — and is caught here at runtime as a
+//! [`InvariantKind::Boundedness`] violation instead of surfacing as a
+//! hang or a panic.
+
+use desim::{SimDuration, SimTime};
+use oskernel::Kernel;
+
+/// Which invariant failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A server has queued work but made no progress for two consecutive
+    /// check periods while every core sat idle and none was mid-wake.
+    Liveness,
+    /// The accounting identity
+    /// `issued == completed + lost + rejected + in_flight` broke.
+    Conservation,
+    /// A queue exceeded its configured capacity bound.
+    Boundedness,
+    /// A frame was addressed to a node the switch does not know.
+    Routing,
+}
+
+impl InvariantKind {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::Liveness => "liveness",
+            InvariantKind::Conservation => "conservation",
+            InvariantKind::Boundedness => "boundedness",
+            InvariantKind::Routing => "routing",
+        }
+    }
+}
+
+/// One failed invariant check, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The invariant that failed.
+    pub kind: InvariantKind,
+    /// Simulated instant of the failing check.
+    pub at: SimTime,
+    /// Human-readable specifics (queue, observed value, bound, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} @ {}] {}", self.kind.name(), self.at, self.detail)
+    }
+}
+
+/// How the runner reacts to a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatchdogMode {
+    /// Panic at the end of the run if any violation was recorded (the
+    /// default: every test runs under the watchdog and fails fast).
+    #[default]
+    Fail,
+    /// Record violations and expose them on the result (used by tests
+    /// that *expect* a violation, e.g. the broken-config scenario).
+    Collect,
+}
+
+/// Watchdog configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Check period in simulated time.
+    pub period: SimDuration,
+    /// Violation handling.
+    pub mode: WatchdogMode,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            period: SimDuration::from_ms(1),
+            mode: WatchdogMode::Fail,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Collect violations instead of failing the run (builder style).
+    #[must_use]
+    pub fn collecting(mut self) -> Self {
+        self.mode = WatchdogMode::Collect;
+        self
+    }
+
+    /// Overrides the check period (builder style).
+    #[must_use]
+    pub fn with_period(mut self, period: SimDuration) -> Self {
+        self.period = period;
+        self
+    }
+}
+
+/// Per-server progress snapshot from the previous check, for the
+/// liveness invariant.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerSnapshot {
+    /// Sum of the kernel's work counters (any increase is progress).
+    work_done: u64,
+    /// Run-queue depth at the previous check.
+    queue_depth: usize,
+    /// Whether the previous check already saw this server stalled.
+    stalled_once: bool,
+}
+
+/// The invariant checker. Owned by the cluster simulation; fed pure
+/// read-only views of the servers on every `Watchdog` event.
+#[derive(Debug, Default)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    snapshots: Vec<ServerSnapshot>,
+    violations: Vec<InvariantViolation>,
+    checks: u64,
+    seen_misroutes: u64,
+}
+
+/// Cluster-level accounting fed into the conservation check. All zeros
+/// when the reliability layer is off (the identity is only tracked for
+/// reliable traffic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccountingView {
+    /// Whether the reliability layer is armed (identity meaningful).
+    pub armed: bool,
+    /// Latency-critical requests issued.
+    pub issued: u64,
+    /// Requests fully completed at clients.
+    pub completed: u64,
+    /// Requests declared lost after exhausting retransmissions.
+    pub lost: u64,
+    /// Requests rejected by server admission control.
+    pub rejected: u64,
+    /// Requests still in flight.
+    pub in_flight: u64,
+    /// Frames that failed switch routing (dropped, not delivered).
+    pub misroutes: u64,
+}
+
+impl Watchdog {
+    /// Creates the watchdog.
+    #[must_use]
+    pub fn new(config: WatchdogConfig) -> Self {
+        Watchdog {
+            config,
+            ..Watchdog::default()
+        }
+    }
+
+    /// The configured check period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.config.period
+    }
+
+    /// The configured violation handling.
+    #[must_use]
+    pub fn mode(&self) -> WatchdogMode {
+        self.config.mode
+    }
+
+    /// Checks performed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Consumes the watchdog, returning the recorded violations.
+    #[must_use]
+    pub fn into_violations(self) -> Vec<InvariantViolation> {
+        self.violations
+    }
+
+    fn violate(&mut self, kind: InvariantKind, at: SimTime, detail: String) {
+        if simtrace::is_enabled() {
+            simtrace::instant_args(
+                "watchdog",
+                "violation",
+                at.as_nanos(),
+                &[simtrace::arg("kind", kind.name())],
+            );
+        }
+        self.violations
+            .push(InvariantViolation { kind, at, detail });
+    }
+
+    /// Runs every invariant check against the current cluster state.
+    /// Pure observation: neither the servers nor the accounting are
+    /// mutated, so a run with the watchdog enabled is byte-identical to
+    /// one without.
+    pub fn check(&mut self, now: SimTime, servers: &[Kernel], accounting: &AccountingView) {
+        self.checks += 1;
+        if simtrace::is_enabled() {
+            simtrace::metric_add("watchdog", "checks", now.as_nanos(), 1.0);
+        }
+        self.snapshots
+            .resize(servers.len(), ServerSnapshot::default());
+        for (i, server) in servers.iter().enumerate() {
+            self.check_liveness(now, i, server);
+            self.check_boundedness(now, i, server);
+        }
+        self.check_conservation(now, accounting);
+        // Report each batch of new misroutes once, then track growth.
+        if accounting.misroutes > self.seen_misroutes {
+            self.violate(
+                InvariantKind::Routing,
+                now,
+                format!(
+                    "{} frame(s) addressed to unattached nodes were dropped",
+                    accounting.misroutes
+                ),
+            );
+            self.seen_misroutes = accounting.misroutes;
+        }
+    }
+
+    /// Liveness: work queued while every core idles (and none is waking)
+    /// with zero progress across two consecutive checks means the
+    /// scheduler wedged. One stalled period alone is tolerated — a check
+    /// can land between a job completing and the queue re-dispatching.
+    fn check_liveness(&mut self, now: SimTime, idx: usize, server: &Kernel) {
+        let stats = server.stats();
+        let work_done = stats.isrs
+            + stats.softirq_rx
+            + stats.softirq_tx
+            + stats.app_jobs
+            + stats.governor_ticks;
+        let depth = server.run_queue_depth();
+        let prev = self.snapshots[idx];
+        let progressed = work_done > prev.work_done;
+        let cores_engaged = server
+            .cores()
+            .iter()
+            .any(|c| c.has_job() || matches!(c.state_kind(), cpusim::CoreStateKind::Waking(_)));
+        let stalled = depth > 0 && prev.queue_depth > 0 && !progressed && !cores_engaged;
+        if stalled && prev.stalled_once {
+            self.violate(
+                InvariantKind::Liveness,
+                now,
+                format!(
+                    "server {}: {} work item(s) queued with all cores idle and no \
+                     progress for two consecutive {} periods",
+                    server.node().0,
+                    depth,
+                    self.config.period,
+                ),
+            );
+        }
+        self.snapshots[idx] = ServerSnapshot {
+            work_done,
+            queue_depth: depth,
+            stalled_once: stalled,
+        };
+    }
+
+    /// Boundedness: every capped queue must respect its cap. The total
+    /// run-queue bound sums the admission cap, the per-queue RX
+    /// backlogs plus one in-flight ISR each, and the TX allowance
+    /// (see [`OverloadConfig::queue_bound`]).
+    fn check_boundedness(&mut self, now: SimTime, _idx: usize, server: &Kernel) {
+        let ov = *server.overload_config();
+        let nic_queues = server.nic().queue_count();
+        if let Some(bound) = ov.queue_bound(nic_queues) {
+            let depth = server.run_queue_depth();
+            if depth > bound {
+                self.violate(
+                    InvariantKind::Boundedness,
+                    now,
+                    format!(
+                        "server {}: run queue holds {depth} item(s), bound is {bound} \
+                         (caps configured{}; a cap without an enforcing policy is a \
+                         misconfiguration)",
+                        server.node().0,
+                        if ov.shedding() {
+                            ""
+                        } else {
+                            " but shedding is OFF"
+                        },
+                    ),
+                );
+            }
+        }
+        if let Some(cap) = ov.rx_backlog_cap {
+            for (q, &backlog) in server.rx_backlogs().iter().enumerate() {
+                if backlog > cap {
+                    self.violate(
+                        InvariantKind::Boundedness,
+                        now,
+                        format!(
+                            "server {}: RX queue {q} backlog {backlog} exceeds cap {cap}",
+                            server.node().0
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(cap) = ov.tx_backlog_cap {
+            let queued = server.tx_queue_depth();
+            if queued > cap {
+                self.violate(
+                    InvariantKind::Boundedness,
+                    now,
+                    format!(
+                        "server {}: {queued} TX frame(s) queued exceeds cap {cap}",
+                        server.node().0
+                    ),
+                );
+            }
+            let backlog = server.tx_backlog_depth();
+            if backlog > cap {
+                self.violate(
+                    InvariantKind::Boundedness,
+                    now,
+                    format!(
+                        "server {}: NIC TX backlog {backlog} exceeds cap {cap}",
+                        server.node().0
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Conservation: with the reliability layer armed, every issued
+    /// request is completed, lost, rejected, or still in flight.
+    fn check_conservation(&mut self, now: SimTime, acc: &AccountingView) {
+        if !acc.armed {
+            return;
+        }
+        let resolved = acc.completed + acc.lost + acc.rejected + acc.in_flight;
+        if acc.issued != resolved {
+            self.violate(
+                InvariantKind::Conservation,
+                now,
+                format!(
+                    "issued {} != completed {} + lost {} + rejected {} + in_flight {} \
+                     (= {resolved})",
+                    acc.issued, acc.completed, acc.lost, acc.rejected, acc.in_flight,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_identity_checked_only_when_armed() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let mut acc = AccountingView {
+            armed: false,
+            issued: 10,
+            completed: 3,
+            ..AccountingView::default()
+        };
+        w.check(SimTime::from_ms(1), &[], &acc);
+        assert!(w.violations().is_empty(), "unarmed identity is not checked");
+        acc.armed = true;
+        w.check(SimTime::from_ms(2), &[], &acc);
+        assert_eq!(w.violations().len(), 1);
+        assert_eq!(w.violations()[0].kind, InvariantKind::Conservation);
+        assert_eq!(w.checks(), 2);
+    }
+
+    #[test]
+    fn balanced_accounting_passes() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let acc = AccountingView {
+            armed: true,
+            issued: 10,
+            completed: 5,
+            lost: 2,
+            rejected: 2,
+            in_flight: 1,
+            ..AccountingView::default()
+        };
+        w.check(SimTime::from_ms(1), &[], &acc);
+        assert!(w.violations().is_empty());
+    }
+
+    #[test]
+    fn misroutes_surface_as_routing_violations() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let acc = AccountingView {
+            misroutes: 2,
+            ..AccountingView::default()
+        };
+        w.check(SimTime::from_ms(1), &[], &acc);
+        assert_eq!(w.violations().len(), 1);
+        assert_eq!(w.violations()[0].kind, InvariantKind::Routing);
+        // A repeat check with no new misroutes does not duplicate.
+        w.check(SimTime::from_ms(2), &acc_servers(), &acc);
+        assert_eq!(w.violations().len(), 1);
+    }
+
+    fn acc_servers() -> Vec<Kernel> {
+        Vec::new()
+    }
+
+    #[test]
+    fn violations_format_with_kind_and_time() {
+        let v = InvariantViolation {
+            kind: InvariantKind::Boundedness,
+            at: SimTime::from_ms(3),
+            detail: "queue over cap".into(),
+        };
+        let s = format!("{v}");
+        assert!(s.contains("boundedness"), "{s}");
+        assert!(s.contains("queue over cap"), "{s}");
+    }
+}

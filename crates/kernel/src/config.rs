@@ -9,6 +9,201 @@
 use cpusim::PStateId;
 use desim::{ConfigError, SimDuration};
 
+/// Admission policy applied when overload protection is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// No shedding: queue capacities are *not enforced* and the queues
+    /// grow without bound (the pre-overload-protection behaviour). A
+    /// config that sets capacities but leaves the policy at `None` is
+    /// broken — the runtime watchdog reports it as a boundedness
+    /// violation rather than this module silently capping anything.
+    #[default]
+    None,
+    /// Reject new requests whenever the run queue is at capacity.
+    DropTail,
+    /// Drop-tail, plus reject any request whose elapsed time since the
+    /// client stamped it already meets or exceeds its deadline — work
+    /// that can no longer be answered in time is not worth admitting.
+    Deadline,
+    /// Drop-tail, plus a CoDel-style controller: once queue sojourn time
+    /// stays above `codel_target` for a full `codel_interval`, shed one
+    /// request, then the next after `interval/sqrt(2)`, `interval/sqrt(3)`,
+    /// … until sojourn drops back under the target.
+    CoDel,
+}
+
+impl ShedPolicy {
+    /// The CLI spelling of the policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::None => "none",
+            ShedPolicy::DropTail => "drop-tail",
+            ShedPolicy::Deadline => "deadline",
+            ShedPolicy::CoDel => "codel",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ShedPolicy::None),
+            "drop-tail" | "droptail" => Some(ShedPolicy::DropTail),
+            "deadline" => Some(ShedPolicy::Deadline),
+            "codel" => Some(ShedPolicy::CoDel),
+            _ => Option::None,
+        }
+    }
+}
+
+/// Overload protection: queue capacities and the admission policy that
+/// enforces them.
+///
+/// With the default (`off()`) configuration every queue is unbounded and
+/// behaviour is bit-identical to a kernel built before this subsystem
+/// existed. Capacities only take effect when `policy` is not
+/// [`ShedPolicy::None`]; the watchdog checks them either way, which is
+/// how a cap-but-no-policy misconfiguration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Run-queue admission capacity: application/overhead work is only
+    /// enqueued while the *non-TX* queue depth is below this. TX work is
+    /// a departure, not an arrival — it is bounded separately by
+    /// `tx_backlog_cap` so responses keep flowing when admission is
+    /// saturated. ISR and RX-softirq entries ride on top (bounded by the
+    /// NIC queue count and `rx_backlog_cap`), so the hard bound on total
+    /// depth is
+    /// `run_queue_cap + queues × (rx_backlog_cap + 1) + tx_backlog_cap`.
+    pub run_queue_cap: Option<usize>,
+    /// Per-RSS-queue backlog cap: at most this many RX-softirq items per
+    /// NIC queue may sit in the run queue; excess frames are tail-dropped
+    /// at ISR drain (clients recover via RTO, as for a ring overflow).
+    pub rx_backlog_cap: Option<usize>,
+    /// TX cap, applied both to queued TX stack work and to the NIC-level
+    /// TX backlog: frames past it are dropped and recovered by client
+    /// retransmission and response replay.
+    pub tx_backlog_cap: Option<usize>,
+    /// Which admission policy sheds work when queues fill.
+    pub policy: ShedPolicy,
+    /// Deadline assumed for requests that did not stamp one
+    /// ([`ShedPolicy::Deadline`] only; `None` exempts unstamped requests).
+    pub default_deadline: Option<SimDuration>,
+    /// CoDel target sojourn time.
+    pub codel_target: SimDuration,
+    /// CoDel observation interval.
+    pub codel_interval: SimDuration,
+}
+
+impl OverloadConfig {
+    /// Overload protection disabled: unbounded queues, legacy behaviour.
+    #[must_use]
+    pub fn off() -> Self {
+        OverloadConfig {
+            run_queue_cap: None,
+            rx_backlog_cap: None,
+            tx_backlog_cap: None,
+            policy: ShedPolicy::None,
+            default_deadline: None,
+            codel_target: SimDuration::from_us(500),
+            codel_interval: SimDuration::from_ms(10),
+        }
+    }
+
+    /// Production-shaped caps with drop-tail admission: deep enough to
+    /// absorb a full client burst, shallow enough that overload rejects
+    /// instead of queueing into the millisecond range. The RX backlog cap
+    /// deliberately sits *above* the admission cap so sustained overload
+    /// surfaces as explicit 503s (the run queue fills and admission
+    /// rejects) rather than as silent tail-drops the client can only
+    /// discover by retransmission timeout.
+    #[must_use]
+    pub fn server_defaults() -> Self {
+        OverloadConfig {
+            run_queue_cap: Some(512),
+            rx_backlog_cap: Some(1_024),
+            tx_backlog_cap: Some(4_096),
+            policy: ShedPolicy::DropTail,
+            ..OverloadConfig::off()
+        }
+    }
+
+    /// Builder-style run-queue capacity override.
+    #[must_use]
+    pub fn with_run_queue_cap(mut self, cap: usize) -> Self {
+        self.run_queue_cap = Some(cap);
+        self
+    }
+
+    /// Builder-style admission policy override.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ShedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style default deadline for unstamped requests.
+    #[must_use]
+    pub fn with_default_deadline(mut self, d: SimDuration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+
+    /// `true` when an admission policy is active and capacities are
+    /// enforced.
+    #[must_use]
+    pub fn shedding(&self) -> bool {
+        self.policy != ShedPolicy::None
+    }
+
+    /// The hard bound on total run-queue depth implied by the configured
+    /// capacities (admission cap, plus the per-queue RX backlog and one
+    /// ISR slot per NIC queue, plus the TX allowance), or `None` if any
+    /// capacity is unbounded. The watchdog checks the live depth against
+    /// this.
+    #[must_use]
+    pub fn queue_bound(&self, nic_queues: usize) -> Option<usize> {
+        match (self.run_queue_cap, self.rx_backlog_cap, self.tx_backlog_cap) {
+            (Some(rq), Some(rx), Some(tx)) => Some(rq + nic_queues * (rx + 1) + tx),
+            _ => None,
+        }
+    }
+
+    /// Validates field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    ///
+    /// Note that `cap = 0` with [`ShedPolicy::None`] is *accepted* here:
+    /// it is a semantic misconfiguration (capacities that nothing
+    /// enforces), which the runtime watchdog reports as a structured
+    /// boundedness violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.policy == ShedPolicy::CoDel {
+            if self.codel_target == SimDuration::ZERO {
+                return Err(ConfigError::new(
+                    "overload.codel_target",
+                    "CoDel target sojourn must be positive",
+                ));
+            }
+            if self.codel_interval == SimDuration::ZERO {
+                return Err(ConfigError::new(
+                    "overload.codel_interval",
+                    "CoDel interval must be positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Tunable kernel parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelConfig {
@@ -47,6 +242,8 @@ pub struct KernelConfig {
     /// fault injection is active; the default (`false`) keeps the
     /// lossless-fabric behavior bit-identical.
     pub reliable: bool,
+    /// Overload protection: queue capacities and admission policy.
+    pub overload: OverloadConfig,
 }
 
 impl KernelConfig {
@@ -65,6 +262,7 @@ impl KernelConfig {
             per_core_boost: false,
             trace_requests_every: None,
             reliable: false,
+            overload: OverloadConfig::off(),
         }
     }
 
@@ -104,6 +302,13 @@ impl KernelConfig {
         self
     }
 
+    /// Builder-style overload-protection override.
+    #[must_use]
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
     /// Validates field constraints.
     ///
     /// # Errors
@@ -119,7 +324,7 @@ impl KernelConfig {
                 "sampling interval must be positive",
             ));
         }
-        Ok(())
+        self.overload.validate()
     }
 }
 
@@ -172,5 +377,56 @@ mod tests {
             .validate()
             .unwrap_err();
         assert_eq!(err.field, "trace_requests_every");
+    }
+
+    #[test]
+    fn overload_defaults_are_off_and_unbounded() {
+        let ov = OverloadConfig::off();
+        assert!(!ov.shedding());
+        assert_eq!(ov.queue_bound(1), None);
+        assert!(ov.validate().is_ok());
+        let armed = OverloadConfig::server_defaults();
+        assert!(armed.shedding());
+        assert_eq!(armed.queue_bound(1), Some(512 + 1_025 + 4_096));
+        assert_eq!(armed.queue_bound(4), Some(512 + 4 * 1_025 + 4_096));
+    }
+
+    #[test]
+    fn shed_policy_names_roundtrip() {
+        for p in [
+            ShedPolicy::None,
+            ShedPolicy::DropTail,
+            ShedPolicy::Deadline,
+            ShedPolicy::CoDel,
+        ] {
+            assert_eq!(ShedPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(ShedPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn codel_policy_requires_positive_parameters() {
+        let mut ov = OverloadConfig::server_defaults().with_policy(ShedPolicy::CoDel);
+        ov.codel_target = SimDuration::ZERO;
+        assert_eq!(ov.validate().unwrap_err().field, "overload.codel_target");
+        let mut ov = OverloadConfig::server_defaults().with_policy(ShedPolicy::CoDel);
+        ov.codel_interval = SimDuration::ZERO;
+        assert_eq!(ov.validate().unwrap_err().field, "overload.codel_interval");
+    }
+
+    #[test]
+    fn broken_cap_without_policy_passes_static_validation() {
+        // Enforcement is the watchdog's job: caps with no shedding policy
+        // validate here but trip the runtime boundedness check.
+        let ov = OverloadConfig {
+            run_queue_cap: Some(0),
+            rx_backlog_cap: Some(0),
+            tx_backlog_cap: Some(0),
+            policy: ShedPolicy::None,
+            ..OverloadConfig::off()
+        };
+        assert!(ov.validate().is_ok());
+        assert!(!ov.shedding());
+        assert_eq!(ov.queue_bound(1), Some(1));
     }
 }

@@ -6,7 +6,7 @@
 //! cluster routes through the switch).
 
 use crate::app::{AppPhase, RequestInfo, ServerApp};
-use crate::config::KernelConfig;
+use crate::config::{KernelConfig, ShedPolicy};
 use crate::work::{Work, WorkKind};
 use cpusim::{
     CState, Core, CoreId, CoreStateKind, EnergyMeter, PStateTable, PowerMode, PowerModel,
@@ -103,6 +103,11 @@ enum DupState {
         /// Size of the generated response body.
         response_bytes: usize,
     },
+    /// Admission control rejected the request with a 503. A duplicate
+    /// retransmission replays the rejection — the request is never
+    /// re-admitted, even if capacity has since freed up, because the
+    /// client already observed (or will observe) the rejection.
+    Rejected,
 }
 
 /// Operational counters of one kernel — the `/proc`-style observability a
@@ -128,6 +133,18 @@ pub struct KernelStats {
     /// Responses replayed for retransmitted requests that had already
     /// completed (the response was lost on the way back).
     pub resp_replays: u64,
+    /// Requests refused with a 503-style response by admission control
+    /// (first rejection only; replays are counted separately).
+    pub rejected: u64,
+    /// 503 responses replayed for retransmissions of already-rejected
+    /// requests.
+    pub reject_replays: u64,
+    /// Frames tail-dropped at the RX backlog caps during ISR drain
+    /// (recovered by client RTO, like a ring overflow).
+    pub backlog_sheds: u64,
+    /// TX frames dropped at the run-queue or TX-backlog cap (recovered
+    /// by retransmission and response replay).
+    pub tx_sheds: u64,
 }
 
 /// A stage-level waterfall of one sampled request's life inside the
@@ -154,6 +171,65 @@ impl RequestTrace {
     #[must_use]
     pub fn residence(&self) -> desim::SimDuration {
         self.last_tx.saturating_since(self.nic_arrival)
+    }
+}
+
+/// Deterministic CoDel-style controller state (Controlled Delay, Nichols
+/// & Jacobson): once queue sojourn time stays above the target for a full
+/// interval, shed one request, then shed again at intervals shrinking
+/// with `interval / sqrt(count)` until sojourn drops below target.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoDelState {
+    /// When the sojourn first exceeded the target (plus one interval):
+    /// the instant at which shedding may begin.
+    first_above: Option<SimTime>,
+    /// Next scheduled shed while in the dropping state.
+    shed_next: SimTime,
+    /// Sheds performed in the current dropping episode.
+    count: u32,
+    /// Whether the controller is in the dropping state.
+    dropping: bool,
+}
+
+impl CoDelState {
+    fn backoff(interval: desim::SimDuration, count: u32) -> desim::SimDuration {
+        desim::SimDuration::from_secs_f64(interval.as_secs_f64() / f64::from(count.max(1)).sqrt())
+    }
+
+    /// Feeds one observed sojourn time; returns `true` if this request
+    /// should be shed.
+    fn should_shed(
+        &mut self,
+        now: SimTime,
+        sojourn: desim::SimDuration,
+        target: desim::SimDuration,
+        interval: desim::SimDuration,
+    ) -> bool {
+        if sojourn < target {
+            self.first_above = None;
+            self.dropping = false;
+            self.count = 0;
+            return false;
+        }
+        let Some(first) = self.first_above else {
+            self.first_above = Some(now + interval);
+            return false;
+        };
+        if now < first {
+            return false;
+        }
+        if !self.dropping {
+            self.dropping = true;
+            self.count = self.count.saturating_add(1);
+            self.shed_next = now + Self::backoff(interval, self.count);
+            return true;
+        }
+        if now >= self.shed_next {
+            self.count = self.count.saturating_add(1);
+            self.shed_next += Self::backoff(interval, self.count);
+            return true;
+        }
+        false
     }
 }
 
@@ -196,6 +272,16 @@ pub struct Kernel {
     completed_responses: u64,
     wake_marker_times: Vec<SimTime>,
     stats: KernelStats,
+
+    /// RX-softirq items currently in the run queue, per NIC queue
+    /// (overload accounting for the per-RSS backlog cap).
+    rx_backlog: Vec<usize>,
+    /// TX stack work items currently in the run queue (departures are
+    /// capped separately from admissions).
+    tx_in_queue: usize,
+    /// High-water mark of the run-queue depth (memory proxy).
+    max_run_queue: usize,
+    codel: CoDelState,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -231,7 +317,12 @@ impl Kernel {
             .map(|i| Core::new(CoreId(i), table.clone(), power.clone(), cfg.initial_pstate))
             .collect();
         let isr_pending = vec![false; nic.queue_count()];
+        let rx_backlog = vec![0; nic.queue_count()];
         Kernel {
+            rx_backlog,
+            tx_in_queue: 0,
+            max_run_queue: 0,
+            codel: CoDelState::default(),
             power,
             uncore: EnergyMeter::new(),
             uncore_sync: SimTime::ZERO,
@@ -449,8 +540,13 @@ impl Kernel {
         let core = self.irq_core(queue);
         let isr = Work::cycles(self.cfg.isr_cycles, WorkKind::Isr { queue: queue as u8 })
             .on_core(core as u8)
-            .with_fixed(self.nic.config().icr_read_latency);
+            .with_fixed(self.nic.config().icr_read_latency)
+            .queued_at(now);
+        // ISRs are exempt from admission control: at most one per vector
+        // is pending (level-triggered dedup above), and dropping one would
+        // wedge the queue it services.
         self.run_queue.push_front(isr);
+        self.note_queue_depth(now);
         if matches!(self.cores[core].state_kind(), CoreStateKind::Asleep(_)) {
             self.wake_core(now, core, fx);
         }
@@ -624,17 +720,113 @@ impl Kernel {
         }
     }
 
+    // ----- overload protection -------------------------------------------
+
+    /// Records the run-queue depth high-water mark (the memory proxy)
+    /// and the `kernel.queue_depth` gauge.
+    fn note_queue_depth(&mut self, now: SimTime) {
+        let depth = self.run_queue.len();
+        if depth > self.max_run_queue {
+            self.max_run_queue = depth;
+        }
+        if simtrace::is_enabled() {
+            simtrace::metric_set("kernel", "queue_depth", now.as_nanos(), depth as f64);
+        }
+    }
+
+    /// Run-queue depth excluding TX stack work — what admission control
+    /// compares against `run_queue_cap` (departures must not starve).
+    fn admit_backlog(&self) -> usize {
+        self.run_queue.len() - self.tx_in_queue
+    }
+
+    /// `true` when shedding is armed and the non-TX queue depth is at or
+    /// past the admission capacity.
+    fn run_queue_full(&self) -> bool {
+        let ov = &self.cfg.overload;
+        ov.shedding()
+            && ov
+                .run_queue_cap
+                .is_some_and(|cap| self.admit_backlog() >= cap)
+    }
+
+    /// Consults the active shed policy at admission time. Returns the
+    /// reason to shed this request, or `None` to admit it.
+    fn admission_sheds(
+        &mut self,
+        now: SimTime,
+        meta: &netsim::PacketMeta,
+        sojourn: desim::SimDuration,
+    ) -> Option<&'static str> {
+        let ov = self.cfg.overload;
+        if !ov.shedding() {
+            return None;
+        }
+        if ov
+            .run_queue_cap
+            .is_some_and(|cap| self.admit_backlog() >= cap)
+        {
+            return Some("queue-full");
+        }
+        match ov.policy {
+            ShedPolicy::Deadline => {
+                let deadline = meta.deadline.or(ov.default_deadline)?;
+                (now.saturating_since(meta.sent_at) >= deadline).then_some("deadline")
+            }
+            ShedPolicy::CoDel => self
+                .codel
+                .should_shed(now, sojourn, ov.codel_target, ov.codel_interval)
+                .then_some("codel"),
+            ShedPolicy::None | ShedPolicy::DropTail => None,
+        }
+    }
+
+    /// Refuses request `rid` with the cheap 503-style response and
+    /// records the outcome so duplicate retransmissions replay it.
+    fn reject(
+        &mut self,
+        now: SimTime,
+        dst: NodeId,
+        rid: u64,
+        sent_at: SimTime,
+        reason: &'static str,
+        fx: &mut Effects,
+    ) {
+        self.stats.rejected += 1;
+        if self.cfg.reliable {
+            self.seen.insert(rid, DupState::Rejected);
+        }
+        self.req_traces.remove(&rid);
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args(
+                "kernel",
+                "rejected",
+                t,
+                &[simtrace::arg("id", rid), simtrace::arg("reason", reason)],
+            );
+            simtrace::metric_add("kernel", "rejected", t, 1.0);
+        }
+        // The 503 costs no stack cycles — it goes straight to the NIC,
+        // which is the whole point: rejection must stay cheap when the
+        // CPUs are the saturated resource.
+        let frame = Packet::reject_response(self.node, dst, rid, sent_at);
+        self.complete_tx(now, frame, fx);
+    }
+
     // ----- work completion actions ---------------------------------------
 
     fn complete_work(&mut self, now: SimTime, work: Work, fx: &mut Effects) {
+        let enqueued_at = work.enqueued_at;
         match work.kind {
             WorkKind::Isr { queue } => {
                 self.stats.isrs += 1;
                 self.complete_isr(now, queue as usize, fx);
             }
-            WorkKind::SoftIrqRx { frame } => {
+            WorkKind::SoftIrqRx { frame, queue } => {
                 self.stats.softirq_rx += 1;
-                self.complete_rx(now, &frame, fx);
+                let sojourn = now.saturating_since(enqueued_at);
+                self.complete_rx(now, &frame, queue as usize, sojourn, fx);
             }
             WorkKind::App { token } => {
                 self.stats.app_jobs += 1;
@@ -642,6 +834,7 @@ impl Kernel {
             }
             WorkKind::SoftIrqTx { frame } => {
                 self.stats.softirq_tx += 1;
+                self.tx_in_queue = self.tx_in_queue.saturating_sub(1);
                 self.complete_tx(now, frame, fx);
             }
             WorkKind::Overhead => {}
@@ -669,13 +862,37 @@ impl Kernel {
             .map_or(0, |_| ncap::SW_PER_PACKET_CYCLES);
         let stack = (self.cfg.rx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
         let core = self.irq_core(queue) as u8;
+        let ov = self.cfg.overload;
         let mut drained = 0u64;
+        let mut shed = 0u64;
         while let Some(frame) = self.nic.fetch_rx(queue) {
-            self.run_queue.push_back(
-                Work::cycles(stack + sw_cost, WorkKind::SoftIrqRx { frame }).on_core(core),
-            );
             drained += 1;
+            // Per-RSS backlog cap: frames beyond it are tail-dropped at
+            // the drain, exactly as if the ring itself had overflowed —
+            // clients recover via RTO.
+            if ov.shedding()
+                && ov
+                    .rx_backlog_cap
+                    .is_some_and(|cap| self.rx_backlog[queue] >= cap)
+            {
+                self.stats.backlog_sheds += 1;
+                shed += 1;
+                continue;
+            }
+            self.rx_backlog[queue] += 1;
+            self.run_queue.push_back(
+                Work::cycles(
+                    stack + sw_cost,
+                    WorkKind::SoftIrqRx {
+                        frame,
+                        queue: queue as u8,
+                    },
+                )
+                .on_core(core)
+                .queued_at(now),
+            );
         }
+        self.note_queue_depth(now);
         if simtrace::is_enabled() {
             let t = now.as_nanos();
             simtrace::instant_args(
@@ -688,11 +905,22 @@ impl Kernel {
                 ],
             );
             simtrace::metric_add("kernel", "rx_ring_drained", t, drained as f64);
+            if shed > 0 {
+                simtrace::metric_add("kernel", "backlog_sheds", t, shed as f64);
+            }
         }
         self.try_dispatch(now, fx);
     }
 
-    fn complete_rx(&mut self, now: SimTime, frame: &Packet, fx: &mut Effects) {
+    fn complete_rx(
+        &mut self,
+        now: SimTime,
+        frame: &Packet,
+        queue: usize,
+        sojourn: desim::SimDuration,
+        fx: &mut Effects,
+    ) {
+        self.rx_backlog[queue] = self.rx_backlog[queue].saturating_sub(1);
         if let Some(sw) = self.ncap_sw.as_mut() {
             sw.on_rx_packet(frame);
         }
@@ -740,6 +968,27 @@ impl Kernel {
                     self.emit_response(now, src, rid, response_bytes, sent_at, fx);
                     return;
                 }
+                // Already rejected: replay the 503 — never re-admit, even
+                // if capacity has since freed up, so the client's view of
+                // this request stays consistent.
+                Some(DupState::Rejected) => {
+                    self.stats.reject_replays += 1;
+                    self.req_traces.remove(&rid);
+                    if simtrace::is_enabled() {
+                        let t = now.as_nanos();
+                        simtrace::instant_args(
+                            "kernel",
+                            "reject_replay",
+                            t,
+                            &[simtrace::arg("id", rid)],
+                        );
+                        simtrace::metric_add("kernel", "reject_replays", t, 1.0);
+                    }
+                    let nack =
+                        Packet::reject_response(self.node, frame.src(), rid, frame.meta().sent_at);
+                    self.complete_tx(now, nack, fx);
+                    return;
+                }
                 None => {}
             }
         }
@@ -753,6 +1002,13 @@ impl Kernel {
             self.req_traces.remove(&rid);
             return;
         };
+        // Admission control: shed the request *before* it consumes any
+        // application resources. The rejection is observable (503), so
+        // clients distinguish it from loss.
+        if let Some(reason) = self.admission_sheds(now, &frame.meta(), sojourn) {
+            self.reject(now, info.src, rid, info.sent_at, reason, fx);
+            return;
+        }
         if self.cfg.reliable {
             self.seen.insert(rid, DupState::InFlight);
         }
@@ -778,8 +1034,26 @@ impl Kernel {
         };
         match state.phases.pop_front() {
             Some(AppPhase::Cpu { cycles }) => {
+                // A request needing CPU while admission is saturated is
+                // aborted with the same 503 a fresh arrival would get —
+                // keeping it would let in-flight work breach the queue
+                // bound. (The first CPU phase never trips this: admission
+                // just verified the queue has room.)
+                if self.run_queue_full() {
+                    let state = self.requests.remove(&token).expect("fetched above");
+                    self.reject(
+                        now,
+                        state.info.src,
+                        state.info.id,
+                        state.info.sent_at,
+                        "queue-full",
+                        fx,
+                    );
+                    return;
+                }
                 self.run_queue
-                    .push_back(Work::cycles(cycles, WorkKind::App { token }));
+                    .push_back(Work::cycles(cycles, WorkKind::App { token }).queued_at(now));
+                self.note_queue_depth(now);
                 self.try_dispatch(now, fx);
             }
             Some(AppPhase::Io { wait }) => {
@@ -823,10 +1097,25 @@ impl Kernel {
         let frames = segment_response(self.node, dst, request_id, body, sent_at);
         let sw_cost = self.ncap_sw.as_ref().map_or(0, |_| ncap::SW_PER_TX_CYCLES);
         let stack = (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
+        let ov = self.cfg.overload;
         for frame in frames {
-            self.run_queue
-                .push_back(Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame }).on_core(0));
+            // Departures have their own allowance; past it the frame is
+            // dropped and the client's retransmission triggers a replay.
+            if ov.shedding() && ov.tx_backlog_cap.is_some_and(|cap| self.tx_in_queue >= cap) {
+                self.stats.tx_sheds += 1;
+                if simtrace::is_enabled() {
+                    simtrace::metric_add("kernel", "tx_sheds", now.as_nanos(), 1.0);
+                }
+                continue;
+            }
+            self.tx_in_queue += 1;
+            self.run_queue.push_back(
+                Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame })
+                    .on_core(0)
+                    .queued_at(now),
+            );
         }
+        self.note_queue_depth(now);
         self.try_dispatch(now, fx);
     }
 
@@ -836,7 +1125,21 @@ impl Kernel {
         }
         match self.nic.enqueue_tx(now, &frame) {
             Some(out) => fx.at(out.ready_at, NodeEvent::TxWire { frame }),
-            None => self.tx_backlog.push_back(frame),
+            None => {
+                let ov = &self.cfg.overload;
+                if ov.shedding()
+                    && ov
+                        .tx_backlog_cap
+                        .is_some_and(|cap| self.tx_backlog.len() >= cap)
+                {
+                    self.stats.tx_sheds += 1;
+                    if simtrace::is_enabled() {
+                        simtrace::metric_add("kernel", "tx_sheds", now.as_nanos(), 1.0);
+                    }
+                } else {
+                    self.tx_backlog.push_back(frame);
+                }
+            }
         }
     }
 
@@ -893,8 +1196,17 @@ impl Kernel {
             self.desired_pstate = target;
             self.apply_pstates(now, fx);
         }
-        self.run_queue
-            .push_back(Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead).on_core(0));
+        // Synthetic overhead respects the admission cap too — the queue
+        // bound must hold for every producer; the governor's decision was
+        // already applied above, only its cycle cost is skipped.
+        if !self.run_queue_full() {
+            self.run_queue.push_back(
+                Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead)
+                    .on_core(0)
+                    .queued_at(now),
+            );
+            self.note_queue_depth(now);
+        }
         self.try_dispatch(now, fx);
     }
 
@@ -907,8 +1219,14 @@ impl Kernel {
         if action.set_pstate == Some(self.table.fastest()) {
             self.wake_marker_times.push(now);
         }
-        self.run_queue
-            .push_back(Work::cycles(cycles, WorkKind::Overhead).on_core(0));
+        if !self.run_queue_full() {
+            self.run_queue.push_back(
+                Work::cycles(cycles, WorkKind::Overhead)
+                    .on_core(0)
+                    .queued_at(now),
+            );
+            self.note_queue_depth(now);
+        }
         if !action.is_noop() {
             self.apply_driver_action(now, action, fx);
         }
@@ -1060,6 +1378,37 @@ impl Kernel {
         self.run_queue.len()
     }
 
+    /// High-water mark of the run-queue depth over the whole run — the
+    /// memory proxy overload tests bound against the configured capacity.
+    #[must_use]
+    pub fn max_run_queue_depth(&self) -> usize {
+        self.max_run_queue
+    }
+
+    /// RX-softirq items currently queued, per NIC queue.
+    #[must_use]
+    pub fn rx_backlogs(&self) -> &[usize] {
+        &self.rx_backlog
+    }
+
+    /// TX stack work items currently in the run queue.
+    #[must_use]
+    pub fn tx_queue_depth(&self) -> usize {
+        self.tx_in_queue
+    }
+
+    /// Frames parked in the NIC-level TX backlog.
+    #[must_use]
+    pub fn tx_backlog_depth(&self) -> usize {
+        self.tx_backlog.len()
+    }
+
+    /// The overload-protection configuration this kernel runs under.
+    #[must_use]
+    pub fn overload_config(&self) -> &crate::config::OverloadConfig {
+        &self.cfg.overload
+    }
+
     /// Instants at which NCAP posted proactive wake/boost interrupts —
     /// the `INT (wake)` markers of Figures 8/9.
     #[must_use]
@@ -1146,7 +1495,7 @@ mod tests {
     }
 
     /// Drives a kernel to quiescence, collecting transmitted frames.
-    fn drain(kernel: &mut Kernel, mut fx: Effects, horizon: SimTime) -> Vec<Packet> {
+    pub(super) fn drain(kernel: &mut Kernel, mut fx: Effects, horizon: SimTime) -> Vec<Packet> {
         let mut queue: desim::EventQueue<NodeEvent> = desim::EventQueue::new();
         let mut out = Vec::new();
         for (t, e) in fx.schedule.drain(..) {
@@ -1167,7 +1516,7 @@ mod tests {
         out
     }
 
-    fn get_frame(id: u64) -> Packet {
+    pub(super) fn get_frame(id: u64) -> Packet {
         Packet::request(
             NodeId(1),
             NodeId(0),
@@ -1226,6 +1575,7 @@ mod tests {
                 sent_at: SimTime::ZERO,
                 seq: 0,
                 is_final: true,
+                ..netsim::PacketMeta::default()
             },
         );
         fx.schedule
@@ -1405,6 +1755,295 @@ mod tests {
         let dbg = format!("{k:?}");
         assert!(dbg.contains("performance"));
         assert!(dbg.contains("stub"));
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::tests::{drain, get_frame};
+    use super::*;
+    use crate::app::AppPlan;
+    use crate::config::{KernelConfig, OverloadConfig, ShedPolicy};
+    use desim::SimDuration;
+    use governors::{Menu, Performance, PollIdle};
+    use nicsim::{Nic, NicConfig};
+
+    /// An application whose requests park in IO before any CPU phase, so
+    /// admitted requests occupy neither a core nor the run queue — the
+    /// only queue pressure is the RX softirq backlog itself, which makes
+    /// admission outcomes exactly predictable.
+    struct IoFirstApp;
+    impl ServerApp for IoFirstApp {
+        fn plan(&mut self, _now: SimTime, _req: &RequestInfo) -> Option<AppPlan> {
+            Some(AppPlan {
+                phases: vec![
+                    AppPhase::Io {
+                        wait: SimDuration::from_ms(1),
+                    },
+                    AppPhase::Cpu { cycles: 1_000 },
+                ],
+                response_bytes: 500,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "io-first"
+        }
+    }
+
+    fn shed_kernel(ov: OverloadConfig, reliable: bool, menu: bool) -> Kernel {
+        let mut cfg = KernelConfig::server_defaults()
+            .with_initial_pstate(cpusim::PStateId(0))
+            .with_overload(ov);
+        if reliable {
+            cfg = cfg.with_reliability();
+        }
+        let cpuidle: Box<dyn governors::CpuidleGovernor + Send> = if menu {
+            Box::new(Menu::new(4))
+        } else {
+            Box::new(PollIdle)
+        };
+        Kernel::new(
+            cfg,
+            NodeId(0),
+            Nic::new(NicConfig::i82574_like()),
+            Box::new(Performance),
+            cpuidle,
+            Box::new(IoFirstApp),
+        )
+    }
+
+    fn burst(fx: &mut Effects, at: SimTime, ids: &[u64]) {
+        for &id in ids {
+            fx.schedule
+                .push((at, NodeEvent::FrameFromWire(get_frame(id))));
+        }
+    }
+
+    #[test]
+    fn batch_exactly_at_capacity_is_fully_admitted() {
+        let ov = OverloadConfig::off()
+            .with_run_queue_cap(8)
+            .with_policy(ShedPolicy::DropTail);
+        let mut k = shed_kernel(ov, false, false);
+        let mut fx = k.init(SimTime::ZERO);
+        let ids: Vec<u64> = (1..=8).collect();
+        burst(&mut fx, SimTime::from_us(10), &ids);
+        let frames = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert_eq!(s.rejected, 0, "exactly-at-capacity must admit: {s:?}");
+        assert_eq!(k.completed_responses(), 8);
+        assert!(frames.iter().all(|f| !f.meta().rejected));
+    }
+
+    #[test]
+    fn one_past_capacity_sheds_exactly_one_with_a_503() {
+        // All three caps set so the total memory bound is defined.
+        let ov = OverloadConfig {
+            rx_backlog_cap: Some(256),
+            tx_backlog_cap: Some(4096),
+            ..OverloadConfig::off()
+                .with_run_queue_cap(8)
+                .with_policy(ShedPolicy::DropTail)
+        };
+        let mut k = shed_kernel(ov, false, false);
+        let mut fx = k.init(SimTime::ZERO);
+        let ids: Vec<u64> = (1..=9).collect();
+        burst(&mut fx, SimTime::from_us(10), &ids);
+        let frames = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(k.completed_responses(), 8);
+        let rejects: Vec<_> = frames.iter().filter(|f| f.meta().rejected).collect();
+        assert_eq!(rejects.len(), 1);
+        assert!(rejects[0].meta().is_final);
+        assert_eq!(rejects[0].leading_bytes(), Some(*b"50"));
+        // The memory proxy respects the configured bound.
+        assert!(
+            Some(k.max_run_queue_depth()) <= ov.queue_bound(k.nic().queue_count()),
+            "depth {} over bound {:?}",
+            k.max_run_queue_depth(),
+            ov.queue_bound(k.nic().queue_count())
+        );
+    }
+
+    #[test]
+    fn rejection_works_through_a_c_state_wake() {
+        // Cores are asleep under the menu governor when the burst lands:
+        // the IRQ starts a C-state wake, a second frame arrives mid-wake,
+        // and both requests are shed once the woken core drains the ring —
+        // the 503 path must work identically from a cold core.
+        let ov = OverloadConfig::off()
+            .with_run_queue_cap(0)
+            .with_policy(ShedPolicy::DropTail);
+        let mut k = shed_kernel(ov, false, true);
+        let mut fx = k.init(SimTime::ZERO);
+        fx.schedule
+            .push((SimTime::from_ms(2), NodeEvent::FrameFromWire(get_frame(1))));
+        // mwait_wake_overhead is 25 us: this frame arrives mid-wake.
+        fx.schedule.push((
+            SimTime::from_ms(2) + SimDuration::from_us(5),
+            NodeEvent::FrameFromWire(get_frame(2)),
+        ));
+        let frames = drain(&mut k, fx, SimTime::from_ms(6));
+        let s = k.stats();
+        assert!(s.core_wakes >= 1, "the burst must wake a core: {s:?}");
+        assert_eq!(s.rejected, 2, "{s:?}");
+        assert_eq!(s.app_jobs, 0, "{s:?}");
+        assert_eq!(k.completed_responses(), 0);
+        assert_eq!(frames.iter().filter(|f| f.meta().rejected).count(), 2);
+        assert_eq!(k.run_queue_depth(), 0, "the queue must drain");
+    }
+
+    #[test]
+    fn duplicate_of_rejected_request_replays_the_503() {
+        // The victim leads a burst one past capacity, so admission sheds
+        // it while the two fillers behind it are admitted. When the
+        // client retransmits the victim later — into a now-empty queue —
+        // the kernel must replay the 503, not re-admit the request.
+        let ov = OverloadConfig::off()
+            .with_run_queue_cap(2)
+            .with_policy(ShedPolicy::DropTail);
+        let mut k = shed_kernel(ov, true, false);
+        let mut fx = k.init(SimTime::ZERO);
+        burst(&mut fx, SimTime::from_us(10), &[99, 1, 2]);
+        fx.schedule
+            .push((SimTime::from_ms(3), NodeEvent::FrameFromWire(get_frame(99))));
+        let frames = drain(&mut k, fx, SimTime::from_ms(6));
+        let s = k.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(s.reject_replays, 1, "retransmit must replay: {s:?}");
+        assert_eq!(s.dup_suppressed, 0, "{s:?}");
+        assert_eq!(k.completed_responses(), 2, "both fillers complete");
+        assert_eq!(s.app_jobs, 2, "the victim never ran: {s:?}");
+        assert_eq!(frames.iter().filter(|f| f.meta().rejected).count(), 2);
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_always_shed() {
+        let ov = OverloadConfig::off().with_policy(ShedPolicy::Deadline);
+        let mut k = shed_kernel(ov, false, false);
+        let mut fx = k.init(SimTime::ZERO);
+        // Any queueing delay exceeds a zero budget.
+        fx.schedule.push((
+            SimTime::from_us(10),
+            NodeEvent::FrameFromWire(get_frame(1).with_deadline(SimDuration::ZERO)),
+        ));
+        // An unstamped request (no default deadline either) is exempt.
+        fx.schedule.push((
+            SimTime::from_us(200),
+            NodeEvent::FrameFromWire(get_frame(2)),
+        ));
+        let frames = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(k.completed_responses(), 1);
+        let rejected: Vec<_> = frames.iter().filter(|f| f.meta().rejected).collect();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].meta().request_id, Some(1));
+    }
+
+    #[test]
+    fn expired_deadlines_shed_under_the_deadline_policy() {
+        let ov = OverloadConfig::off()
+            .with_policy(ShedPolicy::Deadline)
+            .with_default_deadline(SimDuration::from_us(5));
+        let mut k = shed_kernel(ov, false, false);
+        let mut fx = k.init(SimTime::ZERO);
+        // get_frame stamps sent_at = 1 us; arriving at 10 us exceeds the
+        // 5 us default budget.
+        fx.schedule
+            .push((SimTime::from_us(10), NodeEvent::FrameFromWire(get_frame(1))));
+        // A generous per-request stamp overrides the default and admits.
+        fx.schedule.push((
+            SimTime::from_us(30),
+            NodeEvent::FrameFromWire(get_frame(2).with_deadline(SimDuration::from_ms(10))),
+        ));
+        let _ = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert_eq!(k.completed_responses(), 1);
+    }
+
+    #[test]
+    fn codel_controller_sheds_only_after_sustained_sojourn() {
+        let target = SimDuration::from_us(500);
+        let interval = SimDuration::from_ms(10);
+        let mut c = CoDelState::default();
+        let t0 = SimTime::from_ms(100);
+        // Below target: never sheds, state stays reset.
+        assert!(!c.should_shed(t0, SimDuration::from_us(100), target, interval));
+        // First excursion above target starts the observation interval.
+        assert!(!c.should_shed(t0, SimDuration::from_ms(1), target, interval));
+        // Still inside the interval: no shedding yet.
+        assert!(!c.should_shed(
+            t0 + SimDuration::from_ms(5),
+            SimDuration::from_ms(1),
+            target,
+            interval
+        ));
+        // A full interval above target: enter the dropping state.
+        assert!(c.should_shed(
+            t0 + SimDuration::from_ms(10),
+            SimDuration::from_ms(1),
+            target,
+            interval
+        ));
+        // Next shed only after interval/sqrt(count): a full interval for
+        // the first episode (count = 1).
+        assert!(!c.should_shed(
+            t0 + SimDuration::from_ms(11),
+            SimDuration::from_ms(1),
+            target,
+            interval
+        ));
+        assert!(!c.should_shed(
+            t0 + SimDuration::from_ms(18),
+            SimDuration::from_ms(1),
+            target,
+            interval
+        ));
+        assert!(c.should_shed(
+            t0 + SimDuration::from_ms(20),
+            SimDuration::from_ms(1),
+            target,
+            interval
+        ));
+        // Sojourn recovering below target resets the controller.
+        assert!(!c.should_shed(
+            t0 + SimDuration::from_ms(21),
+            SimDuration::from_us(100),
+            target,
+            interval
+        ));
+        assert!(!c.dropping);
+        assert_eq!(c.count, 0);
+    }
+
+    #[test]
+    fn caps_without_a_policy_enforce_nothing() {
+        // The deliberately broken config: capacities set, shedding off.
+        // The kernel must not cap anything (the watchdog reports it); in
+        // particular nothing is rejected and the queue grows past "cap".
+        let ov = OverloadConfig {
+            run_queue_cap: Some(0),
+            rx_backlog_cap: Some(0),
+            tx_backlog_cap: Some(0),
+            policy: ShedPolicy::None,
+            ..OverloadConfig::off()
+        };
+        let mut k = shed_kernel(ov, false, false);
+        let mut fx = k.init(SimTime::ZERO);
+        let ids: Vec<u64> = (1..=16).collect();
+        burst(&mut fx, SimTime::from_us(10), &ids);
+        let _ = drain(&mut k, fx, SimTime::from_ms(5));
+        let s = k.stats();
+        assert_eq!(s.rejected, 0, "{s:?}");
+        assert_eq!(s.backlog_sheds, 0, "{s:?}");
+        assert_eq!(k.completed_responses(), 16);
+        assert!(
+            Some(k.max_run_queue_depth()) > ov.queue_bound(k.nic().queue_count()),
+            "the unenforced queue must have exceeded the broken bound"
+        );
     }
 }
 

@@ -22,12 +22,14 @@
 //! (events to schedule on this node plus frames leaving on the wire);
 //! the `cluster` crate owns the event loop and the switch.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod app;
 pub mod config;
 pub mod kernel;
 pub mod work;
 
 pub use app::{AppPhase, AppPlan, RequestInfo, ServerApp};
-pub use config::KernelConfig;
+pub use config::{KernelConfig, OverloadConfig, ShedPolicy};
 pub use kernel::{Effects, Kernel, KernelStats, NodeEvent, RequestTrace};
 pub use work::{Work, WorkKind};

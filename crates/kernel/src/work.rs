@@ -1,6 +1,6 @@
 //! Schedulable units of kernel/application work.
 
-use desim::SimDuration;
+use desim::{SimDuration, SimTime};
 use netsim::Packet;
 
 /// What a [`Work`] item does when it completes.
@@ -17,6 +17,9 @@ pub enum WorkKind {
     SoftIrqRx {
         /// The frame being processed.
         frame: Packet,
+        /// The RX queue the frame was drained from, so per-queue backlog
+        /// accounting can be released when the work completes.
+        queue: u8,
     },
     /// One CPU phase of an in-flight application request.
     App {
@@ -60,6 +63,9 @@ pub struct Work {
     /// Core affinity (`Some(0)` for interrupt/stack work on a
     /// single-queue NIC), or any core.
     pub affinity: Option<u8>,
+    /// When the item entered the run queue. The CoDel-style shedder uses
+    /// this to measure queue sojourn time.
+    pub enqueued_at: SimTime,
 }
 
 impl Work {
@@ -71,6 +77,7 @@ impl Work {
             fixed: SimDuration::ZERO,
             kind,
             affinity: None,
+            enqueued_at: SimTime::ZERO,
         }
     }
 
@@ -85,6 +92,13 @@ impl Work {
     #[must_use]
     pub fn with_fixed(mut self, fixed: SimDuration) -> Self {
         self.fixed = fixed;
+        self
+    }
+
+    /// Records when the item entered the run queue (builder style).
+    #[must_use]
+    pub fn queued_at(mut self, t: SimTime) -> Self {
+        self.enqueued_at = t;
         self
     }
 }

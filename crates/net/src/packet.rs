@@ -13,7 +13,7 @@
 
 use crate::bytes::Bytes;
 use core::fmt;
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
 
 /// Ethernet header bytes (dst MAC, src MAC, ethertype).
 pub const ETH_HEADER: usize = 14;
@@ -63,6 +63,16 @@ pub struct PacketMeta {
     /// `true` on the last frame of a message (single-frame messages are
     /// final); clients use this to timestamp response completion.
     pub is_final: bool,
+    /// Completion deadline measured from `sent_at`. A request whose
+    /// queueing delay has already consumed the whole budget can be shed
+    /// by a deadline-aware server. `Some(ZERO)` is an already-expired
+    /// deadline; `None` tolerates any delay. On the wire this rides in
+    /// the TCP timestamp option (see `wire::encode`).
+    pub deadline: Option<SimDuration>,
+    /// `true` on 503-style rejection responses: the server declined the
+    /// request under overload instead of serving it. Clients count these
+    /// as rejected, not completed, and never record their latency.
+    pub rejected: bool,
 }
 
 /// One Ethernet frame carrying a TCP segment.
@@ -101,6 +111,29 @@ impl Packet {
                 sent_at: SimTime::ZERO,
                 seq: 0,
                 is_final: true,
+                ..PacketMeta::default()
+            },
+        )
+    }
+
+    /// Builds the cheap 503-style rejection frame a server returns when
+    /// admission control sheds a request: a minimal final segment whose
+    /// payload is just the status token, so the client learns of the
+    /// rejection at one frame's cost instead of waiting out an RTO.
+    #[must_use]
+    pub fn reject_response(src: NodeId, dst: NodeId, request_id: u64, sent_at: SimTime) -> Self {
+        Packet::new(
+            src,
+            dst,
+            request_id as u32,
+            Bytes::from_static(b"503"),
+            PacketMeta {
+                request_id: Some(request_id),
+                sent_at,
+                seq: 0,
+                is_final: true,
+                rejected: true,
+                ..PacketMeta::default()
             },
         )
     }
@@ -109,6 +142,14 @@ impl Packet {
     #[must_use]
     pub fn sent_at(mut self, t: SimTime) -> Self {
         self.meta.sent_at = t;
+        self
+    }
+
+    /// Stamps a completion deadline, measured from `sent_at`
+    /// (builder-style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.meta.deadline = Some(deadline);
         self
     }
 
@@ -234,5 +275,22 @@ mod tests {
     #[test]
     fn node_display() {
         assert_eq!(NodeId(3).to_string(), "node3");
+    }
+
+    #[test]
+    fn deadline_and_rejection_metadata() {
+        let req = Packet::request(NodeId(1), NodeId(0), 4, Bytes::from_static(b"GET /"))
+            .with_deadline(SimDuration::from_us(200));
+        assert_eq!(req.meta().deadline, Some(SimDuration::from_us(200)));
+        assert!(!req.meta().rejected);
+
+        let nack = Packet::reject_response(NodeId(0), NodeId(1), 4, SimTime::from_us(7));
+        assert!(nack.meta().rejected);
+        assert!(nack.meta().is_final);
+        assert_eq!(nack.meta().request_id, Some(4));
+        assert_eq!(nack.meta().sent_at, SimTime::from_us(7));
+        assert_eq!(nack.leading_bytes(), Some(*b"50"));
+        // Cheap on the wire: payload is the bare status token.
+        assert_eq!(nack.frame_len(), PAYLOAD_OFFSET + 3);
     }
 }

@@ -54,6 +54,7 @@ pub fn segment_response(
         sent_at,
         seq: 0,
         is_final: false,
+        ..PacketMeta::default()
     };
     if body.is_empty() {
         simtrace::metric_add_cum("net", "tcp_segments", 1.0);

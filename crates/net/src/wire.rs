@@ -12,6 +12,11 @@
 use crate::packet::{
     NodeId, Packet, ETH_HEADER, IPV4_HEADER, PAYLOAD_OFFSET, TCP_HEADER, TCP_OPTIONS,
 };
+use desim::SimDuration;
+
+/// Frame offset of the 8 TCP-timestamp option bytes (TSval/TSecr) that
+/// carry the request deadline on the wire.
+const DEADLINE_OFFSET: usize = PAYLOAD_OFFSET - 8;
 
 /// Errors from [`decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +73,9 @@ pub struct DecodedFrame {
     pub dst: NodeId,
     /// TCP sequence number (the simulator's flow id).
     pub seq: u32,
+    /// Request deadline recovered from the TCP timestamp option, if the
+    /// sender stamped one.
+    pub deadline: Option<SimDuration>,
     /// The TCP payload.
     pub payload: Vec<u8>,
 }
@@ -157,7 +165,14 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
     out.extend_from_slice(&[1, 1]); // NOP NOP
     out.push(8); // kind: timestamps
     out.push(10); // length
-    out.extend_from_slice(&[0; 8]); // TSval / TSecr
+                  // TSval/TSecr carry the client deadline: `deadline_ns + 1` so that an
+                  // all-zero option (a sender that stamped nothing) stays distinguishable
+                  // from a zero-nanosecond deadline.
+    let ts = packet
+        .meta()
+        .deadline
+        .map_or(0, |d| d.as_nanos().saturating_add(1));
+    out.extend_from_slice(&ts.to_be_bytes());
     debug_assert_eq!(out.len(), PAYLOAD_OFFSET);
 
     out.extend_from_slice(payload);
@@ -196,10 +211,16 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedFrame, WireError> {
     let dst = NodeId(u16::from_be_bytes([ip[18], ip[19]]));
     let tcp = &bytes[ETH_HEADER + IPV4_HEADER..];
     let seq = u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]);
+    let ts_bytes: [u8; 8] = bytes[DEADLINE_OFFSET..PAYLOAD_OFFSET]
+        .try_into()
+        .expect("slice is exactly 8 bytes");
+    let ts = u64::from_be_bytes(ts_bytes);
+    let deadline = ts.checked_sub(1).map(SimDuration::from_nanos);
     Ok(DecodedFrame {
         src,
         dst,
         seq,
+        deadline,
         payload: bytes[PAYLOAD_OFFSET..].to_vec(),
     })
 }
@@ -233,7 +254,22 @@ mod tests {
         assert_eq!(d.src, NodeId(7));
         assert_eq!(d.dst, NodeId(2));
         assert_eq!(d.seq, 99);
+        assert_eq!(d.deadline, None);
         assert_eq!(d.payload, p.payload());
+    }
+
+    #[test]
+    fn deadline_rides_the_timestamp_option() {
+        let stamped = sample(b"GET /x").with_deadline(SimDuration::from_us(250));
+        let d = decode(&encode(&stamped)).unwrap();
+        assert_eq!(d.deadline, Some(SimDuration::from_us(250)));
+        // A zero deadline is distinguishable from "no deadline".
+        let zero = sample(b"GET /x").with_deadline(SimDuration::ZERO);
+        assert_eq!(
+            decode(&encode(&zero)).unwrap().deadline,
+            Some(SimDuration::ZERO)
+        );
+        assert_eq!(decode(&encode(&sample(b"GET /x"))).unwrap().deadline, None);
     }
 
     #[test]

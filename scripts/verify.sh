@@ -52,6 +52,20 @@ echo "$fault_out" | grep -q '0 requests lost' ||
     { echo "verify: lossy run lost requests" >&2; exit 1; }
 echo "==> fault smoke ok"
 
+# Overload smoke: a run at 2x capacity with admission control armed must
+# shed some requests, stay within the queue bound, and pass the invariant
+# watchdog with zero violations.
+overload_out=$(run cargo run --release -p ncap-cli -- run \
+    --app memcached --policy perf --load 240000 \
+    --warmup-ms 5 --measure-ms 20 \
+    --queue-cap 512 --shed-policy drop-tail)
+echo "$overload_out"
+echo "$overload_out" | grep -q 'overload [1-9][0-9]* requests rejected' ||
+    { echo "verify: overloaded run rejected nothing" >&2; exit 1; }
+echo "$overload_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
+    { echo "verify: watchdog missing or reported violations" >&2; exit 1; }
+echo "==> overload smoke ok"
+
 # Hermeticity: no external crates may creep back into any manifest.
 if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
     Cargo.toml crates/*/Cargo.toml; then
