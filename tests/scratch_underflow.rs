@@ -1,0 +1,23 @@
+//! Scratch repro: admit_backlog underflow when a TX softirq job is
+//! executing (counted in tx_in_queue) while the run queue is empty.
+
+use cluster::{run_experiment, AppKind, ExperimentConfig, OverloadConfig, Policy};
+use desim::SimDuration;
+
+#[test]
+fn apache_ond_with_shedding_armed() {
+    let cfg = ExperimentConfig::new(AppKind::Apache, Policy::Ond, 24_000.0)
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(30))
+        .with_overload(OverloadConfig::server_defaults());
+    let r = run_experiment(&cfg);
+    println!("completed={} rejected={}", r.completed, r.rejected);
+}
+
+#[test]
+fn apache_perf_low_cap() {
+    let cfg = ExperimentConfig::new(AppKind::Apache, Policy::Perf, 48_000.0)
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(30))
+        .with_overload(OverloadConfig::server_defaults().with_run_queue_cap(4));
+    let r = run_experiment(&cfg);
+    println!("completed={} rejected={}", r.completed, r.rejected);
+}
