@@ -1,0 +1,83 @@
+//! Fleet: the cluster-level power story beyond the paper's single
+//! server (DESIGN.md §11).
+//!
+//! The paper manages one server's power from its own NIC; a fleet adds
+//! a second lever: the dispatch policy decides *which* backends see
+//! packets at all, and the coordinator parks the ones that see none.
+//! This target sweeps a 4-backend Memcached fleet at low load (0.15x of
+//! fleet capacity) across the three dispatch policies, coordinator on
+//! and off, and reports joint energy, admitted percentiles, dispatch
+//! concentration, and park activity — the claim under test being that
+//! power-aware packing plus the coordinator beats load-balanced
+//! dispatch on energy without breaking the tail.
+
+use cluster::{
+    run_experiments_parallel, AppKind, CoordinatorConfig, DispatchPolicy, ExperimentConfig,
+    FleetConfig, Policy,
+};
+use ncap_bench::{durations, header};
+use simstats::{fmt_ns, FleetAggregate, Table};
+
+const BACKENDS: usize = 4;
+const PER_BACKEND_RPS: f64 = 120_000.0;
+
+fn config(dispatch: DispatchPolicy, coordinator: bool) -> ExperimentConfig {
+    let (warmup, measure) = durations();
+    let mut fleet = FleetConfig::new(BACKENDS, dispatch);
+    if coordinator {
+        fleet =
+            fleet.with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5));
+    }
+    ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, 72_000.0)
+        .with_durations(warmup, measure)
+        .with_poisson()
+        .with_fleet(fleet)
+}
+
+fn main() {
+    header(
+        "fleet",
+        "cluster-level packing + coordinator (beyond the paper, DESIGN.md §11)",
+    );
+    println!(
+        "{BACKENDS}-backend Memcached fleet under ond.idle at 72 krps \
+         (0.15x fleet capacity), L4 LB in NAT mode.\n"
+    );
+    let mut configs = Vec::new();
+    let mut coordinated = Vec::new();
+    for coordinator in [false, true] {
+        for dispatch in DispatchPolicy::ALL {
+            configs.push(config(dispatch, coordinator));
+            coordinated.push(coordinator);
+        }
+    }
+    let results = run_experiments_parallel(&configs);
+
+    let mut t = Table::new(vec![
+        "dispatch",
+        "coord",
+        "energy (J)",
+        "p50",
+        "p99",
+        "max share",
+        "parks",
+        "goodput",
+    ]);
+    for (r, &coord) in results.iter().zip(coordinated.iter()) {
+        let fleet = r.fleet.as_ref().expect("fleet topology");
+        let energy: Vec<f64> = fleet.backends.iter().map(|b| b.energy_j).collect();
+        let assigned: Vec<u64> = fleet.backends.iter().map(|b| b.assigned).collect();
+        let agg = FleetAggregate::from_backends(&energy, &assigned);
+        t.row(vec![
+            fleet.dispatch.to_string(),
+            if coord { "on" } else { "off" }.to_owned(),
+            format!("{:.2}", r.energy_j),
+            fmt_ns(r.latency.p50),
+            fmt_ns(r.latency.p99),
+            format!("{:.2}", agg.max_share),
+            format!("{}", fleet.parks),
+            format!("{:.3}", r.goodput()),
+        ]);
+    }
+    println!("{t}");
+}

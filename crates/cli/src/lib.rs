@@ -13,11 +13,12 @@
 //! ```
 
 use cluster::{
-    run_experiment, run_experiments_parallel, try_run_experiment, AppKind, ExperimentConfig,
-    FaultConfig, OverloadConfig, Policy, RetxConfig, ShedPolicy, TraceConfig, DEFAULT_FAULT_SEED,
+    run_experiment, run_experiments_parallel, try_run_experiment, AppKind, CoordinatorConfig,
+    DispatchPolicy, ExperimentConfig, FaultConfig, FleetConfig, OverloadConfig, Policy, RetxConfig,
+    ShedPolicy, TraceConfig, DEFAULT_FAULT_SEED,
 };
 use desim::SimDuration;
-use simstats::{fmt_ns, Table};
+use simstats::{fmt_ns, FleetAggregate, Table};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,15 @@ pub struct RunArgs {
     pub shed_policy: Option<ShedPolicy>,
     /// End-to-end request deadline stamped by clients, microseconds.
     pub deadline_us: Option<u64>,
+    /// Backend servers behind an L4 load-balancer VIP (1 = the paper's
+    /// single-server topology, no fleet layer).
+    pub servers: usize,
+    /// Fleet dispatch policy (meaningful with `--servers` > 1 or
+    /// `--coordinator`).
+    pub dispatch: DispatchPolicy,
+    /// Arm the fleet power coordinator (parks/unparks backends with
+    /// load).
+    pub coordinator: bool,
 }
 
 /// Arguments of `ncap trace`: an ordinary run plus an output directory.
@@ -169,6 +179,9 @@ fn default_run_args() -> RunArgs {
         queue_cap: None,
         shed_policy: None,
         deadline_us: None,
+        servers: 1,
+        dispatch: DispatchPolicy::RoundRobin,
+        coordinator: false,
     }
 }
 
@@ -255,6 +268,21 @@ fn apply_run_flag<'a>(
                     .map_err(|_| ParseError("--deadline-us expects an integer".into()))?,
             );
         }
+        "--servers" => {
+            a.servers = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--servers expects an integer".into()))?;
+            if a.servers == 0 {
+                return Err(ParseError("--servers must be at least 1".into()));
+            }
+        }
+        "--dispatch" => {
+            let v = take_value(it, flag)?;
+            a.dispatch = DispatchPolicy::parse(v).ok_or_else(|| {
+                ParseError(format!("unknown dispatch '{v}' (expected rr|jsq|pack)"))
+            })?;
+        }
+        "--coordinator" => a.coordinator = true,
         _ => return Ok(false),
     }
     Ok(true)
@@ -396,12 +424,17 @@ USAGE:
              [--fault-seed N]
              [--queue-cap N] [--shed-policy none|drop-tail|deadline|codel]
              [--deadline-us N]
+             [--servers N] [--dispatch rr|jsq|pack] [--coordinator]
              fault flags inject seeded per-link impairments; any nonzero
              impairment also arms the client retransmission layer
              overload flags arm server admission control (bounded queues
              plus the chosen shedding policy; rejected requests receive a
              503-style response); --deadline-us stamps every request and
              implies --shed-policy deadline unless one is given
+             fleet flags put N backend servers behind an L4 load balancer
+             (--dispatch picks round-robin, least-outstanding, or
+             power-aware packing); --coordinator arms the cluster-level
+             power coordinator that parks idle backends with load
   ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
              [--measure-ms N]
   ncap sla   --app apache|memcached
@@ -462,6 +495,15 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
             cfg = cfg.with_deadline(d);
         }
         cfg = cfg.with_overload(ov);
+    }
+    if a.servers > 1 || a.coordinator {
+        let mut fleet = FleetConfig::new(a.servers, a.dispatch);
+        if a.coordinator {
+            // Nominal per-backend capacity is the app's knee load (§5);
+            // the coordinator sizes the active set against it.
+            fleet = fleet.with_coordinator(CoordinatorConfig::new(a.app.paper_loads()[2]));
+        }
+        cfg = cfg.with_fleet(fleet);
     }
     cfg
 }
@@ -562,6 +604,22 @@ pub fn execute(cmd: Command) -> i32 {
             );
             for v in &r.invariant_violations {
                 println!("    {v}");
+            }
+            if let Some(fleet) = &r.fleet {
+                let energy: Vec<f64> = fleet.backends.iter().map(|b| b.energy_j).collect();
+                let assigned: Vec<u64> = fleet.backends.iter().map(|b| b.assigned).collect();
+                let agg = FleetAggregate::from_backends(&energy, &assigned);
+                println!(
+                    "  fleet    {} backends ({}), max share {:.2}, fairness {:.2}, \
+                     {} parks / {} unparks ({:.3} J transitions)",
+                    agg.backends,
+                    fleet.dispatch,
+                    agg.max_share,
+                    agg.fairness,
+                    fleet.parks,
+                    fleet.unparks,
+                    fleet.transition_energy_j
+                );
             }
             0
         }
@@ -850,6 +908,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_fleet_flags() {
+        let Command::Run(a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "ond.idle",
+            "--load",
+            "40000",
+            "--servers",
+            "4",
+            "--dispatch",
+            "pack",
+            "--coordinator",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.servers, 4);
+        assert_eq!(a.dispatch, DispatchPolicy::Packing);
+        assert!(a.coordinator);
+        let cfg = run_config(&a);
+        let fleet = cfg.fleet.expect("fleet configured");
+        assert_eq!(fleet.backends, 4);
+        assert_eq!(fleet.dispatch, DispatchPolicy::Packing);
+        assert!(fleet.coordinator.is_some());
+        // Defaults keep the single-server topology.
+        let d = default_run_args();
+        assert_eq!(d.servers, 1);
+        assert_eq!(d.dispatch, DispatchPolicy::RoundRobin);
+        assert!(!d.coordinator);
+        assert!(run_config(&d).fleet.is_none());
+    }
+
+    #[test]
     fn rejects_unknown_inputs() {
         assert!(parse(["frobnicate"]).is_err());
         assert!(parse(["run", "--app", "nginx"]).is_err());
@@ -862,6 +955,9 @@ mod tests {
         assert!(parse(["run", "--queue-cap", "lots"]).is_err());
         assert!(parse(["run", "--shed-policy", "yolo"]).is_err());
         assert!(parse(["run", "--deadline-us", "-3"]).is_err());
+        assert!(parse(["run", "--servers", "0"]).is_err());
+        assert!(parse(["run", "--servers", "many"]).is_err());
+        assert!(parse(["run", "--dispatch", "random"]).is_err());
         assert!(parse(["sla"]).is_err());
         assert!(parse(["trace"]).is_err(), "trace requires --out");
         assert!(parse(["trace", "--out", "x", "--window-us", "0"]).is_err());
@@ -966,6 +1062,30 @@ mod tests {
             "4",
             "--shed-policy",
             "drop-tail",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        a.measure_ms = 20;
+        a.warmup_ms = 5;
+        assert_eq!(execute(Command::Run(a)), 0);
+    }
+
+    #[test]
+    fn tiny_fleet_run_executes() {
+        let Command::Run(mut a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "ond.idle",
+            "--load",
+            "30000",
+            "--servers",
+            "3",
+            "--dispatch",
+            "jsq",
+            "--coordinator",
         ])
         .unwrap() else {
             panic!("expected run");

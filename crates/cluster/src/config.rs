@@ -4,6 +4,7 @@ use crate::policy::Policy;
 use crate::trace::TraceConfig;
 use crate::watchdog::WatchdogConfig;
 use desim::{ConfigError, SimDuration};
+use fleetsim::FleetConfig;
 use netsim::FaultConfig;
 use oskernel::OverloadConfig;
 
@@ -128,6 +129,10 @@ pub struct ExperimentConfig {
     /// runner always installs it; [`WatchdogConfig::default`] fails the
     /// run on any violation.
     pub watchdog: WatchdogConfig,
+    /// Optional fleet topology: front `FleetConfig::backends` servers
+    /// with an L4 load balancer (clients address the VIP) and, when the
+    /// embedded coordinator is set, park/unpark backends with load.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl ExperimentConfig {
@@ -162,6 +167,7 @@ impl ExperimentConfig {
             overload: OverloadConfig::off(),
             deadline: None,
             watchdog: WatchdogConfig::default(),
+            fleet: None,
         }
     }
 
@@ -307,6 +313,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Fronts the servers with an L4 load balancer (builder style): the
+    /// run gets `fleet.backends` server nodes behind one VIP, and
+    /// clients address the VIP instead of a server.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
     /// Per-client burst period that realizes `load_rps` across all
     /// clients. Callers should [`validate`](Self::validate) first; with a
     /// non-positive load the result is meaningless (but does not panic).
@@ -366,7 +381,11 @@ impl ExperimentConfig {
             ));
         }
         self.faults.validate()?;
-        self.overload.validate()
+        self.overload.validate()?;
+        if let Some(fleet) = &self.fleet {
+            fleet.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -447,5 +466,16 @@ mod tests {
         bad_faults.loss = 1.5;
         let c = base.with_faults(bad_faults);
         assert_eq!(c.validate().unwrap_err().field, "loss");
+    }
+
+    #[test]
+    fn fleet_config_is_validated_too() {
+        let base = ExperimentConfig::new(AppKind::Memcached, Policy::Perf, 10_000.0);
+        let good = base
+            .clone()
+            .with_fleet(FleetConfig::new(4, fleetsim::DispatchPolicy::Packing));
+        assert!(good.validate().is_ok());
+        let bad = base.with_fleet(FleetConfig::new(0, fleetsim::DispatchPolicy::RoundRobin));
+        assert_eq!(bad.validate().unwrap_err().field, "backends");
     }
 }

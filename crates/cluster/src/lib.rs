@@ -21,6 +21,11 @@
 //! out across OS threads (each simulation is single-threaded and
 //! deterministic for its seed).
 //!
+//! [`ExperimentConfig::with_fleet`] swaps the single server for a fleet:
+//! N backend servers behind an L4 load balancer
+//! ([`fleetsim::LoadBalancer`]) whose dispatch policy and optional
+//! cluster-level power coordinator come from [`FleetConfig`].
+//!
 //! ## Example
 //!
 //! ```
@@ -44,12 +49,15 @@ pub mod trace;
 pub mod watchdog;
 
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
+pub use fleetsim::{
+    BackendState, BackendSummary, CoordinatorConfig, DispatchPolicy, FleetConfig, FleetSummary,
+};
 pub use netsim::{FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
 pub use oskernel::{OverloadConfig, ShedPolicy};
 pub use policy::Policy;
 pub use runner::{
     run_experiment, run_experiments_on, run_experiments_parallel, run_imbalanced,
-    try_run_experiment, ExperimentResult, MultiServerResult,
+    try_run_experiment, try_run_imbalanced, ExperimentResult, MultiServerResult,
 };
 pub use sim::{ClusterEvent, ClusterSim, FaultSummary};
 pub use trace::{TraceConfig, Traces};

@@ -7,6 +7,7 @@ use crate::trace::Traces;
 use crate::watchdog::{InvariantViolation, Watchdog, WatchdogMode};
 use cpusim::EnergyMeter;
 use desim::{ConfigError, SimTime, Simulation};
+use fleetsim::FleetSummary;
 use ncap::{EnhancedDriver, SoftwareNcap};
 use netsim::NodeId;
 use nicsim::{Nic, NicConfig};
@@ -62,6 +63,10 @@ pub struct ExperimentResult {
     /// run; populated instead of panicking when the watchdog runs in
     /// [`WatchdogMode::Collect`]).
     pub invariant_violations: Vec<InvariantViolation>,
+    /// Fleet summary (LB dispatch accounting, per-backend states and
+    /// energy, park/unpark counts) when the run used a fleet topology
+    /// ([`ExperimentConfig::with_fleet`]); `None` otherwise.
+    pub fleet: Option<FleetSummary>,
 }
 
 impl ExperimentResult {
@@ -154,18 +159,23 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
     kernel
 }
 
-fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClient>, Vec<bool>) {
+/// Builds the request generators. `target` is where requests go (the
+/// server, or the VIP in a fleet topology); `base` is the first client
+/// node id (client ids follow the servers and the VIP, if any).
+fn build_clients(
+    cfg: &ExperimentConfig,
+    target: NodeId,
+    base: u16,
+) -> (Vec<OpenLoopClient>, Vec<bool>) {
     let period = cfg.burst_period();
     let mut clients = Vec::new();
     let mut background = Vec::new();
     for i in 0..cfg.clients {
-        let me = NodeId((i + 1) as u16);
+        let me = NodeId(base + i as u16);
         let seed = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
         let mut cc = match cfg.app {
-            AppKind::Apache => ClientConfig::apache(me, server_id, cfg.burst_size, period, seed),
-            AppKind::Memcached => {
-                ClientConfig::memcached(me, server_id, cfg.burst_size, period, seed)
-            }
+            AppKind::Apache => ClientConfig::apache(me, target, cfg.burst_size, period, seed),
+            AppKind::Memcached => ClientConfig::memcached(me, target, cfg.burst_size, period, seed),
         };
         if cfg.poisson {
             cc = cc.with_poisson();
@@ -183,7 +193,7 @@ fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClie
         background.push(false);
     }
     if let Some(bg) = cfg.background {
-        let me = NodeId((cfg.clients + 1) as u16);
+        let me = NodeId(base + cfg.clients as u16);
         let bg_period =
             desim::SimDuration::from_secs_f64(f64::from(bg.burst_size) / bg.rate.max(1.0));
         let workload = if bg.bulk {
@@ -191,7 +201,7 @@ fn build_clients(cfg: &ExperimentConfig, server_id: NodeId) -> (Vec<OpenLoopClie
         } else {
             Workload::ApachePut
         };
-        let cc = ClientConfig::apache(me, server_id, bg.burst_size, bg_period, cfg.seed ^ 0xB6)
+        let cc = ClientConfig::apache(me, target, bg.burst_size, bg_period, cfg.seed ^ 0xB6)
             .with_workload(workload);
         clients.push(OpenLoopClient::new(cc));
         background.push(true);
@@ -232,12 +242,25 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
     if let Some(tc) = event_trace {
         simtrace::install(tc);
     }
-    let server_id = NodeId(0);
-    let server = build_server(cfg, server_id);
-    let (clients, background) = build_clients(cfg, server_id);
-    let mut cluster = ClusterSim::new(server, clients, background, cfg.trace)
+    // Node layout: servers first (0..n), then the VIP (fleet runs only),
+    // then the clients. Without a fleet this reduces to the historical
+    // single-server layout (server 0, clients from 1).
+    let n_servers = cfg.fleet.as_ref().map_or(1, |f| f.backends);
+    let (target, client_base) = if cfg.fleet.is_some() {
+        (NodeId(n_servers as u16), (n_servers + 1) as u16)
+    } else {
+        (NodeId(0), 1)
+    };
+    let servers: Vec<Kernel> = (0..n_servers)
+        .map(|i| build_server(cfg, NodeId(i as u16)))
+        .collect();
+    let (clients, background) = build_clients(cfg, target, client_base);
+    let mut cluster = ClusterSim::with_servers(servers, clients, background, cfg.trace)
         .with_fault_injection(cfg.faults)
         .with_watchdog(Watchdog::new(cfg.watchdog));
+    if let Some(fleet) = &cfg.fleet {
+        cluster = cluster.with_fleet(target, fleet);
+    }
     let horizon = SimTime::ZERO + cfg.horizon();
     let initial = cluster.initial_events(cfg.warmup, horizon);
     let mut sim = Simulation::new(cluster);
@@ -265,6 +288,20 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
             report.join("\n")
         );
     }
+    // Per-backend energy: whole-run meters scaled by the measured-window
+    // share (warmup is uniform across backends, as in `run_imbalanced`).
+    let measure_frac = cfg.measure.as_secs_f64() / cfg.horizon().as_secs_f64();
+    let fleet = cluster.fleet_summary().map(|mut s| {
+        for (b, srv) in s.backends.iter_mut().zip(cluster.servers()) {
+            let mut m = EnergyMeter::new();
+            for c in srv.cores() {
+                m.merge(c.energy());
+            }
+            m.merge(srv.uncore_energy());
+            b.energy_j = m.total_joules() * measure_frac;
+        }
+        s
+    });
     let result = ExperimentResult {
         policy: cfg.policy,
         app: cfg.app,
@@ -293,6 +330,7 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
             .unwrap_or(0),
         watchdog_checks,
         invariant_violations,
+        fleet,
     };
     let traces = sim.into_handler().into_traces();
     Ok(ExperimentResult { traces, ..result })
@@ -452,6 +490,8 @@ pub struct MultiServerResult {
 /// # Panics
 ///
 /// Panics if `per_server_loads` is empty.
+/// [`try_run_imbalanced`] reports the same condition as a typed
+/// [`ConfigError`] instead.
 #[must_use]
 pub fn run_imbalanced(
     app: AppKind,
@@ -461,7 +501,31 @@ pub fn run_imbalanced(
     measure: desim::SimDuration,
     seed: u64,
 ) -> MultiServerResult {
-    assert!(!per_server_loads.is_empty(), "need at least one server");
+    match try_run_imbalanced(app, policy, per_server_loads, warmup, measure, seed) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_imbalanced`] with typed validation instead of panics.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when `per_server_loads` is empty.
+pub fn try_run_imbalanced(
+    app: AppKind,
+    policy: Policy,
+    per_server_loads: &[f64],
+    warmup: desim::SimDuration,
+    measure: desim::SimDuration,
+    seed: u64,
+) -> Result<MultiServerResult, ConfigError> {
+    if per_server_loads.is_empty() {
+        return Err(ConfigError::new(
+            "per_server_loads",
+            "need at least one server",
+        ));
+    }
     let n = per_server_loads.len();
     let template = ExperimentConfig::new(app, policy, per_server_loads[0])
         .with_durations(warmup, measure)
@@ -523,12 +587,12 @@ pub fn run_imbalanced(
             m.total_joules() * measure_frac
         })
         .collect();
-    MultiServerResult {
+    Ok(MultiServerResult {
         policy,
         latency: LatencySummary::from_histogram(cluster.tracker().latencies()),
         per_server_energy_j,
         total_energy_j: total.total_joules(),
         offered: cluster.offered_measured(),
         completed: cluster.tracker().completed(),
-    }
+    })
 }

@@ -10,7 +10,8 @@
 use crate::trace::{TraceCollector, TraceConfig, Traces};
 use crate::watchdog::{AccountingView, Watchdog};
 use cpusim::{EnergyMeter, PowerMode};
-use desim::{EventHandler, EventQueue, SimDuration, SimTime};
+use desim::{ConfigError, EventHandler, EventQueue, SimDuration, SimTime};
+use fleetsim::{FleetAction, FleetConfig, FleetCoordinator, FleetSummary, LoadBalancer};
 use netsim::{Delivery, FaultConfig, NodeId, Packet, Reassembly, SegmentStatus, Switch};
 use oldi_apps::{OpenLoopClient, ResponseTracker};
 use oskernel::{Effects, Kernel, NodeEvent};
@@ -47,6 +48,31 @@ pub enum ClusterEvent {
     StartMeasure,
     /// Periodic invariant check (armed when a watchdog is installed).
     Watchdog,
+    /// Fleet coordinator evaluation epoch (armed with a coordinator).
+    FleetEpoch,
+    /// A backend's park transition completes.
+    FleetParkDone {
+        /// Backend index.
+        backend: usize,
+        /// Transition generation (stale generations are ignored).
+        gen: u32,
+    },
+    /// A backend's unpark transition completes.
+    FleetUnparkDone {
+        /// Backend index.
+        backend: usize,
+        /// Transition generation (stale generations are ignored).
+        gen: u32,
+    },
+}
+
+/// The fleet layer of the cluster: the LB node plus its optional power
+/// coordinator.
+struct FleetState {
+    lb: LoadBalancer,
+    coordinator: Option<FleetCoordinator>,
+    /// Per-frame forwarding latency through the LB.
+    latency: SimDuration,
 }
 
 /// Client-side retransmission state for one in-flight request.
@@ -119,6 +145,7 @@ pub struct ClusterSim {
     rejected_total: u64,
     misroutes: u64,
     watchdog: Option<Watchdog>,
+    fleet: Option<FleetState>,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -138,7 +165,8 @@ impl ClusterSim {
     /// # Panics
     ///
     /// Panics if `background` and `clients` lengths differ, or if no
-    /// server is supplied.
+    /// server is supplied. [`try_new`](Self::try_new) reports the same
+    /// conditions as a typed [`ConfigError`] instead.
     #[must_use]
     pub fn new(
         server: Kernel,
@@ -149,6 +177,21 @@ impl ClusterSim {
         Self::with_servers(vec![server], clients, background, trace)
     }
 
+    /// [`new`](Self::new) with typed validation instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `background` and `clients` lengths
+    /// differ.
+    pub fn try_new(
+        server: Kernel,
+        clients: Vec<OpenLoopClient>,
+        background: Vec<bool>,
+        trace: Option<TraceConfig>,
+    ) -> Result<Self, ConfigError> {
+        Self::try_with_servers(vec![server], clients, background, trace)
+    }
+
     /// Assembles a cluster with several server nodes (§7's datacenter
     /// discussion: clients are distributed across servers and overall
     /// load is imbalanced).
@@ -156,7 +199,8 @@ impl ClusterSim {
     /// # Panics
     ///
     /// Panics if `background` and `clients` lengths differ, or if no
-    /// server is supplied.
+    /// server is supplied. [`try_with_servers`](Self::try_with_servers)
+    /// reports the same conditions as a typed [`ConfigError`] instead.
     #[must_use]
     pub fn with_servers(
         servers: Vec<Kernel>,
@@ -164,8 +208,39 @@ impl ClusterSim {
         background: Vec<bool>,
         trace: Option<TraceConfig>,
     ) -> Self {
-        assert_eq!(clients.len(), background.len(), "flag per client required");
-        assert!(!servers.is_empty(), "at least one server required");
+        match Self::try_with_servers(servers, clients, background, trace) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`with_servers`](Self::with_servers) with typed validation: the
+    /// structural constraints are reported as a [`ConfigError`] naming
+    /// the offending argument instead of panicking in library code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `background` and `clients` lengths
+    /// differ, or when `servers` is empty.
+    pub fn try_with_servers(
+        servers: Vec<Kernel>,
+        clients: Vec<OpenLoopClient>,
+        background: Vec<bool>,
+        trace: Option<TraceConfig>,
+    ) -> Result<Self, ConfigError> {
+        if clients.len() != background.len() {
+            return Err(ConfigError::new(
+                "background",
+                format!(
+                    "flag per client required: {} clients, {} flags",
+                    clients.len(),
+                    background.len()
+                ),
+            ));
+        }
+        if servers.is_empty() {
+            return Err(ConfigError::new("servers", "at least one server required"));
+        }
         let mut switch = Switch::new(SimDuration::from_nanos(500));
         for srv in &servers {
             switch.attach(srv.node(), netsim::Link::ten_gbe(), netsim::Link::ten_gbe());
@@ -178,7 +253,7 @@ impl ClusterSim {
             );
         }
         let sample_period = trace.map_or(SimDuration::from_ms(1), |t| t.window);
-        ClusterSim {
+        Ok(ClusterSim {
             servers,
             clients,
             background,
@@ -202,7 +277,8 @@ impl ClusterSim {
             rejected_total: 0,
             misroutes: 0,
             watchdog: None,
-        }
+            fleet: None,
+        })
     }
 
     /// Installs the fault-injection subsystem (builder style): the
@@ -213,6 +289,24 @@ impl ClusterSim {
     pub fn with_fault_injection(mut self, faults: FaultConfig) -> Self {
         self.switch.set_faults(faults);
         self.faults = faults;
+        self
+    }
+
+    /// Installs the fleet layer (builder style): attaches the LB node
+    /// at `vip` to the switch and fronts every server with it. Clients
+    /// should address the VIP; the LB dispatches per `cfg` and, when a
+    /// coordinator is configured, parks/unparks backends as fleet load
+    /// moves.
+    #[must_use]
+    pub fn with_fleet(mut self, vip: NodeId, cfg: &FleetConfig) -> Self {
+        self.switch
+            .attach(vip, netsim::Link::ten_gbe(), netsim::Link::ten_gbe());
+        let backends = self.servers.iter().map(Kernel::node).collect();
+        self.fleet = Some(FleetState {
+            lb: LoadBalancer::new(vip, backends, cfg),
+            coordinator: cfg.coordinator.clone().map(FleetCoordinator::new),
+            latency: cfg.lb_latency,
+        });
         self
     }
 
@@ -264,6 +358,9 @@ impl ClusterSim {
         if let Some(wd) = &self.watchdog {
             events.push((SimTime::ZERO + wd.period(), ClusterEvent::Watchdog));
         }
+        if let Some(co) = self.fleet.as_ref().and_then(|f| f.coordinator.as_ref()) {
+            events.push((SimTime::ZERO + co.epoch_period(), ClusterEvent::FleetEpoch));
+        }
         // Pre-register the drop/recovery and overload counters so trace
         // CSV exports always carry the columns, even for runs where no
         // fault fires and nothing is shed.
@@ -282,6 +379,27 @@ impl ClusterSim {
             }
             simtrace::metric_set("kernel", "queue_depth", 0, 0.0);
             simtrace::metric_set("cluster", "goodput", 0, 0.0);
+            if let Some(fs) = &self.fleet {
+                simtrace::metric_add("fleet", "dispatched", 0, 0.0);
+                simtrace::metric_set("fleet", "lb_depth", 0, 0.0);
+                simtrace::metric_set("fleet", "parked_backends", 0, 0.0);
+                simtrace::metric_set("fleet", "active_backends", 0, 0.0);
+                for i in 0..fs
+                    .lb
+                    .backend_count()
+                    .min(fleetsim::metrics::MAX_TRACKED_BACKENDS)
+                {
+                    if let Some(name) = fleetsim::metrics::dispatched(i) {
+                        simtrace::metric_add("fleet", name, 0, 0.0);
+                    }
+                    if let Some(name) = fleetsim::metrics::outstanding(i) {
+                        simtrace::metric_set("fleet", name, 0, 0.0);
+                    }
+                    if let Some(name) = fleetsim::metrics::parked_ns(i) {
+                        simtrace::metric_add("fleet", name, 0, 0.0);
+                    }
+                }
+            }
         }
         events
     }
@@ -379,6 +497,14 @@ impl ClusterSim {
     }
 
     fn on_deliver(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
+        if self
+            .fleet
+            .as_ref()
+            .is_some_and(|f| f.lb.vip() == frame.dst())
+        {
+            self.on_lb_frame(now, frame, queue);
+            return;
+        }
         if let Some(si) = self.server_index(frame.dst()) {
             let bytes = frame.wire_len() as f64;
             if let Some(tr) = self.collector.as_mut() {
@@ -401,6 +527,122 @@ impl ClusterSim {
                 self.tracker.on_response_frame(now, &frame);
             }
         }
+    }
+
+    /// The VIP receive path: the LB rewrites and forwards frames after
+    /// its per-frame latency. Requests (from clients) pick a backend per
+    /// the dispatch policy; responses (from backends) route back to the
+    /// originating client and retire the conntrack entry.
+    fn on_lb_frame(&mut self, now: SimTime, frame: Packet, queue: &mut EventQueue<ClusterEvent>) {
+        let Some(mut fs) = self.fleet.take() else {
+            return;
+        };
+        let forward = if let Some(idx) = fs.lb.backend_index(frame.src()) {
+            let resp = fs.lb.on_response(frame);
+            if let Some(drained) = resp.drained {
+                if let Some(co) = fs.coordinator.as_mut() {
+                    if let Some(action) = co.on_drained(now, &mut fs.lb, drained) {
+                        Self::schedule_fleet_action(now, action, queue);
+                    }
+                }
+            }
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::metric_set("fleet", "lb_depth", t, fs.lb.outstanding() as f64);
+                if let Some(name) = fleetsim::metrics::outstanding(idx) {
+                    simtrace::metric_set("fleet", name, t, fs.lb.outstanding_of(idx) as f64);
+                }
+            }
+            resp.forward
+        } else {
+            let (idx, out) = fs.lb.dispatch(frame);
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::metric_add("fleet", "dispatched", t, 1.0);
+                simtrace::metric_set("fleet", "lb_depth", t, fs.lb.outstanding() as f64);
+                if let Some(name) = fleetsim::metrics::dispatched(idx) {
+                    simtrace::metric_add("fleet", name, t, 1.0);
+                }
+                if let Some(name) = fleetsim::metrics::outstanding(idx) {
+                    simtrace::metric_set("fleet", name, t, fs.lb.outstanding_of(idx) as f64);
+                }
+            }
+            Some(out)
+        };
+        if let Some(f) = forward {
+            self.route(now + fs.latency, f, queue);
+        }
+        self.fleet = Some(fs);
+    }
+
+    /// Turns a coordinator action into its completion event (and flushes
+    /// the parked-time metric an unpark reveals).
+    fn schedule_fleet_action(
+        now: SimTime,
+        action: FleetAction,
+        queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        match action {
+            FleetAction::ParkDone { backend, gen, at } => {
+                queue.push(at, ClusterEvent::FleetParkDone { backend, gen });
+            }
+            FleetAction::UnparkDone {
+                backend,
+                gen,
+                at,
+                parked_for,
+            } => {
+                if simtrace::is_enabled() && !parked_for.is_zero() {
+                    if let Some(name) = fleetsim::metrics::parked_ns(backend) {
+                        simtrace::metric_add("fleet", name, now.as_nanos(), {
+                            parked_for.as_nanos() as f64
+                        });
+                    }
+                }
+                queue.push(at, ClusterEvent::FleetUnparkDone { backend, gen });
+            }
+        }
+    }
+
+    /// A coordinator epoch: re-estimate fleet load, park or unpark
+    /// backends, and re-arm the epoch timer.
+    fn on_fleet_epoch(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
+        let Some(mut fs) = self.fleet.take() else {
+            return;
+        };
+        if let Some(co) = fs.coordinator.as_mut() {
+            for action in co.epoch(now, &mut fs.lb) {
+                Self::schedule_fleet_action(now, action, queue);
+            }
+            queue.push(now + co.epoch_period(), ClusterEvent::FleetEpoch);
+            if simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::metric_set("fleet", "active_backends", t, fs.lb.committed() as f64);
+                simtrace::metric_set("fleet", "parked_backends", t, fs.lb.parked_count() as f64);
+            }
+        }
+        self.fleet = Some(fs);
+    }
+
+    /// A park or unpark transition completed (generation-guarded: stale
+    /// completions from cancelled transitions are ignored).
+    fn on_fleet_transition_done(&mut self, now: SimTime, backend: usize, gen: u32, park: bool) {
+        let Some(mut fs) = self.fleet.take() else {
+            return;
+        };
+        if let Some(co) = fs.coordinator.as_mut() {
+            let landed = if park {
+                co.park_done(now, &mut fs.lb, backend, gen)
+            } else {
+                co.unpark_done(&mut fs.lb, backend, gen)
+            };
+            if landed && simtrace::is_enabled() {
+                let t = now.as_nanos();
+                simtrace::metric_set("fleet", "parked_backends", t, fs.lb.parked_count() as f64);
+                simtrace::metric_set("fleet", "active_backends", t, fs.lb.committed() as f64);
+            }
+        }
+        self.fleet = Some(fs);
     }
 
     /// Client-side receive path of the reliability layer: response
@@ -513,7 +755,8 @@ impl ClusterSim {
             return;
         };
         let acc = self.accounting_view();
-        wd.check(now, &self.servers, &acc);
+        let ledger = self.fleet.as_ref().map(|f| f.lb.ledger());
+        wd.check(now, &self.servers, &acc, ledger.as_ref());
         queue.push(now + wd.period(), ClusterEvent::Watchdog);
         self.watchdog = Some(wd);
     }
@@ -578,6 +821,12 @@ impl ClusterSim {
             }
             total.merge(s.uncore_energy());
         }
+        // Park/unpark transition energy is part of the fleet's bill; by
+        // folding it into the same meter the warmup-baseline diff stays
+        // correct for coordinated runs.
+        if let Some(co) = self.fleet.as_ref().and_then(|f| f.coordinator.as_ref()) {
+            total.merge(co.energy());
+        }
         total
     }
 
@@ -588,12 +837,24 @@ impl ClusterSim {
         for s in &mut self.servers {
             s.finalize(now);
         }
+        if let Some(fs) = self.fleet.as_mut() {
+            for (idx, parked) in fs.lb.finalize(now) {
+                if simtrace::is_enabled() && !parked.is_zero() {
+                    if let Some(name) = fleetsim::metrics::parked_ns(idx) {
+                        simtrace::metric_add("fleet", name, now.as_nanos(), {
+                            parked.as_nanos() as f64
+                        });
+                    }
+                }
+            }
+        }
         // One terminal invariant check so the horizon state (notably the
         // conservation identity) is always validated, even for runs
         // shorter than the watchdog period.
         if let Some(mut wd) = self.watchdog.take() {
             let acc = self.accounting_view();
-            wd.check(now, &self.servers, &acc);
+            let ledger = self.fleet.as_ref().map(|f| f.lb.ledger());
+            wd.check(now, &self.servers, &acc, ledger.as_ref());
             self.watchdog = Some(wd);
         }
         if let Some(tr) = self.collector.take() {
@@ -630,6 +891,22 @@ impl ClusterSim {
             rejected_total: self.rejected_total,
             in_flight: self.retx.len() as u64,
         }
+    }
+
+    /// The fleet summary (dispatch accounting, per-backend states,
+    /// park/unpark counts), if the fleet layer is installed. Call after
+    /// [`finalize`](Self::finalize) so parked residency is flushed.
+    #[must_use]
+    pub fn fleet_summary(&self) -> Option<FleetSummary> {
+        self.fleet.as_ref().map(|fs| {
+            let mut s = fs.lb.summary();
+            if let Some(co) = &fs.coordinator {
+                s.parks = co.parks();
+                s.unparks = co.unparks();
+                s.transition_energy_j = co.energy().total_joules();
+            }
+            s
+        })
     }
 
     /// The installed watchdog (checks performed, recorded violations).
@@ -730,6 +1007,12 @@ impl EventHandler for ClusterSim {
                 ClusterEvent::Sample | ClusterEvent::StartMeasure | ClusterEvent::Watchdog => {
                     self.servers[0].node().0
                 }
+                ClusterEvent::FleetEpoch
+                | ClusterEvent::FleetParkDone { .. }
+                | ClusterEvent::FleetUnparkDone { .. } => self
+                    .fleet
+                    .as_ref()
+                    .map_or(self.servers[0].node().0, |f| f.lb.vip().0),
             };
             simtrace::set_node(node);
         }
@@ -745,6 +1028,13 @@ impl EventHandler for ClusterSim {
             ClusterEvent::Sample => self.on_sample(now, queue),
             ClusterEvent::StartMeasure => self.on_start_measure(now),
             ClusterEvent::Watchdog => self.on_watchdog(now, queue),
+            ClusterEvent::FleetEpoch => self.on_fleet_epoch(now, queue),
+            ClusterEvent::FleetParkDone { backend, gen } => {
+                self.on_fleet_transition_done(now, backend, gen, true);
+            }
+            ClusterEvent::FleetUnparkDone { backend, gen } => {
+                self.on_fleet_transition_done(now, backend, gen, false);
+            }
         }
     }
 }

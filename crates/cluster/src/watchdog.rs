@@ -17,6 +17,7 @@
 //! hang or a panic.
 
 use desim::{SimDuration, SimTime};
+use fleetsim::LbLedger;
 use oskernel::Kernel;
 
 /// Which invariant failed.
@@ -131,6 +132,7 @@ pub struct Watchdog {
     violations: Vec<InvariantViolation>,
     checks: u64,
     seen_misroutes: u64,
+    seen_unmatched: u64,
 }
 
 /// Cluster-level accounting fed into the conservation check. All zeros
@@ -211,7 +213,13 @@ impl Watchdog {
     /// Pure observation: neither the servers nor the accounting are
     /// mutated, so a run with the watchdog enabled is byte-identical to
     /// one without.
-    pub fn check(&mut self, now: SimTime, servers: &[Kernel], accounting: &AccountingView) {
+    pub fn check(
+        &mut self,
+        now: SimTime,
+        servers: &[Kernel],
+        accounting: &AccountingView,
+        fleet: Option<&LbLedger>,
+    ) {
         self.checks += 1;
         if simtrace::is_enabled() {
             simtrace::metric_add("watchdog", "checks", now.as_nanos(), 1.0);
@@ -223,6 +231,9 @@ impl Watchdog {
             self.check_boundedness(now, i, server);
         }
         self.check_conservation(now, accounting);
+        if let Some(ledger) = fleet {
+            self.check_fleet(now, ledger);
+        }
         // Report each batch of new misroutes once, then track growth.
         if accounting.misroutes > self.seen_misroutes {
             self.violate(
@@ -343,6 +354,47 @@ impl Watchdog {
         }
     }
 
+    /// LB-hop conservation: every request the load balancer opened is
+    /// completed, rejected, or outstanding on exactly one backend, and
+    /// the per-backend outstanding counts sum to the conntrack total.
+    /// A response arriving for an unknown conntrack entry is a routing
+    /// violation (reported per batch, like misroutes).
+    fn check_fleet(&mut self, now: SimTime, ledger: &LbLedger) {
+        let resolved = ledger.completed + ledger.rejected + ledger.outstanding;
+        if ledger.opened != resolved {
+            self.violate(
+                InvariantKind::Conservation,
+                now,
+                format!(
+                    "LB opened {} != completed {} + rejected {} + outstanding {} \
+                     (= {resolved})",
+                    ledger.opened, ledger.completed, ledger.rejected, ledger.outstanding,
+                ),
+            );
+        }
+        if ledger.backend_outstanding_sum != ledger.outstanding {
+            self.violate(
+                InvariantKind::Conservation,
+                now,
+                format!(
+                    "backend outstanding counts sum to {}, conntrack says {}",
+                    ledger.backend_outstanding_sum, ledger.outstanding,
+                ),
+            );
+        }
+        if ledger.unmatched_responses > self.seen_unmatched {
+            self.violate(
+                InvariantKind::Routing,
+                now,
+                format!(
+                    "{} backend response(s) matched no conntrack entry at the LB",
+                    ledger.unmatched_responses,
+                ),
+            );
+            self.seen_unmatched = ledger.unmatched_responses;
+        }
+    }
+
     /// Conservation: with the reliability layer armed, every issued
     /// request is completed, lost, rejected, or still in flight.
     fn check_conservation(&mut self, now: SimTime, acc: &AccountingView) {
@@ -377,10 +429,10 @@ mod tests {
             completed: 3,
             ..AccountingView::default()
         };
-        w.check(SimTime::from_ms(1), &[], &acc);
+        w.check(SimTime::from_ms(1), &[], &acc, None);
         assert!(w.violations().is_empty(), "unarmed identity is not checked");
         acc.armed = true;
-        w.check(SimTime::from_ms(2), &[], &acc);
+        w.check(SimTime::from_ms(2), &[], &acc, None);
         assert_eq!(w.violations().len(), 1);
         assert_eq!(w.violations()[0].kind, InvariantKind::Conservation);
         assert_eq!(w.checks(), 2);
@@ -398,7 +450,7 @@ mod tests {
             in_flight: 1,
             ..AccountingView::default()
         };
-        w.check(SimTime::from_ms(1), &[], &acc);
+        w.check(SimTime::from_ms(1), &[], &acc, None);
         assert!(w.violations().is_empty());
     }
 
@@ -409,16 +461,65 @@ mod tests {
             misroutes: 2,
             ..AccountingView::default()
         };
-        w.check(SimTime::from_ms(1), &[], &acc);
+        w.check(SimTime::from_ms(1), &[], &acc, None);
         assert_eq!(w.violations().len(), 1);
         assert_eq!(w.violations()[0].kind, InvariantKind::Routing);
         // A repeat check with no new misroutes does not duplicate.
-        w.check(SimTime::from_ms(2), &acc_servers(), &acc);
+        w.check(SimTime::from_ms(2), &acc_servers(), &acc, None);
         assert_eq!(w.violations().len(), 1);
     }
 
     fn acc_servers() -> Vec<Kernel> {
         Vec::new()
+    }
+
+    #[test]
+    fn lb_ledger_conservation_and_unmatched_checked() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let acc = AccountingView::default();
+        let good = LbLedger {
+            opened: 10,
+            completed: 6,
+            rejected: 1,
+            outstanding: 3,
+            backend_outstanding_sum: 3,
+            unmatched_responses: 0,
+        };
+        w.check(SimTime::from_ms(1), &[], &acc, Some(&good));
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+
+        // A leaked request (opened != resolved) and a desynced backend
+        // sum are two distinct conservation violations.
+        let leaky = LbLedger {
+            opened: 10,
+            completed: 6,
+            rejected: 1,
+            outstanding: 2,
+            backend_outstanding_sum: 3,
+            unmatched_responses: 0,
+        };
+        w.check(SimTime::from_ms(2), &[], &acc, Some(&leaky));
+        assert_eq!(w.violations().len(), 2);
+        assert!(w
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::Conservation));
+
+        // Unmatched responses surface as a routing violation once per
+        // batch, like misroutes.
+        let unmatched = LbLedger {
+            unmatched_responses: 4,
+            ..good
+        };
+        w.check(SimTime::from_ms(3), &[], &acc, Some(&unmatched));
+        w.check(SimTime::from_ms(4), &[], &acc, Some(&unmatched));
+        let routing: Vec<_> = w
+            .violations()
+            .iter()
+            .filter(|v| v.kind == InvariantKind::Routing)
+            .collect();
+        assert_eq!(routing.len(), 1);
+        assert!(routing[0].detail.contains("no conntrack entry"));
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! The L4 (NAT-mode) load balancer.
+//!
+//! The LB is a switch-attached node owning a VIP. Clients address every
+//! request to the VIP; the LB picks a backend per its
+//! [`DispatchPolicy`], rewrites the frame (`src → VIP`, `dst → backend`)
+//! and forwards it. Backends therefore answer to the VIP (they respond
+//! to the request frame's source, as servers do), and the LB rewrites
+//! the response back to the originating client. Observing both
+//! directions gives the LB an exact per-backend in-flight ledger — the
+//! only state a real L4 middlebox has — which both the
+//! least-outstanding policy and the drain logic of the power
+//! coordinator run on.
+//!
+//! Connection tracking is by request id and *pins* a request to its
+//! first-chosen backend: retransmitted frames follow the original so the
+//! backend's duplicate suppression keeps working, and entries survive
+//! resolution so late response replays still find their client. Frames
+//! without a request id (bulk background traffic) are forwarded through
+//! the same dispatch pick but tracked only as frame counts.
+
+use crate::config::{DispatchPolicy, FleetConfig};
+use desim::{SimDuration, SimTime};
+use netsim::{NodeId, Packet};
+use std::collections::HashMap;
+
+/// Rotation state of one backend, as the LB and coordinator see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendState {
+    /// In rotation: new requests may be dispatched to it.
+    Active,
+    /// Leaving rotation: no new requests, but pinned retransmissions
+    /// still flow; parks once its outstanding count reaches zero.
+    Draining,
+    /// Drained and mid-transition into the parked state.
+    Parking,
+    /// Out of rotation, sunk into its deepest sleep.
+    Parked,
+    /// Mid-transition back into rotation.
+    Unparking,
+}
+
+impl BackendState {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendState::Active => "active",
+            BackendState::Draining => "draining",
+            BackendState::Parking => "parking",
+            BackendState::Parked => "parked",
+            BackendState::Unparking => "unparking",
+        }
+    }
+}
+
+/// One backend's slot in the LB.
+#[derive(Debug, Clone)]
+struct Backend {
+    node: NodeId,
+    state: BackendState,
+    /// Transition generation: park/unpark completion callbacks carry the
+    /// generation they were scheduled under, so a callback that raced a
+    /// state change (e.g. a drain cancelled by a load spike) is stale
+    /// and ignored.
+    gen: u32,
+    /// Requests forwarded but not yet seen answered (completed or
+    /// rejected).
+    outstanding: u64,
+    /// Unique requests assigned.
+    assigned: u64,
+    /// Frames forwarded (requests, retransmissions, bulk).
+    frames: u64,
+    completed: u64,
+    rejected: u64,
+    parked_since: Option<SimTime>,
+    parked_total: SimDuration,
+}
+
+impl Backend {
+    fn new(node: NodeId) -> Self {
+        Backend {
+            node,
+            state: BackendState::Active,
+            gen: 0,
+            outstanding: 0,
+            assigned: 0,
+            frames: 0,
+            completed: 0,
+            rejected: 0,
+            parked_since: None,
+            parked_total: SimDuration::ZERO,
+        }
+    }
+}
+
+/// One conntrack entry: which backend a request was pinned to and which
+/// client gets the response. Entries survive resolution (`open = false`)
+/// so response replays and stale retransmissions keep routing correctly.
+#[derive(Debug, Clone, Copy)]
+struct Conn {
+    backend: usize,
+    client: NodeId,
+    open: bool,
+}
+
+/// What [`LoadBalancer::on_response`] produced.
+#[derive(Debug)]
+pub struct LbResponse {
+    /// The response frame rewritten toward the client, if the LB could
+    /// match it to a connection.
+    pub forward: Option<Packet>,
+    /// Set when this response drained the last outstanding request of a
+    /// [`BackendState::Draining`] backend (its index): the coordinator
+    /// may now park it.
+    pub drained: Option<usize>,
+}
+
+/// The LB's conservation ledger, for the cluster watchdog: every request
+/// the LB opened is completed, rejected, or still outstanding — and the
+/// per-backend outstanding counts must sum to the fleet total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LbLedger {
+    /// Unique requests the LB opened a connection for.
+    pub opened: u64,
+    /// Requests whose final response passed back through the LB.
+    pub completed: u64,
+    /// Requests answered with a 503 rejection.
+    pub rejected: u64,
+    /// Requests forwarded and not yet answered.
+    pub outstanding: u64,
+    /// Sum of the per-backend outstanding counts (must equal
+    /// `outstanding`).
+    pub backend_outstanding_sum: u64,
+    /// Response frames that matched no connection (routing leak).
+    pub unmatched_responses: u64,
+}
+
+/// Per-backend slice of a [`FleetSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSummary {
+    /// The backend's node id.
+    pub node: NodeId,
+    /// Rotation state at the horizon.
+    pub state: BackendState,
+    /// Unique requests assigned.
+    pub assigned: u64,
+    /// Frames forwarded (requests, retransmissions, bulk).
+    pub frames: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Requests still outstanding at the horizon.
+    pub outstanding: u64,
+    /// Total time spent parked.
+    pub parked: SimDuration,
+    /// Measured-window energy, joules (filled by the experiment runner;
+    /// zero when energy attribution is unavailable).
+    pub energy_j: f64,
+}
+
+/// Whole-run fleet accounting attached to an experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// The dispatch policy that ran.
+    pub dispatch: DispatchPolicy,
+    /// Unique requests the LB opened.
+    pub requests_opened: u64,
+    /// Requests completed through the LB.
+    pub requests_completed: u64,
+    /// Requests rejected through the LB.
+    pub requests_rejected: u64,
+    /// Requests outstanding at the horizon.
+    pub outstanding: u64,
+    /// All frames forwarded toward backends.
+    pub forwarded_frames: u64,
+    /// Retransmitted frames forwarded to their pinned backend.
+    pub retx_forwarded: u64,
+    /// Frames without a request id (bulk background traffic).
+    pub bulk_frames: u64,
+    /// Response frames that matched no connection.
+    pub unmatched_responses: u64,
+    /// Backends parked (transitions, whole run).
+    pub parks: u64,
+    /// Backends unparked (transitions, whole run).
+    pub unparks: u64,
+    /// Energy spent in park/unpark transitions, joules.
+    pub transition_energy_j: f64,
+    /// Per-backend breakdown, index-aligned with the fleet topology.
+    pub backends: Vec<BackendSummary>,
+}
+
+/// The L4 load balancer owning a VIP.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    vip: NodeId,
+    dispatch: DispatchPolicy,
+    pack_spill: usize,
+    backends: Vec<Backend>,
+    rr_cursor: usize,
+    conntrack: HashMap<u64, Conn>,
+    opened: u64,
+    completed: u64,
+    rejected: u64,
+    outstanding: u64,
+    forwarded_frames: u64,
+    retx_forwarded: u64,
+    bulk_frames: u64,
+    unmatched_responses: u64,
+}
+
+impl LoadBalancer {
+    /// Builds the LB for `vip` fronting `backends` (index order is the
+    /// packing order).
+    #[must_use]
+    pub fn new(vip: NodeId, backends: Vec<NodeId>, cfg: &FleetConfig) -> Self {
+        LoadBalancer {
+            vip,
+            dispatch: cfg.dispatch,
+            pack_spill: cfg.pack_spill,
+            backends: backends.into_iter().map(Backend::new).collect(),
+            rr_cursor: 0,
+            conntrack: HashMap::new(),
+            opened: 0,
+            completed: 0,
+            rejected: 0,
+            outstanding: 0,
+            forwarded_frames: 0,
+            retx_forwarded: 0,
+            bulk_frames: 0,
+            unmatched_responses: 0,
+        }
+    }
+
+    /// The VIP this LB answers on.
+    #[must_use]
+    pub fn vip(&self) -> NodeId {
+        self.vip
+    }
+
+    /// Number of backends behind the VIP.
+    #[must_use]
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether `node` is one of this LB's backends (used to tell
+    /// backend responses from client requests arriving at the VIP).
+    #[must_use]
+    pub fn is_backend(&self, node: NodeId) -> bool {
+        self.backend_index(node).is_some()
+    }
+
+    /// The backend index of `node`, if it is one of this LB's backends.
+    #[must_use]
+    pub fn backend_index(&self, node: NodeId) -> Option<usize> {
+        self.backends.iter().position(|b| b.node == node)
+    }
+
+    /// The rotation state of backend `idx`.
+    #[must_use]
+    pub fn state(&self, idx: usize) -> BackendState {
+        self.backends[idx].state
+    }
+
+    /// Outstanding requests pinned to backend `idx`.
+    #[must_use]
+    pub fn outstanding_of(&self, idx: usize) -> u64 {
+        self.backends[idx].outstanding
+    }
+
+    /// Outstanding requests across the fleet (the LB's queue-depth
+    /// gauge).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Unique requests opened so far (the coordinator's load signal).
+    #[must_use]
+    pub fn requests_opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Backends the coordinator can count on: active plus those already
+    /// transitioning back into rotation.
+    #[must_use]
+    pub fn committed(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| matches!(b.state, BackendState::Active | BackendState::Unparking))
+            .count()
+    }
+
+    /// Backends currently parked.
+    #[must_use]
+    pub fn parked_count(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.state == BackendState::Parked)
+            .count()
+    }
+
+    /// Picks a backend for a fresh (unpinned) frame. Only
+    /// [`BackendState::Active`] backends are dispatchable; if none are
+    /// (transiently possible while the whole committed set is still
+    /// unparking), frames go to an unparking backend — it is about to
+    /// serve — and as a last resort to the least-loaded backend
+    /// regardless of state, so traffic is never dropped by the LB.
+    fn pick(&mut self) -> usize {
+        let pool: Vec<usize> = {
+            let active: Vec<usize> = self.in_state(BackendState::Active);
+            if active.is_empty() {
+                let unparking = self.in_state(BackendState::Unparking);
+                if unparking.is_empty() {
+                    (0..self.backends.len()).collect()
+                } else {
+                    unparking
+                }
+            } else {
+                active
+            }
+        };
+        match self.dispatch {
+            DispatchPolicy::RoundRobin => {
+                let idx = pool[self.rr_cursor % pool.len()];
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                idx
+            }
+            DispatchPolicy::LeastOutstanding => self.least_outstanding(&pool),
+            DispatchPolicy::Packing => pool
+                .iter()
+                .copied()
+                .find(|&i| (self.backends[i].outstanding as usize) < self.pack_spill)
+                .unwrap_or_else(|| self.least_outstanding(&pool)),
+        }
+    }
+
+    fn in_state(&self, state: BackendState) -> Vec<usize> {
+        (0..self.backends.len())
+            .filter(|&i| self.backends[i].state == state)
+            .collect()
+    }
+
+    fn least_outstanding(&self, pool: &[usize]) -> usize {
+        *pool
+            .iter()
+            .min_by_key(|&&i| (self.backends[i].outstanding, i))
+            .expect("pool is never empty")
+    }
+
+    /// Forwards a client frame: picks (or recalls) the backend, rewrites
+    /// the frame `src → VIP`, `dst → backend`, and returns both. Fresh
+    /// requests open a conntrack entry; retransmissions follow their pin.
+    pub fn dispatch(&mut self, frame: Packet) -> (usize, Packet) {
+        self.forwarded_frames += 1;
+        let Some(id) = frame.meta().request_id else {
+            // Bulk background traffic: no request to track, but it still
+            // flows through the dispatch pick so packing concentrates it
+            // too.
+            self.bulk_frames += 1;
+            let idx = self.pick();
+            self.backends[idx].frames += 1;
+            let dst = self.backends[idx].node;
+            return (idx, frame.readdress(self.vip, dst));
+        };
+        if let Some(conn) = self.conntrack.get(&id) {
+            // A retransmission (or a duplicate of a resolved request):
+            // follow the pin so backend dup-suppression keeps working.
+            let idx = conn.backend;
+            self.retx_forwarded += 1;
+            self.backends[idx].frames += 1;
+            let dst = self.backends[idx].node;
+            return (idx, frame.readdress(self.vip, dst));
+        }
+        let idx = self.pick();
+        self.conntrack.insert(
+            id,
+            Conn {
+                backend: idx,
+                client: frame.src(),
+                open: true,
+            },
+        );
+        self.opened += 1;
+        self.outstanding += 1;
+        let b = &mut self.backends[idx];
+        b.assigned += 1;
+        b.frames += 1;
+        b.outstanding += 1;
+        let dst = b.node;
+        (idx, frame.readdress(self.vip, dst))
+    }
+
+    /// Handles a backend response arriving at the VIP: closes the ledger
+    /// on the final (or rejection) segment and rewrites the frame toward
+    /// the originating client. Unmatched responses are dropped and
+    /// counted — the watchdog surfaces them as a routing violation.
+    pub fn on_response(&mut self, frame: Packet) -> LbResponse {
+        let meta = frame.meta();
+        let matched = meta
+            .request_id
+            .and_then(|id| self.conntrack.get_mut(&id).map(|c| (id, c)));
+        let Some((_, conn)) = matched else {
+            self.unmatched_responses += 1;
+            return LbResponse {
+                forward: None,
+                drained: None,
+            };
+        };
+        let client = conn.client;
+        let idx = conn.backend;
+        let mut drained = None;
+        if (meta.is_final || meta.rejected) && conn.open {
+            conn.open = false;
+            self.outstanding -= 1;
+            let b = &mut self.backends[idx];
+            b.outstanding -= 1;
+            if meta.rejected {
+                b.rejected += 1;
+                self.rejected += 1;
+            } else {
+                b.completed += 1;
+                self.completed += 1;
+            }
+            if b.state == BackendState::Draining && b.outstanding == 0 {
+                drained = Some(idx);
+            }
+        }
+        LbResponse {
+            forward: Some(frame.readdress(self.vip, client)),
+            drained,
+        }
+    }
+
+    // ----- coordinator transitions ---------------------------------------
+
+    /// Takes backend `idx` out of rotation; it parks once drained.
+    /// Returns `true` when its outstanding count is already zero (the
+    /// caller may park immediately).
+    pub fn begin_drain(&mut self, idx: usize) -> bool {
+        let b = &mut self.backends[idx];
+        debug_assert_eq!(b.state, BackendState::Active, "only active backends drain");
+        b.state = BackendState::Draining;
+        b.gen = b.gen.wrapping_add(1);
+        b.outstanding == 0
+    }
+
+    /// Returns a draining backend to rotation (load came back before the
+    /// drain finished). Free: no transition latency or energy.
+    pub fn cancel_drain(&mut self, idx: usize) {
+        let b = &mut self.backends[idx];
+        debug_assert_eq!(b.state, BackendState::Draining, "only drains cancel");
+        b.state = BackendState::Active;
+        b.gen = b.gen.wrapping_add(1);
+    }
+
+    /// Starts the drained → parked transition; returns the generation
+    /// the completion callback must present.
+    pub fn begin_parking(&mut self, idx: usize) -> u32 {
+        let b = &mut self.backends[idx];
+        debug_assert_eq!(b.state, BackendState::Draining, "park only after a drain");
+        debug_assert_eq!(b.outstanding, 0, "park only when drained");
+        b.state = BackendState::Parking;
+        b.gen = b.gen.wrapping_add(1);
+        b.gen
+    }
+
+    /// Completes a park transition scheduled under `gen`. Stale
+    /// generations (the transition was overtaken by a state change) are
+    /// ignored. Returns whether the backend is now parked.
+    pub fn finish_park(&mut self, now: SimTime, idx: usize, gen: u32) -> bool {
+        let b = &mut self.backends[idx];
+        if b.state != BackendState::Parking || b.gen != gen {
+            return false;
+        }
+        b.state = BackendState::Parked;
+        b.parked_since = Some(now);
+        true
+    }
+
+    /// Starts the parked → active transition; returns the generation for
+    /// the completion callback and the parked residency being flushed.
+    pub fn begin_unpark(&mut self, now: SimTime, idx: usize) -> (u32, SimDuration) {
+        let b = &mut self.backends[idx];
+        debug_assert_eq!(b.state, BackendState::Parked, "only parked backends unpark");
+        let parked_for = b
+            .parked_since
+            .take()
+            .map_or(SimDuration::ZERO, |since| now - since);
+        b.parked_total += parked_for;
+        b.state = BackendState::Unparking;
+        b.gen = b.gen.wrapping_add(1);
+        (b.gen, parked_for)
+    }
+
+    /// Completes an unpark transition scheduled under `gen`; stale
+    /// generations are ignored. Returns whether the backend is now
+    /// active.
+    pub fn finish_unpark(&mut self, idx: usize, gen: u32) -> bool {
+        let b = &mut self.backends[idx];
+        if b.state != BackendState::Unparking || b.gen != gen {
+            return false;
+        }
+        b.state = BackendState::Active;
+        true
+    }
+
+    // ----- results --------------------------------------------------------
+
+    /// Flushes time-based accounting (parked residency) to `now`; call
+    /// once at the horizon. Returns the flushed residency per backend
+    /// index, for metric emission.
+    pub fn finalize(&mut self, now: SimTime) -> Vec<(usize, SimDuration)> {
+        let mut flushed = Vec::new();
+        for (i, b) in self.backends.iter_mut().enumerate() {
+            if let Some(since) = b.parked_since.take() {
+                let dur = now - since;
+                b.parked_total += dur;
+                // Keep the clock running for (hypothetical) post-horizon
+                // reads without double counting.
+                b.parked_since = Some(now);
+                if !dur.is_zero() {
+                    flushed.push((i, dur));
+                }
+            }
+        }
+        flushed
+    }
+
+    /// The conservation ledger for the watchdog.
+    #[must_use]
+    pub fn ledger(&self) -> LbLedger {
+        LbLedger {
+            opened: self.opened,
+            completed: self.completed,
+            rejected: self.rejected,
+            outstanding: self.outstanding,
+            backend_outstanding_sum: self.backends.iter().map(|b| b.outstanding).sum(),
+            unmatched_responses: self.unmatched_responses,
+        }
+    }
+
+    /// Whole-run summary. Coordinator counters (parks/unparks/transition
+    /// energy) are zero here; the owner merges them in.
+    #[must_use]
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            dispatch: self.dispatch,
+            requests_opened: self.opened,
+            requests_completed: self.completed,
+            requests_rejected: self.rejected,
+            outstanding: self.outstanding,
+            forwarded_frames: self.forwarded_frames,
+            retx_forwarded: self.retx_forwarded,
+            bulk_frames: self.bulk_frames,
+            unmatched_responses: self.unmatched_responses,
+            parks: 0,
+            unparks: 0,
+            transition_energy_j: 0.0,
+            backends: self
+                .backends
+                .iter()
+                .map(|b| BackendSummary {
+                    node: b.node,
+                    state: b.state,
+                    assigned: b.assigned,
+                    frames: b.frames,
+                    completed: b.completed,
+                    rejected: b.rejected,
+                    outstanding: b.outstanding,
+                    parked: b.parked_total,
+                    energy_j: 0.0,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Bytes;
+
+    fn lb(n: usize, dispatch: DispatchPolicy) -> LoadBalancer {
+        let cfg = FleetConfig::new(n, dispatch).with_pack_spill(2);
+        let nodes = (0..n).map(|i| NodeId(i as u16)).collect();
+        LoadBalancer::new(NodeId(n as u16), nodes, &cfg)
+    }
+
+    fn request(client: u16, id: u64) -> Packet {
+        Packet::request(
+            NodeId(client),
+            NodeId(100),
+            id,
+            Bytes::from_static(b"GET /"),
+        )
+    }
+
+    fn response(lb: &LoadBalancer, idx: usize, id: u64) -> Packet {
+        // Backends answer to the VIP (the request's rewritten source).
+        Packet::request(NodeId(idx as u16), lb.vip(), id, Bytes::from_static(b"OK"))
+    }
+
+    #[test]
+    fn round_robin_cycles_and_nat_rewrites() {
+        let mut l = lb(3, DispatchPolicy::RoundRobin);
+        for id in 0..6 {
+            let (idx, out) = l.dispatch(request(10, id));
+            assert_eq!(idx, (id as usize) % 3);
+            assert_eq!(out.src(), l.vip());
+            assert_eq!(out.dst(), NodeId(idx as u16));
+            assert_eq!(out.meta().request_id, Some(id));
+        }
+        assert_eq!(l.outstanding(), 6);
+        assert_eq!(l.ledger().backend_outstanding_sum, 6);
+    }
+
+    #[test]
+    fn jsq_prefers_least_loaded() {
+        let mut l = lb(2, DispatchPolicy::LeastOutstanding);
+        let (a, _) = l.dispatch(request(10, 0));
+        assert_eq!(a, 0, "tie goes to the lowest index");
+        let (b, _) = l.dispatch(request(10, 1));
+        assert_eq!(b, 1, "backend 0 now has one outstanding");
+        // Complete backend 0's request; the next pick returns there.
+        let r = l.on_response(response(&l, 0, 0));
+        assert!(r.forward.is_some());
+        let (c, _) = l.dispatch(request(10, 2));
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn packing_fills_lowest_then_spills() {
+        let mut l = lb(3, DispatchPolicy::Packing); // spill = 2
+        let picks: Vec<usize> = (0..5).map(|id| l.dispatch(request(10, id)).0).collect();
+        assert_eq!(picks, vec![0, 0, 1, 1, 2]);
+        // All at spill: falls back to least-outstanding (backend 2 has 1).
+        assert_eq!(l.dispatch(request(10, 5)).0, 2);
+    }
+
+    #[test]
+    fn responses_route_back_and_close_the_ledger() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let (idx, fwd) = l.dispatch(request(10, 7).sent_at(SimTime::from_us(3)));
+        assert_eq!(fwd.meta().sent_at, SimTime::from_us(3), "meta survives NAT");
+        let r = l.on_response(response(&l, idx, 7));
+        let back = r.forward.expect("matched response");
+        assert_eq!(back.src(), l.vip());
+        assert_eq!(back.dst(), NodeId(10));
+        assert_eq!(l.outstanding(), 0);
+        let led = l.ledger();
+        assert_eq!(led.completed, 1);
+        assert_eq!(led.opened, led.completed + led.rejected + led.outstanding);
+    }
+
+    #[test]
+    fn retransmissions_follow_the_pin_and_replays_still_route() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let (first, _) = l.dispatch(request(10, 1));
+        let (again, _) = l.dispatch(request(10, 1));
+        assert_eq!(first, again, "retransmission must follow the pin");
+        assert_eq!(l.requests_opened(), 1, "one logical request");
+        assert_eq!(l.outstanding(), 1);
+        // Resolve, then a replayed response must still reach the client
+        // without double-closing the ledger.
+        let _ = l.on_response(response(&l, first, 1));
+        let replay = l.on_response(response(&l, first, 1));
+        assert_eq!(replay.forward.expect("routed").dst(), NodeId(10));
+        assert_eq!(l.ledger().completed, 1);
+        assert_eq!(l.outstanding(), 0);
+    }
+
+    #[test]
+    fn unmatched_responses_are_counted_not_forwarded() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let r = l.on_response(response(&l, 0, 99));
+        assert!(r.forward.is_none());
+        assert_eq!(l.ledger().unmatched_responses, 1);
+    }
+
+    #[test]
+    fn draining_blocks_new_dispatch_but_not_pins() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let (idx, _) = l.dispatch(request(10, 1));
+        assert_eq!(idx, 0);
+        assert!(!l.begin_drain(0), "still has outstanding work");
+        for id in 2..6 {
+            assert_eq!(
+                l.dispatch(request(10, id)).0,
+                1,
+                "no new work while draining"
+            );
+        }
+        // The pinned retransmission still flows to backend 0.
+        assert_eq!(l.dispatch(request(10, 1)).0, 0);
+        // The final response completes the drain.
+        let r = l.on_response(response(&l, 0, 1));
+        assert_eq!(r.drained, Some(0));
+    }
+
+    #[test]
+    fn park_unpark_transitions_are_generation_guarded() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        assert!(l.begin_drain(1), "idle backend drains instantly");
+        let gen = l.begin_parking(1);
+        // A cancelled-then-reparked backend would bump the generation;
+        // the stale callback must not flip the state.
+        assert!(!l.finish_park(SimTime::from_ms(1), 1, gen.wrapping_add(1)));
+        assert!(l.finish_park(SimTime::from_ms(1), 1, gen));
+        assert_eq!(l.state(1), BackendState::Parked);
+        assert_eq!(l.parked_count(), 1);
+        let (ugen, flushed) = l.begin_unpark(SimTime::from_ms(5), 1);
+        assert_eq!(flushed, SimDuration::from_ms(4));
+        assert!(!l.finish_unpark(1, ugen.wrapping_add(1)));
+        assert!(l.finish_unpark(1, ugen));
+        assert_eq!(l.state(1), BackendState::Active);
+        assert_eq!(l.summary().backends[1].parked, SimDuration::from_ms(4));
+    }
+
+    #[test]
+    fn no_active_backend_falls_back_without_dropping() {
+        let mut l = lb(1, DispatchPolicy::Packing);
+        assert!(l.begin_drain(0));
+        let gen = l.begin_parking(0);
+        assert!(l.finish_park(SimTime::from_ms(1), 0, gen));
+        // Everything is parked; the frame still goes somewhere.
+        let (idx, _) = l.dispatch(request(10, 1));
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn finalize_flushes_parked_residency_once() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        assert!(l.begin_drain(1));
+        let gen = l.begin_parking(1);
+        assert!(l.finish_park(SimTime::from_ms(2), 1, gen));
+        let flushed = l.finalize(SimTime::from_ms(10));
+        assert_eq!(flushed, vec![(1, SimDuration::from_ms(8))]);
+        // A second finalize at the same instant flushes nothing more.
+        assert!(l.finalize(SimTime::from_ms(10)).is_empty());
+        assert_eq!(l.summary().backends[1].parked, SimDuration::from_ms(8));
+    }
+
+    #[test]
+    fn bulk_frames_forward_without_conntrack() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let bulk = Packet::new(
+            NodeId(10),
+            NodeId(100),
+            5,
+            Bytes::from_static(b"DATA"),
+            netsim::PacketMeta::default(),
+        );
+        let (_, out) = l.dispatch(bulk);
+        assert_eq!(out.src(), l.vip());
+        assert_eq!(l.requests_opened(), 0);
+        assert_eq!(l.summary().bulk_frames, 1);
+        assert_eq!(l.outstanding(), 0);
+    }
+}

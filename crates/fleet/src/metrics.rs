@@ -1,0 +1,75 @@
+//! Static `fleet.*` metric names for the `simtrace` registry.
+//!
+//! The registry keys metrics by `&'static str`, so per-backend series
+//! need compile-time name tables. The first [`MAX_TRACKED_BACKENDS`]
+//! backends get individual series; larger fleets are still fully covered
+//! by the aggregate metrics (`fleet.dispatched`, `fleet.lb_depth`,
+//! `fleet.parked_backends`).
+
+/// Backends with individual metric series (fleets can be larger; the
+/// overflow is covered by the aggregates).
+pub const MAX_TRACKED_BACKENDS: usize = 8;
+
+const DISPATCHED: [&str; MAX_TRACKED_BACKENDS] = [
+    "b0_dispatched",
+    "b1_dispatched",
+    "b2_dispatched",
+    "b3_dispatched",
+    "b4_dispatched",
+    "b5_dispatched",
+    "b6_dispatched",
+    "b7_dispatched",
+];
+
+const OUTSTANDING: [&str; MAX_TRACKED_BACKENDS] = [
+    "b0_outstanding",
+    "b1_outstanding",
+    "b2_outstanding",
+    "b3_outstanding",
+    "b4_outstanding",
+    "b5_outstanding",
+    "b6_outstanding",
+    "b7_outstanding",
+];
+
+const PARKED_NS: [&str; MAX_TRACKED_BACKENDS] = [
+    "b0_parked_ns",
+    "b1_parked_ns",
+    "b2_parked_ns",
+    "b3_parked_ns",
+    "b4_parked_ns",
+    "b5_parked_ns",
+    "b6_parked_ns",
+    "b7_parked_ns",
+];
+
+/// Counter name for requests dispatched to backend `idx`.
+#[must_use]
+pub fn dispatched(idx: usize) -> Option<&'static str> {
+    DISPATCHED.get(idx).copied()
+}
+
+/// Gauge name for backend `idx`'s outstanding count.
+#[must_use]
+pub fn outstanding(idx: usize) -> Option<&'static str> {
+    OUTSTANDING.get(idx).copied()
+}
+
+/// Counter name for backend `idx`'s accumulated parked time (ns).
+#[must_use]
+pub fn parked_ns(idx: usize) -> Option<&'static str> {
+    PARKED_NS.get(idx).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_indexed_and_bounded() {
+        assert_eq!(dispatched(0), Some("b0_dispatched"));
+        assert_eq!(outstanding(7), Some("b7_outstanding"));
+        assert_eq!(parked_ns(3), Some("b3_parked_ns"));
+        assert_eq!(dispatched(MAX_TRACKED_BACKENDS), None);
+    }
+}

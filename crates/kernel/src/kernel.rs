@@ -736,8 +736,14 @@ impl Kernel {
 
     /// Run-queue depth excluding TX stack work — what admission control
     /// compares against `run_queue_cap` (departures must not starve).
+    ///
+    /// `tx_in_queue` also counts a TX job from dispatch until its cycles
+    /// finish (it left the run queue but still holds its departure
+    /// slot), so it can transiently exceed the queued TX count — the
+    /// subtraction must saturate or an executing TX job over an empty
+    /// queue reads as a huge backlog and sheds every admission.
     fn admit_backlog(&self) -> usize {
-        self.run_queue.len() - self.tx_in_queue
+        self.run_queue.len().saturating_sub(self.tx_in_queue)
     }
 
     /// `true` when shedding is armed and the non-TX queue depth is at or

@@ -145,6 +145,17 @@ impl Packet {
         self
     }
 
+    /// Rewrites the frame's addressing `src → dst` — the NAT hop a
+    /// load balancer performs when forwarding a frame. Payload, flow and
+    /// the measurement sideband are untouched, so request identity (and
+    /// therefore latency attribution) survives the middlebox.
+    #[must_use]
+    pub fn readdress(mut self, src: NodeId, dst: NodeId) -> Self {
+        self.src = src;
+        self.dst = dst;
+        self
+    }
+
     /// Stamps a completion deadline, measured from `sent_at`
     /// (builder-style).
     #[must_use]
@@ -270,6 +281,19 @@ mod tests {
         assert_eq!(p.src(), NodeId(2));
         assert_eq!(p.dst(), NodeId(0));
         assert_eq!(p.flow(), 9);
+    }
+
+    #[test]
+    fn readdress_rewrites_only_addressing() {
+        let p = Packet::request(NodeId(9), NodeId(4), 7, Bytes::from_static(b"GET /"))
+            .sent_at(SimTime::from_us(11))
+            .readdress(NodeId(4), NodeId(0));
+        assert_eq!(p.src(), NodeId(4));
+        assert_eq!(p.dst(), NodeId(0));
+        assert_eq!(p.flow(), 7);
+        assert_eq!(p.meta().request_id, Some(7));
+        assert_eq!(p.meta().sent_at, SimTime::from_us(11));
+        assert_eq!(p.payload(), b"GET /");
     }
 
     #[test]

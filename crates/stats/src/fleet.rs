@@ -1,0 +1,98 @@
+//! Fleet-level aggregation of per-backend figures.
+//!
+//! The fleet layer reports per-backend energy and dispatch counts; the
+//! questions an experiment asks are joint ones — what did the whole
+//! fleet spend, how concentrated was the load, was the spread fair? This
+//! module rolls per-backend slices up into those answers. It deliberately
+//! takes plain slices (not fleet types) so the stats crate stays a leaf
+//! dependency.
+
+/// Joint figures for one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetAggregate {
+    /// Number of backends aggregated.
+    pub backends: usize,
+    /// Sum of per-backend energies, joules (the fleet's joint bill;
+    /// coordinator transition energy, if any, is accounted separately by
+    /// the caller).
+    pub joint_energy_j: f64,
+    /// Sum of per-backend dispatched requests.
+    pub dispatched_total: u64,
+    /// Largest single backend's share of dispatched requests, in
+    /// `[0, 1]` (1.0 = fully concentrated; `1/n` = perfectly spread).
+    pub max_share: f64,
+    /// Jain fairness of the dispatch spread, in `(0, 1]` (1.0 = equal
+    /// shares; `1/n` = everything on one backend).
+    pub fairness: f64,
+}
+
+impl FleetAggregate {
+    /// Rolls up index-aligned per-backend energy and dispatch counts.
+    /// Empty slices produce a zeroed aggregate with fairness 1.0.
+    #[must_use]
+    pub fn from_backends(energy_j: &[f64], dispatched: &[u64]) -> Self {
+        let dispatched_total: u64 = dispatched.iter().sum();
+        let max_share = if dispatched_total == 0 {
+            0.0
+        } else {
+            dispatched.iter().copied().max().unwrap_or(0) as f64 / dispatched_total as f64
+        };
+        let shares: Vec<f64> = dispatched.iter().map(|&d| d as f64).collect();
+        FleetAggregate {
+            backends: energy_j.len().max(dispatched.len()),
+            joint_energy_j: energy_j.iter().sum(),
+            dispatched_total,
+            max_share,
+            fairness: jain_fairness(&shares),
+        }
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)`: 1.0 when every value is
+/// equal, `1/n` when one value carries everything. Empty or all-zero
+/// input reads as fair (1.0) — nothing was spread unevenly.
+#[must_use]
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if n == 0.0 || sum_sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let concentrated = jain_fairness(&[12.0, 0.0, 0.0, 0.0]);
+        assert!((concentrated - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn aggregate_rolls_up() {
+        let agg = FleetAggregate::from_backends(&[1.5, 0.5, 0.25], &[800, 150, 50]);
+        assert_eq!(agg.backends, 3);
+        assert!((agg.joint_energy_j - 2.25).abs() < 1e-12);
+        assert_eq!(agg.dispatched_total, 1000);
+        assert!((agg.max_share - 0.8).abs() < 1e-12);
+        // Jain for [800, 150, 50] is (1000)^2 / (3 * 665 000) ≈ 0.501.
+        assert!((agg.fairness - 0.501).abs() < 0.001, "got {}", agg.fairness);
+    }
+
+    #[test]
+    fn empty_fleet_is_zeroed_and_fair() {
+        let agg = FleetAggregate::from_backends(&[], &[]);
+        assert_eq!(agg.backends, 0);
+        assert_eq!(agg.dispatched_total, 0);
+        assert_eq!(agg.max_share, 0.0);
+        assert_eq!(agg.fairness, 1.0);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`TimeSeries`] and [`RateTrace`] — sampled values and windowed rates
 //!   for the BW(Rx)/BW(Tx)/U/F snapshots (paper Figures 4, 8, 9).
 //! * [`Table`] — fixed-width text tables for bench output.
+//! * [`FleetAggregate`] — joint energy and dispatch-spread figures for
+//!   multi-backend (fleet) runs.
 //!
 //! ## Example
 //!
@@ -26,11 +28,13 @@
 //! assert!((450..=550).contains(&p50));
 //! ```
 
+pub mod fleet;
 pub mod histogram;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 
+pub use fleet::{jain_fairness, FleetAggregate};
 pub use histogram::LogHistogram;
 pub use summary::LatencySummary;
 pub use table::{fmt_ns, pct, Table};

@@ -1,0 +1,127 @@
+//! Fleet sweep: 1–8 backends behind the L4 load balancer, every
+//! dispatch policy, with and without NCAP on the backends, coordinator
+//! armed throughout.
+//!
+//! A fixed 60 krps offered load means a growing fleet is increasingly
+//! over-provisioned, so the power coordinator parks more and more of it
+//! — and the dispatch policy decides how well the *remaining* actives
+//! sleep. Round-robin keeps every active backend lukewarm; packing
+//! concentrates work on the first backend so the others idle deeply.
+//! NCAP then sharpens each active backend's own wake/sleep timing.
+//!
+//! Run with: `cargo run --release --example fleet_sweep`
+
+use cluster::{
+    run_experiments_parallel, AppKind, BackendState, CoordinatorConfig, DispatchPolicy,
+    ExperimentConfig, FleetConfig, Policy,
+};
+use desim::SimDuration;
+use simstats::{fmt_ns, jain_fairness, FleetAggregate, Table};
+
+/// Memcached's single-server knee (§5); the coordinator sizes the
+/// active set against it.
+const PER_BACKEND_RPS: f64 = 120_000.0;
+const LOAD_RPS: f64 = 60_000.0;
+
+fn config(backends: usize, dispatch: DispatchPolicy, policy: Policy) -> ExperimentConfig {
+    ExperimentConfig::new(AppKind::Memcached, policy, LOAD_RPS)
+        .with_durations(SimDuration::from_ms(20), SimDuration::from_ms(40))
+        .with_poisson()
+        .with_fleet(
+            FleetConfig::new(backends, dispatch)
+                .with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5)),
+        )
+}
+
+fn main() {
+    println!(
+        "Memcached fleet behind an L4 VIP at a fixed {LOAD_RPS:.0} rps offered\n\
+         load, power coordinator armed (per-backend capacity {PER_BACKEND_RPS:.0}\n\
+         rps, util target 0.5). 1-8 backends x rr|jsq|pack x NCAP off/on.\n"
+    );
+    let policies = [("off", Policy::OndIdle), ("on", Policy::NcapCons)];
+    let mut configs = Vec::new();
+    for backends in 1..=8 {
+        for dispatch in DispatchPolicy::ALL {
+            for (_, policy) in policies {
+                configs.push(config(backends, dispatch, policy));
+            }
+        }
+    }
+    let results = run_experiments_parallel(&configs);
+
+    let mut t = Table::new(vec![
+        "backends",
+        "dispatch",
+        "ncap",
+        "p50",
+        "p99",
+        "energy (J)",
+        "parks",
+        "active",
+        "fairness",
+        "goodput",
+    ]);
+    for r in &results {
+        let fleet = r.fleet.as_ref().expect("fleet topology");
+        let assigned: Vec<f64> = fleet.backends.iter().map(|b| b.assigned as f64).collect();
+        let parked_now = fleet
+            .backends
+            .iter()
+            .filter(|b| b.state == BackendState::Parked)
+            .count();
+        let active = fleet.backends.len() - parked_now;
+        t.row(vec![
+            format!("{}", fleet.backends.len()),
+            fleet.dispatch.to_string(),
+            policies
+                .iter()
+                .find(|(_, p)| *p == r.policy)
+                .map_or("?", |(n, _)| n)
+                .to_owned(),
+            fmt_ns(r.latency.p50),
+            fmt_ns(r.latency.p99),
+            format!("{:.2}", r.energy_j),
+            format!("{}", fleet.parks),
+            format!("{active}"),
+            format!("{:.2}", jain_fairness(&assigned)),
+            format!("{:.3}", r.goodput()),
+        ]);
+    }
+    println!("{t}");
+
+    // The headline comparison at 4 backends: packing vs round-robin,
+    // NCAP on — the coordinator parks the same number either way, the
+    // dispatch concentration decides the rest.
+    let pick = |dispatch: DispatchPolicy| {
+        results
+            .iter()
+            .find(|r| {
+                r.policy == Policy::NcapCons
+                    && r.fleet
+                        .as_ref()
+                        .is_some_and(|f| f.backends.len() == 4 && f.dispatch == dispatch)
+            })
+            .expect("swept above")
+    };
+    let rr = pick(DispatchPolicy::RoundRobin);
+    let pack = pick(DispatchPolicy::Packing);
+    let agg = |r: &cluster::ExperimentResult| {
+        let f = r.fleet.as_ref().expect("fleet topology");
+        let energy: Vec<f64> = f.backends.iter().map(|b| b.energy_j).collect();
+        let assigned: Vec<u64> = f.backends.iter().map(|b| b.assigned).collect();
+        FleetAggregate::from_backends(&energy, &assigned)
+    };
+    println!(
+        "\n4 backends, NCAP on: packing {:.2} J (max share {:.2}) vs \
+         round-robin {:.2} J (max share {:.2}) — {:.0}% joint energy saved,\n\
+         p99 {} vs {}.",
+        pack.energy_j,
+        agg(pack).max_share,
+        rr.energy_j,
+        agg(rr).max_share,
+        100.0 * (1.0 - pack.energy_j / rr.energy_j),
+        fmt_ns(pack.latency.p99),
+        fmt_ns(rr.latency.p99),
+    );
+}

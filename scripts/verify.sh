@@ -66,6 +66,21 @@ echo "$overload_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
     { echo "verify: watchdog missing or reported violations" >&2; exit 1; }
 echo "==> overload smoke ok"
 
+# Fleet smoke: a small coordinated fleet must serve through the LB,
+# park surplus backends, and pass the watchdog's ledger audit.
+fleet_out=$(run cargo run --release -p ncap-cli -- run \
+    --app memcached --policy ond.idle --load 72000 --poisson \
+    --warmup-ms 10 --measure-ms 20 \
+    --servers 4 --dispatch pack --coordinator)
+echo "$fleet_out"
+echo "$fleet_out" | grep -q 'fleet *4 backends (pack)' ||
+    { echo "verify: fleet run reported no fleet summary" >&2; exit 1; }
+echo "$fleet_out" | grep -q '[1-9][0-9]* parks' ||
+    { echo "verify: coordinated fleet parked nothing" >&2; exit 1; }
+echo "$fleet_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
+    { echo "verify: fleet watchdog missing or reported violations" >&2; exit 1; }
+echo "==> fleet smoke ok"
+
 # Hermeticity: no external crates may creep back into any manifest.
 if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
     Cargo.toml crates/*/Cargo.toml; then

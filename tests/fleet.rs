@@ -1,0 +1,238 @@
+//! Fleet-subsystem validation: the L4 load balancer, its dispatch
+//! policies, and the cluster-level power coordinator.
+//!
+//! The fleet layer threads through every crate — clients address the
+//! VIP, the LB rewrites and forwards frames through the switch, backends
+//! are full kernels, the coordinator spends transition energy through
+//! `cpusim`, and the watchdog audits the LB's conntrack ledger — so its
+//! guarantees are inherently cross-crate:
+//!
+//! * conservation: every request the LB opens is completed, rejected, or
+//!   outstanding on exactly one backend (property-tested across fleet
+//!   sizes, policies, and seeds);
+//! * determinism: same seed → byte-identical results per dispatch
+//!   policy — serial, parallel, or with the event tracer attached;
+//! * the power story: with the coordinator on at low fleet load, packing
+//!   concentrates work so idle backends park, spending strictly less
+//!   energy than round-robin while admitted p99 stays within 2×.
+
+use check::{ensure, Check};
+use cluster::{
+    run_experiment, run_experiments_on, AppKind, CoordinatorConfig, DispatchPolicy,
+    ExperimentConfig, ExperimentResult, FleetConfig, Policy,
+};
+use desim::SimDuration;
+
+/// Memcached's single-server knee sits near 120 krps (§5); the fleet
+/// capacity scales with the backend count.
+const PER_BACKEND_RPS: f64 = 120_000.0;
+
+/// Smooth Poisson arrivals: bursty clients drop whole 200-request
+/// bursts at the horizon (in flight, never completed), which mostly
+/// tests burst phasing rather than the LB.
+fn fleet_cfg(backends: usize, dispatch: DispatchPolicy, load_rps: f64) -> ExperimentConfig {
+    ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, load_rps)
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(30))
+        .with_poisson()
+        .with_fleet(FleetConfig::new(backends, dispatch))
+}
+
+/// Bursty arrivals (the paper's default clients), for the tests where
+/// queue buildup is the point.
+fn fleet_cfg_bursty(backends: usize, dispatch: DispatchPolicy, load_rps: f64) -> ExperimentConfig {
+    ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, load_rps)
+        .with_durations(SimDuration::from_ms(10), SimDuration::from_ms(30))
+        .with_fleet(FleetConfig::new(backends, dispatch))
+}
+
+/// A bit-exact digest of everything a fleet experiment reports.
+fn fingerprint(r: &ExperimentResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.latency.p50,
+        r.latency.p95,
+        r.latency.p99,
+        r.completed,
+        r.offered,
+        r.energy_j.to_bits(),
+        r.rejected,
+        format!("{:?}", r.fleet),
+    )
+}
+
+#[test]
+fn every_policy_serves_through_the_lb() {
+    for dispatch in DispatchPolicy::ALL {
+        let r = run_experiment(&fleet_cfg(3, dispatch, 30_000.0));
+        assert!(
+            r.goodput() > 0.95,
+            "{dispatch}: goodput {} too low",
+            r.goodput()
+        );
+        let fleet = r.fleet.expect("fleet topology reports a summary");
+        assert_eq!(fleet.dispatch, dispatch);
+        assert!(fleet.requests_opened > 0);
+        assert!(fleet.forwarded_frames > 0);
+        // Conservation at the horizon: opened requests are completed,
+        // rejected, or still outstanding; outstanding sits on backends.
+        assert_eq!(
+            fleet.requests_opened,
+            fleet.requests_completed + fleet.requests_rejected + fleet.outstanding,
+            "{dispatch}: {fleet:?}"
+        );
+        let assigned: u64 = fleet.backends.iter().map(|b| b.assigned).sum();
+        assert_eq!(assigned, fleet.requests_opened, "{dispatch}: {fleet:?}");
+        assert_eq!(fleet.unmatched_responses, 0);
+    }
+}
+
+#[test]
+fn round_robin_spreads_least_outstanding_balances_packing_concentrates() {
+    let rr = run_experiment(&fleet_cfg(4, DispatchPolicy::RoundRobin, 40_000.0))
+        .fleet
+        .expect("fleet summary");
+    // Bursty arrivals for jsq: a 200-request burst overflows any single
+    // backend's queue, so least-outstanding must fan out. (Under smooth
+    // low load its tie-break legitimately favors backend 0.)
+    let jsq = run_experiment(&fleet_cfg_bursty(
+        4,
+        DispatchPolicy::LeastOutstanding,
+        40_000.0,
+    ))
+    .fleet
+    .expect("fleet summary");
+    let pack = run_experiment(&fleet_cfg(4, DispatchPolicy::Packing, 40_000.0))
+        .fleet
+        .expect("fleet summary");
+    // rr: every backend within one request of the mean.
+    let rr_assigned: Vec<u64> = rr.backends.iter().map(|b| b.assigned).collect();
+    let (min, max) = (
+        *rr_assigned.iter().min().expect("4 backends"),
+        *rr_assigned.iter().max().expect("4 backends"),
+    );
+    assert!(max - min <= 1, "round-robin skewed: {rr_assigned:?}");
+    // jsq: nothing pathological — every backend sees some share.
+    assert!(
+        jsq.backends.iter().all(|b| b.assigned > 0),
+        "jsq starved a backend: {jsq:?}"
+    );
+    // pack: the first backend dominates (spill only past the threshold).
+    let pack_assigned: Vec<u64> = pack.backends.iter().map(|b| b.assigned).collect();
+    assert!(
+        pack_assigned[0] > pack.requests_opened / 2,
+        "packing did not concentrate: {pack_assigned:?}"
+    );
+}
+
+#[test]
+fn same_seed_is_byte_identical_serial_parallel_and_traced() {
+    for dispatch in DispatchPolicy::ALL {
+        let cfg = fleet_cfg(2, dispatch, 24_000.0);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{dispatch}: serial reruns diverged"
+        );
+        // The parallel runner executes the same pure function per config.
+        let batch = run_experiments_on(&[cfg.clone(), cfg.clone()], 2);
+        for r in &batch {
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(r),
+                "{dispatch}: parallel run diverged"
+            );
+        }
+        // Event tracing observes without perturbing.
+        let traced = run_experiment(&cfg.with_event_trace(simtrace::TracerConfig::default()));
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&traced),
+            "{dispatch}: traced run diverged"
+        );
+        assert!(traced.sim_trace.is_some());
+    }
+}
+
+#[test]
+fn coordinated_fleet_is_deterministic_too() {
+    let cfg = fleet_cfg(4, DispatchPolicy::Packing, 36_000.0).with_fleet(
+        FleetConfig::new(4, DispatchPolicy::Packing)
+            .with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5)),
+    );
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let fleet = a.fleet.expect("fleet summary");
+    assert!(fleet.parks > 0, "low load must park backends: {fleet:?}");
+}
+
+/// Every issued request lands on exactly one backend, whatever the
+/// fleet size, dispatch policy, or seed — and the watchdog (armed by
+/// default in `WatchdogMode::Fail`) double-checks the LB ledger on
+/// every period, so a violation would panic the run.
+#[test]
+fn prop_requests_dispatch_to_exactly_one_backend() {
+    Check::new("fleet_exactly_one_backend").cases(8).run(
+        |rng, size| {
+            let backends = 1 + (rng.next_u64() as usize) % 5;
+            let dispatch = DispatchPolicy::ALL[(rng.next_u64() as usize) % 3];
+            let load = 10_000.0 + (size as f64) * 400.0;
+            let seed = rng.next_u64();
+            (backends, dispatch, load, seed)
+        },
+        |&(backends, dispatch, load, seed)| {
+            let r = run_experiment(&fleet_cfg(backends, dispatch, load).with_seed(seed));
+            let fleet = r.fleet.expect("fleet summary");
+            let assigned: u64 = fleet.backends.iter().map(|b| b.assigned).sum();
+            ensure!(
+                assigned == fleet.requests_opened,
+                "assigned {assigned} != opened {} ({backends} backends, {dispatch}): {fleet:?}",
+                fleet.requests_opened
+            );
+            ensure!(
+                fleet.requests_opened
+                    == fleet.requests_completed + fleet.requests_rejected + fleet.outstanding,
+                "conservation broke: {fleet:?}"
+            );
+            ensure!(
+                fleet.unmatched_responses == 0,
+                "unmatched responses: {fleet:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The acceptance scenario: a 4-backend fleet at ~0.15× capacity with
+/// the coordinator on. Packing concentrates load so parked backends
+/// sleep deep; round-robin keeps every active backend warm. Packing
+/// must win on energy outright while admitted p99 stays within 2×.
+#[test]
+fn packing_beats_round_robin_on_energy_at_low_load() {
+    let coordinated =
+        |dispatch| {
+            ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, 72_000.0)
+                .with_durations(SimDuration::from_ms(40), SimDuration::from_ms(60))
+                .with_poisson()
+                .with_fleet(FleetConfig::new(4, dispatch).with_coordinator(
+                    CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5),
+                ))
+        };
+    let rr = run_experiment(&coordinated(DispatchPolicy::RoundRobin));
+    let pack = run_experiment(&coordinated(DispatchPolicy::Packing));
+    assert!(rr.goodput() > 0.95, "rr goodput {}", rr.goodput());
+    assert!(pack.goodput() > 0.95, "pack goodput {}", pack.goodput());
+    assert!(
+        pack.energy_j < rr.energy_j,
+        "packing must beat round-robin on fleet energy: pack {} J vs rr {} J",
+        pack.energy_j,
+        rr.energy_j
+    );
+    assert!(
+        (pack.latency.p99 as f64) <= 2.0 * (rr.latency.p99 as f64),
+        "packing p99 {} exceeds 2x round-robin p99 {}",
+        pack.latency.p99,
+        rr.latency.p99
+    );
+}
