@@ -133,6 +133,11 @@ pub struct ExperimentConfig {
     /// with an L4 load balancer (clients address the VIP) and, when the
     /// embedded coordinator is set, park/unpark backends with load.
     pub fleet: Option<FleetConfig>,
+    /// Event-queue backend for the run. The default calendar queue and
+    /// the reference `BinaryHeap` deliver identical event streams, so
+    /// results are byte-identical either way; the knob exists for
+    /// differential tests and benchmark baselines.
+    pub queue_backend: desim::QueueBackend,
 }
 
 impl ExperimentConfig {
@@ -168,6 +173,7 @@ impl ExperimentConfig {
             deadline: None,
             watchdog: WatchdogConfig::default(),
             fleet: None,
+            queue_backend: desim::QueueBackend::default(),
         }
     }
 
@@ -319,6 +325,15 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
         self.fleet = Some(fleet);
+        self
+    }
+
+    /// Selects the event-queue backend (builder style). Results do not
+    /// depend on the choice — `tests/cluster_integration.rs` pins a
+    /// 64-backend fleet run byte-identical across backends.
+    #[must_use]
+    pub fn with_queue_backend(mut self, backend: desim::QueueBackend) -> Self {
+        self.queue_backend = backend;
         self
     }
 

@@ -67,6 +67,10 @@ pub struct ExperimentResult {
     /// energy, park/unpark counts) when the run used a fleet topology
     /// ([`ExperimentConfig::with_fleet`]); `None` otherwise.
     pub fleet: Option<FleetSummary>,
+    /// Total simulator events dispatched over the run. Deterministic
+    /// (part of the byte-identity contract); the sim-throughput bench
+    /// divides it by wall time to get events/second.
+    pub events_processed: u64,
 }
 
 impl ExperimentResult {
@@ -263,12 +267,13 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
     }
     let horizon = SimTime::ZERO + cfg.horizon();
     let initial = cluster.initial_events(cfg.warmup, horizon);
-    let mut sim = Simulation::new(cluster);
+    let mut sim = Simulation::with_backend(cluster, cfg.queue_backend);
     for (t, e) in initial {
         sim.queue_mut().push(t, e);
     }
     sim.run_until(horizon);
     let sim_trace = simtrace::uninstall();
+    let events_processed = sim.events_processed();
     let now = sim.now();
     let cluster = sim.handler_mut();
     cluster.finalize(now);
@@ -331,6 +336,7 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
         watchdog_checks,
         invariant_violations,
         fleet,
+        events_processed,
     };
     let traces = sim.into_handler().into_traces();
     Ok(ExperimentResult { traces, ..result })

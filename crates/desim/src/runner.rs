@@ -4,8 +4,13 @@
 //! [`EventHandler`]; it repeatedly pops the earliest event, advances the
 //! clock, and lets the handler react (usually by scheduling further events).
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueBackend};
 use crate::time::SimTime;
+
+/// Upper bound on events delivered per queue traversal in
+/// [`Simulation::run_until`]. Bounds the scratch buffer while still
+/// amortizing dispatch overhead across same-instant bursts.
+const DISPATCH_BATCH_MAX: usize = 128;
 
 /// The reaction logic of a simulation: consumes events, schedules new ones.
 ///
@@ -61,6 +66,9 @@ pub struct Simulation<H: EventHandler> {
     now: SimTime,
     processed: u64,
     event_budget: u64,
+    peak_pending: usize,
+    /// Reused scratch buffer for batched same-instant dispatch.
+    batch: Vec<(SimTime, H::Event)>,
 }
 
 impl<H: EventHandler> Simulation<H> {
@@ -69,12 +77,22 @@ impl<H: EventHandler> Simulation<H> {
 
     /// Creates a simulation at time zero with an empty queue.
     pub fn new(handler: H) -> Self {
+        Self::with_backend(handler, QueueBackend::default())
+    }
+
+    /// Creates a simulation whose event queue runs on an explicit
+    /// backend. Delivery order — and therefore every simulation result —
+    /// is identical across backends; this exists for differential tests
+    /// and benchmark baselines.
+    pub fn with_backend(handler: H, backend: QueueBackend) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             handler,
             now: SimTime::ZERO,
             processed: 0,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
+            peak_pending: 0,
+            batch: Vec::new(),
         }
     }
 
@@ -93,6 +111,14 @@ impl<H: EventHandler> Simulation<H> {
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// High-water mark of the pending-event population, sampled once per
+    /// dispatch batch. Sizes the queue's working set (and the
+    /// sim-throughput bench's hold-model operating point).
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Shared access to the world.
@@ -126,26 +152,39 @@ impl<H: EventHandler> Simulation<H> {
     /// Runs until the queue drains, the budget is spent, or the next event
     /// would occur strictly after `horizon`. Events **at** the horizon are
     /// delivered. The clock never exceeds the horizon.
+    ///
+    /// Dispatch is batched: each queue traversal drains the full run of
+    /// events at the current earliest instant (bounded by the remaining
+    /// budget and [`DISPATCH_BATCH_MAX`]) before handlers run. Batching
+    /// only ever spans a single instant, so an event a handler schedules
+    /// *at that same instant* still runs after every already-scheduled
+    /// peer — its sequence number is higher than all batch members' —
+    /// and delivery order is identical to one-at-a-time dispatch.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         loop {
             if self.processed >= self.event_budget {
                 return RunOutcome::EventBudgetExhausted;
             }
-            match self.queue.peek_time() {
+            let next = match self.queue.peek_time() {
                 None => return RunOutcome::QueueExhausted,
                 Some(t) if t > horizon => {
                     self.now = horizon;
                     return RunOutcome::HorizonReached;
                 }
-                Some(_) => {
-                    let (time, event) = self.queue.pop().expect("peeked entry vanished");
-                    debug_assert!(time >= self.now, "event scheduled in the past");
-                    self.now = time;
-                    self.processed += 1;
-                    self.handler.handle(time, event, &mut self.queue);
-                    Self::trace_dispatch(time);
-                }
+                Some(t) => t,
+            };
+            self.peak_pending = self.peak_pending.max(self.queue.len());
+            let cap = (self.event_budget - self.processed).min(DISPATCH_BATCH_MAX as u64) as usize;
+            let mut batch = std::mem::take(&mut self.batch);
+            self.queue.pop_batch_until(next, cap, &mut batch);
+            for (time, event) in batch.drain(..) {
+                debug_assert!(time >= self.now, "event scheduled in the past");
+                self.now = time;
+                self.processed += 1;
+                self.handler.handle(time, event, &mut self.queue);
+                Self::trace_dispatch(time);
             }
+            self.batch = batch;
         }
     }
 
@@ -257,6 +296,60 @@ mod tests {
         assert_eq!(sim.step(), Some(SimTime::ZERO));
         assert_eq!(sim.step(), Some(SimTime::from_us(100)));
         assert_eq!(sim.handler().ticks.len(), 2);
+    }
+
+    /// A handler that, for each seed event, schedules a follow-up at the
+    /// *same* instant. Batched dispatch must still run every follow-up
+    /// after all originally scheduled peers (FIFO by sequence number).
+    #[derive(Debug, Default)]
+    struct SameInstant {
+        order: Vec<u32>,
+    }
+
+    impl EventHandler for SameInstant {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, e: u32, q: &mut EventQueue<u32>) {
+            self.order.push(e);
+            if e < 1_000 {
+                q.push(now, e + 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_batching_preserves_fifo() {
+        // 300 seeds at one instant exceeds DISPATCH_BATCH_MAX, so the
+        // run crosses several batch boundaries.
+        let mut sim = Simulation::new(SameInstant::default());
+        for i in 0..300 {
+            sim.queue_mut().push(SimTime::from_us(7), i);
+        }
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueExhausted);
+        let want: Vec<u32> = (0..300).chain(1_000..1_300).collect();
+        assert_eq!(sim.handler().order, want);
+        assert_eq!(sim.now(), SimTime::from_us(7));
+        assert_eq!(sim.events_processed(), 600);
+    }
+
+    #[test]
+    fn backend_choice_does_not_change_results() {
+        let run = |backend| {
+            let mut sim = Simulation::with_backend(
+                Ticker {
+                    period: SimDuration::from_us(100),
+                    ticks: Vec::new(),
+                    limit: 50,
+                },
+                backend,
+            );
+            sim.queue_mut().push(SimTime::ZERO, ());
+            sim.run_until(SimTime::from_ms(3));
+            (sim.now(), sim.events_processed(), sim.into_handler().ticks)
+        };
+        assert_eq!(
+            run(crate::queue::QueueBackend::Calendar),
+            run(crate::queue::QueueBackend::BinaryHeap)
+        );
     }
 
     #[test]

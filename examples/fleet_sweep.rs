@@ -1,4 +1,4 @@
-//! Fleet sweep: 1–8 backends behind the L4 load balancer, every
+//! Fleet sweep: 1–64 backends behind the L4 load balancer, every
 //! dispatch policy, with and without NCAP on the backends, coordinator
 //! armed throughout.
 //!
@@ -37,11 +37,14 @@ fn main() {
     println!(
         "Memcached fleet behind an L4 VIP at a fixed {LOAD_RPS:.0} rps offered\n\
          load, power coordinator armed (per-backend capacity {PER_BACKEND_RPS:.0}\n\
-         rps, util target 0.5). 1-8 backends x rr|jsq|pack x NCAP off/on.\n"
+         rps, util target 0.5). 1-64 backends x rr|jsq|pack x NCAP off/on.\n"
     );
     let policies = [("off", Policy::OndIdle), ("on", Policy::NcapCons)];
     let mut configs = Vec::new();
-    for backends in 1..=8 {
+    // Doubling fleet sizes up to 64: past 8 backends the fixed load
+    // makes the tail of the fleet pure parking headroom, which is
+    // exactly what the sweep should show the coordinator handling.
+    for backends in [1, 2, 4, 8, 16, 32, 64] {
         for dispatch in DispatchPolicy::ALL {
             for (_, policy) in policies {
                 configs.push(config(backends, dispatch, policy));

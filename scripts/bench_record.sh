@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Records the tracked sim-throughput benchmark (ISSUE 6) as a JSON
+# artifact, so the events/second trajectory is pinned in-repo and
+# regressions show up as a diff.
+#
+# Usage: scripts/bench_record.sh [--smoke|--fast]
+#   --smoke   seconds-scale run, writes target/BENCH_6.smoke.json
+#             (the verify/CI gate — checks plumbing, not performance)
+#   --fast    reduced run, writes target/BENCH_6.fast.json
+#   (default) full run, writes BENCH_6.json at the repo root; commit it
+#             when the numbers move for a real reason.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo bench runs the harness from the package directory, so the
+# output path must be absolute.
+root=$PWD
+mode=full
+out=$root/BENCH_6.json
+case "${1:-}" in
+--smoke)
+    mode=smoke
+    out=$root/target/BENCH_6.smoke.json
+    ;;
+--fast)
+    mode=fast
+    out=$root/target/BENCH_6.fast.json
+    ;;
+"") ;;
+*)
+    echo "usage: scripts/bench_record.sh [--smoke|--fast]" >&2
+    exit 2
+    ;;
+esac
+
+env_flags=()
+[ "$mode" = smoke ] && env_flags+=(NCAP_BENCH_SMOKE=1)
+[ "$mode" = fast ] && env_flags+=(NCAP_BENCH_FAST=1)
+
+echo "==> recording sim-throughput ($mode) -> $out"
+env "${env_flags[@]}" NCAP_BENCH_JSON="$out" \
+    cargo bench -p ncap-bench --bench sim_throughput
+
+# The record must be well-formed and carry the queue-level comparison.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$out" >/dev/null ||
+        { echo "bench_record: $out is not valid JSON" >&2; exit 1; }
+fi
+grep -q '"queue_hold_64_backend_point"' "$out" ||
+    { echo "bench_record: $out missing the queue hold record" >&2; exit 1; }
+echo "==> bench record ok ($out)"

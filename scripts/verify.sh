@@ -81,6 +81,12 @@ echo "$fleet_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
     { echo "verify: fleet watchdog missing or reported violations" >&2; exit 1; }
 echo "==> fleet smoke ok"
 
+# Throughput-record smoke: the tracked sim-throughput benchmark must
+# run end to end and emit a well-formed JSON record (full-mode numbers
+# are recorded separately with scripts/bench_record.sh and committed as
+# BENCH_6.json).
+run scripts/bench_record.sh --smoke
+
 # Hermeticity: no external crates may creep back into any manifest.
 if grep -rn '^\(rand\|bytes\|proptest\|criterion\|serde\|crossbeam\|parking_lot\)' \
     Cargo.toml crates/*/Cargo.toml; then
