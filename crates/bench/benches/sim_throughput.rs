@@ -159,6 +159,26 @@ fn main() {
         "full"
     };
 
+    // Diagnosis mode (`NCAP_BENCH_PROFILE=1`): skip the sweep and
+    // self-profile the backend comparison only — per-event-class wall
+    // time on the calendar queue vs the reference heap. The profiler
+    // splits pop/peek cost (`queue`) from handler cost (which includes
+    // the push path), so a calendar-vs-heap delta localizes to one side.
+    if std::env::var_os("NCAP_BENCH_PROFILE").is_some() {
+        let cfg = fleet_cfg(64, DispatchPolicy::LeastOutstanding).with_profile();
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let r = run_experiment(&cfg.clone().with_queue_backend(backend));
+            let p = r.self_profile.expect("profiling enabled");
+            println!(
+                "--- {backend:?}: {} events, {:.0} ev/s profiled ---",
+                r.events_processed,
+                p.events_per_sec()
+            );
+            print!("{}", p.render());
+        }
+        return;
+    }
+
     // 1. End-to-end fleet throughput.
     let sizes: &[usize] = if smoke_mode() {
         &[1, 8]

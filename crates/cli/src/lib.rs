@@ -6,10 +6,11 @@
 //!
 //! ```text
 //! ncap policies
-//! ncap run   --app memcached --policy ncap.cons --load 35000 [flags]
-//! ncap sweep --app apache --policies perf,ncap.cons --loads 20000,40000,60000
-//! ncap sla   --app memcached
-//! ncap trace --app memcached --policy ncap.cons --load 35000 --out traces/
+//! ncap run    --app memcached --policy ncap.cons --load 35000 [flags]
+//! ncap sweep  --app apache --policies perf,ncap.cons --loads 20000,40000,60000
+//! ncap sla    --app memcached
+//! ncap trace  --app memcached --policy ncap.cons --load 35000 --out traces/
+//! ncap report --app memcached --policy ond.idle --load 20000 [--tail P]
 //! ```
 
 use cluster::{
@@ -36,6 +37,8 @@ pub enum Command {
     },
     /// Run one experiment with event tracing and export Perfetto/CSV.
     Trace(TraceArgs),
+    /// Run one experiment and print the per-stage latency attribution.
+    Report(ReportArgs),
     /// Print usage.
     Help,
 }
@@ -100,6 +103,17 @@ pub struct TraceArgs {
     pub out: String,
     /// Metrics bin width for the CSV export, microseconds.
     pub window_us: u64,
+}
+
+/// Arguments of `ncap report`: an ordinary run plus attribution knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The experiment to run (same knobs as `ncap run`).
+    pub run: RunArgs,
+    /// Percentile the tail view conditions on.
+    pub tail: f64,
+    /// Also print the simulator's wall-clock self-profile.
+    pub profile: bool,
 }
 
 /// Arguments of `ncap sweep`.
@@ -360,6 +374,37 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 window_us,
             }))
         }
+        "report" => {
+            let mut a = default_run_args();
+            let mut tail = 99.0;
+            let mut profile = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--tail" => {
+                        tail = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--tail expects a percentile".into()))?;
+                        if !(0.0..100.0).contains(&tail) {
+                            return Err(ParseError("--tail must be in [0, 100)".into()));
+                        }
+                    }
+                    "--profile" => profile = true,
+                    other => {
+                        if !apply_run_flag(&mut a, other, &mut it)? {
+                            return Err(ParseError(format!("unknown flag '{other}'")));
+                        }
+                    }
+                }
+            }
+            if a.load <= 0.0 {
+                return Err(ParseError("--load must be positive".into()));
+            }
+            Ok(Command::Report(ReportArgs {
+                run: a,
+                tail,
+                profile,
+            }))
+        }
         "sweep" => {
             let mut app = None;
             let mut policies = Vec::new();
@@ -442,6 +487,14 @@ USAGE:
              runs one experiment with structured event tracing and writes
              <dir>/trace.json (Perfetto/chrome://tracing) and
              <dir>/trace.csv (windowed metrics)
+  ncap report [run flags] [--tail P] [--profile]
+             runs one experiment and prints the per-stage latency
+             attribution: mean/p50/p99 per stage, each stage's share of
+             total latency, the tail-conditioned shares (requests at or
+             above the --tail percentile of total latency, default 99),
+             and a p50/p99 waterfall; --profile adds the simulator's
+             wall-clock self-profile (host-dependent, attribution of
+             where the simulator itself spends time)
 ";
 
 /// Builds the [`ExperimentConfig`] for a set of `run`-style arguments.
@@ -506,6 +559,44 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
         cfg = cfg.with_fleet(fleet);
     }
     cfg
+}
+
+/// Renders an ASCII p50/p99 waterfall of the per-stage attribution: one
+/// row per stage that ever contributed, with a solid bar out to the
+/// stage's p50 and a light bar on to its p99, all on a shared scale.
+fn render_waterfall(b: &simstats::LatencyBreakdown) -> String {
+    use std::fmt::Write;
+    const WIDTH: f64 = 40.0;
+    let max = b
+        .stages
+        .iter()
+        .map(|s| s.hist.percentile(99.0))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("waterfall (\u{2588} to p50, \u{2591} on to p99):\n");
+    if max == 0 {
+        out.push_str("  (no attributed time)\n");
+        return out;
+    }
+    for s in &b.stages {
+        let p50 = s.hist.percentile(50.0);
+        let p99 = s.hist.percentile(99.0);
+        if p99 == 0 {
+            continue;
+        }
+        let cols = |v: u64| ((v as f64 / max as f64) * WIDTH).ceil() as usize;
+        let (c50, c99) = (cols(p50), cols(p99).max(cols(p50)));
+        let bar = "\u{2588}".repeat(c50) + &"\u{2591}".repeat(c99 - c50);
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<41} p50 {:>8}  p99 {:>8}",
+            s.name,
+            bar,
+            fmt_ns(p50),
+            fmt_ns(p99)
+        );
+    }
+    out
 }
 
 /// Executes a parsed command, printing to stdout. Returns the process
@@ -704,6 +795,66 @@ pub fn execute(cmd: Command) -> i32 {
             );
             println!("  wrote    {}", json_path.display());
             println!("  wrote    {}", csv_path.display());
+            0
+        }
+        Command::Report(rep) => {
+            let a = &rep.run;
+            let cfg = {
+                let mut cfg = run_config(a).with_breakdown_tail(rep.tail);
+                if rep.profile {
+                    cfg = cfg.with_profile();
+                }
+                cfg
+            };
+            let r = match try_run_experiment(&cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("invalid configuration: {e}");
+                    return 2;
+                }
+            };
+            let Some(b) = &r.breakdown else {
+                eprintln!("internal error: report run returned no breakdown");
+                return 1;
+            };
+            println!(
+                "{} / {} @ {:.0} rps over {} ms — {} requests, mean {}, tail = p{:.0} (\u{2265} {}, {} requests):",
+                a.app,
+                a.policy,
+                a.load,
+                a.measure_ms,
+                b.count,
+                fmt_ns(b.total_mean as u64),
+                b.tail_percentile,
+                fmt_ns(b.tail_threshold_ns),
+                b.tail_count
+            );
+            let mut t = Table::new(vec!["stage", "mean", "p50", "p99", "share", "tail share"]);
+            for s in &b.stages {
+                t.row(vec![
+                    s.name.to_owned(),
+                    fmt_ns(s.mean as u64),
+                    fmt_ns(s.hist.percentile(50.0)),
+                    fmt_ns(s.hist.percentile(99.0)),
+                    format!("{:5.1}%", s.share * 100.0),
+                    format!("{:5.1}%", s.tail_share * 100.0),
+                ]);
+            }
+            println!("{t}");
+            if let Some(dom) = b.tail_dominant() {
+                println!(
+                    "tail verdict: '{}' dominates above p{:.0} ({:.1}% of tail latency, vs {:.1}% overall)",
+                    dom.name,
+                    b.tail_percentile,
+                    dom.tail_share * 100.0,
+                    dom.share * 100.0
+                );
+            }
+            println!("{}", render_waterfall(b));
+            if let Some(p) = &r.self_profile {
+                println!("simulator self-profile (wall clock, host-dependent):");
+                print!("{}", p.render());
+            }
             0
         }
         Command::Sla { app } => {
@@ -1021,6 +1172,72 @@ mod tests {
         assert!(csv.starts_with("time_ns,"));
         assert!(csv.lines().next().unwrap().contains("cluster.bw_rx"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_report_with_run_flags() {
+        let Command::Report(r) = parse([
+            "report",
+            "--app",
+            "memcached",
+            "--policy",
+            "ond.idle",
+            "--load",
+            "20000",
+            "--tail",
+            "95",
+            "--profile",
+        ])
+        .unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(r.run.app, AppKind::Memcached);
+        assert_eq!(r.run.policy, Policy::OndIdle);
+        assert_eq!(r.tail, 95.0);
+        assert!(r.profile);
+        // Defaults: p99 tail, no self-profile.
+        let Command::Report(d) = parse(["report"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(d.tail, 99.0);
+        assert!(!d.profile);
+        assert!(parse(["report", "--tail", "101"]).is_err());
+        assert!(parse(["report", "--tail", "wat"]).is_err());
+        assert!(parse(["report", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn tiny_report_executes() {
+        let Command::Report(mut r) = parse([
+            "report",
+            "--app",
+            "memcached",
+            "--policy",
+            "ond.idle",
+            "--load",
+            "20000",
+            "--profile",
+        ])
+        .unwrap() else {
+            panic!("expected report");
+        };
+        r.run.warmup_ms = 5;
+        r.run.measure_ms = 15;
+        assert_eq!(execute(Command::Report(r)), 0);
+    }
+
+    #[test]
+    fn waterfall_renders_contributing_stages() {
+        let mut c = simstats::BreakdownCollector::new();
+        let mut v = [0u32; simstats::STAGE_COUNT];
+        v[7] = 10_000; // cpu
+        v[0] = 2_000; // net_in
+        c.record(v, 12_000);
+        let b = c.finalize(99.0);
+        let w = render_waterfall(&b);
+        assert!(w.contains("cpu"));
+        assert!(w.contains("net_in"));
+        assert!(!w.contains("wake"), "zero stages are omitted:\n{w}");
     }
 
     #[test]

@@ -138,6 +138,19 @@ pub struct ExperimentConfig {
     /// results are byte-identical either way; the knob exists for
     /// differential tests and benchmark baselines.
     pub queue_backend: desim::QueueBackend,
+    /// Collect the full-population per-stage latency breakdown
+    /// ([`ExperimentResult::breakdown`](crate::runner::ExperimentResult)).
+    /// The path stamps are written regardless, so on vs off is
+    /// bit-identical on simulated results; off only skips the
+    /// client-side accumulation.
+    pub breakdown: bool,
+    /// Percentile the breakdown's tail view conditions on.
+    pub breakdown_tail: f64,
+    /// Enable the simulator's wall-clock self-profiler for this run
+    /// ([`ExperimentResult::self_profile`](crate::runner::ExperimentResult)).
+    /// Host-dependent readings, outside the determinism contract; never
+    /// changes a simulated result.
+    pub profile: bool,
 }
 
 impl ExperimentConfig {
@@ -174,7 +187,34 @@ impl ExperimentConfig {
             watchdog: WatchdogConfig::default(),
             fleet: None,
             queue_backend: desim::QueueBackend::default(),
+            breakdown: true,
+            breakdown_tail: 99.0,
+            profile: false,
         }
+    }
+
+    /// Enables or disables per-stage breakdown collection (builder
+    /// style; on by default).
+    #[must_use]
+    pub fn with_breakdown(mut self, enabled: bool) -> Self {
+        self.breakdown = enabled;
+        self
+    }
+
+    /// Sets the percentile the breakdown's tail view conditions on
+    /// (builder style; 99.0 by default).
+    #[must_use]
+    pub fn with_breakdown_tail(mut self, percentile: f64) -> Self {
+        self.breakdown_tail = percentile;
+        self
+    }
+
+    /// Turns on the wall-clock self-profiler for this run (builder
+    /// style; off by default).
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// Overrides warmup and measurement durations (builder style).

@@ -71,6 +71,15 @@ pub struct ExperimentResult {
     /// (part of the byte-identity contract); the sim-throughput bench
     /// divides it by wall time to get events/second.
     pub events_processed: u64,
+    /// Per-stage end-to-end latency attribution over the measured
+    /// window, tail-conditioned at p99 of total latency. `None` when
+    /// [`ExperimentConfig::breakdown`] is off. Collection is a pure
+    /// observer: every other field is bit-identical with it on or off.
+    pub breakdown: Option<simstats::LatencyBreakdown>,
+    /// Wall-clock self-profile of the simulator run, when
+    /// [`ExperimentConfig::profile`] was set. Host-dependent; outside
+    /// the determinism contract.
+    pub self_profile: Option<desim::Profile>,
 }
 
 impl ExperimentResult {
@@ -261,17 +270,22 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
     let (clients, background) = build_clients(cfg, target, client_base);
     let mut cluster = ClusterSim::with_servers(servers, clients, background, cfg.trace)
         .with_fault_injection(cfg.faults)
-        .with_watchdog(Watchdog::new(cfg.watchdog));
+        .with_watchdog(Watchdog::new(cfg.watchdog))
+        .with_breakdown(cfg.breakdown);
     if let Some(fleet) = &cfg.fleet {
         cluster = cluster.with_fleet(target, fleet);
     }
     let horizon = SimTime::ZERO + cfg.horizon();
     let initial = cluster.initial_events(cfg.warmup, horizon);
     let mut sim = Simulation::with_backend(cluster, cfg.queue_backend);
+    if cfg.profile {
+        sim.enable_profiling();
+    }
     for (t, e) in initial {
         sim.queue_mut().push(t, e);
     }
     sim.run_until(horizon);
+    let self_profile = sim.profile();
     let sim_trace = simtrace::uninstall();
     let events_processed = sim.events_processed();
     let now = sim.now();
@@ -337,6 +351,10 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
         invariant_violations,
         fleet,
         events_processed,
+        breakdown: cfg
+            .breakdown
+            .then(|| cluster.latency_breakdown(cfg.breakdown_tail)),
+        self_profile,
     };
     let traces = sim.into_handler().into_traces();
     Ok(ExperimentResult { traces, ..result })

@@ -12,10 +12,19 @@ use crate::watchdog::{AccountingView, Watchdog};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{ConfigError, EventHandler, EventQueue, SimDuration, SimTime};
 use fleetsim::{FleetAction, FleetConfig, FleetCoordinator, FleetSummary, LoadBalancer};
-use netsim::{Delivery, FaultConfig, NodeId, Packet, Reassembly, SegmentStatus, Switch};
+use netsim::{
+    Delivery, FaultConfig, NodeId, Packet, PacketMeta, Reassembly, SegmentStatus, Switch,
+};
 use oldi_apps::{OpenLoopClient, ResponseTracker};
 use oskernel::{Effects, Kernel, NodeEvent};
+use simstats::breakdown::{stage, BreakdownCollector, LatencyBreakdown, STAGE_COUNT, STAGE_NAMES};
 use std::collections::HashMap;
+
+/// Clamps a nanosecond duration into the `u32` stage fields (4.29 s cap,
+/// far above any request residency the harness simulates).
+fn ns32(ns: u64) -> u32 {
+    u32::try_from(ns).unwrap_or(u32::MAX)
+}
 
 /// Events of the cluster world.
 #[derive(Debug, Clone)]
@@ -146,6 +155,16 @@ pub struct ClusterSim {
     misroutes: u64,
     watchdog: Option<Watchdog>,
     fleet: Option<FleetState>,
+    /// Full-population per-stage latency attribution (measurement
+    /// sideband — never consulted by the simulated system).
+    breakdown: BreakdownCollector,
+    /// Collection gate; the sideband stamps are written regardless, so
+    /// on vs off is bit-identical on simulated results.
+    collect_breakdown: bool,
+    /// Attribution records of final response frames seen before their
+    /// request fully reassembled (reordering can complete a request on a
+    /// non-final segment).
+    stage_cache: HashMap<u64, netsim::StageRecord>,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -278,7 +297,19 @@ impl ClusterSim {
             misroutes: 0,
             watchdog: None,
             fleet: None,
+            breakdown: BreakdownCollector::new(),
+            collect_breakdown: true,
+            stage_cache: HashMap::new(),
         })
+    }
+
+    /// Enables or disables per-stage latency collection (builder style).
+    /// The path stamps are written either way; this only gates the
+    /// client-side accumulation, so simulated results are bit-identical.
+    #[must_use]
+    pub fn with_breakdown(mut self, enabled: bool) -> Self {
+        self.collect_breakdown = enabled;
+        self
     }
 
     /// Installs the fault-injection subsystem (builder style): the
@@ -525,6 +556,7 @@ impl ClusterSim {
             }
             if frame.meta().sent_at >= self.measure_start && self.measuring {
                 self.tracker.on_response_frame(now, &frame);
+                self.note_final_response(now, &frame.meta());
             }
         }
     }
@@ -537,6 +569,7 @@ impl ClusterSim {
         let Some(mut fs) = self.fleet.take() else {
             return;
         };
+        let is_response = fs.lb.backend_index(frame.src()).is_some();
         let forward = if let Some(idx) = fs.lb.backend_index(frame.src()) {
             let resp = fs.lb.on_response(frame);
             if let Some(drained) = resp.drained {
@@ -569,7 +602,16 @@ impl ClusterSim {
             }
             Some(out)
         };
-        if let Some(f) = forward {
+        if let Some(mut f) = forward {
+            // Attribution: the LB's forwarding hold, per direction. The
+            // extra switch hop's transit stays in the net stages.
+            let hold = ns32(fs.latency.as_nanos());
+            let st = &mut f.meta_mut().stages;
+            if is_response {
+                st.lb_out_ns = st.lb_out_ns.saturating_add(hold);
+            } else {
+                st.lb_in_ns = st.lb_in_ns.saturating_add(hold);
+            }
             self.route(now + fs.latency, f, queue);
         }
         self.fleet = Some(fs);
@@ -645,6 +687,101 @@ impl ClusterSim {
         self.fleet = Some(fs);
     }
 
+    /// Derives the reported per-stage vector from a completing response's
+    /// attribution record. The residual stages (`net_in`, `net_out`)
+    /// absorb switch/wire transit, so the vector tiles the
+    /// client-observed latency exactly: Σ stages == `now - sent_at`.
+    fn stage_vector(
+        now: SimTime,
+        sent_at: SimTime,
+        st: &netsim::StageRecord,
+    ) -> ([u32; STAGE_COUNT], u64) {
+        let sent = sent_at.as_nanos();
+        let total = now.as_nanos().saturating_sub(sent);
+        let arrival = st.arrival.as_nanos();
+        let mut v = [0u32; STAGE_COUNT];
+        v[stage::NET_IN] = ns32(
+            arrival
+                .saturating_sub(sent)
+                .saturating_sub(u64::from(st.retx_ns))
+                .saturating_sub(u64::from(st.lb_in_ns)),
+        );
+        v[stage::LB] = st.lb_in_ns.saturating_add(st.lb_out_ns);
+        v[stage::DMA] = ns32(st.dma_done.as_nanos().saturating_sub(arrival));
+        v[stage::MODERATION] = st.moderation_ns;
+        v[stage::WAKE] = st.wake_ns;
+        v[stage::STACK] = st.stack_ns;
+        v[stage::RQ_WAIT] = st.rq_wait_ns;
+        v[stage::CPU] = st.cpu_ns;
+        v[stage::IO] = st.io_ns;
+        v[stage::TX] = st.tx_ns;
+        v[stage::NET_OUT] = ns32(
+            now.as_nanos()
+                .saturating_sub(st.last_tx.as_nanos())
+                .saturating_sub(u64::from(st.lb_out_ns)),
+        );
+        v[stage::RETX] = st.retx_ns.saturating_add(st.replay_ns);
+        (v, total)
+    }
+
+    /// Records one completed request into the breakdown population and,
+    /// when tracing, emits per-stage async spans tiling `[sent_at, now]`
+    /// in canonical stage order.
+    fn record_completion(
+        &mut self,
+        now: SimTime,
+        rid: u64,
+        sent_at: SimTime,
+        st: &netsim::StageRecord,
+    ) {
+        if !self.collect_breakdown {
+            return;
+        }
+        let (v, total) = Self::stage_vector(now, sent_at, st);
+        self.breakdown.record(v, total);
+        if simtrace::is_enabled() {
+            const ORDER: [usize; STAGE_COUNT] = [
+                stage::RETX,
+                stage::NET_IN,
+                stage::LB,
+                stage::DMA,
+                stage::MODERATION,
+                stage::WAKE,
+                stage::STACK,
+                stage::RQ_WAIT,
+                stage::CPU,
+                stage::IO,
+                stage::TX,
+                stage::NET_OUT,
+            ];
+            let mut cursor = sent_at.as_nanos();
+            for &i in &ORDER {
+                let d = u64::from(v[i]);
+                if d == 0 {
+                    continue;
+                }
+                let id = simtrace::async_begin(
+                    "latency",
+                    STAGE_NAMES[i],
+                    cursor,
+                    &[simtrace::arg("id", rid)],
+                );
+                simtrace::async_end("latency", STAGE_NAMES[i], cursor + d, id);
+                cursor += d;
+            }
+        }
+    }
+
+    /// Shared tail of both client receive paths: a final, served response
+    /// frame completes its request for attribution purposes.
+    fn note_final_response(&mut self, now: SimTime, meta: &PacketMeta) {
+        if let Some(rid) = meta.request_id {
+            if meta.is_final && !meta.rejected {
+                self.record_completion(now, rid, meta.sent_at, &meta.stages);
+            }
+        }
+    }
+
     /// Client-side receive path of the reliability layer: response
     /// segments feed the request's reassembler; duplicates (from response
     /// replays or reordering) are absorbed, and the request completes
@@ -659,6 +796,7 @@ impl ClusterSim {
             if self.retx.remove(&rid).is_some() {
                 self.rejected_total += 1;
                 self.reassembly.remove(&rid);
+                self.stage_cache.remove(&rid);
                 if meta.sent_at >= self.measure_start && self.measuring {
                     self.tracker.reject(rid);
                 }
@@ -670,17 +808,27 @@ impl ClusterSim {
             // keeps the legacy per-frame accounting.
             if meta.sent_at >= self.measure_start && self.measuring {
                 self.tracker.on_response_frame(now, frame);
+                self.note_final_response(now, &meta);
             }
             return;
         };
+        // Remember the final frame's attribution record: reordering can
+        // complete the request on a *non-final* segment.
+        if meta.is_final {
+            self.stage_cache.insert(rid, meta.stages);
+        }
         match reasm.on_segment(meta.seq, meta.is_final) {
             SegmentStatus::Completed => {
                 // Cancels the pending timer: the next RetxCheck finds no
                 // state and is a no-op.
                 self.retx.remove(&rid);
                 self.completed_total += 1;
+                let stages = self.stage_cache.remove(&rid);
                 if meta.sent_at >= self.measure_start && self.measuring {
                     self.tracker.complete(now, rid, meta.sent_at);
+                    if let Some(st) = stages {
+                        self.record_completion(now, rid, meta.sent_at, &st);
+                    }
                 }
             }
             SegmentStatus::Fresh | SegmentStatus::Duplicate => {}
@@ -706,6 +854,7 @@ impl ClusterSim {
         if state.attempt >= retx.max_retries {
             // Give up: the request is *reported* lost, never silent.
             self.retx.remove(&id);
+            self.stage_cache.remove(&id);
             self.lost_requests += 1;
             if simtrace::is_enabled() {
                 let t = now.as_nanos();
@@ -724,7 +873,14 @@ impl ClusterSim {
         }
         state.attempt += 1;
         let next_attempt = state.attempt;
-        let frame = state.frame.clone();
+        let mut frame = state.frame.clone();
+        // Attribution: the cumulative client-side wait up to this resend.
+        // If this copy is the one the server serves, the stamp rides with
+        // it; earlier copies carry their own (smaller) stamp.
+        frame.meta_mut().stages.retx_ns = ns32(
+            now.as_nanos()
+                .saturating_sub(state.frame.meta().sent_at.as_nanos()),
+        );
         self.retransmits += 1;
         if simtrace::is_enabled() {
             let t = now.as_nanos();
@@ -811,6 +967,7 @@ impl ClusterSim {
         self.measuring = true;
         self.tracker = ResponseTracker::new();
         self.offered_measured = 0;
+        self.breakdown.reset();
     }
 
     fn total_energy_raw(&self) -> EnergyMeter {
@@ -956,6 +1113,20 @@ impl ClusterSim {
         &self.tracker
     }
 
+    /// The raw per-stage attribution population collected during the
+    /// measured window (empty when collection is disabled).
+    #[must_use]
+    pub fn breakdown_collector(&self) -> &BreakdownCollector {
+        &self.breakdown
+    }
+
+    /// Condensed per-stage attribution, tail-conditioned at
+    /// `tail_percentile` of total latency.
+    #[must_use]
+    pub fn latency_breakdown(&self, tail_percentile: f64) -> LatencyBreakdown {
+        self.breakdown.finalize(tail_percentile)
+    }
+
     /// Latency-critical requests offered during the measured window.
     #[must_use]
     pub fn offered_measured(&self) -> u64 {
@@ -1035,6 +1206,21 @@ impl EventHandler for ClusterSim {
             ClusterEvent::FleetUnparkDone { backend, gen } => {
                 self.on_fleet_transition_done(now, backend, gen, false);
             }
+        }
+    }
+
+    fn classify(&self, event: &ClusterEvent) -> &'static str {
+        match event {
+            ClusterEvent::Server(_, e) => e.class(),
+            ClusterEvent::ClientBurst { .. } => "client_burst",
+            ClusterEvent::Deliver { .. } => "deliver",
+            ClusterEvent::RetxCheck { .. } => "retx_check",
+            ClusterEvent::Sample => "sample",
+            ClusterEvent::StartMeasure => "start_measure",
+            ClusterEvent::Watchdog => "watchdog",
+            ClusterEvent::FleetEpoch => "fleet_epoch",
+            ClusterEvent::FleetParkDone { .. } => "fleet_park",
+            ClusterEvent::FleetUnparkDone { .. } => "fleet_unpark",
         }
     }
 }

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod config;
+pub mod profiler;
 pub mod queue;
 pub mod rng;
 pub mod runner;
@@ -39,6 +40,7 @@ pub mod time;
 pub mod timer;
 
 pub use config::ConfigError;
+pub use profiler::{ClassStats, Profile, PROFILE_BUCKETS};
 pub use queue::{EventQueue, QueueBackend};
 pub use rng::SplitMix64;
 pub use runner::{EventHandler, RunOutcome, Simulation};

@@ -330,13 +330,13 @@ impl<E> Calendar<E> {
         }
         self.near -= 1;
         self.pops_since_resize += 1;
-        if (self.nbuckets > MIN_BUCKETS && self.near * SHRINK_FACTOR < self.nbuckets)
-            || self.pops_since_resize > REBUCKET_FACTOR * self.nbuckets as u64
-        {
-            // A rebuild moves events between lanes but never changes the
-            // pending *set*, so `rest_min` (when the cursor lane stayed
-            // non-empty) survives it.
+        // A rebuild moves events between lanes but never changes the
+        // pending *set*, so `rest_min` (when the cursor lane stayed
+        // non-empty) survives it.
+        if self.nbuckets > MIN_BUCKETS && self.near * SHRINK_FACTOR < self.nbuckets {
             self.resize();
+        } else if self.pops_since_resize > REBUCKET_FACTOR * self.nbuckets as u64 {
+            self.rebucket();
         }
         self.min_cache.set(if self.len() == 0 {
             MinCache::Known(None)
@@ -448,6 +448,45 @@ impl<E> Calendar<E> {
         }
     }
 
+    /// Bucket width ≈ half the average inter-event gap (rounded up to a
+    /// power of two), so steady-state occupancy lands around one event
+    /// per occupied lane and push/pop degenerate to a vec append/pop —
+    /// the calendar sweet spot. The year then covers at least the
+    /// observed spread, keeping the overflow ladder for genuine
+    /// outliers. A same-instant flood (zero spread) degrades
+    /// gracefully: one hot lane, min-scanned.
+    fn width_for(lo: u64, hi: u64, n: usize) -> u32 {
+        let gap = ((hi - lo) / n as u64).max(1);
+        let ceil_log2 = 64 - (gap - 1).leading_zeros().min(63);
+        ceil_log2.min(MAX_WIDTH_SHIFT)
+    }
+
+    /// The periodic re-bucket, guarded by a read-only probe: scan the
+    /// pending population for the geometry a rebuild would derive, and
+    /// skip the drain-and-replace when neither the lane count nor the
+    /// bucket width would change. The probe reads one `u64` per entry;
+    /// the rebuild it avoids moves every entry — payload and all, and
+    /// simulation events run to hundreds of bytes — twice. A
+    /// steady-state population with a stable time spread (the common
+    /// case between load shifts) pays only the probe.
+    fn rebucket(&mut self) {
+        let n = self.len();
+        let target = (n * 2).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if n >= 1 && target == self.nbuckets {
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for e in self.buckets.iter().flatten().chain(&self.overflow) {
+                let t = e.time.as_nanos();
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            if Self::width_for(lo, hi, n) == self.width_shift {
+                self.pops_since_resize = 0;
+                return;
+            }
+        }
+        self.resize();
+    }
+
     /// Rebuilds the lane array sized to the current near population and
     /// re-derives the bucket width from the observed event spread. Lane
     /// allocations are recycled through the pool.
@@ -471,16 +510,7 @@ impl<E> Calendar<E> {
                 lo = lo.min(t);
                 hi = hi.max(t);
             }
-            // Bucket width ≈ half the average inter-event gap (rounded up
-            // to a power of two), so steady-state occupancy lands around
-            // one event per occupied lane and push/pop degenerate to a
-            // vec append/pop — the calendar sweet spot. The year then
-            // covers at least the observed spread, keeping the overflow
-            // ladder for genuine outliers. A same-instant flood (zero
-            // spread) degrades gracefully: one hot lane, min-scanned.
-            let gap = ((hi - lo) / n as u64).max(1);
-            let ceil_log2 = 64 - (gap - 1).leading_zeros().min(63);
-            self.width_shift = ceil_log2.min(MAX_WIDTH_SHIFT);
+            self.width_shift = Self::width_for(lo, hi, n);
             // Re-anchor the year at the population minimum. Without this,
             // everything earlier than wherever `day_start` happened to sit
             // (it anchors at the *first* push after empty, not the

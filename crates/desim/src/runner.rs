@@ -4,6 +4,7 @@
 //! [`EventHandler`]; it repeatedly pops the earliest event, advances the
 //! clock, and lets the handler react (usually by scheduling further events).
 
+use crate::profiler::{Profile, Profiler};
 use crate::queue::{EventQueue, QueueBackend};
 use crate::time::SimTime;
 
@@ -23,6 +24,14 @@ pub trait EventHandler {
 
     /// Reacts to `event` occurring at instant `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Coarse label for `event`, used only by the opt-in wall-clock
+    /// self-profiler to group dispatch costs (e.g. by enum variant).
+    /// Simulated results never depend on this; the default lumps
+    /// everything into one class.
+    fn classify(&self, _event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Why a [`Simulation::run_until`] call returned.
@@ -69,6 +78,8 @@ pub struct Simulation<H: EventHandler> {
     peak_pending: usize,
     /// Reused scratch buffer for batched same-instant dispatch.
     batch: Vec<(SimTime, H::Event)>,
+    /// Opt-in wall-clock self-profiler (outside the determinism contract).
+    profiler: Option<Profiler>,
 }
 
 impl<H: EventHandler> Simulation<H> {
@@ -93,7 +104,25 @@ impl<H: EventHandler> Simulation<H> {
             event_budget: Self::DEFAULT_EVENT_BUDGET,
             peak_pending: 0,
             batch: Vec::new(),
+            profiler: None,
         }
+    }
+
+    /// Turns on the wall-clock self-profiler. Profiling attributes *host*
+    /// time to event classes (see [`EventHandler::classify`]) and the
+    /// queue's pop path; it reads only `std::time::Instant` and never
+    /// changes a simulated result. Readings are host-dependent and
+    /// explicitly outside the determinism contract.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::new());
+        }
+    }
+
+    /// A snapshot of the self-profile, if profiling is enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<Profile> {
+        self.profiler.as_ref().map(Profiler::snapshot)
     }
 
     /// Replaces the runaway-protection event budget.
@@ -176,12 +205,26 @@ impl<H: EventHandler> Simulation<H> {
             self.peak_pending = self.peak_pending.max(self.queue.len());
             let cap = (self.event_budget - self.processed).min(DISPATCH_BATCH_MAX as u64) as usize;
             let mut batch = std::mem::take(&mut self.batch);
+            let pop_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
             self.queue.pop_batch_until(next, cap, &mut batch);
+            if let (Some(p), Some(t0)) = (self.profiler.as_mut(), pop_start) {
+                p.queue_ns += t0.elapsed().as_nanos() as u64;
+            }
             for (time, event) in batch.drain(..) {
                 debug_assert!(time >= self.now, "event scheduled in the past");
                 self.now = time;
                 self.processed += 1;
-                self.handler.handle(time, event, &mut self.queue);
+                if self.profiler.is_some() {
+                    let class = self.handler.classify(&event);
+                    let t0 = std::time::Instant::now();
+                    self.handler.handle(time, event, &mut self.queue);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.record(class, ns);
+                    }
+                } else {
+                    self.handler.handle(time, event, &mut self.queue);
+                }
                 Self::trace_dispatch(time);
             }
             self.batch = batch;
@@ -199,7 +242,17 @@ impl<H: EventHandler> Simulation<H> {
         debug_assert!(time >= self.now, "event scheduled in the past");
         self.now = time;
         self.processed += 1;
-        self.handler.handle(time, event, &mut self.queue);
+        if self.profiler.is_some() {
+            let class = self.handler.classify(&event);
+            let t0 = std::time::Instant::now();
+            self.handler.handle(time, event, &mut self.queue);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(class, ns);
+            }
+        } else {
+            self.handler.handle(time, event, &mut self.queue);
+        }
         Self::trace_dispatch(time);
         Some(time)
     }
@@ -350,6 +403,33 @@ mod tests {
             run(crate::queue::QueueBackend::Calendar),
             run(crate::queue::QueueBackend::BinaryHeap)
         );
+    }
+
+    #[test]
+    fn profiling_is_observer_free_and_attributes_events() {
+        let run = |profile: bool| {
+            let mut sim = ticker(50);
+            if profile {
+                sim.enable_profiling();
+            }
+            sim.run_until(SimTime::from_ms(3));
+            let p = sim.profile();
+            (
+                sim.now(),
+                sim.events_processed(),
+                sim.into_handler().ticks,
+                p,
+            )
+        };
+        let (now_on, n_on, ticks_on, profile) = run(true);
+        let (now_off, n_off, ticks_off, no_profile) = run(false);
+        assert_eq!((now_on, n_on, &ticks_on), (now_off, n_off, &ticks_off));
+        assert!(no_profile.is_none());
+        let profile = profile.expect("profiling enabled");
+        assert_eq!(profile.events, n_on);
+        assert_eq!(profile.classes.len(), 1); // default classify
+        assert_eq!(profile.classes[0].count, n_on);
+        assert!(profile.wall_ns > 0);
     }
 
     #[test]

@@ -69,6 +69,26 @@ pub enum NodeEvent {
     },
 }
 
+impl NodeEvent {
+    /// Coarse per-variant label, used by the simulator's wall-clock
+    /// self-profiler (`desim::EventHandler::classify`).
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            NodeEvent::FrameFromWire(_) => "node.frame_from_wire",
+            NodeEvent::RxDmaComplete { .. } => "node.rx_dma",
+            NodeEvent::ModerationDelay { .. } => "node.moderation_delay",
+            NodeEvent::MittExpired => "node.mitt",
+            NodeEvent::JobDone { .. } => "node.job_done",
+            NodeEvent::WakeDone { .. } => "node.wake_done",
+            NodeEvent::GovernorTick => "node.governor_tick",
+            NodeEvent::NcapSwTimer => "node.ncap_sw_timer",
+            NodeEvent::IoDone { .. } => "node.io_done",
+            NodeEvent::TxWire { .. } => "node.tx_wire",
+        }
+    }
+}
+
 /// What a handler wants done next.
 #[derive(Debug, Default)]
 pub struct Effects {
@@ -88,6 +108,19 @@ struct ReqState {
     info: RequestInfo,
     phases: VecDeque<AppPhase>,
     response_bytes: usize,
+    /// Latency-attribution record accumulated while the request is in
+    /// flight (measurement sideband; stamped into the final response).
+    stages: netsim::StageRecord,
+}
+
+/// Everything `emit_response` needs to address, size, and attribute a
+/// response — from first-time completion or a reliability-layer replay.
+struct Response {
+    dst: NodeId,
+    request_id: u64,
+    bytes: usize,
+    sent_at: SimTime,
+    stages: netsim::StageRecord,
 }
 
 /// Receiver-side duplicate-suppression state for one request id (only
@@ -102,6 +135,10 @@ enum DupState {
     Done {
         /// Size of the generated response body.
         response_bytes: usize,
+        /// The original attribution record, so a replayed response still
+        /// tiles the client-observed latency (the original-to-replay gap
+        /// is charged to `replay_ns`).
+        stages: netsim::StageRecord,
     },
     /// Admission control rejected the request with a 503. A duplicate
     /// retransmission replays the rejection — the request is never
@@ -233,6 +270,13 @@ impl CoDelState {
     }
 }
 
+/// Narrows a nanosecond span to the `u32` attribution fields. Simulated
+/// runs are orders of magnitude below the ~4.3 s cap; saturate rather
+/// than wrap if one ever is not.
+fn ns32(ns: u64) -> u32 {
+    u32::try_from(ns).unwrap_or(u32::MAX)
+}
+
 /// The kernel of one simulated server node.
 pub struct Kernel {
     cfg: KernelConfig,
@@ -258,6 +302,13 @@ pub struct Kernel {
     wake_slots: Vec<TimerSlot>,
     sleep_since: Vec<SimTime>,
     isr_pending: Vec<bool>,
+    /// When each core's in-progress wake will complete (valid while the
+    /// matching `wake_slots` entry is armed). Attribution only.
+    wake_eta: Vec<SimTime>,
+    /// Per NIC queue: the `(begin, done)` window of the C-state wake the
+    /// last asserted interrupt had to wait out (both zero when the
+    /// servicing core was already awake). Attribution only.
+    irq_wake: Vec<(SimTime, SimTime)>,
 
     power: PowerModel,
     uncore: EnergyMeter,
@@ -317,6 +368,7 @@ impl Kernel {
             .map(|i| Core::new(CoreId(i), table.clone(), power.clone(), cfg.initial_pstate))
             .collect();
         let isr_pending = vec![false; nic.queue_count()];
+        let irq_wake = vec![(SimTime::ZERO, SimTime::ZERO); nic.queue_count()];
         let rx_backlog = vec![0; nic.queue_count()];
         Kernel {
             rx_backlog,
@@ -344,7 +396,9 @@ impl Kernel {
             job_slots: vec![TimerSlot::new(); n],
             wake_slots: vec![TimerSlot::new(); n],
             sleep_since: vec![SimTime::ZERO; n],
+            wake_eta: vec![SimTime::ZERO; n],
             isr_pending,
+            irq_wake,
             requests: HashMap::new(),
             seen: HashMap::new(),
             req_traces: HashMap::new(),
@@ -476,7 +530,11 @@ impl Kernel {
             .is_some_and(|n| id.is_multiple_of(n))
     }
 
-    fn on_frame_from_wire(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
+    fn on_frame_from_wire(&mut self, now: SimTime, mut frame: Packet, fx: &mut Effects) {
+        // Attribution anchor: the frame is fully off the wire. Everything
+        // until the SoftIRQ drain is NIC-resident time (DMA, moderation
+        // hold, interrupt servicing, wake latency).
+        frame.meta_mut().stages.arrival = now;
         if let Some(id) = frame.meta().request_id {
             if self.sampled(id) {
                 self.req_traces.entry(id).or_insert(RequestTrace {
@@ -547,8 +605,19 @@ impl Kernel {
         // wedge the queue it services.
         self.run_queue.push_front(isr);
         self.note_queue_depth(now);
-        if matches!(self.cores[core].state_kind(), CoreStateKind::Asleep(_)) {
-            self.wake_core(now, core, fx);
+        // Attribution: note the wake window this interrupt waits out, so
+        // the drain can split NIC hold from C-state wake latency.
+        match self.cores[core].state_kind() {
+            CoreStateKind::Asleep(_) => {
+                self.wake_core(now, core, fx);
+                self.irq_wake[queue] = (now, self.wake_eta[core]);
+            }
+            CoreStateKind::Waking(_) => {
+                self.irq_wake[queue] = (now, self.wake_eta[core]);
+            }
+            CoreStateKind::Active => {
+                self.irq_wake[queue] = (SimTime::ZERO, SimTime::ZERO);
+            }
         }
         self.try_dispatch(now, fx);
     }
@@ -568,6 +637,7 @@ impl Kernel {
             }
             let done = ready + self.cfg.mwait_wake_overhead;
             let gen = self.wake_slots[ci].arm(done);
+            self.wake_eta[ci] = done;
             fx.at(
                 done,
                 NodeEvent::WakeDone {
@@ -578,7 +648,8 @@ impl Kernel {
         }
     }
 
-    fn start_work(&mut self, now: SimTime, ci: usize, work: Work, fx: &mut Effects) {
+    fn start_work(&mut self, now: SimTime, ci: usize, mut work: Work, fx: &mut Effects) {
+        work.started_at = now;
         // §7 per-core boost: a core receiving work during a burst joins
         // the boosted frequency only now, instead of chip-wide at IT_HIGH.
         if self.cfg.per_core_boost
@@ -836,6 +907,19 @@ impl Kernel {
             }
             WorkKind::App { token } => {
                 self.stats.app_jobs += 1;
+                // Attribution: split this phase into run-queue wait
+                // (enqueue → dispatch) and execution (dispatch → done).
+                if let Some(state) = self.requests.get_mut(&token) {
+                    let started_at = work.started_at;
+                    let st = &mut state.stages;
+                    st.rq_wait_ns = ns32(
+                        u64::from(st.rq_wait_ns)
+                            + started_at.as_nanos().saturating_sub(enqueued_at.as_nanos()),
+                    );
+                    st.cpu_ns = ns32(
+                        u64::from(st.cpu_ns) + now.as_nanos().saturating_sub(started_at.as_nanos()),
+                    );
+                }
                 self.advance_request(now, token, fx);
             }
             WorkKind::SoftIrqTx { frame } => {
@@ -871,8 +955,29 @@ impl Kernel {
         let ov = self.cfg.overload;
         let mut drained = 0u64;
         let mut shed = 0u64;
-        while let Some(frame) = self.nic.fetch_rx(queue) {
+        while let Some(mut frame) = self.nic.fetch_rx(queue) {
             drained += 1;
+            // Attribution: tile [arrival, drain] into DMA + wake + moderation.
+            // The wake share is the overlap of the interrupt's wake window
+            // with the frame's residency; the remainder is the moderation /
+            // ring hold. Sums are exact by construction.
+            {
+                let (wake_begin, wake_done) = self.irq_wake[queue];
+                let st = &mut frame.meta_mut().stages;
+                let arrival = st.arrival.as_nanos();
+                let span = now.as_nanos().saturating_sub(arrival);
+                let dma = st.dma_done.as_nanos().saturating_sub(arrival).min(span);
+                let wake = if wake_done > wake_begin {
+                    wake_done
+                        .as_nanos()
+                        .saturating_sub(wake_begin.max(st.arrival).as_nanos())
+                        .min(span - dma)
+                } else {
+                    0
+                };
+                st.wake_ns = ns32(wake);
+                st.moderation_ns = ns32(span - dma - wake);
+            }
             // Per-RSS backlog cap: frames beyond it are tail-dropped at
             // the drain, exactly as if the ring itself had overflowed —
             // clients recover via RTO.
@@ -957,7 +1062,10 @@ impl Kernel {
                 }
                 // Already answered: the response (or its tail) was lost —
                 // replay it without re-running the application.
-                Some(&DupState::Done { response_bytes }) => {
+                Some(&DupState::Done {
+                    response_bytes,
+                    stages,
+                }) => {
                     self.stats.resp_replays += 1;
                     self.req_traces.remove(&rid);
                     if simtrace::is_enabled() {
@@ -970,8 +1078,33 @@ impl Kernel {
                         );
                         simtrace::metric_add("kernel", "resp_replays", t, 1.0);
                     }
-                    let (src, sent_at) = (frame.src(), frame.meta().sent_at);
-                    self.emit_response(now, src, rid, response_bytes, sent_at, fx);
+                    // Charge the gap since the original (or previous replay)
+                    // response to `replay_ns` so the record still tiles the
+                    // latency the client finally observes.
+                    let mut st = stages;
+                    st.replay_ns = ns32(
+                        u64::from(st.replay_ns)
+                            + now.as_nanos().saturating_sub(st.app_done.as_nanos()),
+                    );
+                    st.app_done = now;
+                    self.seen.insert(
+                        rid,
+                        DupState::Done {
+                            response_bytes,
+                            stages: st,
+                        },
+                    );
+                    self.emit_response(
+                        now,
+                        Response {
+                            dst: frame.src(),
+                            request_id: rid,
+                            bytes: response_bytes,
+                            sent_at: frame.meta().sent_at,
+                            stages: st,
+                        },
+                        fx,
+                    );
                     return;
                 }
                 // Already rejected: replay the 503 — never re-admit, even
@@ -1023,12 +1156,15 @@ impl Kernel {
         }
         let token = self.next_token;
         self.next_token += 1;
+        let mut stages = frame.meta().stages;
+        stages.stack_ns = ns32(sojourn.as_nanos());
         self.requests.insert(
             token,
             ReqState {
                 info,
                 phases: plan.phases.into(),
                 response_bytes: plan.response_bytes,
+                stages,
             },
         );
         self.advance_request(now, token, fx);
@@ -1066,6 +1202,7 @@ impl Kernel {
                 if let Some(tr) = self.req_traces.get_mut(&state.info.id) {
                     tr.io_wait += wait;
                 }
+                state.stages.io_ns = ns32(u64::from(state.stages.io_ns) + wait.as_nanos());
                 fx.at(now + wait, NodeEvent::IoDone { token });
             }
             None => {
@@ -1074,33 +1211,49 @@ impl Kernel {
                 if let Some(tr) = self.req_traces.get_mut(&state.info.id) {
                     tr.app_done = now;
                 }
+                let mut stages = state.stages;
+                stages.app_done = now;
                 if self.cfg.reliable {
                     self.seen.insert(
                         state.info.id,
                         DupState::Done {
                             response_bytes: state.response_bytes,
+                            stages,
                         },
                     );
                 }
-                let (src, sent_at) = (state.info.src, state.info.sent_at);
-                self.emit_response(now, src, state.info.id, state.response_bytes, sent_at, fx);
+                self.emit_response(
+                    now,
+                    Response {
+                        dst: state.info.src,
+                        request_id: state.info.id,
+                        bytes: state.response_bytes,
+                        sent_at: state.info.sent_at,
+                        stages,
+                    },
+                    fx,
+                );
             }
         }
     }
 
-    /// Segments a response body of `response_bytes` into TX stack work.
+    /// Segments a response body of `response.bytes` into TX stack work.
     /// Shared by first-time completion and reliability-layer replays.
-    fn emit_response(
-        &mut self,
-        now: SimTime,
-        dst: NodeId,
-        request_id: u64,
-        response_bytes: usize,
-        sent_at: SimTime,
-        fx: &mut Effects,
-    ) {
-        let body = Bytes::from(vec![0u8; response_bytes]);
-        let frames = segment_response(self.node, dst, request_id, body, sent_at);
+    fn emit_response(&mut self, now: SimTime, response: Response, fx: &mut Effects) {
+        let Response {
+            dst,
+            request_id,
+            bytes,
+            sent_at,
+            stages,
+        } = response;
+        let body = Bytes::from(vec![0u8; bytes]);
+        let mut frames = segment_response(self.node, dst, request_id, body, sent_at);
+        // The attribution record rides the final frame — the one whose
+        // arrival completes the request at the client.
+        if let Some(last) = frames.last_mut() {
+            last.meta_mut().stages = stages;
+        }
         let sw_cost = self.ncap_sw.as_ref().map_or(0, |_| ncap::SW_PER_TX_CYCLES);
         let stack = (self.cfg.tx_stack_cycles as f64 * self.nic.stack_cycle_factor()) as u64;
         let ov = self.cfg.overload;
@@ -1149,13 +1302,20 @@ impl Kernel {
         }
     }
 
-    fn on_tx_wire(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
+    fn on_tx_wire(&mut self, now: SimTime, mut frame: Packet, fx: &mut Effects) {
         self.nic.tx_done(now, frame.wire_len());
         if frame.meta().is_final {
             if let Some(id) = frame.meta().request_id {
                 if let Some(mut tr) = self.req_traces.remove(&id) {
                     tr.last_tx = now;
                     self.finished_traces.push(tr);
+                }
+                if !frame.meta().rejected {
+                    // Attribution: TX stack + NIC serialization, app-done
+                    // to wire departure of the completing frame.
+                    let st = &mut frame.meta_mut().stages;
+                    st.tx_ns = ns32(now.as_nanos().saturating_sub(st.app_done.as_nanos()));
+                    st.last_tx = now;
                 }
             }
         }

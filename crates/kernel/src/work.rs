@@ -66,6 +66,9 @@ pub struct Work {
     /// When the item entered the run queue. The CoDel-style shedder uses
     /// this to measure queue sojourn time.
     pub enqueued_at: SimTime,
+    /// When a core began executing the item (set at dispatch). Latency
+    /// attribution splits run-queue wait from execution with it.
+    pub started_at: SimTime,
 }
 
 impl Work {
@@ -78,6 +81,7 @@ impl Work {
             kind,
             affinity: None,
             enqueued_at: SimTime::ZERO,
+            started_at: SimTime::ZERO,
         }
     }
 

@@ -48,6 +48,6 @@ pub use faults::{
 };
 pub use http::{HttpRequest, MemcachedRequest};
 pub use link::Link;
-pub use packet::{NodeId, Packet, PacketMeta};
+pub use packet::{NodeId, Packet, PacketMeta, StageRecord};
 pub use switch::{Delivery, Switch};
 pub use tcp::{segment_response, Reassembly, SegmentStatus};

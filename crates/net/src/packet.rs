@@ -44,6 +44,57 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Per-request latency attribution, carried in the measurement sideband.
+///
+/// Stamped incrementally along the request's path — the client's
+/// retransmission timer, the load balancer's forwarding hop, the server
+/// NIC and kernel — so that by the time the final response frame reaches
+/// the client, consecutive anchors and durations *tile* the whole
+/// client-observed latency: the per-stage durations sum to it exactly
+/// (the conservation identity `tests/observability.rs` enforces). Like
+/// every other [`PacketMeta`] field, it is never consulted by simulated
+/// logic; simulation results are bit-identical whether anything reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageRecord {
+    /// Client-side wait before the served attempt was sent: zero when the
+    /// originally transmitted copy was served, the elapsed retransmission
+    /// backoff when the server ended up serving a resent copy.
+    pub retx_ns: u32,
+    /// Load-balancer forwarding hold on the request path.
+    pub lb_in_ns: u32,
+    /// Load-balancer forwarding hold on the response path.
+    pub lb_out_ns: u32,
+    /// When the request frame fully arrived at the serving NIC.
+    pub arrival: SimTime,
+    /// When the request frame's RX DMA into host memory completed.
+    pub dma_done: SimTime,
+    /// NIC residency after DMA: interrupt-moderation hold, ring wait and
+    /// interrupt servicing, minus any C-state wake overlap.
+    pub moderation_ns: u32,
+    /// C-state wake latency the delivering interrupt waited out.
+    pub wake_ns: u32,
+    /// Receive SoftIRQ queue wait plus protocol processing.
+    pub stack_ns: u32,
+    /// Run-queue wait of the application's CPU phases.
+    pub rq_wait_ns: u32,
+    /// CPU execution time of the application phases.
+    pub cpu_ns: u32,
+    /// Application IO (disk) waits.
+    pub io_ns: u32,
+    /// Server-side replay overhead: for responses that had to be
+    /// regenerated after a client retransmission, the gap between the
+    /// original response generation and the replay.
+    pub replay_ns: u32,
+    /// When the application finished the response (or the replay was
+    /// emitted) — the anchor the TX stage is measured from.
+    pub app_done: SimTime,
+    /// TX stage: softirq-tx queueing and processing plus NIC TX DMA and
+    /// serialization, up to the final frame hitting the wire.
+    pub tx_ns: u32,
+    /// When the final response frame left the server on the wire.
+    pub last_tx: SimTime,
+}
+
 /// Measurement-only sideband attached to packets.
 ///
 /// Fields here exist so the harness can attribute completed responses to
@@ -73,6 +124,8 @@ pub struct PacketMeta {
     /// request under overload instead of serving it. Clients count these
     /// as rejected, not completed, and never record their latency.
     pub rejected: bool,
+    /// Per-stage latency attribution accumulated along the path.
+    pub stages: StageRecord,
 }
 
 /// One Ethernet frame carrying a TCP segment.
@@ -198,6 +251,14 @@ impl Packet {
     #[must_use]
     pub fn meta(&self) -> PacketMeta {
         self.meta
+    }
+
+    /// Mutable access to the measurement sideband — for the attribution
+    /// stamps instrumentation layers (client retx timer, load balancer,
+    /// server NIC/kernel) write as the frame passes through them. Only
+    /// measurement code may use this; simulated logic never reads meta.
+    pub fn meta_mut(&mut self) -> &mut PacketMeta {
+        &mut self.meta
     }
 
     /// The first two payload bytes — what ReqMonitor's template comparison

@@ -335,10 +335,14 @@ impl Nic {
     /// bug).
     pub fn rx_dma_complete(&mut self, now: SimTime, queue: usize) -> Option<(SimTime, u64)> {
         let q = &mut self.queues[queue];
-        let frame = q
+        let mut frame = q
             .in_flight
             .pop_front()
             .expect("rx_dma_complete without a transfer in flight");
+        // Latency-attribution stamp (measurement sideband only): the frame
+        // is now in host memory; everything until the SoftIRQ drain is
+        // moderation hold / ring wait, not DMA.
+        frame.meta_mut().stages.dma_done = now;
         q.pending.push_back(frame);
         q.cause.insert(IcrFlags::IT_RX);
         let deadline = q.delay.on_event(now).max(now);

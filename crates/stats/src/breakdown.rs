@@ -1,0 +1,341 @@
+//! Per-stage latency attribution across the request path.
+//!
+//! Every completed request carries a per-stage duration vector (stamped
+//! along the simulated path; see the `netsim::StageRecord` sideband). The
+//! [`BreakdownCollector`] keeps the full population — not a sample — and
+//! [`LatencyBreakdown`] condenses it into per-stage histograms, means and
+//! shares, plus a *tail-conditioned* view: for requests at or above a
+//! percentile threshold of total latency, which stage dominates.
+//!
+//! The stage vector is a plain `[u32; STAGE_COUNT]` so this crate stays
+//! independent of the network/kernel crates that produce it; the indices
+//! are named by the [`stage`] constants and [`STAGE_NAMES`].
+
+use crate::histogram::LogHistogram;
+
+/// Number of attributed stages.
+pub const STAGE_COUNT: usize = 12;
+
+/// Stage names, indexed by the [`stage`] constants.
+pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
+    "net_in",     // client → server wire + switch transit (request)
+    "lb",         // load-balancer hop hold, both directions
+    "dma",        // NIC ring: wire end → DMA completion
+    "moderation", // NIC hold: DMA completion → NAPI drain, minus wake overlap
+    "wake",       // C-state wake latency overlapping the ring wait
+    "stack",      // RX SoftIRQ run-queue sojourn + stack execution
+    "rq_wait",    // application phases: run-queue wait
+    "cpu",        // application phases: on-core execution
+    "io",         // application phases: disk/IO wait
+    "tx",         // app completion → final frame on the wire
+    "net_out",    // server → client wire + switch transit (response)
+    "retx",       // client retransmission wait + server response replay
+];
+
+/// Named indices into a stage vector.
+pub mod stage {
+    /// Request-direction network transit.
+    pub const NET_IN: usize = 0;
+    /// Load-balancer hop (both directions).
+    pub const LB: usize = 1;
+    /// NIC DMA.
+    pub const DMA: usize = 2;
+    /// Interrupt-moderation / ring hold.
+    pub const MODERATION: usize = 3;
+    /// C-state wake latency.
+    pub const WAKE: usize = 4;
+    /// RX stack processing.
+    pub const STACK: usize = 5;
+    /// Application run-queue wait.
+    pub const RQ_WAIT: usize = 6;
+    /// Application CPU execution.
+    pub const CPU: usize = 7;
+    /// Application IO wait.
+    pub const IO: usize = 8;
+    /// Transmit path.
+    pub const TX: usize = 9;
+    /// Response-direction network transit.
+    pub const NET_OUT: usize = 10;
+    /// Retransmission / replay overhead.
+    pub const RETX: usize = 11;
+}
+
+/// Full-population accumulator: one `(stage vector, total)` row per
+/// completed request. Reset at measurement start alongside the latency
+/// tracker so warmup requests are excluded.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownCollector {
+    samples: Vec<([u32; STAGE_COUNT], u64)>,
+}
+
+impl BreakdownCollector {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, stages: [u32; STAGE_COUNT], total_ns: u64) {
+        self.samples.push((stages, total_ns));
+    }
+
+    /// Discards everything collected so far (measurement-window start).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Number of recorded requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw per-request rows: `(stage vector, total ns)`.
+    #[must_use]
+    pub fn samples(&self) -> &[([u32; STAGE_COUNT], u64)] {
+        &self.samples
+    }
+
+    /// Condenses the population into per-stage statistics, conditioning
+    /// the tail view on totals at or above `tail_percentile` (e.g. 99.0).
+    #[must_use]
+    pub fn finalize(&self, tail_percentile: f64) -> LatencyBreakdown {
+        let n = self.samples.len();
+        let tail_threshold_ns = if n == 0 {
+            0
+        } else {
+            // Exact order statistic over the full population — no
+            // histogram bucketing error in the threshold.
+            let mut totals: Vec<u64> = self.samples.iter().map(|&(_, t)| t).collect();
+            totals.sort_unstable();
+            // First order statistic at or beyond the quantile, so the
+            // tail set (`total >= threshold`) is the top `100 - q`% and
+            // always contains the maximum.
+            let q = tail_percentile.clamp(0.0, 100.0) / 100.0;
+            let rank = ((n as f64 * q).ceil() as usize).min(n - 1);
+            totals[rank]
+        };
+
+        let mut hists: Vec<LogHistogram> = (0..STAGE_COUNT).map(|_| LogHistogram::new()).collect();
+        let mut sums = [0u64; STAGE_COUNT];
+        let mut tail_sums = [0u64; STAGE_COUNT];
+        let mut total_sum = 0u64;
+        let mut tail_total_sum = 0u64;
+        let mut tail_count = 0u64;
+        for &(stages, total) in &self.samples {
+            total_sum += total;
+            let in_tail = total >= tail_threshold_ns && tail_threshold_ns > 0;
+            if in_tail {
+                tail_count += 1;
+                tail_total_sum += total;
+            }
+            for (i, &v) in stages.iter().enumerate() {
+                hists[i].record(u64::from(v));
+                sums[i] += u64::from(v);
+                if in_tail {
+                    tail_sums[i] += u64::from(v);
+                }
+            }
+        }
+
+        let mean_of = |sum: u64, cnt: u64| {
+            if cnt == 0 {
+                0.0
+            } else {
+                sum as f64 / cnt as f64
+            }
+        };
+        let share_of = |sum: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                sum as f64 / total as f64
+            }
+        };
+        let stages = STAGE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let hist = std::mem::take(&mut hists[i]);
+                StageBreakdown {
+                    name,
+                    mean: mean_of(sums[i], n as u64),
+                    share: share_of(sums[i], total_sum),
+                    tail_mean: mean_of(tail_sums[i], tail_count),
+                    tail_share: share_of(tail_sums[i], tail_total_sum),
+                    hist,
+                }
+            })
+            .collect();
+        LatencyBreakdown {
+            count: n as u64,
+            total_mean: mean_of(total_sum, n as u64),
+            tail_percentile,
+            tail_threshold_ns,
+            tail_count,
+            stages,
+        }
+    }
+}
+
+/// One stage's slice of the end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    /// Stage name (one of [`STAGE_NAMES`]).
+    pub name: &'static str,
+    /// Mean over *all* completed requests, zeros included (ns).
+    pub mean: f64,
+    /// This stage's fraction of total latency summed over the population.
+    pub share: f64,
+    /// Mean over tail requests only (ns).
+    pub tail_mean: f64,
+    /// This stage's fraction of total latency within the tail.
+    pub tail_share: f64,
+    /// Full-population distribution of this stage's duration.
+    pub hist: LogHistogram,
+}
+
+/// Population-level per-stage attribution for one experiment, with a
+/// tail-conditioned view ("which stage owns the p99").
+#[derive(Debug, Clone)]
+pub struct LatencyBreakdown {
+    /// Completed requests in the population.
+    pub count: u64,
+    /// Mean end-to-end latency (ns).
+    pub total_mean: f64,
+    /// Percentile the tail view is conditioned on (e.g. 99.0).
+    pub tail_percentile: f64,
+    /// Total-latency threshold (ns) defining the tail set.
+    pub tail_threshold_ns: u64,
+    /// Requests at or above the threshold.
+    pub tail_count: u64,
+    /// Per-stage statistics, indexed like [`STAGE_NAMES`].
+    pub stages: Vec<StageBreakdown>,
+}
+
+impl LatencyBreakdown {
+    /// The stage with the largest tail share, if any time was attributed.
+    #[must_use]
+    pub fn tail_dominant(&self) -> Option<&StageBreakdown> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.tail_share.total_cmp(&b.tail_share))
+            .filter(|s| s.tail_share > 0.0)
+    }
+
+    /// Looks a stage up by name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageBreakdown> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use check::{ensure, ensure_eq, gen, Check};
+
+    fn row(vals: [u32; STAGE_COUNT]) -> ([u32; STAGE_COUNT], u64) {
+        let total = vals.iter().map(|&v| u64::from(v)).sum();
+        (vals, total)
+    }
+
+    #[test]
+    fn empty_finalize_is_zeroed() {
+        let b = BreakdownCollector::new().finalize(99.0);
+        assert_eq!(b.count, 0);
+        assert_eq!(b.tail_count, 0);
+        assert_eq!(b.stages.len(), STAGE_COUNT);
+        assert!(b.tail_dominant().is_none());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut c = BreakdownCollector::new();
+        for i in 1..=100u32 {
+            let mut v = [0u32; STAGE_COUNT];
+            v[stage::NET_IN] = i;
+            v[stage::CPU] = 2 * i;
+            v[stage::WAKE] = i / 2;
+            let (v, t) = row(v);
+            c.record(v, t);
+        }
+        let b = c.finalize(99.0);
+        let share_sum: f64 = b.stages.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "share sum {share_sum}");
+        let tail_sum: f64 = b.stages.iter().map(|s| s.tail_share).sum();
+        assert!((tail_sum - 1.0).abs() < 1e-9, "tail share sum {tail_sum}");
+    }
+
+    #[test]
+    fn tail_conditioning_picks_the_slow_stage() {
+        // Most requests are CPU-dominated; the slowest 1% add a large
+        // wake stall. The tail view must flip the dominant stage.
+        let mut c = BreakdownCollector::new();
+        for i in 0..1000u32 {
+            let mut v = [0u32; STAGE_COUNT];
+            v[stage::CPU] = 1_000;
+            if i >= 990 {
+                v[stage::WAKE] = 50_000;
+            }
+            let (v, t) = row(v);
+            c.record(v, t);
+        }
+        let b = c.finalize(99.0);
+        assert!(b.stage("cpu").unwrap().share.max(0.0) > 0.0);
+        let dom = b.tail_dominant().expect("tail has mass");
+        assert_eq!(dom.name, "wake");
+        assert!(b.tail_threshold_ns >= 51_000);
+        assert!(b.tail_count >= 10);
+    }
+
+    #[test]
+    fn reset_clears_population() {
+        let mut c = BreakdownCollector::new();
+        let (v, t) = row([1; STAGE_COUNT]);
+        c.record(v, t);
+        assert_eq!(c.len(), 1);
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.finalize(99.0).count, 0);
+    }
+
+    #[test]
+    fn stage_means_match_population() {
+        let stage_vec = |rng: &mut check::Rng, size: usize| {
+            gen::vec_with(rng, size, 1, 64, |r| gen::u64_in(r, 0, 12_000))
+        };
+        Check::new("breakdown_mean_consistency").run(stage_vec, |vals: &Vec<u64>| {
+            let mut c = BreakdownCollector::new();
+            for &v in vals {
+                let mut s = [0u32; STAGE_COUNT];
+                s[stage::NET_IN] = v as u32;
+                let (s, t) = row(s);
+                c.record(s, t);
+            }
+            let b = c.finalize(99.0);
+            ensure_eq!(b.count, vals.len() as u64);
+            let expect = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
+            ensure!(
+                (b.stage("net_in").unwrap().mean - expect).abs() < 1e-6,
+                "mean mismatch"
+            );
+            // Everything was attributed to one stage: its share is 1
+            // unless the population sum is zero.
+            if vals.iter().any(|&v| v > 0) {
+                ensure!(
+                    (b.stage("net_in").unwrap().share - 1.0).abs() < 1e-9,
+                    "share"
+                );
+            }
+            Ok(())
+        });
+    }
+}

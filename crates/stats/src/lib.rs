@@ -28,12 +28,16 @@
 //! assert!((450..=550).contains(&p50));
 //! ```
 
+pub mod breakdown;
 pub mod fleet;
 pub mod histogram;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 
+pub use breakdown::{
+    BreakdownCollector, LatencyBreakdown, StageBreakdown, STAGE_COUNT, STAGE_NAMES,
+};
 pub use fleet::{jain_fairness, FleetAggregate};
 pub use histogram::LogHistogram;
 pub use summary::LatencySummary;

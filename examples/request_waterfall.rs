@@ -1,54 +1,120 @@
 //! Stage-level request waterfalls: where does a request's time go?
 //!
-//! Samples requests on the server and prints, for `ond.idle` and
-//! `ncap.cons`, how the server-internal residence time splits between
-//! the network stack (NIC arrival → application), the application
-//! (compute + disk), and transmission — making NCAP's hidden-wake-up and
-//! boosted-processing effects directly visible.
+//! Runs `ond.idle` and `ncap.cons` and breaks the *full population* of
+//! completed requests (no sampling) into the twelve attributed stages,
+//! printing a few per-request waterfalls plus the population means —
+//! making NCAP's hidden-wake-up and boosted-processing effects directly
+//! visible. Every printed request is checked against the conservation
+//! identity: the stage durations sum exactly to the client-observed
+//! latency.
 //!
 //! Run with: `cargo run --release --example request_waterfall`
 
-use cluster::{run_experiment, AppKind, ExperimentConfig, Policy};
-use desim::SimDuration;
+use cluster::runner::build_server;
+use cluster::{AppKind, ClusterSim, ExperimentConfig, Policy};
+use desim::{SimDuration, SimTime, Simulation};
+use netsim::NodeId;
+use oldi_apps::{ClientConfig, OpenLoopClient};
+use simstats::breakdown::stage;
+use simstats::STAGE_COUNT;
+
+/// Runs one single-server experiment and returns the cluster with its
+/// full-population breakdown collector.
+fn run(policy: Policy) -> ClusterSim {
+    let cfg = ExperimentConfig::new(AppKind::Apache, policy, 24_000.0)
+        .with_durations(SimDuration::from_ms(50), SimDuration::from_ms(150));
+    let server = build_server(&cfg, NodeId(0));
+    let mut clients = Vec::new();
+    let mut background = Vec::new();
+    for i in 0..cfg.clients {
+        let me = NodeId(1 + i as u16);
+        clients.push(OpenLoopClient::new(ClientConfig::apache(
+            me,
+            NodeId(0),
+            cfg.burst_size,
+            cfg.burst_period(),
+            cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64),
+        )));
+        background.push(false);
+    }
+    let mut cluster = ClusterSim::with_servers(vec![server], clients, background, None);
+    let horizon = SimTime::ZERO + cfg.horizon();
+    let initial = cluster.initial_events(cfg.warmup, horizon);
+    let mut sim = Simulation::new(cluster);
+    for (t, e) in initial {
+        sim.queue_mut().push(t, e);
+    }
+    sim.run_until(horizon);
+    let now = sim.now();
+    let mut cluster = sim.into_handler();
+    cluster.finalize(now);
+    cluster
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
 
 fn main() {
     for policy in [Policy::OndIdle, Policy::NcapCons] {
-        let cfg = ExperimentConfig::new(AppKind::Apache, policy, 24_000.0)
-            .with_durations(SimDuration::from_ms(50), SimDuration::from_ms(150))
-            .with_request_tracing(997); // sample ~1 in 1000
-        let r = run_experiment(&cfg);
-        let traces = r.server_request_traces.as_deref().unwrap_or(&[]);
-        println!("--- {policy}: {} sampled requests ---", traces.len());
+        let cluster = run(policy);
+        let samples = cluster.breakdown_collector().samples();
         println!(
-            "{:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>10}",
-            "id", "stack", "app cpu", "disk", "tx", "residence"
+            "--- {policy}: {} completed requests (full population) ---",
+            samples.len()
         );
-        for tr in traces.iter().take(8) {
-            let stack = tr.stack_done.saturating_since(tr.nic_arrival);
-            let app = tr
-                .app_done
-                .saturating_since(tr.stack_done)
-                .saturating_sub(tr.io_wait);
-            let tx = tr.last_tx.saturating_since(tr.app_done);
+        println!(
+            "{:>4}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}",
+            "#", "net(us)", "nic", "wake", "stack", "app", "tx", "total(us)"
+        );
+        for (i, &(v, total)) in samples.iter().take(8).enumerate() {
+            // Conservation identity: the stages tile the client-observed
+            // latency exactly, for every request.
+            let sum: u64 = v.iter().map(|&s| u64::from(s)).sum();
+            assert_eq!(sum, total, "stage sums must equal measured latency");
+            let net = u64::from(v[stage::NET_IN])
+                + u64::from(v[stage::NET_OUT])
+                + u64::from(v[stage::LB])
+                + u64::from(v[stage::RETX]);
+            let nic = u64::from(v[stage::DMA]) + u64::from(v[stage::MODERATION]);
+            let app =
+                u64::from(v[stage::RQ_WAIT]) + u64::from(v[stage::CPU]) + u64::from(v[stage::IO]);
             println!(
-                "{:>10}  {:>9} {:>9} {:>9} {:>9}  {:>10}",
-                tr.id % 1_000_000,
-                format!("{stack}"),
-                format!("{app}"),
-                format!("{}", tr.io_wait),
-                format!("{tx}"),
-                format!("{}", tr.residence()),
+                "{:>4}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}",
+                i,
+                us(net),
+                us(nic),
+                us(u64::from(v[stage::WAKE])),
+                us(u64::from(v[stage::STACK])),
+                us(app),
+                us(u64::from(v[stage::TX])),
+                us(total)
             );
         }
-        let mean_res: f64 = traces
-            .iter()
-            .map(|t| t.residence().as_us_f64())
-            .sum::<f64>()
-            / traces.len().max(1) as f64;
-        println!("mean residence: {mean_res:.1} us\n");
+        // Population means over every completed request.
+        let n = samples.len().max(1) as f64;
+        let mut sums = [0u64; STAGE_COUNT];
+        let mut total_sum = 0u64;
+        for &(v, total) in samples {
+            for (acc, &s) in sums.iter_mut().zip(v.iter()) {
+                *acc += u64::from(s);
+            }
+            total_sum += total;
+        }
+        println!(
+            "means: wake {:.1} us, moderation {:.1} us, stack {:.1} us, \
+             cpu {:.1} us, io {:.1} us, end-to-end {:.1} us\n",
+            sums[stage::WAKE] as f64 / n / 1e3,
+            sums[stage::MODERATION] as f64 / n / 1e3,
+            sums[stage::STACK] as f64 / n / 1e3,
+            sums[stage::CPU] as f64 / n / 1e3,
+            sums[stage::IO] as f64 / n / 1e3,
+            total_sum as f64 / n / 1e3,
+        );
     }
     println!(
-        "ncap.cons requests spend less time in the stack stage (the wake-up\n\
-         overlapped packet delivery) and in app-cpu (boosted frequency)."
+        "ncap.cons requests spend less time waking (the proactive interrupt\n\
+         overlapped packet delivery with the C-state exit) and in app-cpu\n\
+         (boosted frequency)."
     );
 }

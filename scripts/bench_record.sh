@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Records the tracked sim-throughput benchmark (ISSUE 6) as a JSON
-# artifact, so the events/second trajectory is pinned in-repo and
-# regressions show up as a diff.
+# Records the tracked benchmarks as JSON artifacts, so the
+# events/second trajectory is pinned in-repo and regressions show up
+# as a diff:
+#   sim_throughput -> BENCH_6 (queue + end-to-end fleet throughput)
+#   attribution    -> BENCH_7 (latency-attribution overhead budget)
+# Each record is stamped with the git SHA and UTC date it was taken
+# at, so a committed number is traceable to the tree that produced it.
 #
 # Usage: scripts/bench_record.sh [--smoke|--fast]
-#   --smoke   seconds-scale run, writes target/BENCH_6.smoke.json
+#   --smoke   seconds-scale run, writes target/BENCH_N.smoke.json
 #             (the verify/CI gate — checks plumbing, not performance)
-#   --fast    reduced run, writes target/BENCH_6.fast.json
-#   (default) full run, writes BENCH_6.json at the repo root; commit it
+#   --fast    reduced run, writes target/BENCH_N.fast.json
+#   (default) full run, writes BENCH_N.json at the repo root; commit it
 #             when the numbers move for a real reason.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,16 +20,9 @@ cd "$(dirname "$0")/.."
 # output path must be absolute.
 root=$PWD
 mode=full
-out=$root/BENCH_6.json
 case "${1:-}" in
---smoke)
-    mode=smoke
-    out=$root/target/BENCH_6.smoke.json
-    ;;
---fast)
-    mode=fast
-    out=$root/target/BENCH_6.fast.json
-    ;;
+--smoke) mode=smoke ;;
+--fast) mode=fast ;;
 "") ;;
 *)
     echo "usage: scripts/bench_record.sh [--smoke|--fast]" >&2
@@ -37,15 +34,51 @@ env_flags=()
 [ "$mode" = smoke ] && env_flags+=(NCAP_BENCH_SMOKE=1)
 [ "$mode" = fast ] && env_flags+=(NCAP_BENCH_FAST=1)
 
-echo "==> recording sim-throughput ($mode) -> $out"
-env "${env_flags[@]}" NCAP_BENCH_JSON="$out" \
-    cargo bench -p ncap-bench --bench sim_throughput
+out_path() { # out_path <BENCH_N>
+    if [ "$mode" = full ]; then
+        echo "$root/$1.json"
+    else
+        echo "$root/target/$1.$mode.json"
+    fi
+}
 
-# The record must be well-formed and carry the queue-level comparison.
-if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$out" >/dev/null ||
-        { echo "bench_record: $out is not valid JSON" >&2; exit 1; }
-fi
-grep -q '"queue_hold_64_backend_point"' "$out" ||
-    { echo "bench_record: $out missing the queue hold record" >&2; exit 1; }
-echo "==> bench record ok ($out)"
+# Stamps provenance (git SHA, dirty flag, UTC date) into a recorded
+# JSON file. The benches themselves stay date-free — simulation code
+# never reads the host clock — so the stamp lives here, at the edge.
+stamp() { # stamp <file>
+    local sha dirty date
+    sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+    dirty=false
+    git diff --quiet HEAD 2>/dev/null || dirty=true
+    date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+    python3 - "$1" "$sha" "$dirty" "$date" <<'EOF'
+import json, sys
+path, sha, dirty, date = sys.argv[1:5]
+with open(path) as f:
+    record = json.load(f)
+record["recorded"] = {"git_sha": sha, "git_dirty": dirty == "true", "date_utc": date}
+with open(path, "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+EOF
+}
+
+record() { # record <bench> <BENCH_N> <required-key>
+    local bench=$1 name=$2 key=$3 out
+    out=$(out_path "$name")
+    echo "==> recording $bench ($mode) -> $out"
+    env "${env_flags[@]}" NCAP_BENCH_JSON="$out" \
+        cargo bench -p ncap-bench --bench "$bench"
+    # The record must be well-formed and carry its headline number.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$out" >/dev/null ||
+            { echo "bench_record: $out is not valid JSON" >&2; exit 1; }
+        stamp "$out"
+    fi
+    grep -q "\"$key\"" "$out" ||
+        { echo "bench_record: $out missing the $key record" >&2; exit 1; }
+    echo "==> bench record ok ($out)"
+}
+
+record sim_throughput BENCH_6 queue_hold_64_backend_point
+record attribution BENCH_7 breakdown_overhead_pct

@@ -40,6 +40,21 @@ head -1 "$trace_dir/trace.csv" | grep -q '^time_ns,.*cluster\.bw_rx' ||
     { echo "verify: trace.csv missing expected columns" >&2; exit 1; }
 echo "==> trace smoke ok ($trace_dir)"
 
+# Attribution smoke: `ncap report` must render the per-stage table,
+# the tail verdict, and the waterfall for a short sparse-load run (the
+# configuration EXPERIMENTS.md "tail_breakdown" documents). The output
+# is kept on disk so CI can publish it as an artifact.
+report_out=target/report-smoke
+rm -rf "$report_out" && mkdir -p "$report_out"
+run cargo run --release -p ncap-cli -- report \
+    --app memcached --policy ond.idle --load 3000 --poisson --queues 4 \
+    --warmup-ms 5 --measure-ms 15 | tee "$report_out/report.txt"
+for want in 'tail verdict' 'waterfall' 'wake'; do
+    grep -q "$want" "$report_out/report.txt" ||
+        { echo "verify: report output missing '$want'" >&2; exit 1; }
+done
+echo "==> report smoke ok ($report_out)"
+
 # Fault-scenario smoke: a short lossy run with tracing enabled must
 # complete, recover every request, and report its fault counters.
 fault_out=$(NCAP_TRACE=1 run cargo run --release -p ncap-cli -- run \

@@ -212,7 +212,12 @@ fn fnv1a(s: &str) -> u64 {
 /// order exactly), and the calendar-backend run must hash to the same
 /// value. Any change to event ordering, RNG derivation, or result
 /// accounting shows up here as a digest mismatch.
-const SCALE_64_GOLDEN_DIGEST: u64 = 0x26F2_0F6B_7676_B81F;
+///
+/// Re-pinned when `ExperimentResult` gained the `breakdown` and
+/// `self_profile` fields (the digest covers the full `Debug` render):
+/// every pre-existing field was verified bit-for-bit unchanged against
+/// the prior pin before updating.
+const SCALE_64_GOLDEN_DIGEST: u64 = 0x4A80_9097_44A1_195D;
 
 #[test]
 fn fleet_scale_64_backends_is_deterministic_and_pinned() {
