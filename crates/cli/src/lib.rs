@@ -15,10 +15,11 @@
 
 use cluster::{
     run_experiment, run_experiments_parallel, try_run_experiment, AppKind, CoordinatorConfig,
-    DispatchPolicy, ExperimentConfig, FaultConfig, FleetConfig, OverloadConfig, Policy, RetxConfig,
-    ShedPolicy, TraceConfig, DEFAULT_FAULT_SEED,
+    DispatchPolicy, ExperimentConfig, FailureMode, FailureSchedule, FailureSpec, FaultConfig,
+    FleetConfig, HealthConfig, OverloadConfig, Policy, RetxConfig, ShedPolicy, TraceConfig,
+    DEFAULT_FAULT_SEED,
 };
-use desim::SimDuration;
+use desim::{SimDuration, SimTime};
 use simstats::{fmt_ns, FleetAggregate, Table};
 
 /// A parsed command line.
@@ -92,6 +93,17 @@ pub struct RunArgs {
     /// Arm the fleet power coordinator (parks/unparks backends with
     /// load).
     pub coordinator: bool,
+    /// Scheduled backend failures: `(backend, at_ms, restart_ms)`.
+    /// Non-empty implies a fleet topology.
+    pub fail_backends: Vec<(usize, u64, Option<u64>)>,
+    /// Failure mode applied to every scheduled failure.
+    pub fail_mode: FailureMode,
+    /// Health-prober probe period override, microseconds.
+    pub health_interval_us: Option<u64>,
+    /// Consecutive probe failures before ejection.
+    pub health_eject: Option<u32>,
+    /// Consecutive probe successes before reinstatement.
+    pub health_rejoin: Option<u32>,
 }
 
 /// Arguments of `ncap trace`: an ordinary run plus an output directory.
@@ -196,7 +208,33 @@ fn default_run_args() -> RunArgs {
         servers: 1,
         dispatch: DispatchPolicy::RoundRobin,
         coordinator: false,
+        fail_backends: Vec::new(),
+        fail_mode: FailureMode::Stop,
+        health_interval_us: None,
+        health_eject: None,
+        health_rejoin: None,
     }
+}
+
+/// Parses a `--fail-backend` value: `idx@t_ms` or `idx@t_ms:restart_ms`.
+fn parse_fail_backend(v: &str) -> Result<(usize, u64, Option<u64>), ParseError> {
+    let err = || {
+        ParseError(format!(
+            "bad --fail-backend '{v}' (expected idx@t_ms[:restart_ms])"
+        ))
+    };
+    let (idx, rest) = v.split_once('@').ok_or_else(err)?;
+    let (at, restart) = match rest.split_once(':') {
+        Some((at, r)) => (at, Some(r)),
+        None => (rest, None),
+    };
+    let idx = idx.parse().map_err(|_| err())?;
+    let at = at.parse().map_err(|_| err())?;
+    let restart = match restart {
+        Some(r) => Some(r.parse().map_err(|_| err())?),
+        None => None,
+    };
+    Ok((idx, at, restart))
 }
 
 fn parse_probability(flag: &str, value: &str) -> Result<f64, ParseError> {
@@ -297,6 +335,38 @@ fn apply_run_flag<'a>(
             })?;
         }
         "--coordinator" => a.coordinator = true,
+        "--fail-backend" => a
+            .fail_backends
+            .push(parse_fail_backend(take_value(it, flag)?)?),
+        "--fail-mode" => {
+            let v = take_value(it, flag)?;
+            a.fail_mode = FailureMode::parse(v).ok_or_else(|| {
+                ParseError(format!("unknown fail mode '{v}' (expected stop|slow|hang)"))
+            })?;
+        }
+        "--health-interval" => {
+            let us: u64 = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--health-interval expects microseconds".into()))?;
+            if us == 0 {
+                return Err(ParseError("--health-interval must be positive".into()));
+            }
+            a.health_interval_us = Some(us);
+        }
+        "--health-eject" => {
+            a.health_eject = Some(
+                take_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--health-eject expects an integer".into()))?,
+            );
+        }
+        "--health-rejoin" => {
+            a.health_rejoin = Some(
+                take_value(it, flag)?
+                    .parse()
+                    .map_err(|_| ParseError("--health-rejoin expects an integer".into()))?,
+            );
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -470,6 +540,8 @@ USAGE:
              [--queue-cap N] [--shed-policy none|drop-tail|deadline|codel]
              [--deadline-us N]
              [--servers N] [--dispatch rr|jsq|pack] [--coordinator]
+             [--fail-backend idx@t_ms[:restart_ms]]... [--fail-mode stop|slow|hang]
+             [--health-interval US] [--health-eject K] [--health-rejoin K]
              fault flags inject seeded per-link impairments; any nonzero
              impairment also arms the client retransmission layer
              overload flags arm server admission control (bounded queues
@@ -480,6 +552,11 @@ USAGE:
              (--dispatch picks round-robin, least-outstanding, or
              power-aware packing); --coordinator arms the cluster-level
              power coordinator that parks idle backends with load
+             failure flags crash backends mid-run (--fail-backend is
+             repeatable; stop refuses probes, slow multiplies service
+             time, hang admits but never answers) and arm the LB health
+             prober plus retransmission failover; health flags tune the
+             prober's period and strike thresholds
   ncap sweep --app apache|memcached [--policies a,b,c] [--loads x,y,z]
              [--measure-ms N]
   ncap sla   --app apache|memcached
@@ -549,12 +626,37 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
         }
         cfg = cfg.with_overload(ov);
     }
-    if a.servers > 1 || a.coordinator {
+    if a.servers > 1 || a.coordinator || !a.fail_backends.is_empty() {
         let mut fleet = FleetConfig::new(a.servers, a.dispatch);
         if a.coordinator {
             // Nominal per-backend capacity is the app's knee load (§5);
             // the coordinator sizes the active set against it.
             fleet = fleet.with_coordinator(CoordinatorConfig::new(a.app.paper_loads()[2]));
+        }
+        if !a.fail_backends.is_empty() {
+            let mut sched = FailureSchedule::none();
+            for &(backend, at_ms, restart_ms) in &a.fail_backends {
+                sched = sched.with_failure(FailureSpec {
+                    backend,
+                    at: SimTime::from_ms(at_ms),
+                    mode: a.fail_mode,
+                    restart_after: restart_ms.map(SimDuration::from_ms),
+                });
+            }
+            fleet = fleet.with_faults(sched);
+        }
+        if a.health_interval_us.is_some() || a.health_eject.is_some() || a.health_rejoin.is_some() {
+            let mut h = HealthConfig::standard();
+            if let Some(us) = a.health_interval_us {
+                h = h.with_interval(SimDuration::from_us(us));
+            }
+            if let Some(k) = a.health_eject {
+                h = h.with_eject_after(k);
+            }
+            if let Some(k) = a.health_rejoin {
+                h = h.with_rejoin_after(k);
+            }
+            fleet = fleet.with_health(h);
         }
         cfg = cfg.with_fleet(fleet);
     }
@@ -711,6 +813,17 @@ pub fn execute(cmd: Command) -> i32 {
                     fleet.unparks,
                     fleet.transition_energy_j
                 );
+                if fleet.health_probes > 0 || fleet.failovers > 0 {
+                    println!(
+                        "  health   {} probes ({} failed), {} ejections, {} rejoins, \
+                         {} failovers",
+                        fleet.health_probes,
+                        fleet.probe_failures,
+                        fleet.ejections,
+                        fleet.rejoins,
+                        fleet.failovers
+                    );
+                }
             }
             0
         }
@@ -1094,6 +1207,62 @@ mod tests {
     }
 
     #[test]
+    fn parses_failure_flags() {
+        let Command::Run(a) = parse([
+            "run",
+            "--load",
+            "40000",
+            "--servers",
+            "4",
+            "--fail-backend",
+            "1@50",
+            "--fail-backend",
+            "2@60:30",
+            "--fail-mode",
+            "hang",
+            "--health-interval",
+            "500",
+            "--health-eject",
+            "2",
+            "--health-rejoin",
+            "4",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.fail_backends, vec![(1, 50, None), (2, 60, Some(30))]);
+        assert_eq!(a.fail_mode, FailureMode::Hang);
+        assert_eq!(a.health_interval_us, Some(500));
+        assert_eq!(a.health_eject, Some(2));
+        assert_eq!(a.health_rejoin, Some(4));
+        let cfg = run_config(&a);
+        let fleet = cfg.fleet.expect("fleet configured");
+        assert_eq!(fleet.faults.specs.len(), 2);
+        assert_eq!(fleet.faults.specs[0].at, SimTime::from_ms(50));
+        assert_eq!(
+            fleet.faults.specs[1].restart_after,
+            Some(SimDuration::from_ms(30))
+        );
+        assert_eq!(fleet.faults.specs[1].mode, FailureMode::Hang);
+        let h = fleet.health.expect("health configured");
+        assert_eq!(h.interval, SimDuration::from_us(500));
+        assert_eq!(h.eject_after, 2);
+        assert_eq!(h.rejoin_after, 4);
+        // A failure schedule alone implies the fleet topology.
+        let Command::Run(solo) =
+            parse(["run", "--load", "20000", "--fail-backend", "0@10"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(run_config(&solo).fleet.is_some());
+        // Defaults keep the failure layer fully off.
+        let d = default_run_args();
+        assert!(d.fail_backends.is_empty());
+        assert_eq!(d.fail_mode, FailureMode::Stop);
+        assert!(d.health_interval_us.is_none());
+    }
+
+    #[test]
     fn rejects_unknown_inputs() {
         assert!(parse(["frobnicate"]).is_err());
         assert!(parse(["run", "--app", "nginx"]).is_err());
@@ -1109,6 +1278,12 @@ mod tests {
         assert!(parse(["run", "--servers", "0"]).is_err());
         assert!(parse(["run", "--servers", "many"]).is_err());
         assert!(parse(["run", "--dispatch", "random"]).is_err());
+        assert!(parse(["run", "--fail-backend", "1"]).is_err());
+        assert!(parse(["run", "--fail-backend", "one@50"]).is_err());
+        assert!(parse(["run", "--fail-backend", "1@50:"]).is_err());
+        assert!(parse(["run", "--fail-mode", "explode"]).is_err());
+        assert!(parse(["run", "--health-interval", "0"]).is_err());
+        assert!(parse(["run", "--health-eject", "soon"]).is_err());
         assert!(parse(["sla"]).is_err());
         assert!(parse(["trace"]).is_err(), "trace requires --out");
         assert!(parse(["trace", "--out", "x", "--window-us", "0"]).is_err());
@@ -1303,6 +1478,31 @@ mod tests {
             "--dispatch",
             "jsq",
             "--coordinator",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        a.measure_ms = 20;
+        a.warmup_ms = 5;
+        assert_eq!(execute(Command::Run(a)), 0);
+    }
+
+    #[test]
+    fn tiny_failover_run_executes() {
+        let Command::Run(mut a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf",
+            "--load",
+            "30000",
+            "--servers",
+            "3",
+            "--dispatch",
+            "jsq",
+            "--fail-backend",
+            "1@10",
         ])
         .unwrap() else {
             panic!("expected run");

@@ -50,7 +50,8 @@ pub mod watchdog;
 
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
 pub use fleetsim::{
-    BackendState, BackendSummary, CoordinatorConfig, DispatchPolicy, FleetConfig, FleetSummary,
+    BackendState, BackendSummary, CoordinatorConfig, DispatchPolicy, FailureMode, FailureSchedule,
+    FailureSpec, FleetConfig, FleetSummary, HealthConfig, DEFAULT_FLEET_FAULT_SEED,
 };
 pub use netsim::{FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
 pub use oskernel::{OverloadConfig, ShedPolicy};

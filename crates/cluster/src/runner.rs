@@ -245,6 +245,17 @@ fn env_trace_enabled() -> bool {
 /// and recorded an invariant violation.
 pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ConfigError> {
     cfg.validate()?;
+    // Machine failures are only survivable through the end-to-end
+    // reliability layer: retransmissions are what re-pin a dead backend's
+    // requests somewhere healthy. Arm it when a failure schedule is
+    // present and the caller did not configure retransmissions — and do
+    // it here, before server construction, because `build_server` keys
+    // the server's duplicate suppression off the same flag.
+    let mut cfg = cfg.clone();
+    if cfg.fleet.as_ref().is_some_and(|f| f.faults.enabled()) && !cfg.faults.retx.enabled {
+        cfg.faults.retx = netsim::RetxConfig::standard();
+    }
+    let cfg = &cfg;
     // Event tracing wraps the run: the tracer is thread-local and each
     // experiment runs wholly on one thread, so parallel batches trace
     // independently. Tracing never feeds back into the simulation, so

@@ -11,7 +11,10 @@ use crate::trace::{TraceCollector, TraceConfig, Traces};
 use crate::watchdog::{AccountingView, Watchdog};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{ConfigError, EventHandler, EventQueue, SimDuration, SimTime};
-use fleetsim::{FleetAction, FleetConfig, FleetCoordinator, FleetSummary, LoadBalancer};
+use fleetsim::{
+    FailureMode, FailureSchedule, FleetAction, FleetConfig, FleetCoordinator, FleetSummary,
+    HealthConfig, LoadBalancer,
+};
 use netsim::{
     Delivery, FaultConfig, NodeId, Packet, PacketMeta, Reassembly, SegmentStatus, Switch,
 };
@@ -73,6 +76,24 @@ pub enum ClusterEvent {
         /// Transition generation (stale generations are ignored).
         gen: u32,
     },
+    /// A scheduled machine failure fires: the backend starts misbehaving
+    /// per `mode`. The LB is *not* told — it detects the failure through
+    /// its prober or request timeouts, like a real balancer.
+    BackendFail {
+        /// Backend index.
+        backend: usize,
+        /// How the machine misbehaves from now on.
+        mode: FailureMode,
+    },
+    /// A failed backend restarts healthy (its reinstatement still waits
+    /// for the prober's rejoin threshold).
+    BackendRestart {
+        /// Backend index.
+        backend: usize,
+    },
+    /// The LB's active health-prober tick (armed when a prober is
+    /// configured).
+    FleetHealth,
 }
 
 /// The fleet layer of the cluster: the LB node plus its optional power
@@ -82,6 +103,23 @@ struct FleetState {
     coordinator: Option<FleetCoordinator>,
     /// Per-frame forwarding latency through the LB.
     latency: SimDuration,
+    /// The prober policy driving the `FleetHealth` tick (`None` disables
+    /// the tick entirely — the no-faults fast path schedules nothing).
+    health: Option<HealthConfig>,
+    /// The machine-failure schedule (drives `BackendFail`/`BackendRestart`
+    /// events and the fail-slow multiplier).
+    faults: FailureSchedule,
+    /// Ground truth: what is actually wrong with each machine right now.
+    /// The LB never reads this — probes and timeouts are judged against
+    /// it, so detection latency is real (interval × threshold).
+    down: Vec<Option<FailureMode>>,
+    /// Frames dropped at dead machines (either direction). With the
+    /// reliability layer armed these all resolve via retransmission
+    /// failover or an explicit loss — never silently.
+    dead_frames: u64,
+    /// Metric-emission cursor for the failover counter (only touched
+    /// inside `simtrace::is_enabled()` blocks).
+    last_failovers: u64,
 }
 
 /// Client-side retransmission state for one in-flight request.
@@ -332,11 +370,17 @@ impl ClusterSim {
     pub fn with_fleet(mut self, vip: NodeId, cfg: &FleetConfig) -> Self {
         self.switch
             .attach(vip, netsim::Link::ten_gbe(), netsim::Link::ten_gbe());
-        let backends = self.servers.iter().map(Kernel::node).collect();
+        let backends: Vec<NodeId> = self.servers.iter().map(Kernel::node).collect();
+        let down = vec![None; backends.len()];
         self.fleet = Some(FleetState {
             lb: LoadBalancer::new(vip, backends, cfg),
             coordinator: cfg.coordinator.clone().map(FleetCoordinator::new),
             latency: cfg.lb_latency,
+            health: cfg.effective_health(),
+            faults: cfg.faults.clone(),
+            down,
+            dead_frames: 0,
+            last_failovers: 0,
         });
         self
     }
@@ -392,6 +436,28 @@ impl ClusterSim {
         if let Some(co) = self.fleet.as_ref().and_then(|f| f.coordinator.as_ref()) {
             events.push((SimTime::ZERO + co.epoch_period(), ClusterEvent::FleetEpoch));
         }
+        if let Some(fs) = &self.fleet {
+            for spec in &fs.faults.specs {
+                events.push((
+                    spec.at,
+                    ClusterEvent::BackendFail {
+                        backend: spec.backend,
+                        mode: spec.mode,
+                    },
+                ));
+                if let Some(d) = spec.restart_after {
+                    events.push((
+                        spec.at + d,
+                        ClusterEvent::BackendRestart {
+                            backend: spec.backend,
+                        },
+                    ));
+                }
+            }
+            if let Some(h) = &fs.health {
+                events.push((SimTime::ZERO + h.interval, ClusterEvent::FleetHealth));
+            }
+        }
         // Pre-register the drop/recovery and overload counters so trace
         // CSV exports always carry the columns, even for runs where no
         // fault fires and nothing is shed.
@@ -415,6 +481,18 @@ impl ClusterSim {
                 simtrace::metric_set("fleet", "lb_depth", 0, 0.0);
                 simtrace::metric_set("fleet", "parked_backends", 0, 0.0);
                 simtrace::metric_set("fleet", "active_backends", 0, 0.0);
+                if fs.health.is_some() {
+                    for name in [
+                        "failovers",
+                        "health_probes",
+                        "health_fails",
+                        "health_ejects",
+                        "health_rejoins",
+                        "dead_frames",
+                    ] {
+                        simtrace::metric_add("fleet", name, 0, 0.0);
+                    }
+                }
                 for i in 0..fs
                     .lb
                     .backend_count()
@@ -537,6 +615,18 @@ impl ClusterSim {
             return;
         }
         if let Some(si) = self.server_index(frame.dst()) {
+            // A crashed machine's NIC is dark: frames already in the
+            // fabric when it died (or forwarded before the prober caught
+            // up) land on the floor. Recovery comes from retransmission
+            // failover, never silently.
+            if self
+                .fleet
+                .as_ref()
+                .is_some_and(|f| f.down.get(si).copied().flatten() == Some(FailureMode::Stop))
+            {
+                self.note_dead_frame(now);
+                return;
+            }
             let bytes = frame.wire_len() as f64;
             if let Some(tr) = self.collector.as_mut() {
                 tr.on_rx(now, bytes);
@@ -561,6 +651,16 @@ impl ClusterSim {
         }
     }
 
+    /// Accounts a frame that died at (or from) a failed machine.
+    fn note_dead_frame(&mut self, now: SimTime) {
+        if let Some(fs) = self.fleet.as_mut() {
+            fs.dead_frames += 1;
+            if simtrace::is_enabled() {
+                simtrace::metric_add("fleet", "dead_frames", now.as_nanos(), 1.0);
+            }
+        }
+    }
+
     /// The VIP receive path: the LB rewrites and forwards frames after
     /// its per-frame latency. Requests (from clients) pick a backend per
     /// the dispatch policy; responses (from backends) route back to the
@@ -570,7 +670,23 @@ impl ClusterSim {
             return;
         };
         let is_response = fs.lb.backend_index(frame.src()).is_some();
+        let mut slow_extra = SimDuration::ZERO;
         let forward = if let Some(idx) = fs.lb.backend_index(frame.src()) {
+            // A crashed machine's responses died with it; a hung machine
+            // admits requests but never answers. Either way the frame
+            // never reaches the client — the conntrack entry stays open
+            // until retransmission failover or loss resolves it.
+            if matches!(fs.down[idx], Some(FailureMode::Stop | FailureMode::Hang)) {
+                fs.dead_frames += 1;
+                if simtrace::is_enabled() {
+                    simtrace::metric_add("fleet", "dead_frames", now.as_nanos(), 1.0);
+                }
+                self.fleet = Some(fs);
+                return;
+            }
+            if fs.health.is_some() {
+                fs.lb.note_ok(idx);
+            }
             let resp = fs.lb.on_response(frame);
             if let Some(drained) = resp.drained {
                 if let Some(co) = fs.coordinator.as_mut() {
@@ -589,6 +705,18 @@ impl ClusterSim {
             resp.forward
         } else {
             let (idx, out) = fs.lb.dispatch(frame);
+            // Fail-slow: the machine serves at a multiple of its normal
+            // service time. Modelled coarsely as an extra forwarding
+            // delay at the network boundary (the LB cannot know backend
+            // service times; what matters is that the slow machine's
+            // requests take visibly longer and trip client RTOs).
+            if fs.down.get(idx).copied().flatten() == Some(FailureMode::Slow) {
+                let ns = fs.latency.as_nanos() as f64 * fs.faults.slow_factor;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    slow_extra = SimDuration::from_nanos(ns as u64);
+                }
+            }
             if simtrace::is_enabled() {
                 let t = now.as_nanos();
                 simtrace::metric_add("fleet", "dispatched", t, 1.0);
@@ -599,20 +727,25 @@ impl ClusterSim {
                 if let Some(name) = fleetsim::metrics::outstanding(idx) {
                     simtrace::metric_set("fleet", name, t, fs.lb.outstanding_of(idx) as f64);
                 }
+                let f = fs.lb.failovers();
+                if f > fs.last_failovers {
+                    simtrace::metric_add("fleet", "failovers", t, (f - fs.last_failovers) as f64);
+                    fs.last_failovers = f;
+                }
             }
             Some(out)
         };
         if let Some(mut f) = forward {
             // Attribution: the LB's forwarding hold, per direction. The
             // extra switch hop's transit stays in the net stages.
-            let hold = ns32(fs.latency.as_nanos());
+            let hold = ns32((fs.latency + slow_extra).as_nanos());
             let st = &mut f.meta_mut().stages;
             if is_response {
                 st.lb_out_ns = st.lb_out_ns.saturating_add(hold);
             } else {
                 st.lb_in_ns = st.lb_in_ns.saturating_add(hold);
             }
-            self.route(now + fs.latency, f, queue);
+            self.route(now + fs.latency + slow_extra, f, queue);
         }
         self.fleet = Some(fs);
     }
@@ -684,6 +817,87 @@ impl ClusterSim {
                 simtrace::metric_set("fleet", "active_backends", t, fs.lb.committed() as f64);
             }
         }
+        self.fleet = Some(fs);
+    }
+
+    /// A scheduled machine failure fires: record ground truth. The LB is
+    /// not told — detection rides the prober (crash) or request timeouts
+    /// (hang/slow), so detection latency is interval × threshold, like a
+    /// real balancer's.
+    fn on_backend_fail(&mut self, now: SimTime, backend: usize, mode: FailureMode) {
+        if let Some(fs) = self.fleet.as_mut() {
+            if let Some(slot) = fs.down.get_mut(backend) {
+                *slot = Some(mode);
+            }
+            if simtrace::is_enabled() {
+                simtrace::instant_args(
+                    "fleet",
+                    "backend_fail",
+                    now.as_nanos(),
+                    &[simtrace::arg("backend", backend as u64)],
+                );
+            }
+        }
+    }
+
+    /// A failed machine restarts healthy. Reinstatement into rotation
+    /// still waits for the prober's rejoin threshold.
+    fn on_backend_restart(&mut self, now: SimTime, backend: usize) {
+        if let Some(fs) = self.fleet.as_mut() {
+            if let Some(slot) = fs.down.get_mut(backend) {
+                *slot = None;
+            }
+            if simtrace::is_enabled() {
+                simtrace::instant_args(
+                    "fleet",
+                    "backend_restart",
+                    now.as_nanos(),
+                    &[simtrace::arg("backend", backend as u64)],
+                );
+            }
+        }
+    }
+
+    /// The active prober's tick: probe every non-parked backend, judge
+    /// the result against the machine's ground-truth state, and let the
+    /// LB apply its K-strike ejection/rejoin thresholds. Probes are not
+    /// modelled as frames — their bandwidth is negligible next to request
+    /// traffic, and the quantity that matters, detection latency
+    /// (interval × threshold), is preserved exactly.
+    fn on_fleet_health(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
+        let Some(mut fs) = self.fleet.take() else {
+            return;
+        };
+        let Some(h) = fs.health else {
+            self.fleet = Some(fs);
+            return;
+        };
+        let before = (
+            fs.lb.health_probes(),
+            fs.lb.probe_failures(),
+            fs.lb.ejections(),
+            fs.lb.rejoins(),
+        );
+        for idx in 0..fs.lb.backend_count() {
+            if !fs.lb.probeable(idx) {
+                continue;
+            }
+            let ok = fs.down[idx].is_none_or(FailureMode::probe_succeeds);
+            let _ = fs.lb.record_probe(now, idx, ok);
+        }
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            let emit = |name: &'static str, prev: u64, cur: u64| {
+                if cur > prev {
+                    simtrace::metric_add("fleet", name, t, (cur - prev) as f64);
+                }
+            };
+            emit("health_probes", before.0, fs.lb.health_probes());
+            emit("health_fails", before.1, fs.lb.probe_failures());
+            emit("health_ejects", before.2, fs.lb.ejections());
+            emit("health_rejoins", before.3, fs.lb.rejoins());
+        }
+        queue.push(now + h.interval, ClusterEvent::FleetHealth);
         self.fleet = Some(fs);
     }
 
@@ -902,6 +1116,15 @@ impl ClusterSim {
                 attempt: next_attempt,
             },
         );
+        // Passive health: an RTO firing against a pinned backend is a
+        // strike; enough consecutive strikes eject it — the only detector
+        // that catches a hung machine, whose probes still succeed. The
+        // resent frame then re-pins to a healthy backend at dispatch.
+        if let Some(fs) = self.fleet.as_mut() {
+            if let Some(idx) = fs.lb.pinned_backend(id) {
+                let _ = fs.lb.note_timeout(idx);
+            }
+        }
         self.route(now, frame, queue);
     }
 
@@ -1084,6 +1307,14 @@ impl ClusterSim {
         self.misroutes
     }
 
+    /// Frames that died at a failed machine (requests into a crashed
+    /// backend, responses a crash or hang swallowed). Zero whenever the
+    /// failure schedule is empty.
+    #[must_use]
+    pub fn fleet_dead_frames(&self) -> u64 {
+        self.fleet.as_ref().map_or(0, |f| f.dead_frames)
+    }
+
     /// Energy consumed since the warmup boundary, per mode.
     #[must_use]
     pub fn measured_energy(&self) -> EnergyMeter {
@@ -1180,10 +1411,16 @@ impl EventHandler for ClusterSim {
                 }
                 ClusterEvent::FleetEpoch
                 | ClusterEvent::FleetParkDone { .. }
-                | ClusterEvent::FleetUnparkDone { .. } => self
+                | ClusterEvent::FleetUnparkDone { .. }
+                | ClusterEvent::FleetHealth => self
                     .fleet
                     .as_ref()
                     .map_or(self.servers[0].node().0, |f| f.lb.vip().0),
+                ClusterEvent::BackendFail { backend, .. }
+                | ClusterEvent::BackendRestart { backend } => self
+                    .servers
+                    .get(*backend)
+                    .map_or(self.servers[0].node().0, |s| s.node().0),
             };
             simtrace::set_node(node);
         }
@@ -1206,6 +1443,9 @@ impl EventHandler for ClusterSim {
             ClusterEvent::FleetUnparkDone { backend, gen } => {
                 self.on_fleet_transition_done(now, backend, gen, false);
             }
+            ClusterEvent::BackendFail { backend, mode } => self.on_backend_fail(now, backend, mode),
+            ClusterEvent::BackendRestart { backend } => self.on_backend_restart(now, backend),
+            ClusterEvent::FleetHealth => self.on_fleet_health(now, queue),
         }
     }
 
@@ -1221,6 +1461,9 @@ impl EventHandler for ClusterSim {
             ClusterEvent::FleetEpoch => "fleet_epoch",
             ClusterEvent::FleetParkDone { .. } => "fleet_park",
             ClusterEvent::FleetUnparkDone { .. } => "fleet_unpark",
+            ClusterEvent::BackendFail { .. } => "backend_fail",
+            ClusterEvent::BackendRestart { .. } => "backend_restart",
+            ClusterEvent::FleetHealth => "fleet_health",
         }
     }
 }

@@ -133,6 +133,7 @@ pub struct Watchdog {
     checks: u64,
     seen_misroutes: u64,
     seen_unmatched: u64,
+    seen_dead_dispatches: u64,
 }
 
 /// Cluster-level accounting fed into the conservation check. All zeros
@@ -355,20 +356,26 @@ impl Watchdog {
     }
 
     /// LB-hop conservation: every request the load balancer opened is
-    /// completed, rejected, or outstanding on exactly one backend, and
-    /// the per-backend outstanding counts sum to the conntrack total.
-    /// A response arriving for an unknown conntrack entry is a routing
-    /// violation (reported per batch, like misroutes).
+    /// completed, rejected, in the failed-over limbo, or outstanding on
+    /// exactly one backend, and the per-backend outstanding counts sum
+    /// to the conntrack total. A response arriving for an unknown
+    /// conntrack entry is a routing violation (reported per batch, like
+    /// misroutes), as is any frame of live work dispatched to a backend
+    /// already marked failed or ejected.
     fn check_fleet(&mut self, now: SimTime, ledger: &LbLedger) {
-        let resolved = ledger.completed + ledger.rejected + ledger.outstanding;
+        let resolved = ledger.completed + ledger.rejected + ledger.failed_over + ledger.outstanding;
         if ledger.opened != resolved {
             self.violate(
                 InvariantKind::Conservation,
                 now,
                 format!(
-                    "LB opened {} != completed {} + rejected {} + outstanding {} \
-                     (= {resolved})",
-                    ledger.opened, ledger.completed, ledger.rejected, ledger.outstanding,
+                    "LB opened {} != completed {} + rejected {} + failed_over {} \
+                     + outstanding {} (= {resolved})",
+                    ledger.opened,
+                    ledger.completed,
+                    ledger.rejected,
+                    ledger.failed_over,
+                    ledger.outstanding,
                 ),
             );
         }
@@ -392,6 +399,17 @@ impl Watchdog {
                 ),
             );
             self.seen_unmatched = ledger.unmatched_responses;
+        }
+        if ledger.dead_dispatches > self.seen_dead_dispatches {
+            self.violate(
+                InvariantKind::Routing,
+                now,
+                format!(
+                    "{} frame(s) of live work dispatched to failed/ejected backends",
+                    ledger.dead_dispatches,
+                ),
+            );
+            self.seen_dead_dispatches = ledger.dead_dispatches;
         }
     }
 
@@ -483,7 +501,7 @@ mod tests {
             rejected: 1,
             outstanding: 3,
             backend_outstanding_sum: 3,
-            unmatched_responses: 0,
+            ..LbLedger::default()
         };
         w.check(SimTime::from_ms(1), &[], &acc, Some(&good));
         assert!(w.violations().is_empty(), "{:?}", w.violations());
@@ -496,7 +514,7 @@ mod tests {
             rejected: 1,
             outstanding: 2,
             backend_outstanding_sum: 3,
-            unmatched_responses: 0,
+            ..LbLedger::default()
         };
         w.check(SimTime::from_ms(2), &[], &acc, Some(&leaky));
         assert_eq!(w.violations().len(), 2);
@@ -520,6 +538,56 @@ mod tests {
             .collect();
         assert_eq!(routing.len(), 1);
         assert!(routing[0].detail.contains("no conntrack entry"));
+    }
+
+    #[test]
+    fn extended_identity_counts_failed_over_limbo() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let acc = AccountingView::default();
+        // Two requests orphaned by a crash sit in limbo: the old identity
+        // would flag this as a leak; the extended one balances.
+        let failing_over = LbLedger {
+            opened: 10,
+            completed: 5,
+            rejected: 1,
+            outstanding: 2,
+            failed_over: 2,
+            backend_outstanding_sum: 2,
+            ..LbLedger::default()
+        };
+        w.check(SimTime::from_ms(1), &[], &acc, Some(&failing_over));
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        // Dropping the limbo count breaks it.
+        let leaked = LbLedger {
+            failed_over: 1,
+            ..failing_over
+        };
+        w.check(SimTime::from_ms(2), &[], &acc, Some(&leaked));
+        assert_eq!(w.violations().len(), 1);
+        assert_eq!(w.violations()[0].kind, InvariantKind::Conservation);
+        assert!(w.violations()[0].detail.contains("failed_over"));
+    }
+
+    #[test]
+    fn dead_dispatches_surface_as_routing_violations_once_per_batch() {
+        let mut w = Watchdog::new(WatchdogConfig::default().collecting());
+        let acc = AccountingView::default();
+        let dead = LbLedger {
+            opened: 2,
+            outstanding: 2,
+            backend_outstanding_sum: 2,
+            dead_dispatches: 3,
+            ..LbLedger::default()
+        };
+        w.check(SimTime::from_ms(1), &[], &acc, Some(&dead));
+        w.check(SimTime::from_ms(2), &[], &acc, Some(&dead));
+        let routing: Vec<_> = w
+            .violations()
+            .iter()
+            .filter(|v| v.kind == InvariantKind::Routing)
+            .collect();
+        assert_eq!(routing.len(), 1, "batched, not repeated");
+        assert!(routing[0].detail.contains("failed/ejected"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fleet topology and coordinator configuration.
 
+use crate::faults::{FailureSchedule, HealthConfig};
 use desim::{ConfigError, SimDuration};
 
 /// How the load balancer picks a backend for a new request.
@@ -69,6 +70,14 @@ pub struct FleetConfig {
     /// The fleet power coordinator; `None` keeps every backend in
     /// rotation for the whole run.
     pub coordinator: Option<CoordinatorConfig>,
+    /// Scheduled backend failures; empty (the default) is completely
+    /// inert.
+    pub faults: FailureSchedule,
+    /// LB health-prober policy. `None` arms the standard policy when a
+    /// failure schedule is present (see
+    /// [`effective_health`](Self::effective_health)) and nothing
+    /// otherwise, keeping failure-free runs byte-identical.
+    pub health: Option<HealthConfig>,
 }
 
 impl FleetConfig {
@@ -81,6 +90,8 @@ impl FleetConfig {
             pack_spill: 32,
             lb_latency: SimDuration::from_us(2),
             coordinator: None,
+            faults: FailureSchedule::none(),
+            health: None,
         }
     }
 
@@ -105,6 +116,33 @@ impl FleetConfig {
         self
     }
 
+    /// Schedules backend failures (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FailureSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Arms the LB health prober explicitly (builder style).
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// The health-prober policy actually in force: an explicit
+    /// [`with_health`](Self::with_health) wins; otherwise the standard
+    /// policy is armed exactly when failures are scheduled, so a
+    /// failure-free fleet runs with no prober at all.
+    #[must_use]
+    pub fn effective_health(&self) -> Option<HealthConfig> {
+        match self.health {
+            Some(h) => Some(h),
+            None if self.faults.enabled() => Some(HealthConfig::standard()),
+            None => None,
+        }
+    }
+
     /// Validates the fleet configuration (including the coordinator's).
     ///
     /// # Errors
@@ -122,6 +160,10 @@ impl FleetConfig {
                 "pack_spill",
                 "the packing threshold must admit at least one request",
             ));
+        }
+        self.faults.validate(self.backends)?;
+        if let Some(h) = &self.health {
+            h.validate()?;
         }
         if let Some(c) = &self.coordinator {
             c.validate()?;
@@ -337,6 +379,40 @@ mod tests {
         let over_min = FleetConfig::new(2, DispatchPolicy::RoundRobin)
             .with_coordinator(CoordinatorConfig::new(100_000.0).with_min_active(3));
         assert_eq!(err(over_min), "min_active");
+    }
+
+    #[test]
+    fn health_arms_exactly_when_failures_are_scheduled() {
+        use crate::faults::{FailureMode, FailureSpec};
+        use desim::SimTime;
+        let quiet = FleetConfig::new(4, DispatchPolicy::RoundRobin);
+        assert_eq!(quiet.effective_health(), None, "no faults, no prober");
+        let faulty = quiet
+            .clone()
+            .with_faults(FailureSchedule::none().with_failure(FailureSpec {
+                backend: 1,
+                at: SimTime::from_ms(50),
+                mode: FailureMode::Stop,
+                restart_after: None,
+            }));
+        assert_eq!(
+            faulty.effective_health(),
+            Some(HealthConfig::standard()),
+            "a failure schedule arms the standard prober"
+        );
+        assert!(faulty.validate().is_ok());
+        let explicit = quiet.with_health(HealthConfig::standard().with_eject_after(7));
+        assert_eq!(explicit.effective_health().unwrap().eject_after, 7);
+        // An out-of-range failure target is caught by fleet validation.
+        let oob = FleetConfig::new(1, DispatchPolicy::RoundRobin).with_faults(
+            FailureSchedule::none().with_failure(FailureSpec {
+                backend: 1,
+                at: SimTime::from_ms(1),
+                mode: FailureMode::Stop,
+                restart_after: None,
+            }),
+        );
+        assert_eq!(oob.validate().unwrap_err().field, "faults.backend");
     }
 
     #[test]

@@ -12,7 +12,14 @@
 //!
 //! Highest-index backends park first and lowest-index backends unpark
 //! first, so the active set is always a prefix — the same order the
-//! packing dispatch policy fills. Transition energy and residency go on
+//! packing dispatch policy fills.
+//!
+//! The coordinator is health-aware by construction: its committed count
+//! ([`LoadBalancer::committed`]) excludes failed and ejected backends, so
+//! a mid-run crash shrinks the committed set below target and the next
+//! epoch unparks healthy spares to backfill the lost capacity — and the
+//! `min_active` floor is always a floor on *healthy* committed backends,
+//! never satisfied by dead ones. Transition energy and residency go on
 //! the coordinator's own [`EnergyMeter`]: parks as [`PowerMode::Halt`],
 //! unparks as [`PowerMode::Wake`], matching how the per-core model
 //! attributes its own transitions.
@@ -147,8 +154,7 @@ impl FleetCoordinator {
                 if need == 0 {
                     break;
                 }
-                if lb.state(idx) == BackendState::Draining {
-                    lb.cancel_drain(idx);
+                if lb.state(idx) == BackendState::Draining && lb.cancel_drain(idx).is_ok() {
                     need -= 1;
                 }
             }
@@ -157,7 +163,9 @@ impl FleetCoordinator {
                     break;
                 }
                 if lb.state(idx) == BackendState::Parked {
-                    let (gen, parked_for) = lb.begin_unpark(now, idx);
+                    let Ok((gen, parked_for)) = lb.begin_unpark(now, idx) else {
+                        continue;
+                    };
                     self.unparks += 1;
                     self.energy.accumulate(
                         PowerMode::Wake,
@@ -186,10 +194,12 @@ impl FleetCoordinator {
                         break;
                     }
                     if lb.state(idx) == BackendState::Active {
-                        let already_idle = lb.begin_drain(idx);
+                        let Ok(already_idle) = lb.begin_drain(idx) else {
+                            continue;
+                        };
                         excess -= 1;
                         if already_idle {
-                            actions.push(self.start_park(now, lb, idx));
+                            actions.extend(self.start_park(now, lb, idx));
                         }
                     }
                 }
@@ -201,29 +211,38 @@ impl FleetCoordinator {
     }
 
     /// A draining backend's last outstanding request resolved: start its
-    /// park transition (no-op if the drain was cancelled meanwhile).
+    /// park transition (no-op if the drain was cancelled — or the
+    /// backend failed — meanwhile).
     pub fn on_drained(
         &mut self,
         now: SimTime,
         lb: &mut LoadBalancer,
         idx: usize,
     ) -> Option<FleetAction> {
-        (lb.state(idx) == BackendState::Draining).then(|| self.start_park(now, lb, idx))
+        if lb.state(idx) != BackendState::Draining {
+            return None;
+        }
+        self.start_park(now, lb, idx)
     }
 
-    fn start_park(&mut self, now: SimTime, lb: &mut LoadBalancer, idx: usize) -> FleetAction {
-        let gen = lb.begin_parking(idx);
+    fn start_park(
+        &mut self,
+        now: SimTime,
+        lb: &mut LoadBalancer,
+        idx: usize,
+    ) -> Option<FleetAction> {
+        let gen = lb.begin_parking(idx).ok()?;
         self.parks += 1;
         self.energy.accumulate(
             PowerMode::Halt,
             self.cfg.park_power_w,
             self.cfg.park_latency,
         );
-        FleetAction::ParkDone {
+        Some(FleetAction::ParkDone {
             backend: idx,
             gen,
             at: now + self.cfg.park_latency,
-        }
+        })
     }
 
     /// Completion callback for a park transition. Returns whether the
@@ -407,6 +426,35 @@ mod tests {
         assert!(actions.is_empty(), "cancelling a drain needs no callback");
         assert_eq!(lb.state(1), BackendState::Active);
         assert_eq!(co.energy().total_joules(), energy_before);
+    }
+
+    #[test]
+    fn failed_backend_triggers_unpark_backfill() {
+        let (mut lb, mut co) = fleet(4);
+        // 20 req / 10 ms = 2000 rps → target 2: the first epoch parks the
+        // two idle spares (patience 1).
+        open_requests(&mut lb, 0, 20);
+        for a in co.epoch(SimTime::from_ms(10), &mut lb) {
+            if let FleetAction::ParkDone { backend, gen, at } = a {
+                co.park_done(at, &mut lb, backend, gen);
+            }
+        }
+        assert_eq!(lb.committed(), 2, "steady state: backends 0-1 serve");
+        assert_eq!(lb.parked_count(), 2);
+        // Backend 1 crashes: committed drops to 1, below the target of 2,
+        // so the next epoch unparks a healthy spare to backfill.
+        lb.mark_failed(SimTime::from_ms(11), 1);
+        assert_eq!(lb.committed(), 1, "failed backends are not committed");
+        open_requests(&mut lb, 300, 20);
+        let actions = co.epoch(SimTime::from_ms(20), &mut lb);
+        assert_eq!(actions.len(), 1);
+        let FleetAction::UnparkDone { backend, gen, .. } = actions[0] else {
+            panic!("expected a backfill unpark, got {:?}", actions[0]);
+        };
+        assert_eq!(backend, 2, "lowest healthy parked index backfills");
+        assert!(co.unpark_done(&mut lb, backend, gen));
+        assert_eq!(lb.committed(), 2, "capacity restored without backend 1");
+        assert_eq!(lb.state(1), BackendState::Failed);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Deterministic backend failure schedules and health-prober policy.
+//!
+//! Link-level faults (`netsim::FaultConfig`) impair *frames*; this module
+//! impairs *machines*. A [`FailureSchedule`] names which backends fail,
+//! when, how ([`FailureMode`]), and whether they restart. The cluster
+//! harness turns each spec into simulation events; the load balancer
+//! never sees the schedule — it only learns about failures the way a real
+//! L4 balancer does, through its health prober and request timeouts
+//! ([`HealthConfig`]).
+//!
+//! Determinism: explicit schedules are plain data. The seeded constructor
+//! ([`FailureSchedule::seeded_stops`]) derives one [`SplitMix64`] stream
+//! per backend from the seed and the backend index, so adding or removing
+//! one backend's failure never shifts another's draw.
+//!
+//! Observer effect: an empty schedule ([`FailureSchedule::none`], the
+//! default) is completely inert — no RNG streams are created, no
+//! failure or probe events are scheduled, and every pinned run stays
+//! byte-identical.
+
+use desim::{ConfigError, SimDuration, SimTime, SplitMix64};
+
+/// How a failed backend misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureMode {
+    /// Fail-stop: the machine crashes. Frames to and from it are dropped;
+    /// all queued and in-flight work is lost (and accounted — never
+    /// silent). Health probes time out, so the active prober detects it.
+    #[default]
+    Stop,
+    /// Fail-slow: the machine keeps serving but every request takes a
+    /// multiple of its normal service time
+    /// ([`FailureSchedule::slow_factor`]). Probes still succeed (an L4
+    /// health check measures liveness, not latency).
+    Slow,
+    /// Hang: the machine admits requests but never responds. Probes
+    /// succeed — the TCP handshake still completes — so only passive
+    /// ejection (consecutive request timeouts) can detect it.
+    Hang,
+}
+
+impl FailureMode {
+    /// CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureMode::Stop => "stop",
+            FailureMode::Slow => "slow",
+            FailureMode::Hang => "hang",
+        }
+    }
+
+    /// Parses a CLI name (`stop`, `slow`, `hang`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        [FailureMode::Stop, FailureMode::Slow, FailureMode::Hang]
+            .into_iter()
+            .find(|m| m.name() == s)
+    }
+
+    /// Whether a dead-simple L4 health probe against a backend in this
+    /// failure mode succeeds. Only a full crash refuses the handshake;
+    /// slow and hung backends still accept connections.
+    #[must_use]
+    pub fn probe_succeeds(self) -> bool {
+        !matches!(self, FailureMode::Stop)
+    }
+}
+
+impl core::fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled backend failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// Index of the backend that fails.
+    pub backend: usize,
+    /// Failure instant.
+    pub at: SimTime,
+    /// How the backend misbehaves from [`at`](Self::at).
+    pub mode: FailureMode,
+    /// When set, the backend recovers (restarts healthy) this long after
+    /// failing; `None` keeps it down for the rest of the run.
+    pub restart_after: Option<SimDuration>,
+}
+
+/// Default seed for seeded failure schedules.
+pub const DEFAULT_FLEET_FAULT_SEED: u64 = 0xF1EE_7DEA_D5EE_D001;
+
+/// The per-run backend failure schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureSchedule {
+    /// The scheduled failures, in the order they were added.
+    pub specs: Vec<FailureSpec>,
+    /// Service-time multiplier applied by [`FailureMode::Slow`] backends
+    /// (must be ≥ 1).
+    pub slow_factor: f64,
+}
+
+impl FailureSchedule {
+    /// No failures: the schedule is completely inert.
+    #[must_use]
+    pub fn none() -> Self {
+        FailureSchedule {
+            specs: Vec::new(),
+            slow_factor: 8.0,
+        }
+    }
+
+    /// Whether any failure is scheduled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// Adds one failure (builder style).
+    #[must_use]
+    pub fn with_failure(mut self, spec: FailureSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Overrides the fail-slow service-time multiplier (builder style).
+    #[must_use]
+    pub fn with_slow_factor(mut self, factor: f64) -> Self {
+        self.slow_factor = factor;
+        self
+    }
+
+    /// A seeded schedule fail-stopping `count` of `backends` machines at
+    /// times drawn uniformly in `[window_start, window_end)`. Each
+    /// backend owns its own [`SplitMix64`] stream derived from `seed`
+    /// and its index; the `count` backends with the smallest draws crash.
+    /// Equal seeds yield equal schedules regardless of call order.
+    #[must_use]
+    pub fn seeded_stops(
+        seed: u64,
+        backends: usize,
+        count: usize,
+        window_start: SimTime,
+        window_end: SimTime,
+        restart_after: Option<SimDuration>,
+    ) -> Self {
+        let span = window_end
+            .as_nanos()
+            .saturating_sub(window_start.as_nanos())
+            .max(1);
+        let mut draws: Vec<(u64, usize)> = (0..backends)
+            .map(|i| {
+                let mut stream = SplitMix64::new(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 + 1),
+                );
+                (stream.next_below(span), i)
+            })
+            .collect();
+        draws.sort_unstable();
+        let mut specs: Vec<FailureSpec> = draws
+            .into_iter()
+            .take(count.min(backends))
+            .map(|(offset, backend)| FailureSpec {
+                backend,
+                at: window_start + SimDuration::from_nanos(offset),
+                mode: FailureMode::Stop,
+                restart_after,
+            })
+            .collect();
+        specs.sort_unstable_by_key(|s| (s.at, s.backend));
+        FailureSchedule {
+            specs,
+            slow_factor: 8.0,
+        }
+    }
+
+    /// Validates the schedule against a fleet of `backends` machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self, backends: usize) -> Result<(), ConfigError> {
+        for spec in &self.specs {
+            if spec.backend >= backends {
+                return Err(ConfigError::new(
+                    "faults.backend",
+                    format!(
+                        "failure targets backend {} but the fleet has {backends}",
+                        spec.backend
+                    ),
+                ));
+            }
+            if let Some(d) = spec.restart_after {
+                if d.is_zero() {
+                    return Err(ConfigError::new(
+                        "faults.restart_after",
+                        "a restart takes a positive amount of time",
+                    ));
+                }
+            }
+        }
+        if !(self.slow_factor >= 1.0 && self.slow_factor.is_finite()) {
+            return Err(ConfigError::new(
+                "faults.slow_factor",
+                format!(
+                    "the fail-slow multiplier must be finite and ≥ 1, got {}",
+                    self.slow_factor
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FailureSchedule {
+    fn default() -> Self {
+        FailureSchedule::none()
+    }
+}
+
+/// The LB health prober's policy.
+///
+/// Active path: every [`interval`](Self::interval) the LB probes every
+/// backend that is not parked (or mid-park). [`eject_after`](Self::eject_after)
+/// consecutive probe failures mark the backend
+/// [`Failed`](crate::BackendState::Failed);
+/// [`rejoin_after`](Self::rejoin_after) consecutive successes reinstate a
+/// failed or ejected backend. Passive path:
+/// [`passive_eject_after`](Self::passive_eject_after) consecutive request
+/// timeouts (retransmission timers firing against the backend's pin) mark
+/// it [`Ejected`](crate::BackendState::Ejected) — the only detector that
+/// catches a hung backend, whose probes still succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Active probe period.
+    pub interval: SimDuration,
+    /// Consecutive probe failures before a backend is marked failed.
+    pub eject_after: u32,
+    /// Consecutive probe successes before a failed/ejected backend is
+    /// reinstated.
+    pub rejoin_after: u32,
+    /// Consecutive request timeouts before a backend is passively
+    /// ejected.
+    pub passive_eject_after: u32,
+}
+
+impl HealthConfig {
+    /// Default prober policy: 1 ms probes, 3-strike ejection, 2-strike
+    /// reinstatement, 5 request timeouts for passive ejection.
+    #[must_use]
+    pub fn standard() -> Self {
+        HealthConfig {
+            interval: SimDuration::from_ms(1),
+            eject_after: 3,
+            rejoin_after: 2,
+            passive_eject_after: 5,
+        }
+    }
+
+    /// Overrides the probe period (builder style).
+    #[must_use]
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Overrides the ejection threshold (builder style).
+    #[must_use]
+    pub fn with_eject_after(mut self, probes: u32) -> Self {
+        self.eject_after = probes;
+        self
+    }
+
+    /// Overrides the reinstatement threshold (builder style).
+    #[must_use]
+    pub fn with_rejoin_after(mut self, probes: u32) -> Self {
+        self.rejoin_after = probes;
+        self
+    }
+
+    /// Overrides the passive-ejection threshold (builder style).
+    #[must_use]
+    pub fn with_passive_eject_after(mut self, timeouts: u32) -> Self {
+        self.passive_eject_after = timeouts;
+        self
+    }
+
+    /// Validates the prober policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.interval.is_zero() {
+            return Err(ConfigError::new(
+                "health.interval",
+                "the probe period must be positive",
+            ));
+        }
+        if self.eject_after == 0 {
+            return Err(ConfigError::new(
+                "health.eject_after",
+                "ejection requires at least one failed probe",
+            ));
+        }
+        if self.rejoin_after == 0 {
+            return Err(ConfigError::new(
+                "health.rejoin_after",
+                "reinstatement requires at least one successful probe",
+            ));
+        }
+        if self.passive_eject_after == 0 {
+            return Err(ConfigError::new(
+                "health.passive_eject_after",
+                "passive ejection requires at least one timeout",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_roundtrip() {
+        for m in [FailureMode::Stop, FailureMode::Slow, FailureMode::Hang] {
+            assert_eq!(FailureMode::parse(m.name()), Some(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(FailureMode::parse("explode"), None);
+        assert!(!FailureMode::Stop.probe_succeeds());
+        assert!(FailureMode::Slow.probe_succeeds());
+        assert!(FailureMode::Hang.probe_succeeds());
+    }
+
+    #[test]
+    fn empty_schedule_is_inert_and_valid() {
+        let s = FailureSchedule::none();
+        assert!(!s.enabled());
+        assert!(s.validate(0).is_ok());
+        assert_eq!(s, FailureSchedule::default());
+    }
+
+    #[test]
+    fn seeded_stops_are_deterministic_and_per_backend_stable() {
+        let window = (SimTime::from_ms(100), SimTime::from_ms(200));
+        let a = FailureSchedule::seeded_stops(7, 64, 4, window.0, window.1, None);
+        let b = FailureSchedule::seeded_stops(7, 64, 4, window.0, window.1, None);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.specs.len(), 4);
+        for s in &a.specs {
+            assert!(s.at >= window.0 && s.at < window.1);
+            assert_eq!(s.mode, FailureMode::Stop);
+        }
+        let c = FailureSchedule::seeded_stops(8, 64, 4, window.0, window.1, None);
+        assert_ne!(a, c, "different seed, different schedule");
+        // A crashing backend's draw only depends on its own stream: the
+        // 4-crash schedule is a prefix-by-draw of the 8-crash one.
+        let wide = FailureSchedule::seeded_stops(7, 64, 8, window.0, window.1, None);
+        for s in &a.specs {
+            assert!(wide.specs.contains(s));
+        }
+    }
+
+    #[test]
+    fn schedule_validation_names_offending_fields() {
+        let oob = FailureSchedule::none().with_failure(FailureSpec {
+            backend: 4,
+            at: SimTime::from_ms(1),
+            mode: FailureMode::Stop,
+            restart_after: None,
+        });
+        assert_eq!(oob.validate(4).unwrap_err().field, "faults.backend");
+        assert!(oob.validate(5).is_ok());
+        let zero_restart = FailureSchedule::none().with_failure(FailureSpec {
+            backend: 0,
+            at: SimTime::from_ms(1),
+            mode: FailureMode::Stop,
+            restart_after: Some(SimDuration::ZERO),
+        });
+        assert_eq!(
+            zero_restart.validate(1).unwrap_err().field,
+            "faults.restart_after"
+        );
+        let bad_slow = FailureSchedule::none().with_slow_factor(0.5);
+        assert_eq!(
+            bad_slow.validate(1).unwrap_err().field,
+            "faults.slow_factor"
+        );
+    }
+
+    #[test]
+    fn health_validation_names_offending_fields() {
+        let base = HealthConfig::standard();
+        assert!(base.validate().is_ok());
+        let err = |c: HealthConfig| c.validate().unwrap_err().field;
+        assert_eq!(
+            err(base.with_interval(SimDuration::ZERO)),
+            "health.interval"
+        );
+        assert_eq!(err(base.with_eject_after(0)), "health.eject_after");
+        assert_eq!(err(base.with_rejoin_after(0)), "health.rejoin_after");
+        assert_eq!(
+            err(base.with_passive_eject_after(0)),
+            "health.passive_eject_after"
+        );
+    }
+}

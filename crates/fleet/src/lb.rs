@@ -19,6 +19,7 @@
 //! the same dispatch pick but tracked only as frame counts.
 
 use crate::config::{DispatchPolicy, FleetConfig};
+use crate::faults::HealthConfig;
 use desim::{SimDuration, SimTime};
 use netsim::{NodeId, Packet};
 use std::collections::HashMap;
@@ -37,6 +38,14 @@ pub enum BackendState {
     Parked,
     /// Mid-transition back into rotation.
     Unparking,
+    /// The health prober declared it dead (consecutive probe failures):
+    /// out of rotation, its open requests moved to the failed-over limbo
+    /// awaiting re-pin. Reinstated by consecutive probe successes.
+    Failed,
+    /// Passively ejected (consecutive request timeouts): out of rotation
+    /// but its outstanding work is still accounted against it — a hung or
+    /// slow machine may yet answer. Reinstated by probe successes.
+    Ejected,
 }
 
 impl BackendState {
@@ -49,8 +58,59 @@ impl BackendState {
             BackendState::Parking => "parking",
             BackendState::Parked => "parked",
             BackendState::Unparking => "unparking",
+            BackendState::Failed => "failed",
+            BackendState::Ejected => "ejected",
         }
     }
+
+    /// Whether the LB may route new or failed-over work here. Parked
+    /// backends are healthy (administratively off, not broken).
+    #[must_use]
+    pub fn is_healthy(self) -> bool {
+        !matches!(self, BackendState::Failed | BackendState::Ejected)
+    }
+}
+
+/// An illegal backend state transition, refused with context instead of
+/// silently corrupting rotation state in release builds (these guards
+/// were previously `debug_assert!`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// The backend whose transition was refused.
+    pub backend: usize,
+    /// Its state when the transition was attempted.
+    pub from: BackendState,
+    /// The transition that was attempted.
+    pub attempted: &'static str,
+}
+
+impl core::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "backend {} cannot {} from the {} state",
+            self.backend,
+            self.attempted,
+            self.from.name()
+        )
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// What one health probe against one backend produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe succeeded; nothing changed.
+    Ok,
+    /// The probe failed but the strike count is below the threshold.
+    Strike,
+    /// The probe failed and crossed the threshold: the backend was
+    /// marked [`BackendState::Failed`] and its requests orphaned.
+    Failed,
+    /// The probe succeeded and crossed the rejoin threshold: the backend
+    /// was reinstated into rotation.
+    Rejoined,
 }
 
 /// One backend's slot in the LB.
@@ -74,6 +134,16 @@ struct Backend {
     rejected: u64,
     parked_since: Option<SimTime>,
     parked_total: SimDuration,
+    /// Consecutive failed health probes (resets on success).
+    probe_fails: u32,
+    /// Consecutive successful health probes while failed/ejected.
+    probe_oks: u32,
+    /// Consecutive request timeouts (resets on any response).
+    timeouts: u32,
+    /// Whether the backend was parked when it failed: reinstatement then
+    /// returns it to the parked state (a restarted machine comes back in
+    /// the administrative state it crashed from, not into rotation).
+    was_parked: bool,
 }
 
 impl Backend {
@@ -89,18 +159,33 @@ impl Backend {
             rejected: 0,
             parked_since: None,
             parked_total: SimDuration::ZERO,
+            probe_fails: 0,
+            probe_oks: 0,
+            timeouts: 0,
+            was_parked: false,
         }
+    }
+
+    fn in_rotation(&self) -> bool {
+        matches!(
+            self.state,
+            BackendState::Active | BackendState::Draining | BackendState::Unparking
+        )
     }
 }
 
 /// One conntrack entry: which backend a request was pinned to and which
 /// client gets the response. Entries survive resolution (`open = false`)
 /// so response replays and stale retransmissions keep routing correctly.
+/// When the pinned backend is marked failed, open entries enter *limbo*
+/// (`limbo = true`): no longer counted against any backend, waiting for
+/// the client's retransmission to re-pin them somewhere healthy.
 #[derive(Debug, Clone, Copy)]
 struct Conn {
     backend: usize,
     client: NodeId,
     open: bool,
+    limbo: bool,
 }
 
 /// What [`LoadBalancer::on_response`] produced.
@@ -116,8 +201,9 @@ pub struct LbResponse {
 }
 
 /// The LB's conservation ledger, for the cluster watchdog: every request
-/// the LB opened is completed, rejected, or still outstanding — and the
-/// per-backend outstanding counts must sum to the fleet total.
+/// the LB opened is completed, rejected, in the failed-over limbo, or
+/// still outstanding — and the per-backend outstanding counts must sum to
+/// the fleet total.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LbLedger {
     /// Unique requests the LB opened a connection for.
@@ -128,11 +214,17 @@ pub struct LbLedger {
     pub rejected: u64,
     /// Requests forwarded and not yet answered.
     pub outstanding: u64,
+    /// Requests orphaned by a failed backend, waiting for a
+    /// retransmission to re-pin them (counted against no backend).
+    pub failed_over: u64,
     /// Sum of the per-backend outstanding counts (must equal
     /// `outstanding`).
     pub backend_outstanding_sum: u64,
     /// Response frames that matched no connection (routing leak).
     pub unmatched_responses: u64,
+    /// Frames carrying live work forwarded to a backend already marked
+    /// failed or ejected. Must stay zero; the watchdog audits it.
+    pub dead_dispatches: u64,
 }
 
 /// Per-backend slice of a [`FleetSummary`].
@@ -180,6 +272,20 @@ pub struct FleetSummary {
     pub bulk_frames: u64,
     /// Response frames that matched no connection.
     pub unmatched_responses: u64,
+    /// Requests re-pinned from a failed/ejected backend to a healthy one.
+    pub failovers: u64,
+    /// Health probes sent.
+    pub health_probes: u64,
+    /// Health probes that failed.
+    pub probe_failures: u64,
+    /// Backends removed from rotation for health (probe-driven failures
+    /// plus passive ejections).
+    pub ejections: u64,
+    /// Failed/ejected backends reinstated into rotation.
+    pub rejoins: u64,
+    /// Responses dropped because they arrived from a backend the request
+    /// had already been failed over away from.
+    pub stale_responses: u64,
     /// Backends parked (transitions, whole run).
     pub parks: u64,
     /// Backends unparked (transitions, whole run).
@@ -196,6 +302,7 @@ pub struct LoadBalancer {
     vip: NodeId,
     dispatch: DispatchPolicy,
     pack_spill: usize,
+    health: Option<HealthConfig>,
     backends: Vec<Backend>,
     rr_cursor: usize,
     conntrack: HashMap<u64, Conn>,
@@ -203,10 +310,18 @@ pub struct LoadBalancer {
     completed: u64,
     rejected: u64,
     outstanding: u64,
+    failed_over: u64,
     forwarded_frames: u64,
     retx_forwarded: u64,
     bulk_frames: u64,
     unmatched_responses: u64,
+    failovers: u64,
+    health_probes: u64,
+    probe_failures: u64,
+    ejections: u64,
+    rejoins: u64,
+    stale_responses: u64,
+    dead_dispatches: u64,
 }
 
 impl LoadBalancer {
@@ -218,6 +333,7 @@ impl LoadBalancer {
             vip,
             dispatch: cfg.dispatch,
             pack_spill: cfg.pack_spill,
+            health: cfg.effective_health(),
             backends: backends.into_iter().map(Backend::new).collect(),
             rr_cursor: 0,
             conntrack: HashMap::new(),
@@ -225,10 +341,18 @@ impl LoadBalancer {
             completed: 0,
             rejected: 0,
             outstanding: 0,
+            failed_over: 0,
             forwarded_frames: 0,
             retx_forwarded: 0,
             bulk_frames: 0,
             unmatched_responses: 0,
+            failovers: 0,
+            health_probes: 0,
+            probe_failures: 0,
+            ejections: 0,
+            rejoins: 0,
+            stale_responses: 0,
+            dead_dispatches: 0,
         }
     }
 
@@ -301,38 +425,131 @@ impl LoadBalancer {
             .count()
     }
 
-    /// Picks a backend for a fresh (unpinned) frame. Only
-    /// [`BackendState::Active`] backends are dispatchable; if none are
-    /// (transiently possible while the whole committed set is still
-    /// unparking), frames go to an unparking backend — it is about to
-    /// serve — and as a last resort to the least-loaded backend
-    /// regardless of state, so traffic is never dropped by the LB.
+    /// Whether backend `idx` may receive work (not failed or ejected).
+    #[must_use]
+    pub fn healthy(&self, idx: usize) -> bool {
+        self.backends[idx].state.is_healthy()
+    }
+
+    /// Backends not currently failed or ejected (parked ones count: they
+    /// are administratively off, not broken).
+    #[must_use]
+    pub fn healthy_count(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.state.is_healthy())
+            .count()
+    }
+
+    /// Whether the health prober should probe backend `idx`: everything
+    /// but a parked (or mid-park) backend, which is administratively off.
+    #[must_use]
+    pub fn probeable(&self, idx: usize) -> bool {
+        !matches!(
+            self.backends[idx].state,
+            BackendState::Parked | BackendState::Parking
+        )
+    }
+
+    /// Requests re-pinned away from failed/ejected backends so far.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Active health probes recorded so far.
+    #[must_use]
+    pub fn health_probes(&self) -> u64 {
+        self.health_probes
+    }
+
+    /// Failed health probes recorded so far.
+    #[must_use]
+    pub fn probe_failures(&self) -> u64 {
+        self.probe_failures
+    }
+
+    /// Backends removed from rotation for health so far (probe-driven
+    /// failures plus passive ejections).
+    #[must_use]
+    pub fn ejections(&self) -> u64 {
+        self.ejections
+    }
+
+    /// Failed/ejected backends reinstated so far.
+    #[must_use]
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins
+    }
+
+    /// The backend an *open* request is currently pinned to (limbo
+    /// entries still report the failed pin until re-pinned).
+    #[must_use]
+    pub fn pinned_backend(&self, id: u64) -> Option<usize> {
+        self.conntrack
+            .get(&id)
+            .filter(|c| c.open)
+            .map(|c| c.backend)
+    }
+
+    /// The dispatch pool in preference order: active backends, then
+    /// unparking ones (about to serve), then any healthy backend, and —
+    /// only when every single backend is failed/ejected — the whole
+    /// fleet, so traffic is never dropped by the LB itself.
+    fn dispatch_pool(&self) -> Vec<usize> {
+        let active: Vec<usize> = self.in_state(BackendState::Active);
+        if !active.is_empty() {
+            return active;
+        }
+        let unparking = self.in_state(BackendState::Unparking);
+        if !unparking.is_empty() {
+            return unparking;
+        }
+        let healthy: Vec<usize> = (0..self.backends.len())
+            .filter(|&i| self.backends[i].state.is_healthy())
+            .collect();
+        if !healthy.is_empty() {
+            return healthy;
+        }
+        (0..self.backends.len()).collect()
+    }
+
+    /// Picks a backend for a fresh (unpinned) frame from
+    /// [`dispatch_pool`](Self::dispatch_pool).
     fn pick(&mut self) -> usize {
-        let pool: Vec<usize> = {
-            let active: Vec<usize> = self.in_state(BackendState::Active);
-            if active.is_empty() {
-                let unparking = self.in_state(BackendState::Unparking);
-                if unparking.is_empty() {
-                    (0..self.backends.len()).collect()
-                } else {
-                    unparking
-                }
-            } else {
-                active
-            }
-        };
+        let pool = self.dispatch_pool();
+        self.pick_from(&pool)
+    }
+
+    /// Picks a healthy backend for a failover re-pin; `None` when every
+    /// backend is failed/ejected (the stale pin is then kept — the frame
+    /// has nowhere better to go and the client will retry).
+    fn pick_healthy(&mut self) -> Option<usize> {
+        let pool: Vec<usize> = self
+            .dispatch_pool()
+            .into_iter()
+            .filter(|&i| self.backends[i].state.is_healthy())
+            .collect();
+        if pool.is_empty() {
+            return None;
+        }
+        Some(self.pick_from(&pool))
+    }
+
+    /// Applies the dispatch policy to a non-empty candidate pool.
+    fn pick_from(&mut self, pool: &[usize]) -> usize {
         match self.dispatch {
             DispatchPolicy::RoundRobin => {
                 let idx = pool[self.rr_cursor % pool.len()];
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 idx
             }
-            DispatchPolicy::LeastOutstanding => self.least_outstanding(&pool),
+            DispatchPolicy::LeastOutstanding => self.least_outstanding(pool),
             DispatchPolicy::Packing => pool
                 .iter()
                 .copied()
                 .find(|&i| (self.backends[i].outstanding as usize) < self.pack_spill)
-                .unwrap_or_else(|| self.least_outstanding(&pool)),
+                .unwrap_or_else(|| self.least_outstanding(pool)),
         }
     }
 
@@ -351,7 +568,10 @@ impl LoadBalancer {
 
     /// Forwards a client frame: picks (or recalls) the backend, rewrites
     /// the frame `src → VIP`, `dst → backend`, and returns both. Fresh
-    /// requests open a conntrack entry; retransmissions follow their pin.
+    /// requests open a conntrack entry; retransmissions follow their pin
+    /// — unless the pin points at a failed/ejected backend, in which case
+    /// the request *fails over*: it is re-pinned to a healthy backend so
+    /// the client's retransmission machinery recovers it end to end.
     pub fn dispatch(&mut self, frame: Packet) -> (usize, Packet) {
         self.forwarded_frames += 1;
         let Some(id) = frame.meta().request_id else {
@@ -360,6 +580,9 @@ impl LoadBalancer {
             // too.
             self.bulk_frames += 1;
             let idx = self.pick();
+            if !self.healthy(idx) {
+                self.dead_dispatches += 1;
+            }
             self.backends[idx].frames += 1;
             let dst = self.backends[idx].node;
             return (idx, frame.readdress(self.vip, dst));
@@ -367,19 +590,53 @@ impl LoadBalancer {
         if let Some(conn) = self.conntrack.get(&id) {
             // A retransmission (or a duplicate of a resolved request):
             // follow the pin so backend dup-suppression keeps working.
-            let idx = conn.backend;
+            let (pin, open, limbo) = (conn.backend, conn.open, conn.limbo);
+            let idx = if open && !self.healthy(pin) {
+                match self.pick_healthy() {
+                    Some(new) => {
+                        // Failover: move the pin (and its accounting)
+                        // off the dead backend.
+                        if limbo {
+                            self.failed_over -= 1;
+                            self.outstanding += 1;
+                        } else {
+                            self.backends[pin].outstanding -= 1;
+                        }
+                        self.backends[new].outstanding += 1;
+                        self.backends[new].assigned += 1;
+                        self.failovers += 1;
+                        if let Some(c) = self.conntrack.get_mut(&id) {
+                            c.backend = new;
+                            c.limbo = false;
+                        }
+                        new
+                    }
+                    None => {
+                        // The whole fleet is unhealthy: follow the stale
+                        // pin rather than drop. The watchdog will see it.
+                        self.dead_dispatches += 1;
+                        pin
+                    }
+                }
+            } else {
+                pin
+            };
             self.retx_forwarded += 1;
             self.backends[idx].frames += 1;
             let dst = self.backends[idx].node;
             return (idx, frame.readdress(self.vip, dst));
         }
         let idx = self.pick();
+        if !self.healthy(idx) {
+            self.dead_dispatches += 1;
+        }
         self.conntrack.insert(
             id,
             Conn {
                 backend: idx,
                 client: frame.src(),
                 open: true,
+                limbo: false,
             },
         );
         self.opened += 1;
@@ -397,26 +654,47 @@ impl LoadBalancer {
     /// the originating client. Unmatched responses are dropped and
     /// counted — the watchdog surfaces them as a routing violation.
     pub fn on_response(&mut self, frame: Packet) -> LbResponse {
-        let meta = frame.meta();
-        let matched = meta
-            .request_id
-            .and_then(|id| self.conntrack.get_mut(&id).map(|c| (id, c)));
-        let Some((_, conn)) = matched else {
+        let (req_id, is_final, rejected) = {
+            let m = frame.meta();
+            (m.request_id, m.is_final, m.rejected)
+        };
+        let matched = req_id.and_then(|id| self.conntrack.get(&id).map(|c| (id, *c)));
+        let Some((id, conn)) = matched else {
             self.unmatched_responses += 1;
             return LbResponse {
                 forward: None,
                 drained: None,
             };
         };
+        // A response from a backend this request was already failed over
+        // away from (the old machine restarted, or was merely slow): the
+        // re-pinned backend owns the request now — drop it.
+        if self.backends[conn.backend].node != frame.src() {
+            self.stale_responses += 1;
+            return LbResponse {
+                forward: None,
+                drained: None,
+            };
+        }
         let client = conn.client;
         let idx = conn.backend;
         let mut drained = None;
-        if (meta.is_final || meta.rejected) && conn.open {
-            conn.open = false;
-            self.outstanding -= 1;
+        if (is_final || rejected) && conn.open {
+            if let Some(c) = self.conntrack.get_mut(&id) {
+                c.open = false;
+                c.limbo = false;
+            }
+            if conn.limbo {
+                // A limbo request answered before any retransmission
+                // re-pinned it (the "dead" backend was alive after all):
+                // settle it straight out of the failed-over pool.
+                self.failed_over -= 1;
+            } else {
+                self.outstanding -= 1;
+                self.backends[idx].outstanding -= 1;
+            }
             let b = &mut self.backends[idx];
-            b.outstanding -= 1;
-            if meta.rejected {
+            if rejected {
                 b.rejected += 1;
                 self.rejected += 1;
             } else {
@@ -437,33 +715,53 @@ impl LoadBalancer {
 
     /// Takes backend `idx` out of rotation; it parks once drained.
     /// Returns `true` when its outstanding count is already zero (the
-    /// caller may park immediately).
-    pub fn begin_drain(&mut self, idx: usize) -> bool {
+    /// caller may park immediately). Refused unless the backend is
+    /// active — in particular a failed/ejected backend cannot drain.
+    pub fn begin_drain(&mut self, idx: usize) -> Result<bool, TransitionError> {
         let b = &mut self.backends[idx];
-        debug_assert_eq!(b.state, BackendState::Active, "only active backends drain");
+        if b.state != BackendState::Active {
+            return Err(TransitionError {
+                backend: idx,
+                from: b.state,
+                attempted: "begin a drain",
+            });
+        }
         b.state = BackendState::Draining;
         b.gen = b.gen.wrapping_add(1);
-        b.outstanding == 0
+        Ok(b.outstanding == 0)
     }
 
     /// Returns a draining backend to rotation (load came back before the
     /// drain finished). Free: no transition latency or energy.
-    pub fn cancel_drain(&mut self, idx: usize) {
+    pub fn cancel_drain(&mut self, idx: usize) -> Result<(), TransitionError> {
         let b = &mut self.backends[idx];
-        debug_assert_eq!(b.state, BackendState::Draining, "only drains cancel");
+        if b.state != BackendState::Draining {
+            return Err(TransitionError {
+                backend: idx,
+                from: b.state,
+                attempted: "cancel a drain",
+            });
+        }
         b.state = BackendState::Active;
         b.gen = b.gen.wrapping_add(1);
+        Ok(())
     }
 
     /// Starts the drained → parked transition; returns the generation
-    /// the completion callback must present.
-    pub fn begin_parking(&mut self, idx: usize) -> u32 {
+    /// the completion callback must present. Refused unless the backend
+    /// is draining with zero outstanding work.
+    pub fn begin_parking(&mut self, idx: usize) -> Result<u32, TransitionError> {
         let b = &mut self.backends[idx];
-        debug_assert_eq!(b.state, BackendState::Draining, "park only after a drain");
-        debug_assert_eq!(b.outstanding, 0, "park only when drained");
+        if b.state != BackendState::Draining || b.outstanding != 0 {
+            return Err(TransitionError {
+                backend: idx,
+                from: b.state,
+                attempted: "park",
+            });
+        }
         b.state = BackendState::Parking;
         b.gen = b.gen.wrapping_add(1);
-        b.gen
+        Ok(b.gen)
     }
 
     /// Completes a park transition scheduled under `gen`. Stale
@@ -481,9 +779,20 @@ impl LoadBalancer {
 
     /// Starts the parked → active transition; returns the generation for
     /// the completion callback and the parked residency being flushed.
-    pub fn begin_unpark(&mut self, now: SimTime, idx: usize) -> (u32, SimDuration) {
+    /// Refused unless the backend is parked.
+    pub fn begin_unpark(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+    ) -> Result<(u32, SimDuration), TransitionError> {
         let b = &mut self.backends[idx];
-        debug_assert_eq!(b.state, BackendState::Parked, "only parked backends unpark");
+        if b.state != BackendState::Parked {
+            return Err(TransitionError {
+                backend: idx,
+                from: b.state,
+                attempted: "unpark",
+            });
+        }
         let parked_for = b
             .parked_since
             .take()
@@ -491,7 +800,7 @@ impl LoadBalancer {
         b.parked_total += parked_for;
         b.state = BackendState::Unparking;
         b.gen = b.gen.wrapping_add(1);
-        (b.gen, parked_for)
+        Ok((b.gen, parked_for))
     }
 
     /// Completes an unpark transition scheduled under `gen`; stale
@@ -504,6 +813,148 @@ impl LoadBalancer {
         }
         b.state = BackendState::Active;
         true
+    }
+
+    // ----- failure & health -----------------------------------------------
+
+    /// Marks backend `idx` failed (the prober crossed its strike
+    /// threshold). Every open request pinned to it moves to the
+    /// failed-over limbo — counted against no backend — awaiting a client
+    /// retransmission to re-pin it somewhere healthy. Returns how many
+    /// requests were orphaned; a no-op (0) when already failed.
+    pub fn mark_failed(&mut self, now: SimTime, idx: usize) -> u64 {
+        let b = &mut self.backends[idx];
+        if b.state == BackendState::Failed {
+            return 0;
+        }
+        // A parked backend that dies stops accumulating residency and
+        // must restart back into the parked state, not into rotation.
+        b.was_parked = matches!(b.state, BackendState::Parked | BackendState::Parking);
+        if let Some(since) = b.parked_since.take() {
+            b.parked_total += now - since;
+        }
+        b.state = BackendState::Failed;
+        b.gen = b.gen.wrapping_add(1);
+        b.probe_fails = 0;
+        b.probe_oks = 0;
+        b.timeouts = 0;
+        let pinned = b.outstanding;
+        b.outstanding = 0;
+        let mut orphaned = 0u64;
+        for c in self.conntrack.values_mut() {
+            if c.backend == idx && c.open && !c.limbo {
+                c.limbo = true;
+                orphaned += 1;
+            }
+        }
+        debug_assert_eq!(pinned, orphaned, "outstanding must match open pins");
+        self.failed_over += orphaned;
+        self.outstanding -= orphaned;
+        orphaned
+    }
+
+    /// Passively ejects backend `idx` from rotation (consecutive request
+    /// timeouts). Unlike [`mark_failed`](Self::mark_failed) its
+    /// outstanding work stays counted against it — a hung or slow machine
+    /// may yet answer; retransmissions still fail over away from it.
+    /// Returns whether the backend was in rotation to eject.
+    pub fn eject(&mut self, idx: usize) -> bool {
+        let b = &mut self.backends[idx];
+        if !b.in_rotation() {
+            return false;
+        }
+        b.state = BackendState::Ejected;
+        b.gen = b.gen.wrapping_add(1);
+        b.probe_fails = 0;
+        b.probe_oks = 0;
+        true
+    }
+
+    /// Reinstates a failed/ejected backend — into rotation, or back to
+    /// parked if that is where it failed from. Returns whether it was
+    /// reinstatable.
+    pub fn reinstate(&mut self, now: SimTime, idx: usize) -> bool {
+        let b = &mut self.backends[idx];
+        if !matches!(b.state, BackendState::Failed | BackendState::Ejected) {
+            return false;
+        }
+        if b.was_parked {
+            b.state = BackendState::Parked;
+            b.parked_since = Some(now);
+        } else {
+            b.state = BackendState::Active;
+        }
+        b.was_parked = false;
+        b.gen = b.gen.wrapping_add(1);
+        b.probe_fails = 0;
+        b.probe_oks = 0;
+        b.timeouts = 0;
+        true
+    }
+
+    /// Records an active health-probe result against backend `idx`,
+    /// applying the K-strike ejection and rejoin thresholds. Inert when
+    /// no prober is configured (the no-faults fast path).
+    pub fn record_probe(&mut self, now: SimTime, idx: usize, ok: bool) -> ProbeOutcome {
+        let Some(h) = self.health else {
+            return ProbeOutcome::Ok;
+        };
+        self.health_probes += 1;
+        if ok {
+            let b = &mut self.backends[idx];
+            b.probe_fails = 0;
+            if matches!(b.state, BackendState::Failed | BackendState::Ejected) {
+                b.probe_oks += 1;
+                if b.probe_oks >= h.rejoin_after {
+                    self.reinstate(now, idx);
+                    self.rejoins += 1;
+                    return ProbeOutcome::Rejoined;
+                }
+            }
+            return ProbeOutcome::Ok;
+        }
+        self.probe_failures += 1;
+        let b = &mut self.backends[idx];
+        b.probe_oks = 0;
+        b.probe_fails += 1;
+        if b.probe_fails >= h.eject_after && b.state != BackendState::Failed {
+            // An already-ejected backend escalates to failed (its pins
+            // enter limbo) without counting as a fresh ejection.
+            let newly_out = b.state != BackendState::Ejected;
+            self.mark_failed(now, idx);
+            if newly_out {
+                self.ejections += 1;
+            }
+            return ProbeOutcome::Failed;
+        }
+        ProbeOutcome::Strike
+    }
+
+    /// Notes a request timeout (an RTO firing) against backend `idx` for
+    /// passive health: consecutive timeouts beyond the threshold eject
+    /// it. Returns whether this strike ejected the backend. Inert when no
+    /// prober is configured.
+    pub fn note_timeout(&mut self, idx: usize) -> bool {
+        let Some(h) = self.health else {
+            return false;
+        };
+        let b = &mut self.backends[idx];
+        if !b.in_rotation() {
+            return false;
+        }
+        b.timeouts += 1;
+        if b.timeouts >= h.passive_eject_after {
+            self.eject(idx);
+            self.ejections += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Notes a successful response from backend `idx`, clearing its
+    /// passive-timeout strikes.
+    pub fn note_ok(&mut self, idx: usize) {
+        self.backends[idx].timeouts = 0;
     }
 
     // ----- results --------------------------------------------------------
@@ -536,8 +987,10 @@ impl LoadBalancer {
             completed: self.completed,
             rejected: self.rejected,
             outstanding: self.outstanding,
+            failed_over: self.failed_over,
             backend_outstanding_sum: self.backends.iter().map(|b| b.outstanding).sum(),
             unmatched_responses: self.unmatched_responses,
+            dead_dispatches: self.dead_dispatches,
         }
     }
 
@@ -555,6 +1008,12 @@ impl LoadBalancer {
             retx_forwarded: self.retx_forwarded,
             bulk_frames: self.bulk_frames,
             unmatched_responses: self.unmatched_responses,
+            failovers: self.failovers,
+            health_probes: self.health_probes,
+            probe_failures: self.probe_failures,
+            ejections: self.ejections,
+            rejoins: self.rejoins,
+            stale_responses: self.stale_responses,
             parks: 0,
             unparks: 0,
             transition_energy_j: 0.0,
@@ -684,7 +1143,7 @@ mod tests {
         let mut l = lb(2, DispatchPolicy::RoundRobin);
         let (idx, _) = l.dispatch(request(10, 1));
         assert_eq!(idx, 0);
-        assert!(!l.begin_drain(0), "still has outstanding work");
+        assert!(!l.begin_drain(0).unwrap(), "still has outstanding work");
         for id in 2..6 {
             assert_eq!(
                 l.dispatch(request(10, id)).0,
@@ -702,15 +1161,15 @@ mod tests {
     #[test]
     fn park_unpark_transitions_are_generation_guarded() {
         let mut l = lb(2, DispatchPolicy::RoundRobin);
-        assert!(l.begin_drain(1), "idle backend drains instantly");
-        let gen = l.begin_parking(1);
+        assert!(l.begin_drain(1).unwrap(), "idle backend drains instantly");
+        let gen = l.begin_parking(1).unwrap();
         // A cancelled-then-reparked backend would bump the generation;
         // the stale callback must not flip the state.
         assert!(!l.finish_park(SimTime::from_ms(1), 1, gen.wrapping_add(1)));
         assert!(l.finish_park(SimTime::from_ms(1), 1, gen));
         assert_eq!(l.state(1), BackendState::Parked);
         assert_eq!(l.parked_count(), 1);
-        let (ugen, flushed) = l.begin_unpark(SimTime::from_ms(5), 1);
+        let (ugen, flushed) = l.begin_unpark(SimTime::from_ms(5), 1).unwrap();
         assert_eq!(flushed, SimDuration::from_ms(4));
         assert!(!l.finish_unpark(1, ugen.wrapping_add(1)));
         assert!(l.finish_unpark(1, ugen));
@@ -721,8 +1180,8 @@ mod tests {
     #[test]
     fn no_active_backend_falls_back_without_dropping() {
         let mut l = lb(1, DispatchPolicy::Packing);
-        assert!(l.begin_drain(0));
-        let gen = l.begin_parking(0);
+        assert!(l.begin_drain(0).unwrap());
+        let gen = l.begin_parking(0).unwrap();
         assert!(l.finish_park(SimTime::from_ms(1), 0, gen));
         // Everything is parked; the frame still goes somewhere.
         let (idx, _) = l.dispatch(request(10, 1));
@@ -732,14 +1191,257 @@ mod tests {
     #[test]
     fn finalize_flushes_parked_residency_once() {
         let mut l = lb(2, DispatchPolicy::RoundRobin);
-        assert!(l.begin_drain(1));
-        let gen = l.begin_parking(1);
+        assert!(l.begin_drain(1).unwrap());
+        let gen = l.begin_parking(1).unwrap();
         assert!(l.finish_park(SimTime::from_ms(2), 1, gen));
         let flushed = l.finalize(SimTime::from_ms(10));
         assert_eq!(flushed, vec![(1, SimDuration::from_ms(8))]);
         // A second finalize at the same instant flushes nothing more.
         assert!(l.finalize(SimTime::from_ms(10)).is_empty());
         assert_eq!(l.summary().backends[1].parked, SimDuration::from_ms(8));
+    }
+
+    fn lb_health(n: usize, dispatch: DispatchPolicy) -> LoadBalancer {
+        let cfg = FleetConfig::new(n, dispatch)
+            .with_pack_spill(2)
+            .with_health(HealthConfig::standard());
+        let nodes = (0..n).map(|i| NodeId(i as u16)).collect();
+        LoadBalancer::new(NodeId(n as u16), nodes, &cfg)
+    }
+
+    #[test]
+    fn illegal_transitions_are_refused_with_context() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        assert!(l.begin_drain(0).unwrap());
+        let err = l.begin_drain(0).unwrap_err();
+        assert_eq!(
+            err,
+            TransitionError {
+                backend: 0,
+                from: BackendState::Draining,
+                attempted: "begin a drain",
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "backend 0 cannot begin a drain from the draining state"
+        );
+        assert!(l.cancel_drain(1).is_err(), "backend 1 is not draining");
+        assert!(l.begin_unpark(SimTime::from_ms(1), 1).is_err());
+        // A draining backend with outstanding work refuses to park.
+        l.cancel_drain(0).unwrap();
+        let (idx, _) = l.dispatch(request(10, 1));
+        assert!(!l.begin_drain(idx).unwrap());
+        assert!(l.begin_parking(idx).is_err());
+        assert_eq!(l.state(idx), BackendState::Draining, "state is unharmed");
+    }
+
+    #[test]
+    fn mark_failed_orphans_pins_and_retx_fails_over() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        for id in 0..3 {
+            l.dispatch(request(10, id)); // ids 0,2 → b0; id 1 → b1
+        }
+        assert_eq!(l.outstanding_of(0), 2);
+        assert_eq!(l.mark_failed(SimTime::from_ms(1), 0), 2);
+        assert_eq!(l.mark_failed(SimTime::from_ms(1), 0), 0, "idempotent");
+        assert_eq!(l.state(0), BackendState::Failed);
+        let led = l.ledger();
+        assert_eq!(led.failed_over, 2);
+        assert_eq!(led.outstanding, 1);
+        assert_eq!(led.backend_outstanding_sum, 1);
+        assert_eq!(
+            led.opened,
+            led.completed + led.rejected + led.failed_over + led.outstanding
+        );
+        // Fresh work avoids the failed backend entirely.
+        assert_eq!(l.dispatch(request(10, 3)).0, 1);
+        // A retransmission of an orphaned id re-pins to the healthy one.
+        let (idx, out) = l.dispatch(request(10, 0));
+        assert_eq!(idx, 1);
+        assert_eq!(out.dst(), NodeId(1));
+        let led = l.ledger();
+        assert_eq!(led.failed_over, 1);
+        assert_eq!(led.outstanding, 3);
+        assert_eq!(l.summary().failovers, 1);
+        assert_eq!(led.dead_dispatches, 0);
+        // The re-pinned backend's answer completes it end to end.
+        let r = l.on_response(response(&l, 1, 0));
+        assert!(r.forward.is_some());
+        let led = l.ledger();
+        assert_eq!(led.completed, 1);
+        assert_eq!(
+            led.opened,
+            led.completed + led.rejected + led.failed_over + led.outstanding
+        );
+    }
+
+    #[test]
+    fn ejected_backend_keeps_outstanding_until_failover() {
+        let mut l = lb_health(2, DispatchPolicy::RoundRobin);
+        l.dispatch(request(10, 0)); // → b0
+        for _ in 0..4 {
+            assert!(!l.note_timeout(0));
+        }
+        assert!(l.note_timeout(0), "fifth strike ejects");
+        assert_eq!(l.state(0), BackendState::Ejected);
+        assert_eq!(l.outstanding_of(0), 1, "ejected keeps its pins");
+        assert_eq!(l.ledger().failed_over, 0);
+        // The retransmission moves the pin (and its accounting) over.
+        assert_eq!(l.dispatch(request(10, 0)).0, 1);
+        assert_eq!(l.outstanding_of(0), 0);
+        assert_eq!(l.outstanding_of(1), 1);
+        assert_eq!(l.summary().failovers, 1);
+        assert_eq!(l.summary().ejections, 1);
+    }
+
+    #[test]
+    fn probe_strikes_cross_eject_and_rejoin_thresholds() {
+        let t = SimTime::from_ms(1);
+        let mut l = lb_health(2, DispatchPolicy::RoundRobin);
+        assert_eq!(l.record_probe(t, 0, false), ProbeOutcome::Strike);
+        assert_eq!(l.record_probe(t, 0, true), ProbeOutcome::Ok);
+        assert_eq!(l.record_probe(t, 0, false), ProbeOutcome::Strike);
+        assert_eq!(l.record_probe(t, 0, false), ProbeOutcome::Strike);
+        assert_eq!(
+            l.record_probe(t, 0, false),
+            ProbeOutcome::Failed,
+            "third consecutive failure crosses the threshold"
+        );
+        assert_eq!(l.state(0), BackendState::Failed);
+        assert_eq!(l.record_probe(t, 0, true), ProbeOutcome::Ok);
+        assert_eq!(l.record_probe(t, 0, true), ProbeOutcome::Rejoined);
+        assert_eq!(l.state(0), BackendState::Active);
+        let s = l.summary();
+        assert_eq!(s.health_probes, 7);
+        assert_eq!(s.probe_failures, 4);
+        assert_eq!(s.ejections, 1);
+        assert_eq!(s.rejoins, 1);
+    }
+
+    #[test]
+    fn health_hooks_are_inert_without_a_prober() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let t = SimTime::from_ms(1);
+        for _ in 0..10 {
+            assert_eq!(l.record_probe(t, 0, false), ProbeOutcome::Ok);
+            assert!(!l.note_timeout(0));
+        }
+        assert_eq!(l.state(0), BackendState::Active);
+        assert_eq!(l.summary().health_probes, 0);
+    }
+
+    #[test]
+    fn rejected_requests_unpin_and_balance_the_ledger() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let (idx, _) = l.dispatch(request(10, 9));
+        let rej = Packet::reject_response(NodeId(idx as u16), l.vip(), 9, SimTime::from_us(1));
+        let r = l.on_response(rej);
+        assert_eq!(r.forward.expect("routed to client").dst(), NodeId(10));
+        let led = l.ledger();
+        assert_eq!(led.rejected, 1);
+        assert_eq!(led.outstanding, 0);
+        assert_eq!(led.backend_outstanding_sum, 0);
+        assert_eq!(
+            led.opened,
+            led.completed + led.rejected + led.failed_over + led.outstanding
+        );
+        // A late retransmission of the rejected id is a replay: it follows
+        // the (closed) pin and must not reopen the ledger.
+        assert_eq!(l.dispatch(request(10, 9)).0, idx);
+        assert_eq!(l.requests_opened(), 1);
+        assert_eq!(l.outstanding(), 0);
+    }
+
+    #[test]
+    fn crash_while_draining_orphans_and_never_signals_drained() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        l.dispatch(request(10, 1)); // → b0
+        assert!(!l.begin_drain(0).unwrap());
+        assert_eq!(l.mark_failed(SimTime::from_ms(1), 0), 1);
+        assert_eq!(l.state(0), BackendState::Failed);
+        // The failover answer completes the request on backend 1; the dead
+        // drain must not emit a park-me signal.
+        assert_eq!(l.dispatch(request(10, 1)).0, 1);
+        let r = l.on_response(response(&l, 1, 1));
+        assert_eq!(r.drained, None);
+        let led = l.ledger();
+        assert_eq!(led.completed, 1);
+        assert_eq!(
+            led.opened,
+            led.completed + led.rejected + led.failed_over + led.outstanding
+        );
+    }
+
+    #[test]
+    fn crash_while_parked_restarts_into_parked() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        assert!(l.begin_drain(1).unwrap());
+        let gen = l.begin_parking(1).unwrap();
+        assert!(l.finish_park(SimTime::from_ms(1), 1, gen));
+        assert_eq!(l.mark_failed(SimTime::from_ms(2), 1), 0, "no pins parked");
+        assert_eq!(l.state(1), BackendState::Failed);
+        assert!(l.reinstate(SimTime::from_ms(3), 1));
+        assert_eq!(
+            l.state(1),
+            BackendState::Parked,
+            "a restarted machine re-enters the state it crashed from"
+        );
+        // Residency: 1ms→2ms before the crash, 3ms→5ms after the restart.
+        let (_, flushed) = l.begin_unpark(SimTime::from_ms(5), 1).unwrap();
+        assert_eq!(flushed, SimDuration::from_ms(2));
+        assert_eq!(l.summary().backends[1].parked, SimDuration::from_ms(3));
+    }
+
+    #[test]
+    fn stale_responses_from_the_old_backend_are_dropped() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        l.dispatch(request(10, 0)); // → b0
+        l.mark_failed(SimTime::from_ms(1), 0);
+        assert_eq!(l.dispatch(request(10, 0)).0, 1, "re-pinned");
+        // The restarted original backend answers late: dropped, counted.
+        let r = l.on_response(response(&l, 0, 0));
+        assert!(r.forward.is_none());
+        assert_eq!(l.summary().stale_responses, 1);
+        assert_eq!(l.ledger().unmatched_responses, 0);
+        // The owning backend still completes it.
+        assert!(l.on_response(response(&l, 1, 0)).forward.is_some());
+        assert_eq!(l.ledger().completed, 1);
+    }
+
+    #[test]
+    fn limbo_request_answered_by_its_old_backend_settles() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        l.dispatch(request(10, 0)); // → b0
+        l.mark_failed(SimTime::from_ms(1), 0);
+        assert_eq!(l.ledger().failed_over, 1);
+        // No retransmission yet: the "dead" backend answers after all
+        // (false-positive detection). The pin still matches, so the
+        // request settles straight out of limbo.
+        let r = l.on_response(response(&l, 0, 0));
+        assert!(r.forward.is_some());
+        let led = l.ledger();
+        assert_eq!(led.failed_over, 0);
+        assert_eq!(led.completed, 1);
+        assert_eq!(
+            led.opened,
+            led.completed + led.rejected + led.failed_over + led.outstanding
+        );
+    }
+
+    #[test]
+    fn fully_failed_fleet_counts_dead_dispatches() {
+        let mut l = lb(2, DispatchPolicy::RoundRobin);
+        let t = SimTime::from_ms(1);
+        l.mark_failed(t, 0);
+        l.mark_failed(t, 1);
+        l.dispatch(request(10, 0));
+        assert_eq!(l.ledger().dead_dispatches, 1);
+        // With nowhere healthy to re-pin, the retransmission keeps the
+        // stale pin and is counted again.
+        l.dispatch(request(10, 0));
+        assert_eq!(l.ledger().dead_dispatches, 2);
+        assert_eq!(l.summary().failovers, 0);
     }
 
     #[test]

@@ -25,16 +25,30 @@
 //!   work first), unparking them when load returns. Park/unpark
 //!   transitions take configurable latencies and their energy is
 //!   accounted with the existing [`cpusim::EnergyMeter`] model.
+//! * [`FailureSchedule`] / [`HealthConfig`] — deterministic machine-level
+//!   failures (fail-stop, fail-slow, hang) and the LB's health prober:
+//!   active probes with K-strike ejection and reinstatement, passive
+//!   ejection on consecutive request timeouts, and conntrack failover
+//!   that re-pins retransmissions away from dead backends.
 //!
 //! The crate is deliberately independent of `cluster` (which depends on
 //! it): everything here is plain deterministic state driven by the
 //! simulation's event handler. Same seed ⇒ byte-identical behaviour.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod config;
 pub mod coordinator;
+pub mod faults;
 pub mod lb;
 pub mod metrics;
 
 pub use config::{CoordinatorConfig, DispatchPolicy, FleetConfig};
 pub use coordinator::{FleetAction, FleetCoordinator};
-pub use lb::{BackendState, BackendSummary, FleetSummary, LbLedger, LbResponse, LoadBalancer};
+pub use faults::{
+    FailureMode, FailureSchedule, FailureSpec, HealthConfig, DEFAULT_FLEET_FAULT_SEED,
+};
+pub use lb::{
+    BackendState, BackendSummary, FleetSummary, LbLedger, LbResponse, LoadBalancer, ProbeOutcome,
+    TransitionError,
+};

@@ -33,6 +33,8 @@
 //! assert_eq!(&pkt.payload()[..4], b"GET ");
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod bytes;
 pub mod faults;
 pub mod http;

@@ -31,6 +31,8 @@
 //! assert!(outcome.dma_complete_at.is_some()); // accepted, DMA scheduled
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod dma;
 pub mod moderation;
 pub mod nic;

@@ -1,0 +1,215 @@
+//! Failover sweep: crash 1–8 of 64 backends mid-run and watch the
+//! fleet recover — every dispatch policy, coordinator on and off.
+//!
+//! Crash instants come from a seeded schedule
+//! ([`FailureSchedule::seeded_stops`]) drawn uniformly in a 15–25 ms
+//! window, so every cell of the sweep faces the same corpses at the
+//! same times. The per-ms goodput trace gives the two numbers the
+//! table is about: **dip** — how far the serve rate fell below its
+//! pre-crash baseline while dead backends were still absorbing
+//! requests — and **recover** — how long after the first crash the
+//! rate climbed back to 95% of that baseline, which bundles probe
+//! detection (interval × threshold), ejection, and the RTO-paced
+//! retransmissions that rescue orphaned requests.
+//!
+//! The coordinator column tells its own story: failures do not blunt
+//! its energy win — it keeps sizing the *healthy* active set to the
+//! load (never below its minimum, unparking to backfill corpses), so
+//! the coordinated fleet rides out the same crashes at the same dip
+//! depth while spending less energy, and goodput lands a hair higher
+//! because ejected backends stop absorbing fresh work sooner.
+//!
+//! Run with: `cargo run --release --example failover_sweep`
+
+use cluster::{
+    run_experiments_parallel, AppKind, CoordinatorConfig, DispatchPolicy, ExperimentConfig,
+    FailureSchedule, FleetConfig, Policy, TraceConfig, DEFAULT_FLEET_FAULT_SEED,
+};
+use desim::{SimDuration, SimTime};
+use simstats::{Table, TimeSeries};
+
+/// Memcached's single-server knee (§5); the coordinator sizes the
+/// active set against it.
+const PER_BACKEND_RPS: f64 = 120_000.0;
+/// ~4 backends' worth of work at the coordinator's 0.5 util target:
+/// enough that crashes can hit live traffic, small enough that the
+/// coordinated fleet parks most of its 64 machines.
+const LOAD_RPS: f64 = 240_000.0;
+const BACKENDS: usize = 64;
+const WARMUP: SimDuration = SimDuration::from_ms(10);
+const MEASURE: SimDuration = SimDuration::from_ms(40);
+/// Crash instants are drawn uniformly in this window.
+const CRASH_FROM: SimTime = SimTime::from_ms(15);
+const CRASH_TO: SimTime = SimTime::from_ms(25);
+
+fn schedule(count: usize) -> FailureSchedule {
+    FailureSchedule::seeded_stops(
+        DEFAULT_FLEET_FAULT_SEED,
+        BACKENDS,
+        count,
+        CRASH_FROM,
+        CRASH_TO,
+        None,
+    )
+}
+
+fn config(count: usize, dispatch: DispatchPolicy, coordinated: bool) -> ExperimentConfig {
+    let mut fleet = FleetConfig::new(BACKENDS, dispatch).with_faults(schedule(count));
+    if coordinated {
+        fleet =
+            fleet.with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5));
+    }
+    ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, LOAD_RPS)
+        .with_durations(WARMUP, MEASURE)
+        .with_poisson()
+        .with_trace(TraceConfig::per_ms())
+        .with_fleet(fleet)
+}
+
+/// Dip depth and time-to-recover, read off the cumulative per-ms
+/// goodput trace. Baseline is the mean serve rate between the end of
+/// warmup and the first crash; the dip is the deepest post-crash
+/// shortfall against it; recovery is the first post-dip sample back at
+/// ≥95% of baseline.
+struct Recovery {
+    dip_frac: f64,
+    recover: Option<SimDuration>,
+}
+
+fn recovery(goodput: &TimeSeries, first_crash: SimTime) -> Option<Recovery> {
+    let samples: Vec<(u64, f64)> = goodput.iter().collect();
+    let rates: Vec<(u64, f64)> = samples
+        .windows(2)
+        .map(|w| (w[1].0, w[1].1 - w[0].1))
+        .collect();
+    let t0 = first_crash.as_nanos();
+    let pre: Vec<f64> = rates
+        .iter()
+        .filter(|&&(t, _)| t > WARMUP.as_nanos() && t <= t0)
+        .map(|&(_, r)| r)
+        .collect();
+    if pre.is_empty() {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let baseline = pre.iter().sum::<f64>() / pre.len() as f64;
+    if baseline <= 0.0 {
+        return None;
+    }
+    let post: Vec<(u64, f64)> = rates.into_iter().filter(|&(t, _)| t > t0).collect();
+    let (min_t, min_rate) = post.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1))?;
+    let recover = post
+        .iter()
+        .find(|&&(t, r)| t >= min_t && r >= 0.95 * baseline)
+        .map(|&(t, _)| SimDuration::from_nanos(t - t0));
+    Some(Recovery {
+        dip_frac: (1.0 - min_rate / baseline).max(0.0),
+        recover,
+    })
+}
+
+fn main() {
+    println!(
+        "Memcached fleet of {BACKENDS} backends behind an L4 VIP, {LOAD_RPS:.0} rps\n\
+         offered, NCAP on. A seeded schedule fail-stops 1-8 backends between\n\
+         {} and {} ms; the LB's prober ejects the corpses and client\n\
+         retransmissions re-pin orphaned requests to healthy machines.\n",
+        CRASH_FROM.as_nanos() / 1_000_000,
+        CRASH_TO.as_nanos() / 1_000_000,
+    );
+    let counts = [0usize, 1, 2, 4, 8];
+    let coords = [false, true];
+    let mut configs = Vec::new();
+    for &count in &counts {
+        for dispatch in DispatchPolicy::ALL {
+            for &coordinated in &coords {
+                configs.push(config(count, dispatch, coordinated));
+            }
+        }
+    }
+    let results = run_experiments_parallel(&configs);
+
+    let mut t = Table::new(vec![
+        "crashed",
+        "dispatch",
+        "coord",
+        "goodput",
+        "dip",
+        "recover",
+        "failovers",
+        "ejected",
+        "lost",
+        "energy (J)",
+    ]);
+    let mut idx = 0;
+    for &count in &counts {
+        for dispatch in DispatchPolicy::ALL {
+            for &coordinated in &coords {
+                let r = &results[idx];
+                idx += 1;
+                let fleet = r.fleet.as_ref().expect("fleet topology");
+                let first_crash = schedule(count).specs.iter().map(|s| s.at).min();
+                let rec = first_crash
+                    .and_then(|at| r.traces.as_ref().and_then(|tr| recovery(&tr.goodput, at)));
+                t.row(vec![
+                    format!("{count}"),
+                    dispatch.to_string(),
+                    if coordinated { "on" } else { "off" }.to_owned(),
+                    format!("{:.3}", r.goodput()),
+                    rec.as_ref()
+                        .map_or_else(|| "-".to_owned(), |x| format!("{:.0}%", 100.0 * x.dip_frac)),
+                    rec.as_ref().map_or_else(
+                        || "-".to_owned(),
+                        |x| {
+                            x.recover.map_or_else(
+                                || ">horizon".to_owned(),
+                                |d| format!("{:.0} ms", d.as_secs_f64() * 1e3),
+                            )
+                        },
+                    ),
+                    format!("{}", fleet.failovers),
+                    format!("{}", fleet.ejections),
+                    format!("{}", r.faults.lost_requests),
+                    format!("{:.2}", r.energy_j),
+                ]);
+            }
+        }
+    }
+    println!("{t}");
+
+    // Headline: 4 corpses under least-outstanding, coordinator off vs
+    // on — the uncoordinated fleet eats the dip across live backends,
+    // the coordinated one mostly loses parked headroom and backfills.
+    let pick = |coordinated: bool| {
+        let want = config(4, DispatchPolicy::LeastOutstanding, coordinated);
+        let pos = configs
+            .iter()
+            .position(|c| {
+                c.fleet
+                    .as_ref()
+                    .map(|f| (f.coordinator.is_some(), f.dispatch))
+                    == want
+                        .fleet
+                        .as_ref()
+                        .map(|f| (f.coordinator.is_some(), f.dispatch))
+                    && c.fleet.as_ref().map(|f| f.faults.specs.len()) == Some(4)
+            })
+            .expect("swept above");
+        &results[pos]
+    };
+    let free = pick(false);
+    let coord = pick(true);
+    println!(
+        "\n4 of 64 crashed, least-outstanding: coordinator off completes {} of {}\n\
+         offered ({} failovers, {} J); coordinator on completes {} of {}\n\
+         ({} failovers, {} J) — parked headroom doubles as spare capacity.",
+        free.completed,
+        free.offered,
+        free.fleet.as_ref().expect("fleet").failovers,
+        format_args!("{:.2}", free.energy_j),
+        coord.completed,
+        coord.offered,
+        coord.fleet.as_ref().expect("fleet").failovers,
+        format_args!("{:.2}", coord.energy_j),
+    );
+}

@@ -96,6 +96,28 @@ echo "$fleet_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
     { echo "verify: fleet watchdog missing or reported violations" >&2; exit 1; }
 echo "==> fleet smoke ok"
 
+# Failover smoke: crash one backend mid-run (with a later restart) and
+# demand end-to-end recovery inside a seconds-scale run — the prober
+# ejects it, orphaned requests fail over via retransmission, nothing is
+# silently lost, and the watchdog's extended ledger audit stays clean.
+# Output is kept on disk so CI can publish it as an artifact.
+failover_dir=target/failover-smoke
+rm -rf "$failover_dir" && mkdir -p "$failover_dir"
+run cargo run --release -p ncap-cli -- run \
+    --app memcached --policy ond.idle --load 60000 --poisson \
+    --warmup-ms 5 --measure-ms 25 \
+    --servers 4 --dispatch jsq --fail-backend 1@10:15 \
+    | tee "$failover_dir/run.txt"
+grep -q 'fleet *4 backends (jsq)' "$failover_dir/run.txt" ||
+    { echo "verify: failover run reported no fleet summary" >&2; exit 1; }
+grep -Eq 'health .*[1-9][0-9]* ejection' "$failover_dir/run.txt" ||
+    { echo "verify: crashed backend was never ejected" >&2; exit 1; }
+grep -q '0 requests lost' "$failover_dir/run.txt" ||
+    { echo "verify: failover run lost requests" >&2; exit 1; }
+grep -q 'watchdog [1-9][0-9]* checks, 0 violations' "$failover_dir/run.txt" ||
+    { echo "verify: failover watchdog missing or reported violations" >&2; exit 1; }
+echo "==> failover smoke ok ($failover_dir)"
+
 # Throughput-record smoke: the tracked sim-throughput benchmark must
 # run end to end and emit a well-formed JSON record (full-mode numbers
 # are recorded separately with scripts/bench_record.sh and committed as

@@ -14,14 +14,19 @@
 //!   policy — serial, parallel, or with the event tracer attached;
 //! * the power story: with the coordinator on at low fleet load, packing
 //!   concentrates work so idle backends park, spending strictly less
-//!   energy than round-robin while admitted p99 stays within 2×.
+//!   energy than round-robin while admitted p99 stays within 2×;
+//! * the failure story: backends that fail-stop or hang mid-run are
+//!   ejected by the LB's health layer, their in-flight requests fail
+//!   over to healthy machines through client retransmission, and
+//!   goodput recovers — with the conservation ledger intact end to end.
 
 use check::{ensure, Check};
 use cluster::{
-    run_experiment, run_experiments_on, AppKind, CoordinatorConfig, DispatchPolicy,
-    ExperimentConfig, ExperimentResult, FleetConfig, Policy,
+    run_experiment, run_experiments_on, AppKind, BackendState, CoordinatorConfig, DispatchPolicy,
+    ExperimentConfig, ExperimentResult, FailureMode, FailureSchedule, FailureSpec, FleetConfig,
+    OverloadConfig, Policy,
 };
-use desim::SimDuration;
+use desim::{SimDuration, SimTime};
 
 /// Memcached's single-server knee sits near 120 krps (§5); the fleet
 /// capacity scales with the backend count.
@@ -235,4 +240,199 @@ fn packing_beats_round_robin_on_energy_at_low_load() {
         pack.latency.p99,
         rr.latency.p99
     );
+}
+
+// ---------------------------------------------------------------------------
+// Backend failure injection and failover recovery
+// ---------------------------------------------------------------------------
+
+/// A fail-stop spec with no restart: the backend crashes at `at` and
+/// stays dead to the horizon.
+fn crash(backend: usize, at_ms: u64) -> FailureSpec {
+    FailureSpec {
+        backend,
+        at: SimTime::from_ms(at_ms),
+        mode: FailureMode::Stop,
+        restart_after: None,
+    }
+}
+
+/// The failover acceptance scenario: two of 64 backends fail-stop
+/// mid-run under least-outstanding dispatch with the coordinator on.
+/// The coordinator keeps the active set a prefix (it parks highest
+/// index first), so backends 0 and 1 are guaranteed to be carrying
+/// live work when they die. Every issued request must still resolve
+/// (conservation exact, zero silent losses), the prober must eject
+/// both corpses, and goodput must recover to within 5% of the
+/// fault-free run. The watchdog runs in its default `Fail` mode
+/// throughout, so a single dispatch to a dead backend or a ledger
+/// imbalance panics the run rather than failing an assertion.
+#[test]
+fn crashing_two_of_sixty_four_backends_recovers_goodput() {
+    let cfg = |faults: FailureSchedule| {
+        ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, 120_000.0)
+            .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(40))
+            .with_poisson()
+            .with_fleet(
+                FleetConfig::new(64, DispatchPolicy::LeastOutstanding)
+                    .with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5))
+                    .with_faults(faults),
+            )
+    };
+    let healthy = run_experiment(&cfg(FailureSchedule::none()));
+    let wounded = run_experiment(&cfg(FailureSchedule::none()
+        .with_failure(crash(0, 15))
+        .with_failure(crash(1, 15))));
+    assert!(
+        wounded.invariant_violations.is_empty(),
+        "watchdog violations: {:?}",
+        wounded.invariant_violations
+    );
+    let fleet = wounded.fleet.as_ref().expect("fleet summary");
+    // Both corpses were detected by failed probes and taken out of
+    // rotation; they stay `Failed` to the horizon (no restart).
+    assert!(fleet.health_probes > 0, "prober never ran: {fleet:?}");
+    assert!(
+        fleet.probe_failures > 0,
+        "crash must fail probes: {fleet:?}"
+    );
+    assert!(fleet.ejections >= 2, "both corpses must eject: {fleet:?}");
+    assert_eq!(fleet.backends[0].state, BackendState::Failed);
+    assert_eq!(fleet.backends[1].state, BackendState::Failed);
+    // Requests orphaned by the crash re-pinned to healthy backends.
+    assert!(fleet.failovers > 0, "no failovers recorded: {fleet:?}");
+    // The failed-over limbo drains through retransmission well before
+    // the horizon, so the plain conservation identity holds again —
+    // with every re-pin visible as an extra backend assignment.
+    assert_eq!(
+        fleet.requests_opened,
+        fleet.requests_completed + fleet.requests_rejected + fleet.outstanding,
+        "conservation broke: {fleet:?}"
+    );
+    let assigned: u64 = fleet.backends.iter().map(|b| b.assigned).sum();
+    assert_eq!(
+        assigned,
+        fleet.requests_opened + fleet.failovers,
+        "assignment ledger broke: {fleet:?}"
+    );
+    assert_eq!(fleet.unmatched_responses, 0, "routing leak: {fleet:?}");
+    // Zero silent losses at the client: everything issued is completed,
+    // rejected, or accounted in flight — nothing exhausted its retries.
+    let f = &wounded.faults;
+    assert_eq!(f.lost_requests, 0, "silent losses: {f:?}");
+    assert_eq!(
+        f.issued_total,
+        f.completed_total + f.rejected_total + f.in_flight,
+        "client accounting identity broke: {f:?}"
+    );
+    // Goodput dips while the corpses absorb requests, then recovers as
+    // ejection redirects new work and retransmission rescues old work.
+    assert!(
+        wounded.goodput() >= 0.95 * healthy.goodput(),
+        "goodput did not recover: wounded {} vs healthy {}",
+        wounded.goodput(),
+        healthy.goodput()
+    );
+}
+
+/// A hung backend keeps accepting frames and answering probes — the
+/// classic L4 health-check blind spot — so active probing never sees a
+/// failure. Detection must come from the passive path: consecutive
+/// client retransmission timeouts against the backend eject it.
+#[test]
+fn hang_is_detected_by_passive_ejection_not_probes() {
+    let cfg = ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, 40_000.0)
+        .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(35))
+        .with_poisson()
+        .with_fleet(FleetConfig::new(4, DispatchPolicy::RoundRobin).with_faults(
+            FailureSchedule::none().with_failure(FailureSpec {
+                backend: 2,
+                at: SimTime::from_ms(10),
+                mode: FailureMode::Hang,
+                restart_after: None,
+            }),
+        ));
+    let r = run_experiment(&cfg);
+    let fleet = r.fleet.as_ref().expect("fleet summary");
+    assert!(fleet.health_probes > 0, "prober never ran: {fleet:?}");
+    // Probes cannot see a hang: every recorded probe succeeded.
+    assert_eq!(
+        fleet.probe_failures, 0,
+        "a hang must be invisible to active probes: {fleet:?}"
+    );
+    // Yet the backend was ejected — via the passive timeout path.
+    assert!(
+        fleet.ejections >= 1,
+        "passive ejection must catch the hang: {fleet:?}"
+    );
+    // Requests stuck on the hung machine failed over and completed.
+    assert!(fleet.failovers > 0, "no failovers recorded: {fleet:?}");
+    assert_eq!(r.faults.lost_requests, 0, "silent losses: {:?}", r.faults);
+    assert_eq!(
+        fleet.requests_opened,
+        fleet.requests_completed + fleet.requests_rejected + fleet.outstanding,
+        "conservation broke: {fleet:?}"
+    );
+}
+
+/// Failure injection is part of the byte-identity contract: the same
+/// seed with the same failure schedule (a crash *with restart*, the
+/// most stateful path — ejection, limbo, re-pin, probe-driven rejoin)
+/// is identical serially, across the parallel runner, and under the
+/// event tracer.
+#[test]
+fn failover_runs_are_byte_identical_serial_parallel_and_traced() {
+    let faults = FailureSchedule::none().with_failure(FailureSpec {
+        backend: 1,
+        at: SimTime::from_ms(10),
+        mode: FailureMode::Stop,
+        restart_after: Some(SimDuration::from_ms(10)),
+    });
+    let cfg = fleet_cfg(4, DispatchPolicy::LeastOutstanding, 40_000.0)
+        .with_fleet(FleetConfig::new(4, DispatchPolicy::LeastOutstanding).with_faults(faults));
+    let a = run_experiment(&cfg);
+    let fleet = a.fleet.as_ref().expect("fleet summary");
+    assert!(fleet.ejections >= 1, "crash must eject: {fleet:?}");
+    assert!(
+        fleet.rejoins >= 1,
+        "restarted backend must rejoin rotation: {fleet:?}"
+    );
+    let b = run_experiment(&cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b), "serial reruns diverged");
+    let batch = run_experiments_on(&[cfg.clone(), cfg.clone()], 2);
+    for r in &batch {
+        assert_eq!(fingerprint(&a), fingerprint(r), "parallel run diverged");
+    }
+    let traced = run_experiment(&cfg.with_event_trace(simtrace::TracerConfig::default()));
+    assert_eq!(fingerprint(&a), fingerprint(&traced), "traced run diverged");
+    assert!(traced.sim_trace.is_some());
+}
+
+/// Regression for the 503 path through the LB conntrack: a rejection
+/// closes the connection (un-pins it) exactly like a completion, so
+/// the ledger balances with rejects present and the watchdog — in its
+/// default `Fail` mode, auditing every period — stays quiet. Bursty
+/// clients against a two-backend fleet with tight admission caps force
+/// genuine rejections through the full LB round trip.
+#[test]
+fn rejected_requests_unpin_and_the_ledger_balances() {
+    let cfg = ExperimentConfig::new(AppKind::Memcached, Policy::OndIdle, 300_000.0)
+        .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(25))
+        .with_overload(OverloadConfig::server_defaults().with_run_queue_cap(48))
+        .with_fleet(FleetConfig::new(2, DispatchPolicy::LeastOutstanding));
+    let r = run_experiment(&cfg);
+    let fleet = r.fleet.as_ref().expect("fleet summary");
+    assert!(
+        fleet.requests_rejected > 0,
+        "overload must produce LB-visible 503s: {fleet:?}"
+    );
+    assert_eq!(
+        fleet.requests_opened,
+        fleet.requests_completed + fleet.requests_rejected + fleet.outstanding,
+        "conservation broke with rejects: {fleet:?}"
+    );
+    let assigned: u64 = fleet.backends.iter().map(|b| b.assigned).sum();
+    assert_eq!(assigned, fleet.requests_opened, "{fleet:?}");
+    assert_eq!(fleet.unmatched_responses, 0, "routing leak: {fleet:?}");
+    assert!(r.invariant_violations.is_empty());
 }
