@@ -11,7 +11,10 @@
 //! ncap sla    --app memcached
 //! ncap trace  --app memcached --policy ncap.cons --load 35000 --out traces/
 //! ncap report --app memcached --policy ond.idle --load 20000 [--tail P]
+//! ncap chaos  --seeds 200 --shrink --out repros/
 //! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use cluster::{
     run_experiment, run_experiments_parallel, try_run_experiment, AppKind, CoordinatorConfig,
@@ -40,8 +43,27 @@ pub enum Command {
     Trace(TraceArgs),
     /// Run one experiment and print the per-stage latency attribution.
     Report(ReportArgs),
+    /// Run a seeded chaos campaign (or replay one scenario file).
+    Chaos(ChaosArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `ncap chaos`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosArgs {
+    /// Number of seeded scenarios to run (seeds `from..from + seeds`).
+    pub seeds: u64,
+    /// First seed of the campaign.
+    pub from: u64,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+    /// Minimize failing seeds to their smallest still-failing repro.
+    pub shrink: bool,
+    /// Replay one scenario file instead of generating from seeds.
+    pub scenario: Option<String>,
+    /// Directory receiving shrunken repro `.scenario` files.
+    pub out: Option<String>,
 }
 
 /// Arguments of `ncap run`.
@@ -372,6 +394,25 @@ fn apply_run_flag<'a>(
     Ok(true)
 }
 
+/// Cross-flag checks shared by every `run`-style command, applied once
+/// the whole line is parsed (so flag order cannot matter).
+fn check_run_args(a: &RunArgs) -> Result<(), ParseError> {
+    if a.load <= 0.0 {
+        return Err(ParseError("--load must be positive".into()));
+    }
+    for &(backend, _, _) in &a.fail_backends {
+        if backend >= a.servers {
+            return Err(ParseError(format!(
+                "--fail-backend index {backend} is out of range: --servers {} \
+                 means valid backends are 0..={}",
+                a.servers,
+                a.servers - 1
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Parses a command line (without the program name).
 ///
 /// # Errors
@@ -404,9 +445,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     return Err(ParseError(format!("unknown flag '{flag}'")));
                 }
             }
-            if a.load <= 0.0 {
-                return Err(ParseError("--load must be positive".into()));
-            }
+            check_run_args(&a)?;
             Ok(Command::Run(a))
         }
         "trace" => {
@@ -435,9 +474,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     }
                 }
             }
-            if a.load <= 0.0 {
-                return Err(ParseError("--load must be positive".into()));
-            }
+            check_run_args(&a)?;
             Ok(Command::Trace(TraceArgs {
                 run: a,
                 out: out.ok_or_else(|| ParseError("trace requires --out".into()))?,
@@ -466,14 +503,49 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     }
                 }
             }
-            if a.load <= 0.0 {
-                return Err(ParseError("--load must be positive".into()));
-            }
+            check_run_args(&a)?;
             Ok(Command::Report(ReportArgs {
                 run: a,
                 tail,
                 profile,
             }))
+        }
+        "chaos" => {
+            let mut a = ChaosArgs {
+                seeds: 40,
+                from: 1,
+                threads: 0,
+                shrink: false,
+                scenario: None,
+                out: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--seeds" => {
+                        a.seeds = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--seeds expects an integer".into()))?;
+                        if a.seeds == 0 {
+                            return Err(ParseError("--seeds must be at least 1".into()));
+                        }
+                    }
+                    "--from" => {
+                        a.from = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--from expects an integer".into()))?;
+                    }
+                    "--threads" => {
+                        a.threads = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--threads expects an integer".into()))?;
+                    }
+                    "--shrink" => a.shrink = true,
+                    "--scenario" => a.scenario = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--out" => a.out = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Chaos(a))
         }
         "sweep" => {
             let mut app = None;
@@ -564,6 +636,17 @@ USAGE:
              runs one experiment with structured event tracing and writes
              <dir>/trace.json (Perfetto/chrome://tracing) and
              <dir>/trace.csv (windowed metrics)
+  ncap chaos [--seeds N] [--from K] [--threads T] [--shrink]
+             [--scenario FILE] [--out DIR]
+             runs N deterministic fault scenarios (seeds K..K+N-1), each
+             composing correlated failure domains (rack partitions,
+             brownouts), backend crash/slow/hang events, flash-crowd load
+             steps, and coordinator churn — judged by the invariant
+             watchdog, conservation ledgers, and an end-of-run quiescence
+             oracle; --shrink minimizes each failing seed to its smallest
+             still-failing repro and (with --out) writes a replayable
+             .scenario file; --scenario replays one such file instead;
+             exits nonzero if any scenario fails
   ncap report [run flags] [--tail P] [--profile]
              runs one experiment and prints the per-stage latency
              attribution: mean/p50/p99 per stage, each stage's share of
@@ -970,6 +1053,98 @@ pub fn execute(cmd: Command) -> i32 {
             }
             0
         }
+        Command::Chaos(a) => {
+            use cluster::chaos::{self, ChaosScenario};
+            let threads = if a.threads == 0 {
+                std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+            } else {
+                a.threads
+            };
+            let verdicts = if let Some(path) = &a.scenario {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read scenario '{path}': {e}");
+                        return 2;
+                    }
+                };
+                let sc = match ChaosScenario::from_file_str(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("invalid scenario '{path}': {e}");
+                        return 2;
+                    }
+                };
+                println!("replaying scenario {path} (seed {})", sc.seed);
+                chaos::run_scenarios(std::slice::from_ref(&sc), 1)
+            } else {
+                let list: Vec<u64> = (a.from..a.from + a.seeds).collect();
+                println!(
+                    "chaos campaign: seeds {}..={} on {threads} threads",
+                    a.from,
+                    a.from + a.seeds - 1
+                );
+                chaos::run_campaign(&list, threads)
+            };
+            let mut t = Table::new(vec![
+                "seed", "backends", "load", "crash", "domain", "flash", "complete", "failover",
+                "verdict",
+            ]);
+            for v in &verdicts {
+                let s = &v.scenario;
+                t.row(vec![
+                    s.seed.to_string(),
+                    s.backends.to_string(),
+                    format!("{:.0}", s.load_rps),
+                    s.crashes.len().to_string(),
+                    s.domains.len().to_string(),
+                    if s.flash_crowd.is_some() { "yes" } else { "-" }.to_owned(),
+                    v.completed.to_string(),
+                    v.failovers.to_string(),
+                    if v.passed() { "ok" } else { "FAIL" }.to_owned(),
+                ]);
+            }
+            println!("{t}");
+            let failing: Vec<_> = verdicts.iter().filter(|v| !v.passed()).collect();
+            for v in &failing {
+                for f in &v.failures {
+                    println!("  seed {}: {f}", v.scenario.seed);
+                }
+            }
+            println!(
+                "{} scenarios, {} with fault events, {} failed",
+                verdicts.len(),
+                verdicts
+                    .iter()
+                    .filter(|v| v.scenario.fault_events() > 0)
+                    .count(),
+                failing.len()
+            );
+            if a.shrink {
+                for v in &failing {
+                    let (shrunk, runs) = chaos::shrink(&v.scenario);
+                    println!(
+                        "shrunk seed {}: {} -> {} fault events in {runs} runs",
+                        v.scenario.seed,
+                        v.scenario.fault_events(),
+                        shrunk.fault_events()
+                    );
+                    if let Some(dir) = &a.out {
+                        let path = std::path::Path::new(dir)
+                            .join(format!("chaos-seed-{}.scenario", v.scenario.seed));
+                        let written = std::fs::create_dir_all(dir)
+                            .and_then(|()| std::fs::write(&path, shrunk.to_file_string()));
+                        match written {
+                            Ok(()) => println!("  wrote {}", path.display()),
+                            Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+                        }
+                    } else {
+                        print!("{}", shrunk.to_file_string());
+                    }
+                }
+            }
+            i32::from(!failing.is_empty())
+        }
         Command::Sla { app } => {
             let loads: Vec<f64> = match app {
                 AppKind::Apache => vec![12e3, 24e3, 36e3, 45e3, 54e3, 60e3, 66e3, 72e3],
@@ -1260,6 +1435,86 @@ mod tests {
         assert!(d.fail_backends.is_empty());
         assert_eq!(d.fail_mode, FailureMode::Stop);
         assert!(d.health_interval_us.is_none());
+    }
+
+    #[test]
+    fn fail_backend_index_checked_against_servers() {
+        // Out of range fails at parse time, not at runtime.
+        let err = parse([
+            "run",
+            "--load",
+            "1000",
+            "--servers",
+            "2",
+            "--fail-backend",
+            "2@10",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+        // The check runs after the whole line is parsed, so flag order
+        // does not matter.
+        assert!(parse([
+            "run",
+            "--load",
+            "1000",
+            "--fail-backend",
+            "3@10",
+            "--servers",
+            "4"
+        ])
+        .is_ok());
+        // An in-range index against the default single server is fine.
+        assert!(parse(["run", "--load", "1000", "--fail-backend", "0@10"]).is_ok());
+        assert!(parse(["run", "--load", "1000", "--fail-backend", "1@10"]).is_err());
+        // trace and report share the same cross-flag check.
+        assert!(parse([
+            "trace",
+            "--out",
+            "x",
+            "--servers",
+            "2",
+            "--fail-backend",
+            "5@10"
+        ])
+        .is_err());
+        assert!(parse(["report", "--servers", "2", "--fail-backend", "5@10"]).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let Command::Chaos(a) = parse(["chaos"]).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.seeds, 40);
+        assert_eq!(a.from, 1);
+        assert_eq!(a.threads, 0);
+        assert!(!a.shrink);
+        assert!(a.scenario.is_none() && a.out.is_none());
+        let Command::Chaos(a) = parse([
+            "chaos",
+            "--seeds",
+            "200",
+            "--from",
+            "7",
+            "--threads",
+            "2",
+            "--shrink",
+            "--out",
+            "repros",
+        ])
+        .unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!((a.seeds, a.from, a.threads), (200, 7, 2));
+        assert!(a.shrink);
+        assert_eq!(a.out.as_deref(), Some("repros"));
+        let Command::Chaos(a) = parse(["chaos", "--scenario", "repro.scenario"]).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.scenario.as_deref(), Some("repro.scenario"));
+        assert!(parse(["chaos", "--seeds", "0"]).is_err());
+        assert!(parse(["chaos", "--seeds", "many"]).is_err());
+        assert!(parse(["chaos", "--frob"]).is_err());
     }
 
     #[test]

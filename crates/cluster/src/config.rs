@@ -75,6 +75,12 @@ pub struct ExperimentConfig {
     pub warmup: SimDuration,
     /// Measured interval after warmup.
     pub measure: SimDuration,
+    /// Drain window at the tail of the run: clients stop generating load
+    /// this long before the horizon so in-flight work can settle. ZERO
+    /// (the default) keeps clients generating to the end — byte-identical
+    /// to builds without the knob. Chaos scenarios pair a non-zero drain
+    /// with [`WatchdogConfig::expect_quiescence`].
+    pub drain: SimDuration,
     /// Master seed; every derived RNG hangs off it.
     pub seed: u64,
     /// Ondemand invocation period (paper default 10 ms; Figure 2 sweeps
@@ -167,6 +173,7 @@ impl ExperimentConfig {
             burst_size: 200,
             warmup: SimDuration::from_ms(100),
             measure: SimDuration::from_ms(400),
+            drain: SimDuration::ZERO,
             seed: DEFAULT_SEED,
             ondemand_period: SimDuration::from_ms(10),
             ncap_override: None,
@@ -359,6 +366,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the tail drain window (builder style): clients stop
+    /// generating this long before the horizon.
+    #[must_use]
+    pub fn with_drain(mut self, drain: SimDuration) -> Self {
+        self.drain = drain;
+        self
+    }
+
     /// Fronts the servers with an L4 load balancer (builder style): the
     /// run gets `fleet.backends` server nodes behind one VIP, and
     /// clients address the VIP instead of a server.
@@ -433,6 +448,16 @@ impl ExperimentConfig {
             return Err(ConfigError::new(
                 "rx_ring_override",
                 "an RX ring needs at least one descriptor",
+            ));
+        }
+        if self.drain >= self.horizon() {
+            return Err(ConfigError::new(
+                "drain",
+                format!(
+                    "drain window {} must leave room for load before the horizon {}",
+                    self.drain,
+                    self.horizon()
+                ),
             ));
         }
         self.faults.validate()?;

@@ -41,6 +41,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod config;
 pub mod policy;
 pub mod runner;
@@ -48,12 +49,14 @@ pub mod sim;
 pub mod trace;
 pub mod watchdog;
 
+pub use chaos::{ChaosScenario, SeedVerdict};
 pub use config::{AppKind, BackgroundTraffic, ExperimentConfig};
 pub use fleetsim::{
-    BackendState, BackendSummary, CoordinatorConfig, DispatchPolicy, FailureMode, FailureSchedule,
-    FailureSpec, FleetConfig, FleetSummary, HealthConfig, DEFAULT_FLEET_FAULT_SEED,
+    BackendState, BackendSummary, CoordinatorConfig, DispatchPolicy, DomainFaultSpec,
+    DomainSchedule, FailureMode, FailureSchedule, FailureSpec, FleetConfig, FleetSummary,
+    HealthConfig, DEFAULT_DOMAIN_FAULT_SEED, DEFAULT_FLEET_FAULT_SEED,
 };
-pub use netsim::{FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
+pub use netsim::{DomainImpairment, FaultConfig, RetxConfig, DEFAULT_FAULT_SEED};
 pub use oskernel::{OverloadConfig, ShedPolicy};
 pub use policy::Policy;
 pub use runner::{

@@ -252,7 +252,12 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
     // it here, before server construction, because `build_server` keys
     // the server's duplicate suppression off the same flag.
     let mut cfg = cfg.clone();
-    if cfg.fleet.as_ref().is_some_and(|f| f.faults.enabled()) && !cfg.faults.retx.enabled {
+    if cfg
+        .fleet
+        .as_ref()
+        .is_some_and(|f| f.faults.enabled() || f.domains.enabled())
+        && !cfg.faults.retx.enabled
+    {
         cfg.faults.retx = netsim::RetxConfig::standard();
     }
     let cfg = &cfg;
@@ -287,7 +292,10 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
         cluster = cluster.with_fleet(target, fleet);
     }
     let horizon = SimTime::ZERO + cfg.horizon();
-    let initial = cluster.initial_events(cfg.warmup, horizon);
+    // The drain window (ZERO by default) stops client generation early so
+    // in-flight work settles before the quiescence check at the horizon.
+    let load_end = horizon - cfg.drain;
+    let initial = cluster.initial_events(cfg.warmup, load_end);
     let mut sim = Simulation::with_backend(cluster, cfg.queue_backend);
     if cfg.profile {
         sim.enable_profiling();

@@ -12,8 +12,8 @@ use crate::watchdog::{AccountingView, Watchdog};
 use cpusim::{EnergyMeter, PowerMode};
 use desim::{ConfigError, EventHandler, EventQueue, SimDuration, SimTime};
 use fleetsim::{
-    FailureMode, FailureSchedule, FleetAction, FleetConfig, FleetCoordinator, FleetSummary,
-    HealthConfig, LoadBalancer,
+    DomainSchedule, FailureMode, FailureSchedule, FleetAction, FleetConfig, FleetCoordinator,
+    FleetSummary, HealthConfig, LoadBalancer,
 };
 use netsim::{
     Delivery, FaultConfig, NodeId, Packet, PacketMeta, Reassembly, SegmentStatus, Switch,
@@ -94,6 +94,18 @@ pub enum ClusterEvent {
     /// The LB's active health-prober tick (armed when a prober is
     /// configured).
     FleetHealth,
+    /// A correlated fault window opens: every member of domain `domain`
+    /// (an index into the schedule) gets the window's link-level
+    /// impairment installed on the fabric switch.
+    DomainFail {
+        /// Index into the domain schedule.
+        domain: usize,
+    },
+    /// A correlated fault window closes: the domain's members heal.
+    DomainHeal {
+        /// Index into the domain schedule.
+        domain: usize,
+    },
 }
 
 /// The fleet layer of the cluster: the LB node plus its optional power
@@ -109,10 +121,20 @@ struct FleetState {
     /// The machine-failure schedule (drives `BackendFail`/`BackendRestart`
     /// events and the fail-slow multiplier).
     faults: FailureSchedule,
+    /// The correlated failure-domain schedule (drives
+    /// `DomainFail`/`DomainHeal` events).
+    domains: DomainSchedule,
+    /// Ground truth: which backends are currently inside an open
+    /// *partition* window. Probes to a partitioned backend fail (the
+    /// prober's TCP handshake crosses the fabric); brownouts do not
+    /// affect probes.
+    partitioned: Vec<bool>,
     /// Ground truth: what is actually wrong with each machine right now.
     /// The LB never reads this — probes and timeouts are judged against
     /// it, so detection latency is real (interval × threshold).
     down: Vec<Option<FailureMode>>,
+    /// Fault windows currently open (metrics only).
+    open_windows: u32,
     /// Frames dropped at dead machines (either direction). With the
     /// reliability layer armed these all resolve via retransmission
     /// failover or an explicit loss — never silently.
@@ -372,12 +394,16 @@ impl ClusterSim {
             .attach(vip, netsim::Link::ten_gbe(), netsim::Link::ten_gbe());
         let backends: Vec<NodeId> = self.servers.iter().map(Kernel::node).collect();
         let down = vec![None; backends.len()];
+        let partitioned = vec![false; backends.len()];
         self.fleet = Some(FleetState {
             lb: LoadBalancer::new(vip, backends, cfg),
             coordinator: cfg.coordinator.clone().map(FleetCoordinator::new),
             latency: cfg.lb_latency,
             health: cfg.effective_health(),
             faults: cfg.faults.clone(),
+            domains: cfg.domains.clone(),
+            partitioned,
+            open_windows: 0,
             down,
             dead_frames: 0,
             last_failovers: 0,
@@ -454,6 +480,10 @@ impl ClusterSim {
                     ));
                 }
             }
+            for (i, spec) in fs.domains.domains.iter().enumerate() {
+                events.push((spec.at, ClusterEvent::DomainFail { domain: i }));
+                events.push((spec.heals_at(), ClusterEvent::DomainHeal { domain: i }));
+            }
             if let Some(h) = &fs.health {
                 events.push((SimTime::ZERO + h.interval, ClusterEvent::FleetHealth));
             }
@@ -492,6 +522,12 @@ impl ClusterSim {
                     ] {
                         simtrace::metric_add("fleet", name, 0, 0.0);
                     }
+                }
+                if fs.domains.enabled() {
+                    for name in ["partition_drops", "brownout_drops", "brownout_jitter_ns"] {
+                        simtrace::metric_add("chaos", name, 0, 0.0);
+                    }
+                    simtrace::metric_set("chaos", "open_windows", 0, 0.0);
                 }
                 for i in 0..fs
                     .lb
@@ -858,6 +894,82 @@ impl ClusterSim {
         }
     }
 
+    /// A correlated fault window opens: install the domain's impairment
+    /// on the fabric switch for every member node and, for a partition,
+    /// record the ground truth the prober is judged against. The LB is
+    /// never told directly — like machine failures, domain faults are
+    /// detected through probes and request timeouts.
+    fn on_domain_fail(&mut self, now: SimTime, domain: usize) {
+        let Some(fs) = self.fleet.as_mut() else {
+            return;
+        };
+        let Some(spec) = fs.domains.domains.get(domain) else {
+            return;
+        };
+        let members: Vec<NodeId> = spec
+            .backends
+            .iter()
+            .filter_map(|&b| self.servers.get(b).map(Kernel::node))
+            .collect();
+        self.switch
+            .fail_domain(&members, spec.impairment, fs.domains.seed);
+        if matches!(spec.impairment, netsim::DomainImpairment::Partition) {
+            for &b in &spec.backends {
+                if let Some(slot) = fs.partitioned.get_mut(b) {
+                    *slot = true;
+                }
+            }
+        }
+        fs.open_windows += 1;
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args(
+                "chaos",
+                "domain_fail",
+                t,
+                &[
+                    simtrace::arg("domain", domain as u64),
+                    simtrace::arg("members", spec.backends.len() as u64),
+                ],
+            );
+            simtrace::metric_set("chaos", "open_windows", t, f64::from(fs.open_windows));
+        }
+    }
+
+    /// A correlated fault window closes: heal the members on the switch
+    /// and clear the partition ground truth (reinstatement into rotation
+    /// still waits for the prober's rejoin threshold).
+    fn on_domain_heal(&mut self, now: SimTime, domain: usize) {
+        let Some(fs) = self.fleet.as_mut() else {
+            return;
+        };
+        let Some(spec) = fs.domains.domains.get(domain) else {
+            return;
+        };
+        let members: Vec<NodeId> = spec
+            .backends
+            .iter()
+            .filter_map(|&b| self.servers.get(b).map(Kernel::node))
+            .collect();
+        self.switch.heal_domain(&members);
+        for &b in &spec.backends {
+            if let Some(slot) = fs.partitioned.get_mut(b) {
+                *slot = false;
+            }
+        }
+        fs.open_windows = fs.open_windows.saturating_sub(1);
+        if simtrace::is_enabled() {
+            let t = now.as_nanos();
+            simtrace::instant_args(
+                "chaos",
+                "domain_heal",
+                t,
+                &[simtrace::arg("domain", domain as u64)],
+            );
+            simtrace::metric_set("chaos", "open_windows", t, f64::from(fs.open_windows));
+        }
+    }
+
     /// The active prober's tick: probe every non-parked backend, judge
     /// the result against the machine's ground-truth state, and let the
     /// LB apply its K-strike ejection/rejoin thresholds. Probes are not
@@ -882,7 +994,7 @@ impl ClusterSim {
             if !fs.lb.probeable(idx) {
                 continue;
             }
-            let ok = fs.down[idx].is_none_or(FailureMode::probe_succeeds);
+            let ok = fs.down[idx].is_none_or(FailureMode::probe_succeeds) && !fs.partitioned[idx];
             let _ = fs.lb.record_probe(now, idx, ok);
         }
         if simtrace::is_enabled() {
@@ -1235,6 +1347,7 @@ impl ClusterSim {
             let acc = self.accounting_view();
             let ledger = self.fleet.as_ref().map(|f| f.lb.ledger());
             wd.check(now, &self.servers, &acc, ledger.as_ref());
+            wd.check_quiescence(now, &acc, ledger.as_ref());
             self.watchdog = Some(wd);
         }
         if let Some(tr) = self.collector.take() {
@@ -1421,6 +1534,10 @@ impl EventHandler for ClusterSim {
                     .servers
                     .get(*backend)
                     .map_or(self.servers[0].node().0, |s| s.node().0),
+                ClusterEvent::DomainFail { .. } | ClusterEvent::DomainHeal { .. } => self
+                    .fleet
+                    .as_ref()
+                    .map_or(self.servers[0].node().0, |f| f.lb.vip().0),
             };
             simtrace::set_node(node);
         }
@@ -1445,6 +1562,8 @@ impl EventHandler for ClusterSim {
             }
             ClusterEvent::BackendFail { backend, mode } => self.on_backend_fail(now, backend, mode),
             ClusterEvent::BackendRestart { backend } => self.on_backend_restart(now, backend),
+            ClusterEvent::DomainFail { domain } => self.on_domain_fail(now, domain),
+            ClusterEvent::DomainHeal { domain } => self.on_domain_heal(now, domain),
             ClusterEvent::FleetHealth => self.on_fleet_health(now, queue),
         }
     }
@@ -1463,6 +1582,8 @@ impl EventHandler for ClusterSim {
             ClusterEvent::FleetUnparkDone { .. } => "fleet_unpark",
             ClusterEvent::BackendFail { .. } => "backend_fail",
             ClusterEvent::BackendRestart { .. } => "backend_restart",
+            ClusterEvent::DomainFail { .. } => "domain_fail",
+            ClusterEvent::DomainHeal { .. } => "domain_heal",
             ClusterEvent::FleetHealth => "fleet_health",
         }
     }

@@ -33,6 +33,11 @@ pub enum InvariantKind {
     Boundedness,
     /// A frame was addressed to a node the switch does not know.
     Routing,
+    /// The run ended with work still outstanding: in-flight requests,
+    /// open conntrack entries, or requests declared lost. Only checked
+    /// at end of run, and only when the scenario promises a drain window
+    /// (see [`WatchdogConfig::expect_quiescence`]).
+    Quiescence,
 }
 
 impl InvariantKind {
@@ -44,6 +49,7 @@ impl InvariantKind {
             InvariantKind::Conservation => "conservation",
             InvariantKind::Boundedness => "boundedness",
             InvariantKind::Routing => "routing",
+            InvariantKind::Quiescence => "quiescence",
         }
     }
 }
@@ -84,6 +90,12 @@ pub struct WatchdogConfig {
     pub period: SimDuration,
     /// Violation handling.
     pub mode: WatchdogMode,
+    /// Check the quiescence invariant at end of run. Off by default:
+    /// normal runs legitimately end mid-flight (clients generate load
+    /// right up to the horizon). Chaos scenarios schedule a drain window
+    /// and turn this on — after the drain, any outstanding work is a
+    /// leak, not a race with the horizon.
+    pub expect_quiescence: bool,
 }
 
 impl Default for WatchdogConfig {
@@ -91,6 +103,7 @@ impl Default for WatchdogConfig {
         WatchdogConfig {
             period: SimDuration::from_ms(1),
             mode: WatchdogMode::Fail,
+            expect_quiescence: false,
         }
     }
 }
@@ -107,6 +120,14 @@ impl WatchdogConfig {
     #[must_use]
     pub fn with_period(mut self, period: SimDuration) -> Self {
         self.period = period;
+        self
+    }
+
+    /// Demands end-of-run quiescence (builder style). Pair with a drain
+    /// window long enough for retransmissions and failovers to settle.
+    #[must_use]
+    pub fn expecting_quiescence(mut self) -> Self {
+        self.expect_quiescence = true;
         self
     }
 }
@@ -246,6 +267,67 @@ impl Watchdog {
                 ),
             );
             self.seen_misroutes = accounting.misroutes;
+        }
+    }
+
+    /// End-of-run quiescence: after the drain window, no request may be
+    /// in flight, lost, stuck in limbo, or open in conntrack — a fault
+    /// that was injected and healed must leave no permanent residue.
+    /// Called once from `finalize`, never from periodic checks, and only
+    /// acts when [`WatchdogConfig::expect_quiescence`] is set.
+    pub fn check_quiescence(
+        &mut self,
+        now: SimTime,
+        accounting: &AccountingView,
+        fleet: Option<&LbLedger>,
+    ) {
+        if !self.config.expect_quiescence {
+            return;
+        }
+        if accounting.armed {
+            if accounting.in_flight > 0 {
+                self.violate(
+                    InvariantKind::Quiescence,
+                    now,
+                    format!(
+                        "{} request(s) still in flight after the drain window",
+                        accounting.in_flight
+                    ),
+                );
+            }
+            if accounting.lost > 0 {
+                self.violate(
+                    InvariantKind::Quiescence,
+                    now,
+                    format!(
+                        "{} request(s) declared lost — retransmissions did not recover \
+                         from the injected faults",
+                        accounting.lost
+                    ),
+                );
+            }
+        }
+        if let Some(ledger) = fleet {
+            if ledger.outstanding > 0 {
+                self.violate(
+                    InvariantKind::Quiescence,
+                    now,
+                    format!(
+                        "LB conntrack still holds {} open request(s) at end of run",
+                        ledger.outstanding
+                    ),
+                );
+            }
+            if ledger.failed_over > 0 {
+                self.violate(
+                    InvariantKind::Quiescence,
+                    now,
+                    format!(
+                        "{} request(s) stranded in the failed-over limbo at end of run",
+                        ledger.failed_over
+                    ),
+                );
+            }
         }
     }
 

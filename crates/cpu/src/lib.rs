@@ -27,6 +27,8 @@
 //! assert!(eta > SimTime::ZERO); // 8000 cycles at 0.8 GHz = 10 us
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod core_model;
 pub mod cstate;
 pub mod energy;

@@ -31,6 +31,8 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod config;
 pub mod profiler;
 pub mod queue;

@@ -718,6 +718,29 @@ impl<E> EventQueue<E> {
         self.cleared
     }
 
+    /// Audits the queue's conservation identity
+    /// `total_pushed == total_popped + total_cleared + len`. A pure
+    /// observation — safe to call at any instant, including mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance if the identity is broken
+    /// (which would indicate a bug in the queue itself, not the model).
+    pub fn audit(&self) -> Result<(), String> {
+        let resolved = self.popped + self.cleared + self.len() as u64;
+        if self.pushed == resolved {
+            Ok(())
+        } else {
+            Err(format!(
+                "event-queue ledger broken: pushed {} != popped {} + cleared {} + pending {}",
+                self.pushed,
+                self.popped,
+                self.cleared,
+                self.len()
+            ))
+        }
+    }
+
     /// Drops all pending events. The dropped count moves to
     /// [`total_cleared`](Self::total_cleared), so the conservation
     /// identity keeps holding; the sequence counter is untouched (FIFO

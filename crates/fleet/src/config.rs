@@ -1,6 +1,6 @@
 //! Fleet topology and coordinator configuration.
 
-use crate::faults::{FailureSchedule, HealthConfig};
+use crate::faults::{DomainSchedule, FailureSchedule, HealthConfig};
 use desim::{ConfigError, SimDuration};
 
 /// How the load balancer picks a backend for a new request.
@@ -73,11 +73,19 @@ pub struct FleetConfig {
     /// Scheduled backend failures; empty (the default) is completely
     /// inert.
     pub faults: FailureSchedule,
+    /// Scheduled correlated failure domains (rack/switch-level partition
+    /// or brownout windows); empty (the default) is completely inert.
+    pub domains: DomainSchedule,
     /// LB health-prober policy. `None` arms the standard policy when a
     /// failure schedule is present (see
     /// [`effective_health`](Self::effective_health)) and nothing
     /// otherwise, keeping failure-free runs byte-identical.
     pub health: Option<HealthConfig>,
+    /// Test-only hook: deliberately mis-count the LB's `failed_over`
+    /// ledger column so the chaos campaign's conservation oracle has a
+    /// known bug to catch and shrink. Never set outside tests.
+    #[doc(hidden)]
+    pub ledger_skew_for_test: bool,
 }
 
 impl FleetConfig {
@@ -91,7 +99,9 @@ impl FleetConfig {
             lb_latency: SimDuration::from_us(2),
             coordinator: None,
             faults: FailureSchedule::none(),
+            domains: DomainSchedule::none(),
             health: None,
+            ledger_skew_for_test: false,
         }
     }
 
@@ -123,10 +133,26 @@ impl FleetConfig {
         self
     }
 
+    /// Schedules correlated failure-domain windows (builder style).
+    #[must_use]
+    pub fn with_domains(mut self, domains: DomainSchedule) -> Self {
+        self.domains = domains;
+        self
+    }
+
     /// Arms the LB health prober explicitly (builder style).
     #[must_use]
     pub fn with_health(mut self, health: HealthConfig) -> Self {
         self.health = Some(health);
+        self
+    }
+
+    /// Arms the deliberate `failed_over` ledger mis-count (test-only; see
+    /// the field doc).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_ledger_skew_for_test(mut self) -> Self {
+        self.ledger_skew_for_test = true;
         self
     }
 
@@ -138,7 +164,9 @@ impl FleetConfig {
     pub fn effective_health(&self) -> Option<HealthConfig> {
         match self.health {
             Some(h) => Some(h),
-            None if self.faults.enabled() => Some(HealthConfig::standard()),
+            None if self.faults.enabled() || self.domains.enabled() => {
+                Some(HealthConfig::standard())
+            }
             None => None,
         }
     }
@@ -162,6 +190,7 @@ impl FleetConfig {
             ));
         }
         self.faults.validate(self.backends)?;
+        self.domains.validate(self.backends)?;
         if let Some(h) = &self.health {
             h.validate()?;
         }
@@ -413,6 +442,40 @@ mod tests {
             }),
         );
         assert_eq!(oob.validate().unwrap_err().field, "faults.backend");
+    }
+
+    #[test]
+    fn domain_schedule_arms_health_and_is_validated() {
+        use crate::faults::DomainFaultSpec;
+        use desim::SimTime;
+        use netsim::DomainImpairment;
+        let spec = DomainFaultSpec {
+            backends: vec![0, 1],
+            at: SimTime::from_ms(10),
+            duration: SimDuration::from_ms(5),
+            impairment: DomainImpairment::Partition,
+        };
+        let cfg = FleetConfig::new(4, DispatchPolicy::LeastOutstanding)
+            .with_domains(DomainSchedule::none().with_domain(spec.clone()));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.effective_health(),
+            Some(HealthConfig::standard()),
+            "a domain schedule arms the standard prober"
+        );
+        // Out-of-range members are caught by fleet validation.
+        let oob = FleetConfig::new(2, DispatchPolicy::RoundRobin).with_domains(
+            DomainSchedule::none().with_domain(DomainFaultSpec {
+                backends: vec![3],
+                ..spec
+            }),
+        );
+        assert_eq!(oob.validate().unwrap_err().field, "domains.backends");
+        // The skew hook defaults off and never affects validation.
+        let skewed = FleetConfig::new(2, DispatchPolicy::RoundRobin).with_ledger_skew_for_test();
+        assert!(skewed.ledger_skew_for_test);
+        assert!(skewed.validate().is_ok());
+        assert!(!FleetConfig::new(2, DispatchPolicy::RoundRobin).ledger_skew_for_test);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! byte-identical.
 
 use desim::{ConfigError, SimDuration, SimTime, SplitMix64};
+use netsim::DomainImpairment;
 
 /// How a failed backend misbehaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -219,6 +220,141 @@ impl Default for FailureSchedule {
     }
 }
 
+/// One correlated fault window: a failure domain (the backends sharing a
+/// rack or top-of-rack switch) whose members all suffer the same
+/// link-level impairment for the duration of the window.
+///
+/// The cluster harness opens the window at [`at`](Self::at) by installing
+/// the impairment on the fabric switch for every member's node and closes
+/// it [`duration`](Self::duration) later. Members are backend *indices*;
+/// the harness maps them to node ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainFaultSpec {
+    /// Backend indices in the domain.
+    pub backends: Vec<usize>,
+    /// Window-open instant.
+    pub at: SimTime,
+    /// Window length; the domain heals at `at + duration`.
+    pub duration: SimDuration,
+    /// Impairment applied to every member while the window is open.
+    pub impairment: DomainImpairment,
+}
+
+impl DomainFaultSpec {
+    /// Window-close instant.
+    #[must_use]
+    pub fn heals_at(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// Default seed for domain-fault brownout RNG streams.
+pub const DEFAULT_DOMAIN_FAULT_SEED: u64 = 0xD03A_17D0_3A17;
+
+/// The per-run correlated failure-domain schedule.
+///
+/// Like [`FailureSchedule`], an empty schedule (the default) is
+/// completely inert: no switch-side layer is installed, no events are
+/// scheduled, and pinned fault-free runs stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSchedule {
+    /// The scheduled fault windows, in the order they were added.
+    pub domains: Vec<DomainFaultSpec>,
+    /// Seed for the switch-side brownout RNG streams.
+    pub seed: u64,
+}
+
+impl DomainSchedule {
+    /// No domain faults: the schedule is completely inert.
+    #[must_use]
+    pub fn none() -> Self {
+        DomainSchedule {
+            domains: Vec::new(),
+            seed: DEFAULT_DOMAIN_FAULT_SEED,
+        }
+    }
+
+    /// Whether any fault window is scheduled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        !self.domains.is_empty()
+    }
+
+    /// Adds one fault window (builder style).
+    #[must_use]
+    pub fn with_domain(mut self, spec: DomainFaultSpec) -> Self {
+        self.domains.push(spec);
+        self
+    }
+
+    /// Overrides the brownout RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the schedule against a fleet of `backends` machines:
+    /// every domain must be non-empty, in range, duplicate-free, with a
+    /// positive window and a valid impairment, and two windows sharing a
+    /// backend must not overlap in time (healing one would otherwise
+    /// clear the other's impairment).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self, backends: usize) -> Result<(), ConfigError> {
+        for spec in &self.domains {
+            if spec.backends.is_empty() {
+                return Err(ConfigError::new(
+                    "domains.backends",
+                    "a failure domain needs at least one member",
+                ));
+            }
+            for (i, &b) in spec.backends.iter().enumerate() {
+                if b >= backends {
+                    return Err(ConfigError::new(
+                        "domains.backends",
+                        format!("domain member {b} is out of range for a fleet of {backends}"),
+                    ));
+                }
+                if spec.backends[..i].contains(&b) {
+                    return Err(ConfigError::new(
+                        "domains.backends",
+                        format!("backend {b} appears twice in one domain"),
+                    ));
+                }
+            }
+            if spec.duration.is_zero() {
+                return Err(ConfigError::new(
+                    "domains.duration",
+                    "a fault window must be open for a positive time",
+                ));
+            }
+            spec.impairment.validate()?;
+        }
+        for (i, a) in self.domains.iter().enumerate() {
+            for b in &self.domains[i + 1..] {
+                let share = a.backends.iter().any(|m| b.backends.contains(m));
+                let overlap = a.at < b.heals_at() && b.at < a.heals_at();
+                if share && overlap {
+                    return Err(ConfigError::new(
+                        "domains.overlap",
+                        "two fault windows on the same backend overlap in time",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DomainSchedule {
+    fn default() -> Self {
+        DomainSchedule::none()
+    }
+}
+
 /// The LB health prober's policy.
 ///
 /// Active path: every [`interval`](Self::interval) the LB probes every
@@ -395,6 +531,109 @@ mod tests {
         assert_eq!(
             bad_slow.validate(1).unwrap_err().field,
             "faults.slow_factor"
+        );
+    }
+
+    #[test]
+    fn domain_schedule_validation_names_offending_fields() {
+        let spec = |backends: Vec<usize>, at_ms: u64, dur_ms: u64| DomainFaultSpec {
+            backends,
+            at: SimTime::from_ms(at_ms),
+            duration: SimDuration::from_ms(dur_ms),
+            impairment: DomainImpairment::Partition,
+        };
+        let empty = DomainSchedule::none();
+        assert!(!empty.enabled());
+        assert!(empty.validate(0).is_ok());
+        assert_eq!(empty, DomainSchedule::default());
+
+        let ok = DomainSchedule::none()
+            .with_domain(spec(vec![0, 1], 10, 5))
+            .with_domain(spec(vec![1, 2], 20, 5));
+        assert!(ok.enabled());
+        assert!(ok.validate(3).is_ok());
+        assert_eq!(ok.domains[0].heals_at(), SimTime::from_ms(15));
+
+        let err = |s: &DomainSchedule, n: usize| s.validate(n).unwrap_err().field;
+        let no_members = DomainSchedule::none().with_domain(spec(vec![], 1, 1));
+        assert_eq!(err(&no_members, 4), "domains.backends");
+        let oob = DomainSchedule::none().with_domain(spec(vec![4], 1, 1));
+        assert_eq!(err(&oob, 4), "domains.backends");
+        let dup = DomainSchedule::none().with_domain(spec(vec![1, 1], 1, 1));
+        assert_eq!(err(&dup, 4), "domains.backends");
+        let zero = DomainSchedule::none().with_domain(spec(vec![1], 1, 0));
+        assert_eq!(err(&zero, 4), "domains.duration");
+        let bad_imp = DomainSchedule::none().with_domain(DomainFaultSpec {
+            impairment: DomainImpairment::Brownout {
+                loss: 2.0,
+                jitter: SimDuration::ZERO,
+            },
+            ..spec(vec![1], 1, 1)
+        });
+        assert_eq!(err(&bad_imp, 4), "domain.loss");
+        // Overlapping windows sharing a backend are rejected; disjoint
+        // members may overlap freely.
+        let clash = DomainSchedule::none()
+            .with_domain(spec(vec![0, 1], 10, 10))
+            .with_domain(spec(vec![1], 15, 10));
+        assert_eq!(err(&clash, 4), "domains.overlap");
+        let disjoint = DomainSchedule::none()
+            .with_domain(spec(vec![0, 1], 10, 10))
+            .with_domain(spec(vec![2, 3], 15, 10));
+        assert!(disjoint.validate(4).is_ok());
+    }
+
+    /// Each backend's crash draw is a pure function of `(seed, index)`:
+    /// raising the crash count or growing the fleet never moves another
+    /// backend's crash time, and no backend is ever crashed twice.
+    #[test]
+    fn prop_seeded_stops_order_independent_and_collision_free() {
+        use check::{ensure, ensure_eq, Check};
+        Check::new("seeded_stops_order_independent").run(
+            |rng, size| {
+                let backends = check::gen::usize_in(rng, 1, 2 + size.min(62));
+                let count = check::gen::usize_in(rng, 0, backends + 2);
+                (check::gen::u64_in(rng, 0, u64::MAX - 1), backends, count)
+            },
+            |&(seed, backends, count)| {
+                let (start, end) = (SimTime::from_ms(10), SimTime::from_ms(40));
+                let s = FailureSchedule::seeded_stops(seed, backends, count, start, end, None);
+                ensure_eq!(s.specs.len(), count.min(backends));
+                ensure!(s.validate(backends).is_ok(), "generated schedule invalid");
+                let mut seen = std::collections::HashSet::new();
+                for spec in &s.specs {
+                    ensure!(
+                        seen.insert(spec.backend),
+                        "backend {} crashed twice",
+                        spec.backend
+                    );
+                    ensure!(
+                        spec.at >= start && spec.at < end,
+                        "crash at {:?} outside the window",
+                        spec.at
+                    );
+                }
+                // Order-independence inside one fleet: the k-crash
+                // schedule is a subset of the all-crash schedule.
+                let all = FailureSchedule::seeded_stops(seed, backends, backends, start, end, None);
+                for spec in &s.specs {
+                    ensure!(all.specs.contains(spec), "raising count moved a draw");
+                }
+                // Growing the fleet never shifts an existing backend's
+                // draw either (each index owns its own stream).
+                let grown = FailureSchedule::seeded_stops(
+                    seed,
+                    backends + 8,
+                    backends + 8,
+                    start,
+                    end,
+                    None,
+                );
+                for spec in &all.specs {
+                    ensure!(grown.specs.contains(spec), "growing the fleet moved a draw");
+                }
+                Ok(())
+            },
         );
     }
 

@@ -322,6 +322,8 @@ pub struct LoadBalancer {
     rejoins: u64,
     stale_responses: u64,
     dead_dispatches: u64,
+    /// Test-only planted bug (see `FleetConfig::ledger_skew_for_test`).
+    ledger_skew: bool,
 }
 
 impl LoadBalancer {
@@ -353,6 +355,7 @@ impl LoadBalancer {
             rejoins: 0,
             stale_responses: 0,
             dead_dispatches: 0,
+            ledger_skew: cfg.ledger_skew_for_test,
         }
     }
 
@@ -605,6 +608,13 @@ impl LoadBalancer {
                         self.backends[new].outstanding += 1;
                         self.backends[new].assigned += 1;
                         self.failovers += 1;
+                        if self.ledger_skew {
+                            // Deliberately planted test-only bug: a
+                            // phantom failed_over entry per failover
+                            // breaks the conservation identity the
+                            // watchdog audits.
+                            self.failed_over += 1;
+                        }
                         if let Some(c) = self.conntrack.get_mut(&id) {
                             c.backend = new;
                             c.limbo = false;
@@ -1442,6 +1452,132 @@ mod tests {
         l.dispatch(request(10, 0));
         assert_eq!(l.ledger().dead_dispatches, 2);
         assert_eq!(l.summary().failovers, 0);
+    }
+
+    /// The fault-recovery races the chaos campaign exercises: a crash
+    /// landing on an already-ejected backend, and a restart (probe
+    /// recovery) racing an administrative drain. Illegal transitions are
+    /// typed refusals — never panics, never silent state corruption.
+    #[test]
+    fn crash_and_restart_races_are_typed_refusals() {
+        let cfg =
+            FleetConfig::new(3, DispatchPolicy::RoundRobin).with_health(HealthConfig::standard());
+        let nodes = (0..3).map(|i| NodeId(i as u16)).collect();
+        let mut l = LoadBalancer::new(NodeId(3), nodes, &cfg);
+        let t = SimTime::from_ms(1);
+        // Passive ejection: enough consecutive RTO strikes.
+        for _ in 0..1_000 {
+            if l.note_timeout(1) {
+                break;
+            }
+        }
+        assert_eq!(l.state(1), BackendState::Ejected);
+        // Crash while ejected: escalates to Failed (pins enter limbo);
+        // a second crash of a dead machine is a no-op, not a panic.
+        l.mark_failed(t, 1);
+        assert_eq!(l.state(1), BackendState::Failed);
+        assert_eq!(l.mark_failed(SimTime::from_ms(2), 1), 0);
+        // Draining or parking the dead backend is refused with the typed
+        // error naming the state it was in.
+        let err = l.begin_drain(1).unwrap_err();
+        assert_eq!((err.backend, err.from), (1, BackendState::Failed));
+        let err = l.begin_parking(1).unwrap_err();
+        assert_eq!(err.from, BackendState::Failed);
+        // Restart while draining: reinstate only applies to
+        // failed/ejected backends — a draining one refuses and keeps
+        // draining.
+        assert!(l.begin_drain(0).is_ok());
+        assert!(!l.reinstate(t, 0));
+        assert_eq!(l.state(0), BackendState::Draining);
+        // And a drain cannot be cancelled on a backend that is not
+        // draining.
+        let err = l.cancel_drain(2).unwrap_err();
+        assert_eq!(err.from, BackendState::Active);
+        assert!(err.to_string().contains("cancel a drain"));
+    }
+
+    /// Storms of random transitions, dispatches, and responses never
+    /// panic and always leave the conservation ledger balanced.
+    #[test]
+    fn prop_transition_storm_conserves_ledger() {
+        use check::{ensure, ensure_eq, Check};
+        use desim::SplitMix64;
+        Check::new("lb_transition_storm").run(
+            |rng, size| {
+                let n = check::gen::usize_in(rng, 2, 6);
+                let ops = check::gen::len_in(rng, size, 8, 120);
+                (check::gen::u64_in(rng, 0, u64::MAX - 1), n, ops)
+            },
+            |&(seed, n, ops)| {
+                let cfg = FleetConfig::new(n, DispatchPolicy::LeastOutstanding)
+                    .with_health(HealthConfig::standard());
+                let nodes = (0..n).map(|i| NodeId(i as u16)).collect();
+                let mut l = LoadBalancer::new(NodeId(n as u16), nodes, &cfg);
+                let mut rng = SplitMix64::new(seed);
+                let mut next_id = 0u64;
+                let mut open: Vec<u64> = Vec::new();
+                let mut gens: Vec<Option<u32>> = vec![None; n];
+                for step in 0..ops {
+                    let t = SimTime::from_us(step as u64 + 1);
+                    let idx = rng.next_below(n as u64) as usize;
+                    match rng.next_below(12) {
+                        0..=3 => {
+                            next_id += 1;
+                            let _ = l.dispatch(request(50, next_id));
+                            open.push(next_id);
+                        }
+                        4 => {
+                            // Answer a random open request from wherever
+                            // it is currently pinned.
+                            if !open.is_empty() {
+                                let id =
+                                    open.swap_remove(rng.next_below(open.len() as u64) as usize);
+                                if let Some(b) = l.pinned_backend(id) {
+                                    let _ = l.on_response(response(&l, b, id));
+                                }
+                            }
+                        }
+                        5 => {
+                            let _ = l.mark_failed(t, idx);
+                        }
+                        6 => {
+                            let _ = l.reinstate(t, idx);
+                        }
+                        7 => {
+                            if let Err(e) = l.begin_drain(idx) {
+                                ensure!(
+                                    e.from != BackendState::Active,
+                                    "an active backend refused to drain"
+                                );
+                            }
+                        }
+                        8 => {
+                            let _ = l.cancel_drain(idx);
+                        }
+                        9 => {
+                            if let Ok(gen) = l.begin_parking(idx) {
+                                gens[idx] = Some(gen);
+                            }
+                        }
+                        10 => {
+                            if let Some(gen) = gens[idx].take() {
+                                let _ = l.finish_park(t, idx, gen);
+                            }
+                        }
+                        _ => {
+                            let _ = l.note_timeout(idx);
+                        }
+                    }
+                    let led = l.ledger();
+                    ensure_eq!(
+                        led.opened,
+                        led.completed + led.rejected + led.outstanding + led.failed_over
+                    );
+                    ensure_eq!(led.backend_outstanding_sum, led.outstanding);
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod metrics;
 pub use config::{CoordinatorConfig, DispatchPolicy, FleetConfig};
 pub use coordinator::{FleetAction, FleetCoordinator};
 pub use faults::{
-    FailureMode, FailureSchedule, FailureSpec, HealthConfig, DEFAULT_FLEET_FAULT_SEED,
+    DomainFaultSpec, DomainSchedule, FailureMode, FailureSchedule, FailureSpec, HealthConfig,
+    DEFAULT_DOMAIN_FAULT_SEED, DEFAULT_FLEET_FAULT_SEED,
 };
 pub use lb::{
     BackendState, BackendSummary, FleetSummary, LbLedger, LbResponse, LoadBalancer, ProbeOutcome,

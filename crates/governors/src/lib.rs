@@ -26,6 +26,8 @@
 //! assert_eq!(t, table.fastest());
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cpufreq;
 pub mod cpuidle;
 

@@ -225,6 +225,76 @@ impl Default for FaultConfig {
     }
 }
 
+/// Correlated link-level impairment applied to every member of a failure
+/// domain (a rack or switch grouping) at once.
+///
+/// Unlike the per-link [`FaultConfig`] dimensions, a domain impairment is
+/// *scoped in time and topology*: the cluster harness installs it on the
+/// switch when the domain's fault window opens and removes it when the
+/// window closes, and it affects every frame whose source or destination
+/// is a member node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DomainImpairment {
+    /// Hard partition: every frame to or from a member is dropped.
+    Partition,
+    /// Brownout: frames touching a member suffer extra loss and uniform
+    /// latency jitter in `[0, jitter]`, on top of any per-link faults.
+    Brownout {
+        /// Per-frame drop probability while the brownout is active.
+        loss: f64,
+        /// Maximum extra latency per delivered frame.
+        jitter: SimDuration,
+    },
+}
+
+impl DomainImpairment {
+    /// Short stable name for logs and scenario files.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DomainImpairment::Partition => "partition",
+            DomainImpairment::Brownout { .. } => "brownout",
+        }
+    }
+
+    /// Validates probability ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let DomainImpairment::Brownout { loss, .. } = self {
+            if !(0.0..=1.0).contains(loss) || !loss.is_finite() {
+                return Err(ConfigError::new(
+                    "domain.loss",
+                    format!("brownout loss must be in [0, 1], got {loss}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters for domain-fault activity, kept separate from [`FaultStats`]
+/// so per-link and correlated impairments stay individually auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainFaultStats {
+    /// Frames dropped because an endpoint was partitioned.
+    pub partition_drops: u64,
+    /// Frames dropped by a brownout's extra loss.
+    pub brownout_drops: u64,
+    /// Frames delivered with non-zero brownout jitter.
+    pub brownout_delayed: u64,
+}
+
+impl DomainFaultStats {
+    /// Total frames removed from the wire by domain faults.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.partition_drops + self.brownout_drops
+    }
+}
+
 /// Why an injected fault removed a frame from the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropKind {
@@ -357,6 +427,28 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.reorder = 0.1;
         assert_eq!(cfg.validate().unwrap_err().field, "reorder_delay");
+    }
+
+    #[test]
+    fn domain_impairment_validates_and_names() {
+        assert!(DomainImpairment::Partition.validate().is_ok());
+        assert_eq!(DomainImpairment::Partition.name(), "partition");
+        let ok = DomainImpairment::Brownout {
+            loss: 0.2,
+            jitter: SimDuration::from_us(30),
+        };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.name(), "brownout");
+        let bad = DomainImpairment::Brownout {
+            loss: 1.2,
+            jitter: SimDuration::ZERO,
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "domain.loss");
+        let nan = DomainImpairment::Brownout {
+            loss: f64::NAN,
+            jitter: SimDuration::ZERO,
+        };
+        assert!(nan.validate().is_err());
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod wire;
 
 pub use bytes::Bytes;
 pub use faults::{
-    DropKind, FaultConfig, FaultStats, FaultVerdict, LinkFaults, RetxConfig, DEFAULT_FAULT_SEED,
+    DomainFaultStats, DomainImpairment, DropKind, FaultConfig, FaultStats, FaultVerdict,
+    LinkFaults, RetxConfig, DEFAULT_FAULT_SEED,
 };
 pub use http::{HttpRequest, MemcachedRequest};
 pub use link::Link;

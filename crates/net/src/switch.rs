@@ -8,10 +8,12 @@
 //! [`Link`], so a response burst from the server contends only with other
 //! traffic to the same destination.
 
-use crate::faults::{DropKind, FaultConfig, FaultStats, FaultVerdict, LinkFaults};
+use crate::faults::{
+    DomainFaultStats, DomainImpairment, DropKind, FaultConfig, FaultStats, FaultVerdict, LinkFaults,
+};
 use crate::link::Link;
 use crate::packet::NodeId;
-use desim::{SimDuration, SimTime};
+use desim::{SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
 
 /// A star-topology switch with per-port full-duplex links.
@@ -36,6 +38,9 @@ pub struct Switch {
     frames_forwarded: u64,
     /// Impairment layer; `None` keeps the fault-free fast path untouched.
     faults: Option<FaultLayer>,
+    /// Correlated failure-domain layer; `None` until the first
+    /// [`fail_domain`](Self::fail_domain) call.
+    domains: Option<DomainLayer>,
 }
 
 /// Per-switch fault-injection state: one RNG stream per directed pair,
@@ -45,6 +50,81 @@ struct FaultLayer {
     config: FaultConfig,
     per_pair: BTreeMap<(NodeId, NodeId), LinkFaults>,
     stats: FaultStats,
+}
+
+/// Correlated failure-domain state: which nodes are currently impaired
+/// and one lazily-created RNG stream per directed pair for brownout
+/// draws. Created on the first [`Switch::fail_domain`] call, so a run
+/// that never opens a fault window pays nothing.
+#[derive(Debug)]
+struct DomainLayer {
+    seed: u64,
+    impaired: BTreeMap<NodeId, DomainImpairment>,
+    per_pair: BTreeMap<(NodeId, NodeId), SplitMix64>,
+    stats: DomainFaultStats,
+}
+
+/// Verdict of the domain layer for one frame.
+enum DomainVerdict {
+    Deliver { extra_delay: SimDuration },
+    DropPartition,
+    DropBrownout,
+}
+
+impl DomainLayer {
+    /// Stream for brownout draws on `src → dst`. A different mix constant
+    /// than [`LinkFaults`] keeps domain and per-link streams independent
+    /// even under the same seed.
+    fn pair_rng(&mut self, src: NodeId, dst: NodeId) -> &mut SplitMix64 {
+        let seed = self.seed;
+        self.per_pair.entry((src, dst)).or_insert_with(|| {
+            let mixed = seed
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .wrapping_add(u64::from(src.0) << 16)
+                .wrapping_add(u64::from(dst.0) + 1);
+            SplitMix64::new(mixed)
+        })
+    }
+
+    /// Judges one frame: partition on either endpoint drops it outright;
+    /// brownouts draw loss then jitter per impaired endpoint in `(src,
+    /// dst)` order from the directed pair's stream.
+    fn judge(&mut self, src: NodeId, dst: NodeId) -> DomainVerdict {
+        let ends = [
+            self.impaired.get(&src).copied(),
+            self.impaired.get(&dst).copied(),
+        ];
+        if ends.iter().all(Option::is_none) {
+            return DomainVerdict::Deliver {
+                extra_delay: SimDuration::ZERO,
+            };
+        }
+        if ends
+            .iter()
+            .any(|i| matches!(i, Some(DomainImpairment::Partition)))
+        {
+            self.stats.partition_drops += 1;
+            return DomainVerdict::DropPartition;
+        }
+        let mut extra = SimDuration::ZERO;
+        for imp in ends.into_iter().flatten() {
+            let DomainImpairment::Brownout { loss, jitter } = imp else {
+                continue;
+            };
+            if loss > 0.0 && self.pair_rng(src, dst).next_f64() < loss {
+                self.stats.brownout_drops += 1;
+                return DomainVerdict::DropBrownout;
+            }
+            if jitter > SimDuration::ZERO {
+                let j = jitter.mul_f64(self.pair_rng(src, dst).next_f64());
+                if j > SimDuration::ZERO {
+                    self.stats.brownout_delayed += 1;
+                    extra += j;
+                }
+            }
+        }
+        DomainVerdict::Deliver { extra_delay: extra }
+    }
 }
 
 /// Outcome of [`Switch::route`]: either the frame arrives, or an injected
@@ -85,6 +165,7 @@ impl Switch {
             ports: BTreeMap::new(),
             frames_forwarded: 0,
             faults: None,
+            domains: None,
         }
     }
 
@@ -106,6 +187,54 @@ impl Switch {
         self.faults
             .as_ref()
             .map_or_else(FaultStats::default, |f| f.stats)
+    }
+
+    /// Opens a correlated fault window: applies `impairment` to every
+    /// member node at once, affecting all frames whose source or
+    /// destination is a member. The first call installs the domain layer
+    /// with `seed` for its brownout RNG streams; later calls reuse the
+    /// installed streams so draws stay deterministic across overlapping
+    /// windows. Re-failing an already impaired node replaces its
+    /// impairment.
+    pub fn fail_domain(&mut self, members: &[NodeId], impairment: DomainImpairment, seed: u64) {
+        let layer = self.domains.get_or_insert_with(|| DomainLayer {
+            seed,
+            impaired: BTreeMap::new(),
+            per_pair: BTreeMap::new(),
+            stats: DomainFaultStats::default(),
+        });
+        for &node in members {
+            layer.impaired.insert(node, impairment);
+        }
+    }
+
+    /// Closes a fault window: removes any impairment from the member
+    /// nodes. Counters and RNG streams persist so a later window on the
+    /// same pair continues its stream.
+    pub fn heal_domain(&mut self, members: &[NodeId]) {
+        if let Some(layer) = self.domains.as_mut() {
+            for node in members {
+                layer.impaired.remove(node);
+            }
+        }
+    }
+
+    /// `true` while `node` is under a hard partition (health probes to a
+    /// partitioned backend cannot succeed).
+    #[must_use]
+    pub fn is_partitioned(&self, node: NodeId) -> bool {
+        self.domains.as_ref().is_some_and(|layer| {
+            matches!(layer.impaired.get(&node), Some(DomainImpairment::Partition))
+        })
+    }
+
+    /// Domain-fault counters ([`DomainFaultStats::default`] when no
+    /// domain fault was ever injected).
+    #[must_use]
+    pub fn domain_stats(&self) -> DomainFaultStats {
+        self.domains
+            .as_ref()
+            .map_or_else(DomainFaultStats::default, |layer| layer.stats)
     }
 
     /// Attaches `node` with its uplink (node→switch) and downlink
@@ -195,8 +324,43 @@ impl Switch {
         dst: NodeId,
         wire_bytes: usize,
     ) -> Result<Delivery, UnknownNode> {
+        // Domain faults first: a partition or brownout on either endpoint
+        // affects the frame regardless of per-link impairments, and its
+        // drops count as losses end-to-end (the retransmission layer
+        // cannot tell them apart, only the counters can).
+        let mut domain_extra = SimDuration::ZERO;
+        if let Some(dom) = self.domains.as_mut() {
+            match dom.judge(src, dst) {
+                DomainVerdict::Deliver { extra_delay } => domain_extra = extra_delay,
+                verdict @ (DomainVerdict::DropPartition | DomainVerdict::DropBrownout) => {
+                    if !self.ports.contains_key(&dst) {
+                        return Err(UnknownNode(dst));
+                    }
+                    // The drop still consumes the sender's uplink.
+                    let src_port = self.ports.get_mut(&src).ok_or(UnknownNode(src))?;
+                    let _ = src_port.uplink.transmit(now, wire_bytes);
+                    if simtrace::is_enabled() {
+                        let metric = match verdict {
+                            DomainVerdict::DropPartition => "partition_drops",
+                            _ => "brownout_drops",
+                        };
+                        simtrace::metric_add("chaos", metric, now.as_nanos(), 1.0);
+                    }
+                    return Ok(Delivery::Dropped(DropKind::Loss));
+                }
+            }
+        }
+        if simtrace::is_enabled() && domain_extra > SimDuration::ZERO {
+            simtrace::metric_add(
+                "chaos",
+                "brownout_jitter_ns",
+                now.as_nanos(),
+                domain_extra.as_nanos() as f64,
+            );
+        }
         let Some(layer) = self.faults.as_mut() else {
-            return self.carry(now, src, dst, wire_bytes).map(Delivery::Deliver);
+            let at = self.carry(now, src, dst, wire_bytes)? + domain_extra;
+            return Ok(Delivery::Deliver(at));
         };
         let seed = layer.config.seed;
         let before = layer.stats;
@@ -211,7 +375,7 @@ impl Switch {
         );
         match verdict {
             FaultVerdict::Deliver { extra_delay } => {
-                let at_dst = self.carry(now, src, dst, wire_bytes)? + extra_delay;
+                let at_dst = self.carry(now, src, dst, wire_bytes)? + extra_delay + domain_extra;
                 if simtrace::is_enabled() {
                     let t = now.as_nanos();
                     if reordered {
@@ -427,6 +591,82 @@ mod tests {
         }
         assert!(delayed > 0, "jitter should delay some frames");
         assert_eq!(jittery.fault_stats().jittered, delayed);
+    }
+
+    #[test]
+    fn partition_drops_every_frame_until_healed() {
+        let mut sw = two_node_switch();
+        assert!(!sw.is_partitioned(NodeId(1)));
+        sw.fail_domain(&[NodeId(1)], DomainImpairment::Partition, 7);
+        assert!(sw.is_partitioned(NodeId(1)));
+        for i in 0..10u64 {
+            let now = SimTime::from_nanos(i * 5_000);
+            // Both directions die: the member cannot send or receive.
+            assert_eq!(
+                sw.route(now, NodeId(0), NodeId(1), 500).unwrap(),
+                Delivery::Dropped(DropKind::Loss)
+            );
+            assert_eq!(
+                sw.route(now, NodeId(1), NodeId(0), 500).unwrap(),
+                Delivery::Dropped(DropKind::Loss)
+            );
+        }
+        assert_eq!(sw.domain_stats().partition_drops, 20);
+        sw.heal_domain(&[NodeId(1)]);
+        assert!(!sw.is_partitioned(NodeId(1)));
+        let healed = sw.route(SimTime::from_ms(1), NodeId(0), NodeId(1), 500);
+        assert!(matches!(healed, Ok(Delivery::Deliver(_))));
+        assert_eq!(sw.domain_stats().partition_drops, 20);
+        // Per-link fault stats stay untouched by domain drops.
+        assert_eq!(sw.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn brownout_is_deterministic_and_composes_with_link_faults() {
+        let imp = DomainImpairment::Brownout {
+            loss: 0.3,
+            jitter: SimDuration::from_us(5),
+        };
+        let run = || {
+            let mut sw = two_node_switch();
+            sw.set_faults(FaultConfig::lossy(0.1, 11));
+            sw.fail_domain(&[NodeId(1)], imp, 77);
+            let mut outcomes = Vec::new();
+            for i in 0..300u64 {
+                let now = SimTime::from_nanos(i * 3_000);
+                outcomes.push(sw.route(now, NodeId(0), NodeId(1), 600).unwrap());
+            }
+            (outcomes, sw.domain_stats(), sw.fault_stats())
+        };
+        let (a, dom, link) = run();
+        let (b, _, _) = run();
+        assert_eq!(a, b, "same seed, same verdicts");
+        assert!(dom.brownout_drops > 30, "~30% brownout loss: {dom:?}");
+        assert!(dom.brownout_delayed > 0);
+        assert_eq!(dom.partition_drops, 0);
+        assert!(link.losses > 0, "per-link loss still active: {link:?}");
+        let dropped = a
+            .iter()
+            .filter(|d| matches!(d, Delivery::Dropped(_)))
+            .count() as u64;
+        assert_eq!(dropped, dom.dropped() + link.dropped());
+    }
+
+    #[test]
+    fn unused_domain_layer_is_observer_effect_free() {
+        let mut plain = two_node_switch();
+        let mut chaotic = two_node_switch();
+        // Open and immediately close a window before any traffic: the
+        // healed switch must behave exactly like one never touched.
+        chaotic.fail_domain(&[NodeId(0)], DomainImpairment::Partition, 3);
+        chaotic.heal_domain(&[NodeId(0)]);
+        for i in 0..20u64 {
+            let now = SimTime::from_nanos(i * 900);
+            let a = plain.forward(now, NodeId(0), NodeId(1), 800).unwrap();
+            let b = chaotic.route(now, NodeId(0), NodeId(1), 800).unwrap();
+            assert_eq!(b, Delivery::Deliver(a));
+        }
+        assert_eq!(chaotic.domain_stats(), DomainFaultStats::default());
     }
 
     #[test]

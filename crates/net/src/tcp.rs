@@ -129,6 +129,15 @@ pub enum SegmentStatus {
 /// out-of-order arrival is tolerated; the message completes only when all
 /// segments `0..=final_seq` have arrived. Once complete, every further
 /// segment reports [`SegmentStatus::Duplicate`].
+///
+/// A request that fails over mid-response can be re-served by a different
+/// backend with a *different* response length, so segments from two
+/// serializations of the same message may interleave here. The latest
+/// final segment is authoritative for the message bound (it belongs to
+/// the serialization currently being replayed), and completion checks
+/// that `0..=final_seq` is covered rather than counting segments —
+/// leftovers from a longer, abandoned serialization must not wedge the
+/// message open forever.
 #[derive(Debug, Default)]
 pub struct Reassembly {
     received: HashSet<u32>,
@@ -146,18 +155,25 @@ impl Reassembly {
     /// Feeds one segment, identified by its sequence number and final
     /// flag, and reports what the receiver should do with it.
     pub fn on_segment(&mut self, seq: u32, is_final: bool) -> SegmentStatus {
-        if self.done || !self.received.insert(seq) {
+        if self.done {
             return SegmentStatus::Duplicate;
         }
+        let fresh = self.received.insert(seq);
         if is_final {
+            // Even a repeated seq re-binds the message end: a replay from
+            // a failed-over backend may end earlier than the original
+            // serialization did, and its final frame is the truth now.
             self.final_seq = Some(seq);
+        } else if !fresh {
+            return SegmentStatus::Duplicate;
         }
         match self.final_seq {
-            Some(last) if self.received.len() as u64 == u64::from(last) + 1 => {
+            Some(last) if (0..=last).all(|s| self.received.contains(&s)) => {
                 self.done = true;
                 SegmentStatus::Completed
             }
-            _ => SegmentStatus::Fresh,
+            _ if fresh => SegmentStatus::Fresh,
+            _ => SegmentStatus::Duplicate,
         }
     }
 
@@ -289,6 +305,33 @@ mod tests {
     fn single_frame_message_completes_immediately() {
         let mut r = Reassembly::new();
         assert_eq!(r.on_segment(0, true), SegmentStatus::Completed);
+    }
+
+    #[test]
+    fn shorter_reserialization_completes_despite_leftover_segments() {
+        // Failover re-serve: the original backend's response had >= 2
+        // segments and only seq 1 arrived; the re-pinned backend serves
+        // the same request as a single-segment response. The stray seq 1
+        // must not hold the message open.
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(1, false), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(0, true), SegmentStatus::Completed);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn duplicate_final_rebinds_message_end() {
+        // The original serialization's final (seq 2) arrived but seq 1
+        // was lost; the failover backend replays a one-segment response
+        // whose seq 0 the client already has. The repeated final frame
+        // still re-binds the end and completes the message.
+        let mut r = Reassembly::new();
+        assert_eq!(r.on_segment(0, false), SegmentStatus::Fresh);
+        assert_eq!(r.on_segment(2, true), SegmentStatus::Fresh);
+        assert!(!r.is_complete());
+        assert_eq!(r.on_segment(0, true), SegmentStatus::Completed);
+        assert!(r.is_complete());
+        assert_eq!(r.on_segment(0, true), SegmentStatus::Duplicate);
     }
 
     /// Reassembling segmented payloads recovers the body exactly.

@@ -1,0 +1,82 @@
+//! Chaos campaign: run N seeded fault scenarios against the fleet and
+//! print one verdict line per seed plus a composition summary.
+//!
+//! Every scenario composes correlated failure domains (rack partitions,
+//! brownouts) with per-backend crash/slow/hang events, flash-crowd load
+//! steps, and coordinator churn — all drawn deterministically from the
+//! seed. The oracle demands silence: no invariant violations, balanced
+//! conservation ledgers at every layer, and end-of-run quiescence (the
+//! drain window means any request still unresolved at the horizon was
+//! leaked, not raced).
+//!
+//! Run with: `cargo run --release --example chaos_campaign [-- seeds]`
+
+use cluster::chaos::{run_campaign, ChaosScenario};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let list: Vec<u64> = (1..=seeds).collect();
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    println!("chaos campaign: {seeds} seeds on {threads} threads\n");
+    println!(
+        "{:>6} {:>5} {:>9} {:>7} {:>7} {:>7} {:>9} {:>9}  verdict",
+        "seed", "bke", "load", "crash", "domain", "flash", "complete", "failover"
+    );
+    let verdicts = run_campaign(&list, threads);
+    let mut failed = 0usize;
+    for v in &verdicts {
+        let s = &v.scenario;
+        println!(
+            "{:>6} {:>5} {:>9.0} {:>7} {:>7} {:>7} {:>9} {:>9}  {}",
+            s.seed,
+            s.backends,
+            s.load_rps,
+            s.crashes.len(),
+            s.domains.len(),
+            if s.flash_crowd.is_some() { "yes" } else { "-" },
+            v.completed,
+            v.failovers,
+            if v.passed() { "ok" } else { "FAIL" },
+        );
+        for f in &v.failures {
+            println!("{:>14} {f}", "!");
+        }
+        failed += usize::from(!v.passed());
+    }
+    let with_faults = verdicts
+        .iter()
+        .filter(|v| v.scenario.fault_events() > 0)
+        .count();
+    println!(
+        "\n{} seeds, {} with fault events, {} failed",
+        verdicts.len(),
+        with_faults,
+        failed
+    );
+    // Demonstrate the shrinker on the planted ledger bug: replay the
+    // first faulted scenario with the skew hook armed and minimize it.
+    if let Some(v) = verdicts.iter().find(|v| {
+        v.scenario
+            .crashes
+            .iter()
+            .any(|c| c.mode == cluster::FailureMode::Stop)
+    }) {
+        let mut planted = v.scenario.clone();
+        planted.ledger_skew = true;
+        let (shrunk, runs) = cluster::chaos::shrink(&planted);
+        println!(
+            "\nplanted ledger bug: seed {} shrank {} -> {} fault events in {} runs",
+            shrunk.seed,
+            planted.fault_events(),
+            shrunk.fault_events(),
+            runs
+        );
+        // The shrunken repro replays from its file form.
+        let replay = ChaosScenario::from_file_str(&shrunk.to_file_string()).expect("round-trips");
+        assert_eq!(replay, shrunk);
+    }
+    assert_eq!(failed, 0, "chaos campaign found failures");
+}

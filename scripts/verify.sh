@@ -118,6 +118,19 @@ grep -q 'watchdog [1-9][0-9]* checks, 0 violations' "$failover_dir/run.txt" ||
     { echo "verify: failover watchdog missing or reported violations" >&2; exit 1; }
 echo "==> failover smoke ok ($failover_dir)"
 
+# Chaos smoke: a short seeded campaign composing correlated failure
+# domains, crash/slow/hang events, and flash crowds must pass the
+# silence oracle (no violations, balanced ledgers, quiescence at the
+# horizon) in a few seconds. The nightly workflow runs the full
+# 200-seed campaign; this keeps the harness itself from rotting.
+chaos_dir=target/chaos-smoke
+rm -rf "$chaos_dir" && mkdir -p "$chaos_dir"
+run cargo run --release -p ncap-cli -- chaos --seeds 8 \
+    | tee "$chaos_dir/campaign.txt"
+grep -q ' 0 failed' "$chaos_dir/campaign.txt" ||
+    { echo "verify: chaos smoke campaign failed" >&2; exit 1; }
+echo "==> chaos smoke ok ($chaos_dir)"
+
 # Throughput-record smoke: the tracked sim-throughput benchmark must
 # run end to end and emit a well-formed JSON record (full-mode numbers
 # are recorded separately with scripts/bench_record.sh and committed as
