@@ -1,0 +1,279 @@
+//! datapath — simulator throughput of the rival datapaths (ISSUE 10),
+//! not a paper figure.
+//!
+//! Two questions, one record (`BENCH_10.json`):
+//!
+//! 1. **Bypass vs kernel sim-throughput at 64 backends**: the poll-mode
+//!    datapath replaces per-frame IRQ/softirq cascades with poll events
+//!    and ring pushes — how does that trade in *simulator* events per
+//!    wall-second? Informational: it sizes how big a bypass fleet the
+//!    suite can afford to sweep.
+//! 2. **Kernel-path cost of the datapath dispatch hook (≤5% budget)**:
+//!    the `Datapath` switch added branches to the kernel hot path
+//!    (frame delivery, response emission, scheduler floors, governor
+//!    sampling). The default-datapath run here uses the exact
+//!    64-backend/jsq configuration `sim_throughput` records, so it is
+//!    directly comparable to the `BENCH_6.json` baseline captured
+//!    immediately before the hook existed. The deterministic half of
+//!    the claim — identical event count, i.e. the hook never perturbs
+//!    what gets simulated — is asserted unconditionally in full mode.
+//!    The wall-clock half is recorded but only asserted under
+//!    `NCAP_BENCH_ENFORCE_WALL=1`: cross-recording wall comparisons
+//!    carry the host's load noise (interleaved A/B runs of the pre- and
+//!    post-hook trees measured the true hook cost at ≈0%, inside a
+//!    ±7% noise band), so the gate is opt-in for quiet-host A/B use.
+//!
+//! `scripts/bench_record.sh` records the JSON emitted when
+//! `NCAP_BENCH_JSON=<path>` is set as `BENCH_10.json`.
+//!
+//! Run with: `cargo bench -p ncap-bench --bench datapath`
+
+use cluster::{
+    run_experiment, AppKind, CoordinatorConfig, Datapath, DispatchPolicy, ExperimentConfig,
+    FleetConfig, Policy,
+};
+use desim::SimDuration;
+use ncap_bench::{fast_mode, smoke_mode};
+use simstats::Table;
+use std::time::Instant;
+
+/// Same operating point as `sim_throughput`: half the memcached knee
+/// per backend, so every backend stays busy and the event stream is
+/// dominated by the per-frame cascades the datapath switch reroutes.
+const PER_BACKEND_RPS: f64 = 120_000.0;
+const PER_BACKEND_LOAD_RPS: f64 = 60_000.0;
+const BACKENDS: usize = 64;
+
+fn cfg(policy: Policy, datapath: Datapath) -> ExperimentConfig {
+    let (warmup, measure) = if smoke_mode() {
+        (SimDuration::from_ms(2), SimDuration::from_ms(5))
+    } else if fast_mode() {
+        (SimDuration::from_ms(10), SimDuration::from_ms(20))
+    } else {
+        (SimDuration::from_ms(20), SimDuration::from_ms(40))
+    };
+    ExperimentConfig::new(
+        AppKind::Memcached,
+        policy,
+        PER_BACKEND_LOAD_RPS * BACKENDS as f64,
+    )
+    .with_durations(warmup, measure)
+    .with_poisson()
+    .with_datapath(datapath)
+    .with_fleet(
+        FleetConfig::new(BACKENDS, DispatchPolicy::LeastOutstanding)
+            .with_coordinator(CoordinatorConfig::new(PER_BACKEND_RPS).with_util_target(0.5)),
+    )
+}
+
+struct Point {
+    name: &'static str,
+    events: u64,
+    /// Best-of-reps wall seconds (min is the standard noise filter for
+    /// a deterministic workload).
+    wall_s: f64,
+}
+
+impl Point {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+/// Interleaved repetitions (round 1 of each variant, round 2, …) with
+/// the per-variant minimum, so host-load drift penalizes all variants
+/// alike.
+fn measure(variants: Vec<(&'static str, ExperimentConfig)>, reps: usize) -> Vec<Point> {
+    let mut points: Vec<Point> = variants
+        .iter()
+        .map(|(name, _)| Point {
+            name,
+            events: 0,
+            wall_s: f64::INFINITY,
+        })
+        .collect();
+    for _ in 0..reps {
+        for ((name, cfg), point) in variants.iter().zip(&mut points) {
+            let t0 = Instant::now();
+            let r = run_experiment(cfg);
+            let wall = t0.elapsed().as_secs_f64();
+            assert!(
+                point.events == 0 || point.events == r.events_processed,
+                "{name}: event count drifted across repetitions"
+            );
+            point.events = r.events_processed;
+            point.wall_s = point.wall_s.min(wall);
+        }
+    }
+    points
+}
+
+/// Pulls the 64-backend/jsq `(events, events_per_sec)` out of the
+/// committed `BENCH_6.json` (recorded just before the datapath hook
+/// landed) with a plain string scan — the record is machine-written,
+/// two levels up from the bench package `cargo bench` runs in.
+fn bench6_baseline() -> Option<(u64, f64)> {
+    let text = std::fs::read_to_string("../../BENCH_6.json").ok()?;
+    let at = text.find("\"backends\": 64,\n      \"dispatch\": \"jsq\"")?;
+    let rest = &text[at..];
+    let field = |key: &str| {
+        let v = &rest[rest.find(key)? + key.len()..];
+        v[..v.find(|c: char| !c.is_ascii_digit() && c != '.')?]
+            .parse::<f64>()
+            .ok()
+    };
+    Some((
+        field("\"events\": ")? as u64,
+        field("\"events_per_sec\": ")?,
+    ))
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn main() {
+    ncap_bench::header(
+        "datapath",
+        "bypass vs kernel sim-throughput and the datapath dispatch-hook budget (ISSUE 10)",
+    );
+    let mode = if smoke_mode() {
+        "smoke"
+    } else if fast_mode() {
+        "fast"
+    } else {
+        "full"
+    };
+    let reps = if smoke_mode() {
+        1
+    } else if fast_mode() {
+        2
+    } else {
+        3
+    };
+    println!("(mode: {mode}, {BACKENDS} memcached backends at half-knee, best of {reps} reps)\n");
+
+    // The kernel/ncap.cons point reproduces sim_throughput's recorded
+    // configuration; kernel vs bypass compare at the same (non-NCAP)
+    // policy so only the datapath differs.
+    let points = measure(
+        vec![
+            (
+                "kernel (ncap.cons)",
+                cfg(Policy::NcapCons, Datapath::Kernel),
+            ),
+            ("kernel (ond.idle)", cfg(Policy::OndIdle, Datapath::Kernel)),
+            (
+                "bypass (ond.idle)",
+                cfg(Policy::OndIdle, Datapath::Bypass).with_poll_cores(1),
+            ),
+            (
+                "offload (ncap.cons)",
+                cfg(Policy::NcapCons, Datapath::Offload),
+            ),
+        ],
+        reps,
+    );
+    let (hook, kernel, bypass) = (&points[0], &points[1], &points[2]);
+
+    let mut table = Table::new(vec!["variant", "events", "wall (s)", "events/s"]);
+    for p in &points {
+        table.row(vec![
+            p.name.to_string(),
+            p.events.to_string(),
+            format!("{:.3}", p.wall_s),
+            format!("{:.0}", p.events_per_sec()),
+        ]);
+    }
+    print!("{table}");
+
+    let ratio = bypass.events_per_sec() / kernel.events_per_sec();
+    println!(
+        "\nbypass runs at {ratio:.2}x kernel sim-throughput \
+         ({} vs {} events simulated)",
+        bypass.events, kernel.events
+    );
+
+    // Dispatch-hook budget against the pre-hook BENCH_6 baseline. The
+    // event-count match is deterministic and asserted in any full run
+    // (it proves the hook never changes what gets simulated); the
+    // wall-clock ratio is host-noise-bound, so its 5% gate is opt-in.
+    let baseline = bench6_baseline();
+    let hook_overhead = baseline.map(|(_, b)| (1.0 - hook.events_per_sec() / b) * 100.0);
+    match hook_overhead {
+        Some(o) => println!(
+            "dispatch-hook overhead vs BENCH_6 64/jsq baseline: {o:+.1}% (budget \u{2264} 5%)"
+        ),
+        None => println!("dispatch-hook overhead: no BENCH_6 baseline found (skipped)"),
+    }
+    if !smoke_mode() && !fast_mode() {
+        if let Some((base_events, _)) = baseline {
+            assert_eq!(
+                hook.events, base_events,
+                "datapath hook changed the kernel-path event stream"
+            );
+        }
+        if std::env::var_os("NCAP_BENCH_ENFORCE_WALL").is_some() {
+            if let Some(o) = hook_overhead {
+                assert!(
+                    o <= 5.0,
+                    "datapath dispatch hook costs {o:.1}% on the kernel path — \
+                     over the 5% budget"
+                );
+            }
+        }
+    }
+
+    // JSON record for scripts/bench_record.sh → BENCH_10.json.
+    if let Some(path) = std::env::var_os("NCAP_BENCH_JSON") {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"datapath\",\n");
+        json.push_str("  \"issue\": 10,\n");
+        json.push_str(&format!("  \"mode\": {},\n", json_str(mode)));
+        json.push_str(&format!(
+            "  \"config\": {{\"app\": \"memcached\", \"backends\": {BACKENDS}, \
+             \"load_rps\": {:.0}, \"dispatch\": \"jsq\", \"reps\": {reps}}},\n",
+            PER_BACKEND_LOAD_RPS * BACKENDS as f64
+        ));
+        json.push_str("  \"points\": [\n");
+        for (i, (p, dp)) in points
+            .iter()
+            .zip(["kernel", "kernel", "bypass", "offload"])
+            .enumerate()
+        {
+            json.push_str(&format!(
+                "    {{\"name\": {}, \"datapath\": {}, \"events\": {}, \
+                 \"wall_s\": {:.4}, \"events_per_sec\": {:.0}}}{}\n",
+                json_str(p.name),
+                json_str(dp),
+                p.events,
+                p.wall_s,
+                p.events_per_sec(),
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"bypass_vs_kernel_ratio\": {ratio:.3},\n"));
+        json.push_str(&format!(
+            "  \"bench6_baseline_events_per_sec\": {},\n",
+            baseline.map_or("null".to_string(), |(_, b)| format!("{b:.0}"))
+        ));
+        json.push_str(&format!(
+            "  \"dispatch_hook_overhead_pct\": {},\n",
+            hook_overhead.map_or("null".to_string(), |o| format!("{o:.2}"))
+        ));
+        json.push_str("  \"budget_pct\": 5.0\n");
+        json.push_str("}\n");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!(
+                "(json written to {})",
+                std::path::Path::new(&path).display()
+            ),
+            Err(e) => {
+                eprintln!("NCAP_BENCH_JSON: cannot write: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

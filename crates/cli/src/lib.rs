@@ -18,9 +18,9 @@
 
 use cluster::{
     run_experiment, run_experiments_parallel, try_run_experiment, AppKind, CoordinatorConfig,
-    DispatchPolicy, ExperimentConfig, FailureMode, FailureSchedule, FailureSpec, FaultConfig,
-    FleetConfig, HealthConfig, OverloadConfig, Policy, RetxConfig, ShedPolicy, TraceConfig,
-    DEFAULT_FAULT_SEED,
+    Datapath, DispatchPolicy, ExperimentConfig, FailureMode, FailureSchedule, FailureSpec,
+    FaultConfig, FleetConfig, HealthConfig, OverloadConfig, Policy, RetxConfig, ShedPolicy,
+    TraceConfig, DEFAULT_FAULT_SEED,
 };
 use desim::{SimDuration, SimTime};
 use simstats::{fmt_ns, FleetAggregate, Table};
@@ -64,6 +64,12 @@ pub struct ChaosArgs {
     pub scenario: Option<String>,
     /// Directory receiving shrunken repro `.scenario` files.
     pub out: Option<String>,
+    /// Force every generated scenario onto one datapath (the generator
+    /// otherwise draws it per seed). Policies incompatible with the
+    /// forced datapath are coerced to a compatible pool member.
+    pub datapath: Option<Datapath>,
+    /// Force the busy-poll core count for bypass scenarios.
+    pub poll_cores: Option<u8>,
 }
 
 /// Arguments of `ncap run`.
@@ -126,6 +132,12 @@ pub struct RunArgs {
     pub health_eject: Option<u32>,
     /// Consecutive probe successes before reinstatement.
     pub health_rejoin: Option<u32>,
+    /// Server datapath: the kernel interrupt stack, a poll-mode
+    /// kernel-bypass stack, or the kernel stack with NCAP offloaded
+    /// onto the NIC.
+    pub datapath: Datapath,
+    /// Dedicated busy-poll cores per server (bypass datapath only).
+    pub poll_cores: u8,
 }
 
 /// Arguments of `ncap trace`: an ordinary run plus an output directory.
@@ -235,6 +247,8 @@ fn default_run_args() -> RunArgs {
         health_interval_us: None,
         health_eject: None,
         health_rejoin: None,
+        datapath: Datapath::Kernel,
+        poll_cores: 1,
     }
 }
 
@@ -389,6 +403,15 @@ fn apply_run_flag<'a>(
                     .map_err(|_| ParseError("--health-rejoin expects an integer".into()))?,
             );
         }
+        "--datapath" => {
+            a.datapath =
+                Datapath::parse(take_value(it, flag)?).map_err(|e| ParseError(e.to_string()))?;
+        }
+        "--poll-cores" => {
+            a.poll_cores = take_value(it, flag)?
+                .parse()
+                .map_err(|_| ParseError("--poll-cores expects an integer".into()))?;
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -399,6 +422,33 @@ fn apply_run_flag<'a>(
 fn check_run_args(a: &RunArgs) -> Result<(), ParseError> {
     if a.load <= 0.0 {
         return Err(ParseError("--load must be positive".into()));
+    }
+    match a.datapath {
+        Datapath::Bypass => {
+            if a.policy.is_ncap() {
+                return Err(ParseError(format!(
+                    "--datapath bypass removes the interrupt path that policy {} \
+                     drives; use --datapath offload for on-NIC NCAP",
+                    a.policy
+                )));
+            }
+            if a.poll_cores == 0 || a.poll_cores >= 4 {
+                return Err(ParseError(format!(
+                    "--poll-cores must be in 1..4 on a 4-core server, got {}",
+                    a.poll_cores
+                )));
+            }
+        }
+        Datapath::Offload => {
+            if !a.policy.uses_ncap_hardware() {
+                return Err(ParseError(format!(
+                    "--datapath offload needs an NCAP hardware policy \
+                     (ncap.cons|ncap.aggr), got {}",
+                    a.policy
+                )));
+            }
+        }
+        Datapath::Kernel => {}
     }
     for &(backend, _, _) in &a.fail_backends {
         if backend >= a.servers {
@@ -518,6 +568,8 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 shrink: false,
                 scenario: None,
                 out: None,
+                datapath: None,
+                poll_cores: None,
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -542,6 +594,23 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     "--shrink" => a.shrink = true,
                     "--scenario" => a.scenario = Some(take_value(&mut it, flag)?.to_owned()),
                     "--out" => a.out = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--datapath" => {
+                        a.datapath = Some(
+                            Datapath::parse(take_value(&mut it, flag)?)
+                                .map_err(|e| ParseError(e.to_string()))?,
+                        );
+                    }
+                    "--poll-cores" => {
+                        let n: u8 = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ParseError("--poll-cores expects an integer".into()))?;
+                        if n == 0 || n >= 4 {
+                            return Err(ParseError(format!(
+                                "--poll-cores must be in 1..4 on a 4-core server, got {n}"
+                            )));
+                        }
+                        a.poll_cores = Some(n);
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -614,6 +683,12 @@ USAGE:
              [--servers N] [--dispatch rr|jsq|pack] [--coordinator]
              [--fail-backend idx@t_ms[:restart_ms]]... [--fail-mode stop|slow|hang]
              [--health-interval US] [--health-eject K] [--health-rejoin K]
+             [--datapath kernel|bypass|offload] [--poll-cores N]
+             --datapath picks the server network stack: kernel (default,
+             interrupt-driven), bypass (DPDK-style poll-mode rings on N
+             dedicated busy-poll cores pinned at max P-state; incompatible
+             with NCAP policies), or offload (kernel stack with the NCAP
+             decision engine on the NIC; needs ncap.cons|ncap.aggr)
              fault flags inject seeded per-link impairments; any nonzero
              impairment also arms the client retransmission layer
              overload flags arm server admission control (bounded queues
@@ -638,6 +713,7 @@ USAGE:
              <dir>/trace.csv (windowed metrics)
   ncap chaos [--seeds N] [--from K] [--threads T] [--shrink]
              [--scenario FILE] [--out DIR]
+             [--datapath kernel|bypass|offload] [--poll-cores N]
              runs N deterministic fault scenarios (seeds K..K+N-1), each
              composing correlated failure domains (rack partitions,
              brownouts), backend crash/slow/hang events, flash-crowd load
@@ -646,7 +722,9 @@ USAGE:
              oracle; --shrink minimizes each failing seed to its smallest
              still-failing repro and (with --out) writes a replayable
              .scenario file; --scenario replays one such file instead;
-             exits nonzero if any scenario fails
+             exits nonzero if any scenario fails; the generator draws a
+             datapath per seed — --datapath forces one for the whole
+             campaign (coercing incompatible drawn policies)
   ncap report [run flags] [--tail P] [--profile]
              runs one experiment and prints the per-stage latency
              attribution: mean/p50/p99 per stage, each stage's share of
@@ -664,7 +742,9 @@ fn run_config(a: &RunArgs) -> ExperimentConfig {
             SimDuration::from_ms(a.warmup_ms),
             SimDuration::from_ms(a.measure_ms),
         )
-        .with_seed(a.seed);
+        .with_seed(a.seed)
+        .with_datapath(a.datapath)
+        .with_poll_cores(a.poll_cores);
     if a.poisson {
         cfg = cfg.with_poisson();
     }
@@ -831,8 +911,8 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             };
             println!(
-                "{} / {} @ {:.0} rps over {} ms:",
-                a.app, a.policy, a.load, a.measure_ms
+                "{} / {} / {} datapath @ {:.0} rps over {} ms:",
+                a.app, a.policy, a.datapath, a.load, a.measure_ms
             );
             println!(
                 "  latency  p50 {}  p90 {}  p95 {}  p99 {}  mean {:.1}us",
@@ -847,6 +927,12 @@ pub fn execute(cmd: Command) -> i32 {
                 r.energy_j,
                 r.avg_power_w()
             );
+            if a.datapath.bypasses_kernel() {
+                println!(
+                    "  polling  {:.2} J burned on dedicated busy-poll cores",
+                    r.poll_energy_j
+                );
+            }
             println!(
                 "  traffic  {}/{} requests completed (goodput {:.3}), {} NCAP interrupts, {} drops",
                 r.completed,
@@ -1078,17 +1164,41 @@ pub fn execute(cmd: Command) -> i32 {
                 println!("replaying scenario {path} (seed {})", sc.seed);
                 chaos::run_scenarios(std::slice::from_ref(&sc), 1)
             } else {
-                let list: Vec<u64> = (a.from..a.from + a.seeds).collect();
+                let mut scenarios: Vec<ChaosScenario> = (a.from..a.from + a.seeds)
+                    .map(ChaosScenario::generate)
+                    .collect();
+                if a.datapath.is_some() || a.poll_cores.is_some() {
+                    for sc in &mut scenarios {
+                        if let Some(dp) = a.datapath {
+                            sc.datapath = dp;
+                        }
+                        if let Some(n) = a.poll_cores {
+                            sc.poll_cores = n;
+                        }
+                        // A forced datapath may contradict the drawn
+                        // policy; coerce to a compatible pool member so
+                        // every scenario still validates.
+                        match sc.datapath {
+                            Datapath::Bypass if sc.policy.is_ncap() => {
+                                sc.policy = Policy::OndIdle;
+                            }
+                            Datapath::Offload if !sc.policy.uses_ncap_hardware() => {
+                                sc.policy = Policy::NcapCons;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
                 println!(
                     "chaos campaign: seeds {}..={} on {threads} threads",
                     a.from,
                     a.from + a.seeds - 1
                 );
-                chaos::run_campaign(&list, threads)
+                chaos::run_scenarios(&scenarios, threads)
             };
             let mut t = Table::new(vec![
-                "seed", "backends", "load", "crash", "domain", "flash", "complete", "failover",
-                "verdict",
+                "seed", "backends", "load", "datapath", "crash", "domain", "flash", "complete",
+                "failover", "verdict",
             ]);
             for v in &verdicts {
                 let s = &v.scenario;
@@ -1096,6 +1206,7 @@ pub fn execute(cmd: Command) -> i32 {
                     s.seed.to_string(),
                     s.backends.to_string(),
                     format!("{:.0}", s.load_rps),
+                    s.datapath.name().to_owned(),
                     s.crashes.len().to_string(),
                     s.domains.len().to_string(),
                     if s.flash_crowd.is_some() { "yes" } else { "-" }.to_owned(),
@@ -1222,6 +1333,103 @@ mod tests {
         assert!(a.poisson && a.per_core && a.toe);
         assert_eq!(a.queues, 4);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_datapath_flags() {
+        let Command::Run(a) = parse([
+            "run",
+            "--app",
+            "memcached",
+            "--policy",
+            "perf.idle",
+            "--load",
+            "30000",
+            "--datapath",
+            "bypass",
+            "--poll-cores",
+            "2",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.datapath, Datapath::Bypass);
+        assert_eq!(a.poll_cores, 2);
+        // Defaults keep the paper's kernel stack.
+        let d = default_run_args();
+        assert_eq!(d.datapath, Datapath::Kernel);
+        assert_eq!(d.poll_cores, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_datapath() {
+        let err = parse(["run", "--datapath", "xdp"]).unwrap_err();
+        assert!(err.0.contains("kernel|bypass|offload"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bypass_with_ncap_policy() {
+        let err = parse(["run", "--policy", "ncap.cons", "--datapath", "bypass"]).unwrap_err();
+        assert!(err.0.contains("offload"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_poll_core_counts() {
+        for n in ["0", "4", "9"] {
+            let err = parse([
+                "run",
+                "--policy",
+                "perf",
+                "--datapath",
+                "bypass",
+                "--poll-cores",
+                n,
+            ])
+            .unwrap_err();
+            assert!(err.0.contains("1..4"), "{err}");
+        }
+        // Flag order must not matter: datapath after poll-cores.
+        assert!(parse([
+            "run",
+            "--poll-cores",
+            "0",
+            "--datapath",
+            "bypass",
+            "--policy",
+            "perf"
+        ])
+        .is_err());
+        // On the kernel datapath the knob is inert, not an error.
+        assert!(parse(["run", "--poll-cores", "0"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_offload_without_ncap_hardware() {
+        let err = parse(["run", "--policy", "ond.idle", "--datapath", "offload"]).unwrap_err();
+        assert!(err.0.contains("ncap.cons|ncap.aggr"), "{err}");
+        // The default policy (ncap.cons) offloads fine.
+        assert!(parse(["run", "--datapath", "offload"]).is_ok());
+    }
+
+    #[test]
+    fn datapath_flags_reach_trace_and_report() {
+        let Command::Trace(t) = parse([
+            "trace",
+            "--out",
+            "d",
+            "--datapath",
+            "bypass",
+            "--policy",
+            "perf",
+        ])
+        .unwrap() else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.run.datapath, Datapath::Bypass);
+        let Command::Report(r) = parse(["report", "--datapath", "offload"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(r.run.datapath, Datapath::Offload);
     }
 
     #[test]
@@ -1515,6 +1723,16 @@ mod tests {
         assert!(parse(["chaos", "--seeds", "0"]).is_err());
         assert!(parse(["chaos", "--seeds", "many"]).is_err());
         assert!(parse(["chaos", "--frob"]).is_err());
+        let Command::Chaos(a) =
+            parse(["chaos", "--datapath", "bypass", "--poll-cores", "2"]).unwrap()
+        else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.datapath, Some(Datapath::Bypass));
+        assert_eq!(a.poll_cores, Some(2));
+        assert!(parse(["chaos", "--datapath", "warp"]).is_err());
+        assert!(parse(["chaos", "--poll-cores", "0"]).is_err());
+        assert!(parse(["chaos", "--poll-cores", "4"]).is_err());
     }
 
     #[test]
@@ -1660,8 +1878,8 @@ mod tests {
     fn waterfall_renders_contributing_stages() {
         let mut c = simstats::BreakdownCollector::new();
         let mut v = [0u32; simstats::STAGE_COUNT];
-        v[7] = 10_000; // cpu
-        v[0] = 2_000; // net_in
+        v[simstats::breakdown::stage::CPU] = 10_000;
+        v[simstats::breakdown::stage::NET_IN] = 2_000;
         c.record(v, 12_000);
         let b = c.finalize(99.0);
         let w = render_waterfall(&b);

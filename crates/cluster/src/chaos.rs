@@ -34,6 +34,7 @@ use fleetsim::{
     FailureSchedule, FailureSpec, FleetConfig,
 };
 use netsim::{DomainImpairment, RetxConfig};
+use oskernel::Datapath;
 
 /// Policies the generator draws from. Chaos exercises the recovery
 /// machinery, not the power model, so one representative from each
@@ -79,6 +80,12 @@ pub struct ChaosScenario {
     /// generator; carried in scenario files so a shrunken repro of the
     /// planted bug replays exactly.
     pub ledger_skew: bool,
+    /// Backend network datapath. The generator pairs it with the policy
+    /// so every drawn scenario is valid: NCAP policies get kernel or
+    /// offload, non-NCAP policies get kernel or bypass.
+    pub datapath: Datapath,
+    /// Busy-poll cores per backend ([`Datapath::Bypass`] only).
+    pub poll_cores: u8,
 }
 
 impl ChaosScenario {
@@ -163,6 +170,20 @@ impl ChaosScenario {
             (at, load_rps * 1.4)
         });
 
+        // Datapath draw rides at the end so it never perturbs the fault
+        // schedule a pre-datapath seed produced. Half the campaign keeps
+        // the kernel stack; the rest takes whichever rival stack the
+        // drawn policy permits (bypass forbids NCAP, offload demands
+        // NCAP hardware).
+        let datapath = if rng.next_below(2) == 0 {
+            Datapath::Kernel
+        } else if policy.uses_ncap_hardware() {
+            Datapath::Offload
+        } else {
+            Datapath::Bypass
+        };
+        let poll_cores = 1 + rng.next_below(2) as u8; // 1..=2 of 4 cores
+
         ChaosScenario {
             seed,
             policy,
@@ -178,6 +199,8 @@ impl ChaosScenario {
             domains,
             flash_crowd,
             ledger_skew: false,
+            datapath,
+            poll_cores,
         }
     }
 
@@ -217,6 +240,8 @@ impl ChaosScenario {
                     .collecting()
                     .expecting_quiescence(),
             )
+            .with_datapath(self.datapath)
+            .with_poll_cores(self.poll_cores)
             .with_fleet(fleet);
         cfg.seed = self.seed ^ 0x4E43_4150;
         cfg.burst_size = 8;
@@ -253,6 +278,8 @@ impl ChaosScenario {
         let _ = writeln!(s, "policy={}", self.policy.name());
         let _ = writeln!(s, "backends={}", self.backends);
         let _ = writeln!(s, "dispatch={}", self.dispatch.name());
+        let _ = writeln!(s, "datapath={}", self.datapath.name());
+        let _ = writeln!(s, "poll_cores={}", self.poll_cores);
         let _ = writeln!(s, "coordinator={}", u8::from(self.coordinator));
         let _ = writeln!(s, "load_rps={}", self.load_rps);
         let _ = writeln!(s, "poisson={}", u8::from(self.poisson));
@@ -330,6 +357,8 @@ impl ChaosScenario {
             domains: Vec::new(),
             flash_crowd: None,
             ledger_skew: false,
+            datapath: Datapath::Kernel,
+            poll_cores: 1,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -367,6 +396,15 @@ impl ChaosScenario {
                         .ok_or_else(|| bad("scenario.dispatch", "unknown dispatch policy"))?;
                 }
                 "coordinator" => sc.coordinator = value == "1",
+                "datapath" => {
+                    sc.datapath = Datapath::parse(value)
+                        .map_err(|_| bad("scenario.datapath", "unknown datapath"))?;
+                }
+                "poll_cores" => {
+                    sc.poll_cores = value
+                        .parse()
+                        .map_err(|_| bad("scenario.poll_cores", "not a count"))?;
+                }
                 "poisson" => sc.poisson = value == "1",
                 "ledger_skew" => sc.ledger_skew = value == "1",
                 "load_rps" => {
@@ -634,6 +672,14 @@ pub fn shrink(scenario: &ChaosScenario) -> (ChaosScenario, u32) {
                 improved = true;
             }
         }
+        if best.datapath != Datapath::Kernel {
+            let mut cand = best.clone();
+            cand.datapath = Datapath::Kernel;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+            }
+        }
 
         if !improved || runs.get() >= SHRINK_RUN_BUDGET {
             return (best, runs.get());
@@ -657,6 +703,30 @@ mod tests {
                 "seed {seed}: backend 0 must stay clean"
             );
         }
+    }
+
+    #[test]
+    fn campaign_seed_space_covers_every_datapath() {
+        let mut seen = [false; 3];
+        for seed in 0..200 {
+            let sc = ChaosScenario::generate(seed);
+            match sc.datapath {
+                Datapath::Kernel => seen[0] = true,
+                Datapath::Bypass => seen[1] = true,
+                Datapath::Offload => seen[2] = true,
+            }
+            // The draw is policy-aware, so every scenario stays valid.
+            if sc.datapath == Datapath::Bypass {
+                assert!(!sc.policy.is_ncap(), "seed {seed}");
+            }
+            if sc.datapath == Datapath::Offload {
+                assert!(sc.policy.uses_ncap_hardware(), "seed {seed}");
+            }
+        }
+        assert_eq!(
+            seen, [true; 3],
+            "200 seeds must cover kernel/bypass/offload"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::watchdog::WatchdogConfig;
 use desim::{ConfigError, SimDuration};
 use fleetsim::FleetConfig;
 use netsim::FaultConfig;
-use oskernel::OverloadConfig;
+use oskernel::{Datapath, OverloadConfig};
 
 /// Which OLDI application the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +157,13 @@ pub struct ExperimentConfig {
     /// Host-dependent readings, outside the determinism contract; never
     /// changes a simulated result.
     pub profile: bool,
+    /// Which network datapath the servers run: the interrupt-driven
+    /// kernel stack (default, observer-effect-free), DPDK-style busy-poll
+    /// bypass, or the kernel stack with the NCAP engine offloaded to the
+    /// NIC.
+    pub datapath: Datapath,
+    /// Busy-poll cores per server ([`Datapath::Bypass`] only).
+    pub poll_cores: u8,
 }
 
 impl ExperimentConfig {
@@ -197,7 +204,24 @@ impl ExperimentConfig {
             breakdown: true,
             breakdown_tail: 99.0,
             profile: false,
+            datapath: Datapath::Kernel,
+            poll_cores: 1,
         }
+    }
+
+    /// Selects the network datapath (builder style).
+    #[must_use]
+    pub fn with_datapath(mut self, datapath: Datapath) -> Self {
+        self.datapath = datapath;
+        self
+    }
+
+    /// Sets the busy-poll core count for [`Datapath::Bypass`] (builder
+    /// style; default 1).
+    #[must_use]
+    pub fn with_poll_cores(mut self, n: u8) -> Self {
+        self.poll_cores = n;
+        self
     }
 
     /// Enables or disables per-stage breakdown collection (builder
@@ -459,6 +483,44 @@ impl ExperimentConfig {
                     self.horizon()
                 ),
             ));
+        }
+        match self.datapath {
+            Datapath::Bypass => {
+                if self.policy.is_ncap() {
+                    return Err(ConfigError::new(
+                        "datapath",
+                        format!(
+                            "policy {} needs the interrupt path; bypass has none \
+                             (use --datapath offload for on-NIC NCAP)",
+                            self.policy
+                        ),
+                    ));
+                }
+                // The runner builds 4-core servers (Table 1); at least
+                // one core must stay on the application side.
+                if self.poll_cores == 0 || self.poll_cores >= 4 {
+                    return Err(ConfigError::new(
+                        "poll_cores",
+                        format!(
+                            "busy-poll cores must be in 1..4 on a 4-core server, got {}",
+                            self.poll_cores
+                        ),
+                    ));
+                }
+            }
+            Datapath::Offload => {
+                if !self.policy.uses_ncap_hardware() {
+                    return Err(ConfigError::new(
+                        "datapath",
+                        format!(
+                            "offload runs the NCAP engine on the NIC: policy {} has no \
+                             NCAP hardware to offload",
+                            self.policy
+                        ),
+                    ));
+                }
+            }
+            Datapath::Kernel => {}
         }
         self.faults.validate()?;
         self.overload.validate()?;

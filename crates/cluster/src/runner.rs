@@ -30,6 +30,10 @@ pub struct ExperimentResult {
     pub energy: EnergyMeter,
     /// Measured-window processor energy, joules.
     pub energy_j: f64,
+    /// Measured-window energy attributable to busy-poll cores, joules
+    /// (summed across all servers; zero on the interrupt-driven
+    /// datapaths). The flat worst-case cost of the bypass datapath.
+    pub poll_energy_j: f64,
     /// Requests offered during the measured window.
     pub offered: u64,
     /// Requests completed during the measured window.
@@ -140,6 +144,11 @@ pub fn build_server(cfg: &ExperimentConfig, server_id: NodeId) -> Kernel {
         // Retransmitted requests must not be served twice: turn on the
         // server's duplicate suppression and response replay.
         kernel_cfg = kernel_cfg.with_reliability();
+    }
+    kernel_cfg = kernel_cfg.with_datapath(cfg.datapath);
+    if cfg.datapath.bypasses_kernel() {
+        kernel_cfg = kernel_cfg
+            .with_bypass(oskernel::BypassConfig::dpdk_like().with_poll_cores(cfg.poll_cores));
     }
     kernel_cfg = kernel_cfg.with_overload(cfg.overload);
     let cores = kernel_cfg.cores as usize;
@@ -329,6 +338,17 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
     // Per-backend energy: whole-run meters scaled by the measured-window
     // share (warmup is uniform across backends, as in `run_imbalanced`).
     let measure_frac = cfg.measure.as_secs_f64() / cfg.horizon().as_secs_f64();
+    // Busy-poll core energy (bypass datapath): the price of spinning in
+    // C0 at max P-state regardless of load, attributed like the fleet
+    // backend meters (whole-run scaled by the measured-window share).
+    // (Folded from +0.0 explicitly: the std float `Sum` identity is
+    // -0.0, which would leak into the pinned Debug render.)
+    let poll_energy_j: f64 = cluster.servers().iter().fold(0.0, |acc, srv| {
+        let p = srv.poll_core_count();
+        srv.cores()[..p]
+            .iter()
+            .fold(acc, |a, c| a + c.energy().total_joules())
+    }) * measure_frac;
     let fleet = cluster.fleet_summary().map(|mut s| {
         for (b, srv) in s.backends.iter_mut().zip(cluster.servers()) {
             let mut m = EnergyMeter::new();
@@ -346,6 +366,7 @@ pub fn try_run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Co
         load_rps: cfg.load_rps,
         latency,
         energy_j: energy.total_joules(),
+        poll_energy_j,
         energy,
         offered: cluster.offered_measured(),
         completed: cluster.tracker().completed(),

@@ -1037,6 +1037,7 @@ impl ClusterSim {
         v[stage::MODERATION] = st.moderation_ns;
         v[stage::WAKE] = st.wake_ns;
         v[stage::STACK] = st.stack_ns;
+        v[stage::POLL_WAIT] = st.poll_wait_ns;
         v[stage::RQ_WAIT] = st.rq_wait_ns;
         v[stage::CPU] = st.cpu_ns;
         v[stage::IO] = st.io_ns;
@@ -1074,6 +1075,7 @@ impl ClusterSim {
                 stage::MODERATION,
                 stage::WAKE,
                 stage::STACK,
+                stage::POLL_WAIT,
                 stage::RQ_WAIT,
                 stage::CPU,
                 stage::IO,

@@ -6,6 +6,7 @@
 //! on the remaining cores saturates the chip, and at the ~2.1×-higher
 //! Memcached ceiling the (much lighter) per-request work does the same.
 
+use bypass::{BypassConfig, Datapath};
 use cpusim::PStateId;
 use desim::{ConfigError, SimDuration};
 
@@ -244,6 +245,13 @@ pub struct KernelConfig {
     pub reliable: bool,
     /// Overload protection: queue capacities and admission policy.
     pub overload: OverloadConfig,
+    /// Which network datapath this node runs (interrupt-driven kernel
+    /// stack, busy-poll bypass, or kernel stack with on-NIC NCAP).
+    pub datapath: Datapath,
+    /// Busy-poll budget, consulted only when `datapath` is
+    /// [`Datapath::Bypass`]: how many cores spin, and the userspace
+    /// per-frame RX/TX costs that replace the kernel stack cycles.
+    pub bypass: BypassConfig,
 }
 
 impl KernelConfig {
@@ -263,6 +271,8 @@ impl KernelConfig {
             trace_requests_every: None,
             reliable: false,
             overload: OverloadConfig::off(),
+            datapath: Datapath::Kernel,
+            bypass: BypassConfig::dpdk_like(),
         }
     }
 
@@ -309,6 +319,20 @@ impl KernelConfig {
         self
     }
 
+    /// Builder-style datapath selection.
+    #[must_use]
+    pub fn with_datapath(mut self, datapath: Datapath) -> Self {
+        self.datapath = datapath;
+        self
+    }
+
+    /// Builder-style busy-poll budget override (bypass datapath only).
+    #[must_use]
+    pub fn with_bypass(mut self, bypass: BypassConfig) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
     /// Validates field constraints.
     ///
     /// # Errors
@@ -323,6 +347,9 @@ impl KernelConfig {
                 "trace_requests_every",
                 "sampling interval must be positive",
             ));
+        }
+        if self.datapath.bypasses_kernel() {
+            self.bypass.validate(self.cores)?;
         }
         self.overload.validate()
     }

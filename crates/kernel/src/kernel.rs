@@ -67,6 +67,12 @@ pub enum NodeEvent {
         /// The departing frame.
         frame: Packet,
     },
+    /// Bypass datapath: a queue's head-of-line RX DMA completed and the
+    /// busy-poll loop (spinning continuously) picks the frame up now.
+    PollRx {
+        /// The RSS queue.
+        queue: u8,
+    },
 }
 
 impl NodeEvent {
@@ -85,6 +91,7 @@ impl NodeEvent {
             NodeEvent::NcapSwTimer => "node.ncap_sw_timer",
             NodeEvent::IoDone { .. } => "node.io_done",
             NodeEvent::TxWire { .. } => "node.tx_wire",
+            NodeEvent::PollRx { .. } => "node.poll_rx",
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct KernelStats {
     /// TX frames dropped at the run-queue or TX-backlog cap (recovered
     /// by retransmission and response replay).
     pub tx_sheds: u64,
+    /// Frames received through the bypass datapath's busy-poll loop
+    /// (zero on the interrupt-driven kernel datapath).
+    pub polled_frames: u64,
 }
 
 /// A stage-level waterfall of one sampled request's life inside the
@@ -297,6 +307,9 @@ pub struct Kernel {
     last_busy: Vec<desim::SimDuration>,
 
     run_queue: VecDeque<Work>,
+    /// Bypass datapath: the userspace RX/TX descriptor ring busy-poll
+    /// cores drain. Always empty on the kernel datapath.
+    poll_queue: bypass::UserRing<Work>,
     current: Vec<Option<Work>>,
     job_slots: Vec<TimerSlot>,
     wake_slots: Vec<TimerSlot>,
@@ -364,8 +377,26 @@ impl Kernel {
         let table = PStateTable::i7_like();
         let power = PowerModel::i7_like();
         let n = cfg.cores as usize;
+        let mut nic = nic;
+        let poll_cores = if cfg.datapath.bypasses_kernel() {
+            // Hand RX ring ownership to the userspace poll-mode driver;
+            // no interrupts, moderation timers or on-NIC inspection.
+            nic.set_poll_mode();
+            cfg.bypass.poll_cores as usize
+        } else {
+            0
+        };
         let cores = (0..cfg.cores)
-            .map(|i| Core::new(CoreId(i), table.clone(), power.clone(), cfg.initial_pstate))
+            .map(|i| {
+                // Busy-poll cores are pinned at the max P-state from boot
+                // and never consult the governors.
+                let p = if (i as usize) < poll_cores {
+                    table.fastest()
+                } else {
+                    cfg.initial_pstate
+                };
+                Core::new(CoreId(i), table.clone(), power.clone(), p)
+            })
             .collect();
         let isr_pending = vec![false; nic.queue_count()];
         let irq_wake = vec![(SimTime::ZERO, SimTime::ZERO); nic.queue_count()];
@@ -392,6 +423,7 @@ impl Kernel {
             last_gov_sample: SimTime::ZERO,
             last_busy: vec![desim::SimDuration::ZERO; n],
             run_queue: VecDeque::new(),
+            poll_queue: bypass::UserRing::new(),
             current: std::iter::repeat_with(|| None).take(n).collect(),
             job_slots: vec![TimerSlot::new(); n],
             wake_slots: vec![TimerSlot::new(); n],
@@ -446,8 +478,10 @@ impl Kernel {
                 self.writeback_freq_status();
             }
         }
-        let mitt = self.nic.start_mitt(now);
-        fx.at(mitt, NodeEvent::MittExpired);
+        if !self.cfg.datapath.bypasses_kernel() {
+            let mitt = self.nic.start_mitt(now);
+            fx.at(mitt, NodeEvent::MittExpired);
+        }
         if let Some(sw) = &self.ncap_sw {
             fx.at(now + sw.timer_period(), NodeEvent::NcapSwTimer);
         }
@@ -518,8 +552,20 @@ impl Kernel {
             NodeEvent::NcapSwTimer => self.on_sw_timer(now, &mut fx),
             NodeEvent::IoDone { token } => self.advance_request(now, token, &mut fx),
             NodeEvent::TxWire { frame } => self.on_tx_wire(now, frame, &mut fx),
+            NodeEvent::PollRx { queue } => self.on_poll_rx(now, queue as usize, &mut fx),
         }
         fx
+    }
+
+    /// Cores dedicated to busy-polling (the lowest-numbered ones); zero
+    /// on the interrupt-driven datapaths.
+    #[must_use]
+    pub fn poll_core_count(&self) -> usize {
+        if self.cfg.datapath.bypasses_kernel() {
+            self.cfg.bypass.poll_cores as usize
+        } else {
+            0
+        }
     }
 
     // ----- RX path -------------------------------------------------------
@@ -548,6 +594,20 @@ impl Kernel {
             }
         }
         let out = self.nic.frame_arrived(now, frame);
+        if self.cfg.datapath.bypasses_kernel() {
+            // Poll mode: no interrupts. The busy-poll loop spins
+            // continuously, so it notices the frame the moment its DMA
+            // lands in the userspace ring.
+            if let Some(t) = out.dma_complete_at {
+                fx.at(
+                    t,
+                    NodeEvent::PollRx {
+                        queue: out.queue as u8,
+                    },
+                );
+            }
+            return;
+        }
         if out.immediate_irq {
             // NCAP CIT rule: a proactive wake-up interrupt.
             self.wake_marker_times.push(now);
@@ -586,6 +646,14 @@ impl Kernel {
     }
 
     fn deliver_irq(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
+        // Offload datapath: the NCAP decision engine lives on the NIC, so
+        // packet-context actions (wakes, boosts, menu gating) apply the
+        // moment the vector asserts — before the host ISR is even
+        // scheduled, and overlapping any C-state wake it must wait out.
+        if self.cfg.datapath.offloads_ncap() {
+            let icr = self.nic.read_icr(queue);
+            self.apply_ncap_icr(now, icr, fx);
+        }
         if self.isr_pending[queue] {
             return; // level-triggered: causes accumulate in the vector
         }
@@ -598,8 +666,14 @@ impl Kernel {
         let core = self.irq_core(queue);
         let isr = Work::cycles(self.cfg.isr_cycles, WorkKind::Isr { queue: queue as u8 })
             .on_core(core as u8)
-            .with_fixed(self.nic.config().icr_read_latency)
             .queued_at(now);
+        // The on-NIC engine already consumed the causes, so an offload
+        // ISR skips the PCIe ICR read stall on its critical path.
+        let isr = if self.cfg.datapath.offloads_ncap() {
+            isr
+        } else {
+            isr.with_fixed(self.nic.config().icr_read_latency)
+        };
         // ISRs are exempt from admission control: at most one per vector
         // is pending (level-triggered dedup above), and dropping one would
         // wedge the queue it services.
@@ -620,6 +694,67 @@ impl Kernel {
             }
         }
         self.try_dispatch(now, fx);
+    }
+
+    /// Bypass datapath: a frame's RX DMA landed in the userspace ring and
+    /// the busy-poll loop picks it up now. Mirrors the NAPI drain's
+    /// backlog accounting, but queues thin userspace RX work on the poll
+    /// ring instead of SoftIRQ work on the kernel run queue.
+    fn on_poll_rx(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
+        // Advance the DMA machinery (stamps `dma_done`, parks the frame
+        // in the ring); poll mode arms no timers and raises no causes.
+        let _ = self.nic.rx_dma_complete(now, queue);
+        let ov = self.cfg.overload;
+        let mut polled = 0u64;
+        while let Some(frame) = self.nic.fetch_rx(queue) {
+            // The per-RSS backlog cap applies exactly as at the NAPI
+            // drain: excess frames are tail-dropped, clients recover via
+            // RTO.
+            if ov.shedding()
+                && ov
+                    .rx_backlog_cap
+                    .is_some_and(|cap| self.rx_backlog[queue] >= cap)
+            {
+                self.stats.backlog_sheds += 1;
+                if simtrace::is_enabled() {
+                    simtrace::metric_add("kernel", "backlog_sheds", now.as_nanos(), 1.0);
+                }
+                continue;
+            }
+            self.rx_backlog[queue] += 1;
+            self.stats.polled_frames += 1;
+            polled += 1;
+            self.poll_queue.push(
+                Work::cycles(
+                    self.cfg.bypass.poll_rx_cycles,
+                    WorkKind::PollRx {
+                        frame,
+                        queue: queue as u8,
+                    },
+                )
+                .queued_at(now),
+            );
+        }
+        if simtrace::is_enabled() && polled > 0 {
+            let t = now.as_nanos();
+            simtrace::metric_add("kernel", "polled_frames", t, polled as f64);
+            simtrace::metric_set("kernel", "poll_ring_depth", t, self.poll_queue.len() as f64);
+        }
+        self.try_dispatch_poll(now, fx);
+    }
+
+    /// Assigns poll-ring descriptors to idle busy-poll cores, in FIFO
+    /// order. Poll cores are always awake, so no wake path is needed; a
+    /// no-op when the ring is empty (every kernel-datapath call).
+    fn try_dispatch_poll(&mut self, now: SimTime, fx: &mut Effects) {
+        let p = self.poll_core_count();
+        while !self.poll_queue.is_empty() {
+            let Some(ci) = (0..p).find(|&ci| self.cores[ci].is_idle()) else {
+                break;
+            };
+            let work = self.poll_queue.pop().expect("ring checked non-empty");
+            self.start_work(now, ci, work, fx);
+        }
     }
 
     // ----- scheduler -----------------------------------------------------
@@ -652,8 +787,10 @@ impl Kernel {
         work.started_at = now;
         // §7 per-core boost: a core receiving work during a burst joins
         // the boosted frequency only now, instead of chip-wide at IT_HIGH.
+        // Busy-poll cores are already pinned at max and never rejoin.
         if self.cfg.per_core_boost
             && self.menu_disabled
+            && ci >= self.poll_core_count()
             && self.cores[ci].goal_pstate() > self.desired_pstate
         {
             let _ = self.cores[ci].set_pstate(now, self.desired_pstate);
@@ -697,7 +834,15 @@ impl Kernel {
                     // idle core: core 0 carries the IRQ/SoftIRQ load of
                     // the single-queue NIC, and a Linux scheduler keeps
                     // application threads off it while others are free.
-                    None => self.cores.iter().rposition(Core::is_idle),
+                    // Busy-poll cores (below `floor`) take no application
+                    // work at all.
+                    None => {
+                        let floor = self.poll_core_count();
+                        self.cores[floor..]
+                            .iter()
+                            .rposition(Core::is_idle)
+                            .map(|i| i + floor)
+                    }
                 };
                 if let Some(ci) = target {
                     pick = Some((qi, ci));
@@ -757,6 +902,7 @@ impl Kernel {
         simtrace::span_end("kernel", "work", now.as_nanos(), ci as u32);
         self.complete_work(now, work, fx);
         self.try_dispatch(now, fx);
+        self.try_dispatch_poll(now, fx);
         if self.cores[ci].is_idle() {
             self.idle_enter(now, ci);
         }
@@ -778,6 +924,16 @@ impl Kernel {
     }
 
     fn idle_enter(&mut self, now: SimTime, ci: usize) {
+        // Poll-mode stacks have no interrupt to wake a sleeping core:
+        // the poll cores spin on the NIC rings, and the worker cores
+        // spin-wait on the work queue (blocking would need a kernel
+        // wakeup path the bypass datapath deliberately lacks). Every
+        // core stays in C0 — the poll cores pinned at max P-state, the
+        // workers at whatever P-state ondemand picked — which is the
+        // flat worst-case energy bill busy-polling pays at low load.
+        if self.cfg.datapath.bypasses_kernel() {
+            return;
+        }
         // NCAP burst guard: stay in C0. Under the §7 per-core extension
         // the guard covers only the known packet-processing target
         // (core 0); other cores keep their cpuidle autonomy.
@@ -927,13 +1083,27 @@ impl Kernel {
                 self.tx_in_queue = self.tx_in_queue.saturating_sub(1);
                 self.complete_tx(now, frame, fx);
             }
+            WorkKind::PollRx { mut frame, queue } => {
+                // Attribution: everything from DMA completion to this
+                // instant — ring residency, poll pickup and userspace RX
+                // processing — is the `poll_wait` stage. It replaces
+                // `moderation + wake + stack` on the bypass path, so the
+                // per-request tiling identity still closes.
+                {
+                    let st = &mut frame.meta_mut().stages;
+                    st.poll_wait_ns = ns32(now.as_nanos().saturating_sub(st.dma_done.as_nanos()));
+                }
+                self.complete_rx(now, &frame, queue as usize, desim::SimDuration::ZERO, fx);
+            }
             WorkKind::Overhead => {}
         }
     }
 
-    fn complete_isr(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
-        self.isr_pending[queue] = false;
-        let icr = self.nic.read_icr(queue);
+    /// Applies the NCAP flags of a consumed ICR: the IT_HIGH wake marker
+    /// and the driver's decision-engine action. On the kernel datapath
+    /// this runs in the host ISR; on the offload datapath the on-NIC
+    /// engine runs it at interrupt-assert time.
+    fn apply_ncap_icr(&mut self, now: SimTime, icr: IcrFlags, fx: &mut Effects) {
         if icr.contains(IcrFlags::IT_HIGH) {
             self.wake_marker_times.push(now);
         }
@@ -942,6 +1112,19 @@ impl Kernel {
                 let action = driver.handle_interrupt(icr, self.desired_pstate, &self.table);
                 self.apply_driver_action(now, action, fx);
             }
+        }
+    }
+
+    fn complete_isr(&mut self, now: SimTime, queue: usize, fx: &mut Effects) {
+        self.isr_pending[queue] = false;
+        let icr = self.nic.read_icr(queue);
+        if !self.cfg.datapath.offloads_ncap() {
+            // Kernel datapath: the host ISR reads the causes and runs the
+            // NCAP decision engine. Under offload the on-NIC engine
+            // already consumed them at assert time; any flags left here
+            // are silently-accumulated IT_RX/IT_TX with no action
+            // attached.
+            self.apply_ncap_icr(now, icr, fx);
         }
         // NAPI-style drain: one SoftIRQ work item per DMA-completed frame,
         // pinned to the vector's core (RSS keeps a flow's processing
@@ -1137,10 +1320,22 @@ impl Kernel {
             sent_at: frame.meta().sent_at,
             payload: frame.payload_bytes(),
         };
-        let Some(plan) = self.app.plan(now, &info) else {
+        let Some(mut plan) = self.app.plan(now, &info) else {
             self.req_traces.remove(&rid);
             return;
         };
+        if self.cfg.datapath.bypasses_kernel() {
+            // Zero-copy service loop: the request payload is handed to
+            // the application straight out of the userspace ring, so
+            // the serving loop skips the socket-API copies and syscall
+            // crossings the kernel-path app cycle budget includes.
+            let keep = u64::from(self.cfg.bypass.app_cycle_permille);
+            for phase in &mut plan.phases {
+                if let AppPhase::Cpu { cycles } = phase {
+                    *cycles = *cycles * keep / 1_000;
+                }
+            }
+        }
         // Admission control: shed the request *before* it consumes any
         // application resources. The rejection is observable (503), so
         // clients distinguish it from loss.
@@ -1268,14 +1463,30 @@ impl Kernel {
                 continue;
             }
             self.tx_in_queue += 1;
-            self.run_queue.push_back(
-                Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame })
-                    .on_core(0)
+            if self.cfg.datapath.bypasses_kernel() {
+                // Doorbell-free userspace TX: a poll core writes the
+                // descriptor directly — no softirq hop, no core-0 pin.
+                self.poll_queue.push(
+                    Work::cycles(
+                        self.cfg.bypass.poll_tx_cycles,
+                        WorkKind::SoftIrqTx { frame },
+                    )
                     .queued_at(now),
-            );
+                );
+            } else {
+                self.run_queue.push_back(
+                    Work::cycles(stack + sw_cost, WorkKind::SoftIrqTx { frame })
+                        .on_core(0)
+                        .queued_at(now),
+                );
+            }
         }
-        self.note_queue_depth(now);
-        self.try_dispatch(now, fx);
+        if self.cfg.datapath.bypasses_kernel() {
+            self.try_dispatch_poll(now, fx);
+        } else {
+            self.note_queue_depth(now);
+            self.try_dispatch(now, fx);
+        }
     }
 
     fn complete_tx(&mut self, now: SimTime, frame: Packet, fx: &mut Effects) {
@@ -1352,6 +1563,11 @@ impl Kernel {
             let busy = self.cores[ci].busy_time();
             let delta = busy.saturating_sub(self.last_busy[ci]);
             self.last_busy[ci] = busy;
+            if ci < self.poll_core_count() {
+                // Busy-poll cores are outside governance: their spin must
+                // not drag the application cores' frequency up.
+                continue;
+            }
             util = util.max(delta.as_secs_f64() / elapsed.as_secs_f64());
         }
         self.stats.governor_ticks += 1;
@@ -1368,12 +1584,19 @@ impl Kernel {
         if !self.run_queue_full() {
             self.run_queue.push_back(
                 Work::cycles(self.cfg.governor_tick_cycles, WorkKind::Overhead)
-                    .on_core(0)
+                    .on_core(self.overhead_core())
                     .queued_at(now),
             );
             self.note_queue_depth(now);
         }
         self.try_dispatch(now, fx);
+    }
+
+    /// The core housekeeping timer work (governor ticks, `ncap.sw`) runs
+    /// on: core 0, or the first non-poll core on the bypass datapath —
+    /// busy-poll cores do nothing but poll.
+    fn overhead_core(&self) -> u8 {
+        self.poll_core_count() as u8
     }
 
     fn on_sw_timer(&mut self, now: SimTime, fx: &mut Effects) {
@@ -1388,7 +1611,7 @@ impl Kernel {
         if !self.run_queue_full() {
             self.run_queue.push_back(
                 Work::cycles(cycles, WorkKind::Overhead)
-                    .on_core(0)
+                    .on_core(self.overhead_core())
                     .queued_at(now),
             );
             self.note_queue_depth(now);
@@ -1436,6 +1659,9 @@ impl Kernel {
 
     fn apply_pstates(&mut self, now: SimTime, fx: &mut Effects) {
         for ci in 0..self.cores.len() {
+            if ci < self.poll_core_count() {
+                continue; // busy-poll cores stay pinned at max P-state
+            }
             if !matches!(self.cores[ci].state_kind(), CoreStateKind::Active) {
                 continue; // sleeping cores pick up the goal on wake
             }

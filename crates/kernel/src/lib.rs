@@ -30,6 +30,7 @@ pub mod kernel;
 pub mod work;
 
 pub use app::{AppPhase, AppPlan, RequestInfo, ServerApp};
+pub use bypass::{BypassConfig, Datapath};
 pub use config::{KernelConfig, OverloadConfig, ShedPolicy};
 pub use kernel::{Effects, Kernel, KernelStats, NodeEvent, RequestTrace};
 pub use work::{Work, WorkKind};

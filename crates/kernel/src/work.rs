@@ -31,6 +31,16 @@ pub enum WorkKind {
         /// The frame to hand to the NIC.
         frame: Packet,
     },
+    /// Poll-mode (bypass datapath) receive processing for one frame: a
+    /// busy-poll core picked it out of the userspace ring and runs the
+    /// thin userspace stack inline — no ISR, no SoftIRQ.
+    PollRx {
+        /// The frame being processed.
+        frame: Packet,
+        /// The RX queue the frame was polled from, for per-queue backlog
+        /// accounting.
+        queue: u8,
+    },
     /// Pure overhead (governor tick, `ncap.sw` timer) with no completion
     /// action.
     Overhead,
@@ -45,6 +55,7 @@ impl WorkKind {
             WorkKind::SoftIrqRx { .. } => "softirq-rx",
             WorkKind::App { .. } => "app",
             WorkKind::SoftIrqTx { .. } => "softirq-tx",
+            WorkKind::PollRx { .. } => "poll-rx",
             WorkKind::Overhead => "overhead",
         }
     }

@@ -75,6 +75,11 @@ pub struct StageRecord {
     pub wake_ns: u32,
     /// Receive SoftIRQ queue wait plus protocol processing.
     pub stack_ns: u32,
+    /// Bypass datapath only: ring residency from DMA completion to the
+    /// userspace poll pickup, plus poll-mode RX processing. Replaces
+    /// `moderation + wake + stack` on the poll path; zero on the kernel
+    /// datapath.
+    pub poll_wait_ns: u32,
     /// Run-queue wait of the application's CPU phases.
     pub rq_wait_ns: u32,
     /// CPU execution time of the application phases.

@@ -188,6 +188,7 @@ pub struct Nic {
     tx_dma: DmaEngine,
     mitt: ModerationTimer,
     ncap: Option<NcapHardware>,
+    poll_mode: bool,
     rx_frames: u64,
     tx_frames: u64,
 }
@@ -209,10 +210,26 @@ impl Nic {
             tx_dma: DmaEngine::new(config.dma_bandwidth_bps, config.dma_base_latency),
             mitt: ModerationTimer::new(config.mitt_period),
             ncap,
+            poll_mode: false,
             rx_frames: 0,
             tx_frames: 0,
             config,
         }
+    }
+
+    /// Hands RX ring ownership to a userspace poll-mode driver: DMA
+    /// completions park frames in the ring without raising causes or
+    /// arming AITT/PITT/MITT delays, ring overruns drop silently (there
+    /// is no interrupt vector to signal RXO on), and on-NIC packet
+    /// inspection is skipped — the poll loop sees every frame anyway.
+    pub fn set_poll_mode(&mut self) {
+        self.poll_mode = true;
+    }
+
+    /// `true` when a userspace poll-mode driver owns the RX rings.
+    #[must_use]
+    pub fn poll_mode(&self) -> bool {
+        self.poll_mode
     }
 
     /// Number of RSS receive queues.
@@ -268,10 +285,16 @@ impl Nic {
                 simtrace::instant_args("nic", "rx_drop", t, &[simtrace::arg("queue", queue)]);
                 simtrace::metric_add("nic", "rx_drops", t, 1.0);
             }
-            // Receiver overrun: raise RXO and assert the vector right
-            // away (moderation does not delay overrun notifications).
-            self.queues[queue].cause.insert(IcrFlags::RXO);
-            let posted = self.assert_irq(now, queue);
+            // Receiver overrun. Interrupt mode raises RXO and asserts the
+            // vector right away (moderation does not delay overrun
+            // notifications); poll mode has no vector, so the overrun is
+            // only visible as a drop counter the poll loop reads.
+            let posted = if self.poll_mode {
+                false
+            } else {
+                self.queues[queue].cause.insert(IcrFlags::RXO);
+                self.assert_irq(now, queue)
+            };
             return RxOutcome {
                 queue,
                 dma_complete_at: None,
@@ -289,10 +312,12 @@ impl Nic {
         // On a multi-queue NIC the immediate wake targets the frame's own
         // vector — §7: "the target core for packet processing is known".
         let mut immediate = false;
-        if let Some(ncap) = self.ncap.as_mut() {
-            if let Some(flags) = ncap.on_rx_frame(now, &frame) {
-                self.queues[queue].cause.insert(flags);
-                immediate = self.assert_irq(now, queue);
+        if !self.poll_mode {
+            if let Some(ncap) = self.ncap.as_mut() {
+                if let Some(flags) = ncap.on_rx_frame(now, &frame) {
+                    self.queues[queue].cause.insert(flags);
+                    immediate = self.assert_irq(now, queue);
+                }
             }
         }
         // A TOE processes the frame on the NIC before the host DMA
@@ -344,6 +369,11 @@ impl Nic {
         // moderation hold / ring wait, not DMA.
         frame.meta_mut().stages.dma_done = now;
         q.pending.push_back(frame);
+        if self.poll_mode {
+            // Poll-mode: the frame just sits in the ring until a busy-poll
+            // core picks it up. No cause, no delay timer, no interrupt.
+            return None;
+        }
         q.cause.insert(IcrFlags::IT_RX);
         let deadline = q.delay.on_event(now).max(now);
         let gen = q.delay_slot.arm(deadline);
@@ -452,6 +482,11 @@ impl Nic {
             let t = now.as_nanos();
             simtrace::metric_add("nic", "tx_frames", t, 1.0);
             simtrace::metric_add("nic", "tx_wire_bytes", t, wire_bytes as f64);
+        }
+        if self.poll_mode {
+            // Doorbell-free TX: the poll loop reclaims descriptors in
+            // line; no TX-complete cause is raised.
+            return;
         }
         // TX causes share vector 0 (the 82574 layout; multi-queue NICs
         // typically keep a combined or separate TX vector — core 0 here).

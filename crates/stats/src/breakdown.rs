@@ -14,7 +14,7 @@
 use crate::histogram::LogHistogram;
 
 /// Number of attributed stages.
-pub const STAGE_COUNT: usize = 12;
+pub const STAGE_COUNT: usize = 13;
 
 /// Stage names, indexed by the [`stage`] constants.
 pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
@@ -24,6 +24,7 @@ pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
     "moderation", // NIC hold: DMA completion → NAPI drain, minus wake overlap
     "wake",       // C-state wake latency overlapping the ring wait
     "stack",      // RX SoftIRQ run-queue sojourn + stack execution
+    "poll_wait",  // bypass datapath: DMA completion → userspace pickup + poll RX
     "rq_wait",    // application phases: run-queue wait
     "cpu",        // application phases: on-core execution
     "io",         // application phases: disk/IO wait
@@ -46,18 +47,21 @@ pub mod stage {
     pub const WAKE: usize = 4;
     /// RX stack processing.
     pub const STACK: usize = 5;
+    /// Poll-mode ring residency + userspace RX (replaces
+    /// `moderation + wake + stack` on the bypass datapath).
+    pub const POLL_WAIT: usize = 6;
     /// Application run-queue wait.
-    pub const RQ_WAIT: usize = 6;
+    pub const RQ_WAIT: usize = 7;
     /// Application CPU execution.
-    pub const CPU: usize = 7;
+    pub const CPU: usize = 8;
     /// Application IO wait.
-    pub const IO: usize = 8;
+    pub const IO: usize = 9;
     /// Transmit path.
-    pub const TX: usize = 9;
+    pub const TX: usize = 10;
     /// Response-direction network transit.
-    pub const NET_OUT: usize = 10;
+    pub const NET_OUT: usize = 11;
     /// Retransmission / replay overhead.
-    pub const RETX: usize = 11;
+    pub const RETX: usize = 12;
 }
 
 /// Full-population accumulator: one `(stage vector, total)` row per

@@ -1,0 +1,133 @@
+//! Datapath frontier: the energy-vs-p99 trade of the three rival
+//! stacks — NCAP on the interrupt-driven kernel path, DPDK-style
+//! busy-polling through userspace rings, and NCAP offloaded onto the
+//! NIC — swept from 5% to 100% of the Memcached knee.
+//!
+//! The shape this sweep exists to show (DESIGN.md §16):
+//!
+//! - **Busy-poll wins p99 at high load** — no moderation window, no
+//!   wake latency, no softirq — **but pays a flat, worst-case energy
+//!   bill at low load**: the poll core spins in C0 at max P-state
+//!   whether frames arrive or not.
+//! - **NCAP wins energy at low load**: packet-context-aware wake
+//!   steering lets cores sleep deeply between bursts, and the energy
+//!   bill scales down with the offered load.
+//! - **Offload matches or beats kernel NCAP on latency everywhere at
+//!   comparable energy**: the DecisionEngine raises the ICR from the
+//!   NIC before the IRQ ever fires, so the wake is already in flight
+//!   when the frame crosses the PCIe bus.
+//!
+//! Run with: `cargo run --release --example datapath_frontier`
+
+use cluster::{run_experiments_parallel, AppKind, Datapath, ExperimentConfig, Policy};
+use desim::SimDuration;
+use simstats::{fmt_ns, Table};
+
+/// Memcached's single-server knee (paper §6 evaluates up to 138 K rps).
+const KNEE_RPS: f64 = 138_000.0;
+
+/// Load fractions of the knee, 0.05x–1.0x.
+const FRACTIONS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The three rival stacks. Bypass runs a non-NCAP policy (NCAP's wake
+/// steering is meaningless on a path with no wakes); one of the four
+/// cores is dedicated to polling.
+const STACKS: [(&str, Policy, Datapath); 3] = [
+    ("ncap (kernel)", Policy::NcapCons, Datapath::Kernel),
+    ("busy-poll (bypass)", Policy::OndIdle, Datapath::Bypass),
+    ("ncap (offload)", Policy::NcapCons, Datapath::Offload),
+];
+
+fn config(load: f64, policy: Policy, datapath: Datapath) -> ExperimentConfig {
+    // The paper's bursty open-loop clients (not Poisson): NCAP's whole
+    // premise is burst/gap traffic — steady arrivals never let IT_LOW
+    // re-enable the menu governor, and NCAP degenerates to perf. 60 ms
+    // warmup: ond.idle boots at the deepest P-state and reacts only at
+    // its 10 ms sampling tick, so the high-load points build a
+    // cold-start backlog that takes ~40 ms to drain — the frontier
+    // compares steady state, not boot transients.
+    ExperimentConfig::new(AppKind::Memcached, policy, load)
+        .with_durations(SimDuration::from_ms(60), SimDuration::from_ms(60))
+        .with_datapath(datapath)
+        .with_poll_cores(1)
+}
+
+fn main() {
+    println!(
+        "Memcached single server, load swept 0.05x-1.0x of the {KNEE_RPS:.0} rps\n\
+         knee; three datapaths: NCAP on the kernel path, busy-polling through\n\
+         userspace rings (1 of 4 cores dedicated), and NCAP offloaded on-NIC.\n"
+    );
+
+    let configs: Vec<ExperimentConfig> = FRACTIONS
+        .iter()
+        .flat_map(|&f| {
+            STACKS
+                .iter()
+                .map(move |&(_, policy, dp)| config(f * KNEE_RPS, policy, dp))
+        })
+        .collect();
+    let results = run_experiments_parallel(&configs);
+
+    let mut t = Table::new(vec![
+        "load",
+        "rps",
+        "stack",
+        "p50",
+        "p99",
+        "energy (J)",
+        "poll (J)",
+        "avg W",
+        "goodput",
+    ]);
+    for (i, r) in results.iter().enumerate() {
+        let frac = FRACTIONS[i / STACKS.len()];
+        let (name, _, _) = STACKS[i % STACKS.len()];
+        t.row(vec![
+            format!("{frac:.2}x"),
+            format!("{:.0}", frac * KNEE_RPS),
+            name.to_string(),
+            fmt_ns(r.latency.p50),
+            fmt_ns(r.latency.p99),
+            format!("{:.2}", r.energy_j),
+            format!("{:.2}", r.poll_energy_j),
+            format!("{:.1}", r.avg_power_w()),
+            format!("{:.3}", r.goodput()),
+        ]);
+    }
+    println!("{t}");
+
+    // The frontier verdicts, checked at the sweep's endpoints.
+    let at = |frac_idx: usize, stack_idx: usize| &results[frac_idx * STACKS.len() + stack_idx];
+    let (lo, hi) = (0, FRACTIONS.len() - 1);
+    let (ncap_lo, poll_lo, off_lo) = (at(lo, 0), at(lo, 1), at(lo, 2));
+    let (ncap_hi, poll_hi, _off_hi) = (at(hi, 0), at(hi, 1), at(hi, 2));
+
+    println!(
+        "\nAt 0.05x load: ncap {:.2} J vs busy-poll {:.2} J ({:.1}x) — the poll\n\
+         core burns {:.2} J spinning on an almost-empty ring while NCAP sleeps\n\
+         between bursts.",
+        ncap_lo.energy_j,
+        poll_lo.energy_j,
+        poll_lo.energy_j / ncap_lo.energy_j,
+        poll_lo.poll_energy_j,
+    );
+    println!(
+        "At 1.00x load: busy-poll p99 {} vs ncap p99 {} — no moderation\n\
+         window, no wake latency, no softirq on the hot path.",
+        fmt_ns(poll_hi.latency.p99),
+        fmt_ns(ncap_hi.latency.p99),
+    );
+    let off_mean_ratio: f64 = FRACTIONS
+        .iter()
+        .enumerate()
+        .map(|(i, _)| at(i, 2).latency.p99 as f64 / at(i, 0).latency.p99 as f64)
+        .sum::<f64>()
+        / FRACTIONS.len() as f64;
+    println!(
+        "Offload vs kernel NCAP: mean p99 ratio {off_mean_ratio:.2} across the sweep at\n\
+         {:+.1}% energy (0.05x point) — the on-NIC engine wakes cores before\n\
+         the IRQ instead of after it.",
+        100.0 * (off_lo.energy_j / ncap_lo.energy_j - 1.0),
+    );
+}

@@ -5,6 +5,7 @@
 #   sim_throughput -> BENCH_6 (queue + end-to-end fleet throughput)
 #   attribution    -> BENCH_7 (latency-attribution overhead budget)
 #   failover       -> BENCH_8 (health-prober overhead budget)
+#   datapath       -> BENCH_10 (bypass-vs-kernel throughput + hook budget)
 # Each record is stamped with the git SHA and UTC date it was taken
 # at, so a committed number is traceable to the tree that produced it.
 #
@@ -84,3 +85,4 @@ record() { # record <bench> <BENCH_N> <required-key>
 record sim_throughput BENCH_6 queue_hold_64_backend_point
 record attribution BENCH_7 breakdown_overhead_pct
 record failover BENCH_8 prober_overhead_pct
+record datapath BENCH_10 dispatch_hook_overhead_pct

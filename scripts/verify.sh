@@ -96,6 +96,24 @@ echo "$fleet_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
     { echo "verify: fleet watchdog missing or reported violations" >&2; exit 1; }
 echo "==> fleet smoke ok"
 
+# Bypass smoke: the poll-mode datapath must serve a short run end to
+# end — busy-poll cores picking frames out of the userspace ring with
+# zero interrupts, the poll cores' spend attributed separately — and
+# keep the conservation ledgers clean.
+bypass_out=$(run cargo run --release -p ncap-cli -- run \
+    --app memcached --policy ond.idle --load 30000 --poisson \
+    --warmup-ms 5 --measure-ms 15 --datapath bypass --poll-cores 1)
+echo "$bypass_out"
+echo "$bypass_out" | grep -q 'bypass datapath' ||
+    { echo "verify: bypass run did not report its datapath" >&2; exit 1; }
+echo "$bypass_out" | grep -Eq 'polling +[0-9.]+ J burned' ||
+    { echo "verify: bypass run attributed no poll-core energy" >&2; exit 1; }
+echo "$bypass_out" | grep -q '0 NCAP interrupts, 0 drops' ||
+    { echo "verify: bypass run took interrupts or dropped frames" >&2; exit 1; }
+echo "$bypass_out" | grep -q 'watchdog [1-9][0-9]* checks, 0 violations' ||
+    { echo "verify: bypass watchdog missing or reported violations" >&2; exit 1; }
+echo "==> bypass smoke ok"
+
 # Failover smoke: crash one backend mid-run (with a later restart) and
 # demand end-to-end recovery inside a seconds-scale run — the prober
 # ejects it, orphaned requests fail over via retransmission, nothing is

@@ -225,7 +225,21 @@ fn fnv1a(s: &str) -> u64 {
 /// zero-valued substring from the new render hashes to the prior pin
 /// `0x4A80_9097_44A1_195D`, so every pre-existing field is bit-for-bit
 /// unchanged.
-const SCALE_64_GOLDEN_DIGEST: u64 = 0x9EFB_C273_4A94_71C4;
+///
+/// Re-pinned for the datapath PR, which inserted three all-zero pieces
+/// into this render: `polled_frames` in `KernelStats`, `poll_energy_j`
+/// in `ExperimentResult`, and the `poll_wait` stage entry in the
+/// breakdown (the 13-stage taxonomy). The in-test splice proof strips
+/// exactly those inserted substrings and checks the remainder against
+/// the prior pin `0x9EFB_C273_4A94_71C4`, demonstrating
+/// `Datapath::Kernel` is observer-effect-free: every pre-existing byte
+/// of the result is unchanged by the bypass subsystem.
+const SCALE_64_GOLDEN_DIGEST: u64 = 0x42B9_6683_DD82_1064;
+
+/// The pin before the datapath PR — the splice proof in
+/// [`fleet_scale_64_backends_is_deterministic_and_pinned`] reduces the
+/// current render back to this digest.
+const SCALE_64_PRE_DATAPATH_DIGEST: u64 = 0x9EFB_C273_4A94_71C4;
 
 #[test]
 fn fleet_scale_64_backends_is_deterministic_and_pinned() {
@@ -275,12 +289,109 @@ fn fleet_scale_64_backends_is_deterministic_and_pinned() {
     ));
     assert_eq!(heap, serial, "queue backends diverged at 64 backends");
 
+    // Splice proof: the datapath PR added exactly two zero-valued fields
+    // to this run's render (`polled_frames` in each backend's
+    // `KernelStats`, `poll_energy_j` in `ExperimentResult`). Removing
+    // precisely those substrings must reproduce the pre-PR digest —
+    // i.e. the kernel datapath default left every pre-existing byte of
+    // the result untouched.
+    let polled = ", polled_frames: 0";
+    let poll_energy = ", poll_energy_j: 0.0";
+    // The all-zero poll_wait stage entry (591 completed requests, every
+    // sample 0 ns) that the 13-stage taxonomy inserted into the
+    // breakdown render between "stack" and "rq_wait".
+    let poll_stage = "StageBreakdown { name: \"poll_wait\", mean: 0.0, share: 0.0, \
+                      tail_mean: 0.0, tail_share: 0.0, hist: LogHistogram { \
+                      buckets: [591], count: 591, sum: 0, min: 0, max: 0 } }, ";
+    for (what, pat) in [
+        ("polled_frames", polled),
+        ("poll_energy_j", poll_energy),
+        ("poll_wait stage", poll_stage),
+    ] {
+        assert_eq!(
+            serial.matches(pat).count(),
+            1,
+            "expected exactly one inserted {what} in the render"
+        );
+    }
+    let spliced = serial
+        .replace(polled, "")
+        .replace(poll_energy, "")
+        .replace(poll_stage, "");
+    assert_eq!(
+        fnv1a(&spliced),
+        SCALE_64_PRE_DATAPATH_DIGEST,
+        "kernel-datapath default perturbed pre-existing result fields"
+    );
+
     // And the whole scenario is pinned against history.
     assert_eq!(
         fnv1a(&serial),
         SCALE_64_GOLDEN_DIGEST,
         "64-backend golden digest changed — event ordering or accounting moved"
     );
+}
+
+/// The determinism contract the ISSUE's acceptance criteria demand for
+/// the rival stacks: per datapath, serial == parallel == traced runs are
+/// byte-identical on the full `Debug` render, and the datapath actually
+/// engaged (bypass polls frames, offload still fires NCAP wakes).
+#[test]
+fn rival_datapaths_are_deterministic_across_runners() {
+    use cluster::{Datapath, DispatchPolicy, FleetConfig};
+
+    for (datapath, policy) in [
+        (Datapath::Bypass, Policy::OndIdle),
+        (Datapath::Offload, Policy::NcapCons),
+    ] {
+        let cfg = ExperimentConfig::new(AppKind::Memcached, policy, 45_000.0)
+            .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(10))
+            .with_poisson()
+            .with_seed(11)
+            .with_datapath(datapath)
+            .with_poll_cores(2)
+            .with_fleet(FleetConfig::new(4, DispatchPolicy::LeastOutstanding));
+        let base = run_experiment(&cfg);
+        assert!(base.completed > 0, "{datapath:?}: no requests completed");
+        match datapath {
+            Datapath::Bypass => {
+                assert!(
+                    base.kernel_stats.polled_frames > 0,
+                    "bypass run never polled a frame"
+                );
+                assert!(base.poll_energy_j > 0.0, "busy-poll cores must bill energy");
+            }
+            _ => {
+                assert_eq!(base.kernel_stats.polled_frames, 0);
+                assert!(
+                    base.wake_markers > 0,
+                    "offload run should still steer NCAP wakes"
+                );
+            }
+        }
+        let serial = format!("{base:?}");
+
+        for threads in [1, 4] {
+            let parallel = cluster::run_experiments_on(std::slice::from_ref(&cfg), threads);
+            assert_eq!(
+                format!("{:?}", parallel[0]),
+                serial,
+                "{datapath:?}: {threads}-thread runner diverged"
+            );
+        }
+
+        let mut traced = run_experiment(
+            &cfg.clone()
+                .with_event_trace(simtrace::TracerConfig::default()),
+        );
+        assert!(traced.sim_trace.is_some(), "tracer must attach data");
+        traced.sim_trace = None;
+        assert_eq!(
+            format!("{traced:?}"),
+            serial,
+            "{datapath:?}: tracing perturbed the run"
+        );
+    }
 }
 
 #[test]

@@ -148,7 +148,7 @@ fn spans_cover_the_major_components() {
 use check::{ensure, ensure_eq, Check};
 use cluster::runner::build_server;
 use cluster::sim::ClusterSim;
-use cluster::{DispatchPolicy, FaultConfig, FleetConfig};
+use cluster::{Datapath, DispatchPolicy, FaultConfig, FleetConfig};
 use desim::{SimTime, Simulation};
 use netsim::NodeId;
 use oldi_apps::{ClientConfig, OpenLoopClient};
@@ -197,11 +197,19 @@ fn breakdown_toggle_is_observer_free() {
 }
 
 /// Drives a [`ClusterSim`] directly so the raw per-request attribution
-/// rows stay accessible after the run.
-fn drive_cluster(seed: u64, fleet: bool, lossy: bool) -> ClusterSim {
-    let mut cfg = ExperimentConfig::new(AppKind::Memcached, Policy::NcapCons, 30_000.0)
+/// rows stay accessible after the run. The policy rides with the
+/// datapath: bypass forbids NCAP, offload demands NCAP hardware.
+fn drive_cluster(seed: u64, fleet: bool, lossy: bool, datapath: Datapath) -> ClusterSim {
+    let policy = if datapath == Datapath::Bypass {
+        Policy::OndIdle
+    } else {
+        Policy::NcapCons
+    };
+    let mut cfg = ExperimentConfig::new(AppKind::Memcached, policy, 30_000.0)
         .with_durations(SimDuration::from_ms(5), SimDuration::from_ms(15))
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_datapath(datapath)
+        .with_poll_cores(1 + (seed % 2) as u8);
     if fleet {
         cfg = with_fleet(cfg);
     }
@@ -313,24 +321,60 @@ fn report_reproduces_wake_shrinkage_claim() {
 
 #[test]
 fn stage_sums_equal_client_latency() {
-    Check::new("stage_conservation").cases(9).run(
-        |rng, _size| (rng.next_u64() >> 32, rng.next_below(3)),
-        |&(seed, scenario)| {
+    Check::new("stage_conservation").cases(18).run(
+        |rng, _size| (rng.next_u64() >> 32, rng.next_below(3), rng.next_below(3)),
+        |&(seed, scenario, dp)| {
             let (fleet, lossy) = match scenario {
                 0 => (false, false),
                 1 => (true, false),
                 _ => (false, true),
             };
-            let c = drive_cluster(seed, fleet, lossy);
+            let datapath = [Datapath::Kernel, Datapath::Bypass, Datapath::Offload][dp as usize];
+            let c = drive_cluster(seed, fleet, lossy, datapath);
             let samples = c.breakdown_collector().samples();
             ensure!(!samples.is_empty(), "no completions collected");
             ensure_eq!(samples.len() as u64, c.tracker().completed());
+            let mut poll_wait_total = 0u64;
             for (i, (stages, total)) in samples.iter().enumerate() {
                 let sum: u64 = stages.iter().map(|&v| u64::from(v)).sum();
                 ensure!(
                     sum == *total,
                     "request {i}: stage sum {sum} != total {total} \
-                     (fleet={fleet}, lossy={lossy}, stages {stages:?})"
+                     (fleet={fleet}, lossy={lossy}, datapath={datapath}, \
+                      stages {stages:?})"
+                );
+                poll_wait_total += u64::from(stages[simstats::breakdown::stage::POLL_WAIT]);
+                // The poll path replaces the interrupt path wholesale:
+                // kernel/offload requests never show poll_wait, bypass
+                // requests never show moderation or wake.
+                let irq: u64 = [
+                    simstats::breakdown::stage::MODERATION,
+                    simstats::breakdown::stage::WAKE,
+                    simstats::breakdown::stage::STACK,
+                ]
+                .iter()
+                .map(|&s| u64::from(stages[s]))
+                .sum();
+                if datapath == Datapath::Bypass {
+                    ensure!(
+                        irq == 0,
+                        "request {i}: bypass request shows interrupt-path time \
+                         ({stages:?})"
+                    );
+                } else {
+                    ensure!(
+                        stages[simstats::breakdown::stage::POLL_WAIT] == 0,
+                        "request {i}: {datapath} request shows poll_wait \
+                         ({stages:?})"
+                    );
+                }
+            }
+            if datapath == Datapath::Bypass {
+                ensure!(
+                    poll_wait_total > 0,
+                    "bypass run attributed zero poll_wait across \
+                     {} requests",
+                    samples.len()
                 );
             }
             Ok(())
